@@ -1,0 +1,84 @@
+// Command decouplebench regenerates the paper's evaluation figures
+// (Figs. 5-8) and the ablation studies on the simulated runtime.
+//
+// Usage:
+//
+//	decouplebench -experiment fig5 -max-procs 8192 -runs 10
+//	decouplebench -experiment all -format csv -out results.csv
+//
+// Figure 2 and 3 are trace renderings; use cmd/traceviz for those.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		experiment = flag.String("experiment", "all", "experiment to run: "+strings.Join(experiments.Names(), ", ")+", or all")
+		maxProcs   = flag.Int("max-procs", 1024, "largest process count in the weak-scaling sweeps (paper: 8192)")
+		runs       = flag.Int("runs", 3, "repetitions per data point (paper: 10)")
+		format     = flag.String("format", "table", "output format: table or csv")
+		out        = flag.String("out", "", "output file (default stdout)")
+		quiet      = flag.Bool("quiet", false, "suppress progress logging")
+	)
+	flag.Parse()
+
+	var names []string
+	if *experiment == "all" {
+		names = experiments.Names()
+	} else {
+		for _, name := range strings.Split(*experiment, ",") {
+			if experiments.Registry[name] == nil {
+				fmt.Fprintf(os.Stderr, "unknown experiment %q; available: %s\n",
+					name, strings.Join(experiments.Names(), ", "))
+				os.Exit(2)
+			}
+			names = append(names, name)
+		}
+	}
+
+	opts := experiments.Options{MaxProcs: *maxProcs, Runs: *runs}
+	if !*quiet {
+		opts.Log = os.Stderr
+	}
+
+	var rows []experiments.Row
+	for _, name := range names {
+		r, err := experiments.Registry[name](opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+			os.Exit(1)
+		}
+		rows = append(rows, r...)
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	var err error
+	switch *format {
+	case "table":
+		err = experiments.FormatTable(w, rows)
+	case "csv":
+		err = experiments.FormatCSV(w, rows)
+	default:
+		err = fmt.Errorf("unknown format %q", *format)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

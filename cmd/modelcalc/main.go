@@ -1,0 +1,70 @@
+// Command modelcalc evaluates the paper's analytic performance model
+// (Section II-D, Eqs. 1-4) for a two-operation application and searches
+// for the optimal decoupled-group fraction and stream granularity.
+//
+// Usage:
+//
+//	modelcalc -w0 100ms -w1 50ms -sigma 5ms -alpha 0.0625 -d 1073741824 -s 65536 -o 200ns
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+	"time"
+
+	"repro/internal/model"
+	"repro/internal/sim"
+)
+
+func main() {
+	var (
+		w0    = flag.Duration("w0", 100*time.Millisecond, "per-process time of the retained operation Op0")
+		w1    = flag.Duration("w1", 50*time.Millisecond, "per-process time of the decoupled operation Op1 (conventional)")
+		sigma = flag.Duration("sigma", 5*time.Millisecond, "expected process-imbalance time")
+		alpha = flag.Float64("alpha", 0.0625, "fraction of processes dedicated to Op1")
+		d     = flag.Int64("d", 1<<30, "total streamed volume D in bytes")
+		s     = flag.Int64("s", 64<<10, "stream element granularity S in bytes")
+		o     = flag.Duration("o", 200*time.Nanosecond, "per-element overhead o")
+		gain  = flag.Float64("gain", 1, "Op1 speedup on the dedicated group (T'W1 = TW1/gain)")
+	)
+	flag.Parse()
+
+	p := model.Params{
+		TW0:      sim.FromSeconds(w0.Seconds()),
+		TW1:      sim.FromSeconds(w1.Seconds()),
+		TSigma:   sim.FromSeconds(sigma.Seconds()),
+		Alpha:    *alpha,
+		D:        *d,
+		S:        *s,
+		Overhead: sim.FromSeconds(o.Seconds()),
+	}
+	if *gain > 1 {
+		p.DecoupledTW1 = func(float64) sim.Time {
+			return sim.Time(float64(p.TW1) / *gain)
+		}
+	}
+	if err := p.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "Eq. 1 conventional Tc\t%v\n", model.Conventional(p))
+	fmt.Fprintf(tw, "Eq. 2 ideal decoupled Td\t%v\n", model.DecoupledIdeal(p))
+	fmt.Fprintf(tw, "Eq. 3 pipelined Td\t%v\n", model.DecoupledPipelined(p))
+	fmt.Fprintf(tw, "Eq. 4 with overhead Td\t%v\n", model.Decoupled(p))
+	fmt.Fprintf(tw, "speedup Tc/Td\t%.3f\n", model.Speedup(p))
+	fmt.Fprintf(tw, "memory bound (streaming)\t%d bytes\n", model.MemoryBound(p, false))
+	fmt.Fprintf(tw, "memory bound (buffered)\t%d bytes\n", model.MemoryBound(p, true))
+
+	alphas := []float64{0.015625, 0.03125, 0.0625, 0.125, 0.25, 0.5}
+	bestA, tA := model.OptimalAlpha(p, alphas)
+	fmt.Fprintf(tw, "optimal alpha over %v\t%g (Td %v)\n", alphas, bestA, tA)
+
+	grains := []int64{1 << 10, 4 << 10, 16 << 10, 64 << 10, 256 << 10, 1 << 20, 4 << 20, 16 << 20}
+	bestS, tS := model.OptimalGranularity(p, grains)
+	fmt.Fprintf(tw, "optimal S over 1KiB..16MiB\t%d bytes (Td %v)\n", bestS, tS)
+	tw.Flush()
+}

@@ -1,0 +1,40 @@
+// Command traceviz renders the paper's trace figures as ASCII timelines:
+// Fig. 2 (iPIC3D particle communication, reference vs decoupled, on seven
+// processes) and Fig. 3 (conceptual schedules of the conventional,
+// non-blocking and decoupled models).
+//
+// Usage:
+//
+//	traceviz -fig 2
+//	traceviz -fig 3 -width 120
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		fig   = flag.Int("fig", 2, "figure to render: 2 or 3")
+		width = flag.Int("width", 100, "timeline width in columns")
+	)
+	flag.Parse()
+
+	var err error
+	switch *fig {
+	case 2:
+		err = experiments.Fig2(os.Stdout, *width)
+	case 3:
+		err = experiments.Fig3(os.Stdout, *width)
+	default:
+		err = fmt.Errorf("unknown figure %d (supported: 2, 3)", *fig)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,262 @@
+// Package core implements the paper's decoupling strategy at the level the
+// application programmer uses it (Section II): describing operations,
+// scoring their suitability for decoupling against the five categories of
+// Section II-E, forming groups of processes, mapping operations onto
+// groups, and materializing the mapping as communicators plus stream
+// channels.
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/mpi"
+	"repro/internal/sim"
+)
+
+// Operation describes one of an application's distinct stages (Op1..OpN in
+// Section II-C) through the characteristics that matter for decoupling.
+type Operation struct {
+	// Name identifies the operation, e.g. "particle-communication".
+	Name string
+	// Workload is the conventional per-process time of the operation.
+	Workload sim.Time
+	// Variance is the coefficient of variation of the operation's
+	// execution time across processes (0 = perfectly regular).
+	Variance float64
+	// ComplexityGrowth reports the relative cost factor of the operation
+	// when executed by p processes, normalized so that growth(p0) = 1 at
+	// the reference scale. Nil means scale-independent.
+	ComplexityGrowth func(p int) float64
+	// ContinuousFlow reports whether the operation generates data flow
+	// throughout execution (rather than bursts at stage boundaries).
+	ContinuousFlow bool
+	// Orthogonal reports whether the operation has little data
+	// dependency on the others (can run on separate data).
+	Orthogonal bool
+	// WantsSpecialHardware reports whether the operation benefits from a
+	// special-purpose computing unit (large-memory nodes, burst buffers,
+	// I/O nodes).
+	WantsSpecialHardware bool
+}
+
+// Category is one of the paper's five classes of operations suitable for
+// decoupling (Section II-E).
+type Category int
+
+// The five categories, in the paper's order.
+const (
+	CategoryOrthogonal Category = iota + 1
+	CategoryHighComplexity
+	CategoryHighVariance
+	CategoryContinuousFlow
+	CategorySpecialHardware
+)
+
+// String names the category as the paper describes it.
+func (c Category) String() string {
+	switch c {
+	case CategoryOrthogonal:
+		return "orthogonal operations with little data dependency"
+	case CategoryHighComplexity:
+		return "operations with high complexity on large numbers of processes"
+	case CategoryHighVariance:
+		return "operations with large execution time variance"
+	case CategoryContinuousFlow:
+		return "operations that continuously generate data flow"
+	case CategorySpecialHardware:
+		return "operations that benefit from special-purpose computing units"
+	default:
+		return fmt.Sprintf("Category(%d)", int(c))
+	}
+}
+
+// Suitability is the advisor's verdict for one operation.
+type Suitability struct {
+	Op         string
+	Categories []Category
+	// Score is the number of matching categories (0-5).
+	Score int
+}
+
+// Suitable reports whether the operation matches at least one category.
+func (s Suitability) Suitable() bool { return s.Score > 0 }
+
+// AdviseConfig tunes the advisor's thresholds.
+type AdviseConfig struct {
+	// VarianceThreshold is the CoV above which an operation counts as
+	// high-variance. Default 0.25.
+	VarianceThreshold float64
+	// GrowthScale and GrowthThreshold classify complexity growth: the
+	// operation is high-complexity if growth(GrowthScale) exceeds
+	// GrowthThreshold. Defaults: 8x the reference scale, 2x cost.
+	GrowthScale     int
+	GrowthThreshold float64
+}
+
+func (c AdviseConfig) withDefaults() AdviseConfig {
+	if c.VarianceThreshold <= 0 {
+		c.VarianceThreshold = 0.25
+	}
+	if c.GrowthScale <= 0 {
+		c.GrowthScale = 8
+	}
+	if c.GrowthThreshold <= 0 {
+		c.GrowthThreshold = 2
+	}
+	return c
+}
+
+// Advise scores an operation against the five categories of Section II-E.
+func Advise(op Operation, cfg AdviseConfig) Suitability {
+	cfg = cfg.withDefaults()
+	var cats []Category
+	if op.Orthogonal {
+		cats = append(cats, CategoryOrthogonal)
+	}
+	if op.ComplexityGrowth != nil && op.ComplexityGrowth(cfg.GrowthScale) > cfg.GrowthThreshold {
+		cats = append(cats, CategoryHighComplexity)
+	}
+	if op.Variance > cfg.VarianceThreshold {
+		cats = append(cats, CategoryHighVariance)
+	}
+	if op.ContinuousFlow {
+		cats = append(cats, CategoryContinuousFlow)
+	}
+	if op.WantsSpecialHardware {
+		cats = append(cats, CategorySpecialHardware)
+	}
+	return Suitability{Op: op.Name, Categories: cats, Score: len(cats)}
+}
+
+// Group is a named set of processes taking a fraction of the job.
+type Group struct {
+	Name string
+	// Fraction of the total processes assigned to this group. All
+	// fractions in a plan must sum to 1.
+	Fraction float64
+}
+
+// Plan maps every operation to exactly one group (Section II-C: "all
+// operations being mapped to exactly one group").
+type Plan struct {
+	Groups []Group
+	// Assign maps operation name -> group name.
+	Assign map[string]string
+}
+
+// Validate checks the plan's structural invariants.
+func (p *Plan) Validate(ops []Operation) error {
+	if len(p.Groups) == 0 {
+		return fmt.Errorf("core: plan has no groups")
+	}
+	seen := map[string]bool{}
+	sum := 0.0
+	for _, g := range p.Groups {
+		if g.Name == "" {
+			return fmt.Errorf("core: unnamed group")
+		}
+		if seen[g.Name] {
+			return fmt.Errorf("core: duplicate group %q", g.Name)
+		}
+		seen[g.Name] = true
+		if g.Fraction <= 0 || g.Fraction > 1 {
+			return fmt.Errorf("core: group %q fraction %v outside (0,1]", g.Name, g.Fraction)
+		}
+		sum += g.Fraction
+	}
+	if sum < 0.999 || sum > 1.001 {
+		return fmt.Errorf("core: group fractions sum to %v, want 1", sum)
+	}
+	for _, op := range ops {
+		g, ok := p.Assign[op.Name]
+		if !ok {
+			return fmt.Errorf("core: operation %q not mapped to any group", op.Name)
+		}
+		if !seen[g] {
+			return fmt.Errorf("core: operation %q mapped to unknown group %q", op.Name, g)
+		}
+	}
+	return nil
+}
+
+// GroupSizes divides p processes among the plan's groups proportionally,
+// guaranteeing at least one process per group and exact coverage of p.
+func (p *Plan) GroupSizes(procs int) ([]int, error) {
+	if procs < len(p.Groups) {
+		return nil, fmt.Errorf("core: %d processes cannot cover %d groups", procs, len(p.Groups))
+	}
+	sizes := make([]int, len(p.Groups))
+	assigned := 0
+	for i, g := range p.Groups {
+		sizes[i] = int(g.Fraction * float64(procs))
+		if sizes[i] < 1 {
+			sizes[i] = 1
+		}
+		assigned += sizes[i]
+	}
+	// Adjust the largest group to absorb rounding.
+	largest := 0
+	for i := range sizes {
+		if sizes[i] > sizes[largest] {
+			largest = i
+		}
+	}
+	sizes[largest] += procs - assigned
+	if sizes[largest] < 1 {
+		return nil, fmt.Errorf("core: fractions leave no room for group %q", p.Groups[largest].Name)
+	}
+	return sizes, nil
+}
+
+// Assignment is a materialized plan on a running world: which group the
+// calling rank belongs to and the group communicators.
+type Assignment struct {
+	// GroupName of the calling rank.
+	GroupName string
+	// GroupIndex of the calling rank within Plan.Groups.
+	GroupIndex int
+	// Comm is the calling rank's group communicator.
+	Comm *mpi.Comm
+	// Sizes are the process counts per group, in plan order.
+	Sizes []int
+}
+
+// Materialize splits parent according to the plan. Collective: every
+// member of parent must call it. Ranks are assigned to groups in
+// contiguous blocks, in plan order.
+func (p *Plan) Materialize(r *mpi.Rank, parent *mpi.Comm) (*Assignment, error) {
+	sizes, err := p.GroupSizes(parent.Size())
+	if err != nil {
+		return nil, err
+	}
+	me := parent.RankOf(r)
+	idx, base := -1, 0
+	for i, sz := range sizes {
+		if me < base+sz {
+			idx = i
+			break
+		}
+		base += sz
+	}
+	comm := parent.Split(r, idx, me)
+	return &Assignment{
+		GroupName:  p.Groups[idx].Name,
+		GroupIndex: idx,
+		Comm:       comm,
+		Sizes:      sizes,
+	}, nil
+}
+
+// OperationsOf lists the operations the plan assigns to the given group,
+// sorted by name for determinism.
+func (p *Plan) OperationsOf(group string) []string {
+	var out []string
+	for op, g := range p.Assign {
+		if g == group {
+			out = append(out, op)
+		}
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,168 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mpi"
+	"repro/internal/sim"
+)
+
+func TestAdviseMatchesPaperExamples(t *testing.T) {
+	// The paper's reduce operation: high complexity at scale, continuous
+	// intermediate output.
+	reduce := Operation{
+		Name:             "reduce",
+		Workload:         50 * sim.Millisecond,
+		Variance:         0.4,
+		ComplexityGrowth: func(p int) float64 { return math.Sqrt(float64(p)) },
+		ContinuousFlow:   true,
+	}
+	s := Advise(reduce, AdviseConfig{})
+	if !s.Suitable() || s.Score < 3 {
+		t.Fatalf("reduce suitability = %+v, want >= 3 categories", s)
+	}
+	// A regular, scale-independent compute kernel should not qualify.
+	kernel := Operation{Name: "stencil", Workload: 100 * sim.Millisecond, Variance: 0.01}
+	if s := Advise(kernel, AdviseConfig{}); s.Suitable() {
+		t.Fatalf("regular kernel scored %+v, want unsuitable", s)
+	}
+}
+
+func TestAdviseIndividualCategories(t *testing.T) {
+	cases := []struct {
+		op   Operation
+		want Category
+	}{
+		{Operation{Name: "a", Orthogonal: true}, CategoryOrthogonal},
+		{Operation{Name: "b", ComplexityGrowth: func(p int) float64 { return float64(p) }}, CategoryHighComplexity},
+		{Operation{Name: "c", Variance: 0.5}, CategoryHighVariance},
+		{Operation{Name: "d", ContinuousFlow: true}, CategoryContinuousFlow},
+		{Operation{Name: "e", WantsSpecialHardware: true}, CategorySpecialHardware},
+	}
+	for _, c := range cases {
+		s := Advise(c.op, AdviseConfig{})
+		if s.Score != 1 || s.Categories[0] != c.want {
+			t.Errorf("op %s: got %+v, want single category %v", c.op.Name, s, c.want)
+		}
+	}
+}
+
+func TestCategoryStrings(t *testing.T) {
+	for c := CategoryOrthogonal; c <= CategorySpecialHardware; c++ {
+		if c.String() == "" || c.String()[0] == 'C' && len(c.String()) < 12 {
+			t.Errorf("category %d has poor name %q", c, c.String())
+		}
+	}
+}
+
+func twoGroupPlan(alpha float64) *Plan {
+	return &Plan{
+		Groups: []Group{
+			{Name: "compute", Fraction: 1 - alpha},
+			{Name: "service", Fraction: alpha},
+		},
+		Assign: map[string]string{"mover": "compute", "reduce": "service"},
+	}
+}
+
+func TestPlanValidate(t *testing.T) {
+	ops := []Operation{{Name: "mover"}, {Name: "reduce"}}
+	if err := twoGroupPlan(0.0625).Validate(ops); err != nil {
+		t.Fatalf("valid plan rejected: %v", err)
+	}
+	bad := twoGroupPlan(0.0625)
+	bad.Groups[1].Fraction = 0.5 // sums to 1.4375
+	if bad.Validate(ops) == nil {
+		t.Error("fraction sum != 1 accepted")
+	}
+	bad = twoGroupPlan(0.0625)
+	delete(bad.Assign, "mover")
+	if bad.Validate(ops) == nil {
+		t.Error("unmapped operation accepted")
+	}
+	bad = twoGroupPlan(0.0625)
+	bad.Assign["mover"] = "nonexistent"
+	if bad.Validate(ops) == nil {
+		t.Error("unknown group accepted")
+	}
+	empty := &Plan{}
+	if empty.Validate(nil) == nil {
+		t.Error("empty plan accepted")
+	}
+}
+
+func TestGroupSizesCoverExactly(t *testing.T) {
+	plan := twoGroupPlan(0.0625)
+	for _, p := range []int{2, 16, 17, 100, 8192} {
+		sizes, err := plan.GroupSizes(p)
+		if err != nil {
+			t.Fatalf("p=%d: %v", p, err)
+		}
+		if sizes[0]+sizes[1] != p {
+			t.Fatalf("p=%d sizes %v do not cover", p, sizes)
+		}
+		if sizes[0] < 1 || sizes[1] < 1 {
+			t.Fatalf("p=%d empty group: %v", p, sizes)
+		}
+	}
+	if _, err := plan.GroupSizes(1); err == nil {
+		t.Error("1 process over 2 groups accepted")
+	}
+}
+
+// Property: group sizes always cover procs exactly with no empty group.
+func TestGroupSizesProperty(t *testing.T) {
+	f := func(procsRaw uint16, fracRaw uint8) bool {
+		procs := int(procsRaw)%4096 + 2
+		alpha := (float64(fracRaw%31) + 1) / 64 // 1/64 .. 31/64
+		sizes, err := twoGroupPlan(alpha).GroupSizes(procs)
+		if err != nil {
+			return false
+		}
+		return sizes[0]+sizes[1] == procs && sizes[0] >= 1 && sizes[1] >= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMaterializeSplitsWorld(t *testing.T) {
+	plan := twoGroupPlan(0.25)
+	w := mpi.NewWorld(mpi.Config{Procs: 16, Seed: 1})
+	groupOf := make([]string, 16)
+	commSize := make([]int, 16)
+	if _, err := w.Run(func(r *mpi.Rank) {
+		a, err := plan.Materialize(r, r.World())
+		if err != nil {
+			t.Errorf("rank %d: %v", r.ID(), err)
+			return
+		}
+		groupOf[r.ID()] = a.GroupName
+		commSize[r.ID()] = a.Comm.Size()
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 12; i++ {
+		if groupOf[i] != "compute" || commSize[i] != 12 {
+			t.Fatalf("rank %d: group=%s size=%d, want compute/12", i, groupOf[i], commSize[i])
+		}
+	}
+	for i := 12; i < 16; i++ {
+		if groupOf[i] != "service" || commSize[i] != 4 {
+			t.Fatalf("rank %d: group=%s size=%d, want service/4", i, groupOf[i], commSize[i])
+		}
+	}
+}
+
+func TestOperationsOf(t *testing.T) {
+	plan := &Plan{
+		Groups: []Group{{Name: "g", Fraction: 1}},
+		Assign: map[string]string{"z-op": "g", "a-op": "g", "other": "h"},
+	}
+	ops := plan.OperationsOf("g")
+	if len(ops) != 2 || ops[0] != "a-op" || ops[1] != "z-op" {
+		t.Fatalf("OperationsOf = %v", ops)
+	}
+}

@@ -1,0 +1,165 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/model"
+	"repro/internal/sim"
+)
+
+// Recommendation is the advisor's end-to-end output: which operations to
+// decouple, onto what fraction of processes, and the predicted benefit
+// under the paper's performance model.
+type Recommendation struct {
+	// Decouple lists the operations worth moving to a dedicated group,
+	// most suitable first.
+	Decouple []Suitability
+	// Keep lists the operations that should stay on the main group.
+	Keep []string
+	// Plan is a ready-to-materialize two-group plan (nil when nothing is
+	// worth decoupling).
+	Plan *Plan
+	// Alpha is the recommended dedicated-group fraction.
+	Alpha float64
+	// PredictedSpeedup is Tc/Td under Eq. 4 for the aggregate workload.
+	PredictedSpeedup float64
+}
+
+// RecommendConfig tunes the plan builder.
+type RecommendConfig struct {
+	// Advise configures the category thresholds.
+	Advise AdviseConfig
+	// MinScore is the suitability score an operation needs to be
+	// decoupled (default 2: at least two of the paper's five
+	// categories).
+	MinScore int
+	// Alphas are the candidate group fractions (default: the paper's
+	// 3.125%..25% range).
+	Alphas []float64
+	// StreamVolume estimates the bytes that will flow between the
+	// groups; Granularity the element size; Overhead the per-element
+	// cost. Used for the Eq. 4 prediction.
+	StreamVolume int64
+	Granularity  int64
+	Overhead     sim.Time
+}
+
+func (c RecommendConfig) withDefaults() RecommendConfig {
+	if c.MinScore <= 0 {
+		c.MinScore = 2
+	}
+	if len(c.Alphas) == 0 {
+		c.Alphas = []float64{0.03125, 0.0625, 0.125, 0.25}
+	}
+	if c.StreamVolume <= 0 {
+		c.StreamVolume = 1 << 30
+	}
+	if c.Granularity <= 0 {
+		c.Granularity = 64 << 10
+	}
+	if c.Overhead <= 0 {
+		c.Overhead = 200 * sim.Nanosecond
+	}
+	return c
+}
+
+// Recommend scores every operation against Section II-E, splits them into
+// keep/decouple sets, picks the Eq. 4-optimal group fraction, and returns
+// a materializable plan. It is the programmatic form of the paper's
+// "guideline to select operations that can benefit from decoupling".
+func Recommend(ops []Operation, cfg RecommendConfig) Recommendation {
+	cfg = cfg.withDefaults()
+	var rec Recommendation
+	var keepTime, moveTime sim.Time
+	var maxVariance float64
+	for _, op := range ops {
+		s := Advise(op, cfg.Advise)
+		if s.Score >= cfg.MinScore {
+			rec.Decouple = append(rec.Decouple, s)
+			moveTime += op.Workload
+		} else {
+			rec.Keep = append(rec.Keep, op.Name)
+			keepTime += op.Workload
+			if op.Variance > maxVariance {
+				maxVariance = op.Variance
+			}
+		}
+	}
+	sort.Slice(rec.Decouple, func(i, j int) bool {
+		if rec.Decouple[i].Score != rec.Decouple[j].Score {
+			return rec.Decouple[i].Score > rec.Decouple[j].Score
+		}
+		return rec.Decouple[i].Op < rec.Decouple[j].Op
+	})
+	sort.Strings(rec.Keep)
+	if len(rec.Decouple) == 0 || keepTime <= 0 {
+		return rec
+	}
+
+	// Operations selected for their complexity growth get cheaper on a
+	// small group: with cost growing linearly in the process count, the
+	// total work of the operation shrinks by alpha when it moves from P
+	// to alpha*P processes (Section II-D: "its complexity decreases when
+	// moving to a smaller number of processes").
+	complexityDriven := false
+	for _, s := range rec.Decouple {
+		for _, cat := range s.Categories {
+			if cat == CategoryHighComplexity {
+				complexityDriven = true
+			}
+		}
+	}
+	params := model.Params{
+		TW0:      keepTime,
+		TW1:      moveTime,
+		TSigma:   sim.Time(float64(keepTime) * maxVariance),
+		Alpha:    cfg.Alphas[0],
+		D:        cfg.StreamVolume,
+		S:        cfg.Granularity,
+		Overhead: cfg.Overhead,
+	}
+	if complexityDriven {
+		params.DecoupledTW1 = func(alpha float64) sim.Time {
+			return sim.Time(float64(moveTime) * alpha)
+		}
+	}
+	alpha, _ := model.OptimalAlpha(params, cfg.Alphas)
+	params.Alpha = alpha
+	rec.Alpha = alpha
+	rec.PredictedSpeedup = model.Speedup(params)
+
+	plan := &Plan{
+		Groups: []Group{
+			{Name: "main", Fraction: 1 - alpha},
+			{Name: "decoupled", Fraction: alpha},
+		},
+		Assign: map[string]string{},
+	}
+	for _, name := range rec.Keep {
+		plan.Assign[name] = "main"
+	}
+	for _, s := range rec.Decouple {
+		plan.Assign[s.Op] = "decoupled"
+	}
+	rec.Plan = plan
+	return rec
+}
+
+// Describe renders the recommendation as human-readable lines.
+func (rec Recommendation) Describe() []string {
+	var out []string
+	if len(rec.Decouple) == 0 {
+		return []string{"no operation matches enough of the paper's five categories; keep the conventional structure"}
+	}
+	for _, s := range rec.Decouple {
+		line := fmt.Sprintf("decouple %q (score %d):", s.Op, s.Score)
+		for _, cat := range s.Categories {
+			line += "\n  - " + cat.String()
+		}
+		out = append(out, line)
+	}
+	out = append(out, fmt.Sprintf("recommended group fraction alpha = %g", rec.Alpha))
+	out = append(out, fmt.Sprintf("predicted speedup (Eq. 4): %.2fx", rec.PredictedSpeedup))
+	return out
+}

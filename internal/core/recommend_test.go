@@ -1,0 +1,118 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// paperOps models the iPIC3D operation mix of Section IV-D.
+func paperOps() []Operation {
+	return []Operation{
+		{
+			Name:     "field-solver",
+			Workload: 100 * sim.Millisecond,
+			Variance: 0.02, // grid operations are regular and static
+		},
+		{
+			Name:     "particle-mover",
+			Workload: 400 * sim.Millisecond,
+			Variance: 0.1,
+		},
+		{
+			Name:             "particle-communication",
+			Workload:         80 * sim.Millisecond,
+			Variance:         0.6,                                       // skewed particle distribution
+			ComplexityGrowth: func(p int) float64 { return float64(p) }, // O(P^2) pairwise / forwarding steps
+			ContinuousFlow:   true,
+		},
+		{
+			Name:                 "particle-io",
+			Workload:             120 * sim.Millisecond,
+			Variance:             0.5,
+			ComplexityGrowth:     func(p int) float64 { return float64(p) },
+			ContinuousFlow:       true,
+			WantsSpecialHardware: true, // burst buffers / I/O nodes
+		},
+	}
+}
+
+func TestRecommendSelectsThePaperOperations(t *testing.T) {
+	rec := Recommend(paperOps(), RecommendConfig{})
+	if len(rec.Decouple) != 2 {
+		t.Fatalf("decouple set = %+v, want particle-communication and particle-io", rec.Decouple)
+	}
+	names := map[string]bool{}
+	for _, s := range rec.Decouple {
+		names[s.Op] = true
+	}
+	if !names["particle-communication"] || !names["particle-io"] {
+		t.Fatalf("wrong operations selected: %v", names)
+	}
+	// I/O matches more categories, so it sorts first.
+	if rec.Decouple[0].Op != "particle-io" {
+		t.Fatalf("ordering by score broken: %+v", rec.Decouple)
+	}
+	if len(rec.Keep) != 2 {
+		t.Fatalf("keep set = %v", rec.Keep)
+	}
+}
+
+func TestRecommendProducesValidPlan(t *testing.T) {
+	ops := paperOps()
+	rec := Recommend(ops, RecommendConfig{})
+	if rec.Plan == nil {
+		t.Fatal("no plan produced")
+	}
+	if err := rec.Plan.Validate(ops); err != nil {
+		t.Fatalf("recommended plan invalid: %v", err)
+	}
+	if rec.Alpha <= 0 || rec.Alpha >= 1 {
+		t.Fatalf("alpha = %v", rec.Alpha)
+	}
+	if rec.PredictedSpeedup <= 1 {
+		t.Fatalf("predicted speedup %v should exceed 1 for this mix", rec.PredictedSpeedup)
+	}
+	sizes, err := rec.Plan.GroupSizes(256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sizes[0]+sizes[1] != 256 {
+		t.Fatalf("sizes %v", sizes)
+	}
+}
+
+func TestRecommendNothingSuitable(t *testing.T) {
+	ops := []Operation{
+		{Name: "stencil", Workload: sim.Second, Variance: 0.01},
+		{Name: "dots", Workload: 100 * sim.Millisecond, Variance: 0.02},
+	}
+	rec := Recommend(ops, RecommendConfig{})
+	if len(rec.Decouple) != 0 || rec.Plan != nil {
+		t.Fatalf("regular mix should not be decoupled: %+v", rec)
+	}
+	lines := rec.Describe()
+	if len(lines) != 1 || !strings.Contains(lines[0], "conventional") {
+		t.Fatalf("describe = %v", lines)
+	}
+}
+
+func TestRecommendDescribe(t *testing.T) {
+	rec := Recommend(paperOps(), RecommendConfig{})
+	text := strings.Join(rec.Describe(), "\n")
+	for _, want := range []string{"particle-io", "particle-communication", "alpha", "speedup"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("describe missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestRecommendMinScore(t *testing.T) {
+	ops := paperOps()
+	rec := Recommend(ops, RecommendConfig{MinScore: 4})
+	// Only particle-io matches four categories.
+	if len(rec.Decouple) != 1 || rec.Decouple[0].Op != "particle-io" {
+		t.Fatalf("min-score filter broken: %+v", rec.Decouple)
+	}
+}

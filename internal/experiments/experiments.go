@@ -1,0 +1,157 @@
+// Package experiments regenerates every figure of the paper's evaluation
+// (Section IV) plus the ablations called out in DESIGN.md. Each experiment
+// returns tabular rows shared by the CLI (cmd/decouplebench) and the
+// benchmark harness (bench_test.go).
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"runtime"
+	"sort"
+	"text/tabwriter"
+)
+
+// Row is one measured point of an experiment series.
+type Row struct {
+	// Experiment is the experiment id, e.g. "fig5".
+	Experiment string
+	// Series is the legend entry, e.g. "Decoupling (alpha=6.25%)".
+	Series string
+	// Procs is the process count (or the swept parameter's value for
+	// ablations; see Param).
+	Procs int
+	// Param carries the swept non-procs parameter for ablations
+	// (element bytes, alpha in percent, ...); 0 otherwise.
+	Param float64
+	// Seconds is the mean execution time over Runs runs.
+	Seconds float64
+	// StdDev is the sample standard deviation over Runs runs.
+	StdDev float64
+	// Runs is the number of repetitions.
+	Runs int
+}
+
+// Options controls experiment scale and repetition.
+type Options struct {
+	// MaxProcs caps the weak-scaling sweep (paper: 8,192). The default
+	// keeps `go test -bench` affordable; the CLI can raise it.
+	MaxProcs int
+	// Runs is the number of repetitions per point (paper: 10). Seeds
+	// vary per run; the mean and standard deviation are reported.
+	Runs int
+	// Log, if non-nil, receives progress lines.
+	Log io.Writer
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxProcs <= 0 {
+		o.MaxProcs = 1024
+	}
+	if o.Runs <= 0 {
+		o.Runs = 3
+	}
+	return o
+}
+
+// sweep returns the paper's process counts up to max: 32, 64, ..., max.
+func sweep(max int) []int {
+	var out []int
+	for p := 32; p <= max; p *= 2 {
+		out = append(out, p)
+	}
+	return out
+}
+
+// logf writes progress if a log sink is configured.
+func (o Options) logf(format string, args ...interface{}) {
+	if o.Log != nil {
+		fmt.Fprintf(o.Log, format+"\n", args...)
+	}
+}
+
+// serialize pins the Go runtime to one core for the duration of fn: the
+// simulator is inherently serial, and cross-core handoffs only add
+// scheduler overhead.
+func serialize(fn func()) {
+	prev := runtime.GOMAXPROCS(1)
+	defer runtime.GOMAXPROCS(prev)
+	fn()
+}
+
+// measure runs fn once per seed and aggregates mean and stddev of the
+// returned virtual seconds.
+func measure(opts Options, fn func(seed int64) float64) (mean, stddev float64) {
+	var samples []float64
+	serialize(func() {
+		for run := 0; run < opts.Runs; run++ {
+			samples = append(samples, fn(int64(run+1)))
+		}
+	})
+	var sum float64
+	for _, s := range samples {
+		sum += s
+	}
+	mean = sum / float64(len(samples))
+	var ss float64
+	for _, s := range samples {
+		ss += (s - mean) * (s - mean)
+	}
+	if len(samples) > 1 {
+		stddev = math.Sqrt(ss / float64(len(samples)-1))
+	}
+	return mean, stddev
+}
+
+// FormatTable renders rows as an aligned table grouped by experiment and
+// series.
+func FormatTable(w io.Writer, rows []Row) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "experiment\tseries\tprocs\tparam\tseconds\tstddev\truns")
+	for _, r := range rows {
+		param := ""
+		if r.Param != 0 {
+			param = fmt.Sprintf("%g", r.Param)
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%d\t%s\t%.3f\t%.3f\t%d\n",
+			r.Experiment, r.Series, r.Procs, param, r.Seconds, r.StdDev, r.Runs)
+	}
+	return tw.Flush()
+}
+
+// FormatCSV renders rows as CSV.
+func FormatCSV(w io.Writer, rows []Row) error {
+	if _, err := fmt.Fprintln(w, "experiment,series,procs,param,seconds,stddev,runs"); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if _, err := fmt.Fprintf(w, "%s,%s,%d,%g,%.6f,%.6f,%d\n",
+			r.Experiment, r.Series, r.Procs, r.Param, r.Seconds, r.StdDev, r.Runs); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Registry maps experiment names to their runners, for the CLI.
+var Registry = map[string]func(Options) ([]Row, error){
+	"fig5":                 Fig5,
+	"fig6":                 Fig6,
+	"fig7":                 Fig7,
+	"fig8":                 Fig8,
+	"ablation-granularity": AblationGranularity,
+	"ablation-alpha":       AblationAlpha,
+	"ablation-fcfs":        AblationFCFS,
+	"model":                ModelValidation,
+}
+
+// Names returns the registered experiment names, sorted.
+func Names() []string {
+	out := make([]string, 0, len(Registry))
+	for name := range Registry {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,289 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/sim"
+)
+
+// tiny keeps experiment tests fast.
+func tiny() Options { return Options{MaxProcs: 64, Runs: 1} }
+
+func TestSweep(t *testing.T) {
+	s := sweep(256)
+	want := []int{32, 64, 128, 256}
+	if len(s) != len(want) {
+		t.Fatalf("sweep = %v", s)
+	}
+	for i := range want {
+		if s[i] != want[i] {
+			t.Fatalf("sweep = %v", s)
+		}
+	}
+}
+
+func TestRegistryComplete(t *testing.T) {
+	for _, name := range []string{"fig5", "fig6", "fig7", "fig8",
+		"ablation-granularity", "ablation-alpha", "ablation-fcfs", "model"} {
+		if Registry[name] == nil {
+			t.Errorf("experiment %q not registered", name)
+		}
+	}
+	if len(Names()) != len(Registry) {
+		t.Error("Names() incomplete")
+	}
+}
+
+func TestFig5RowsShape(t *testing.T) {
+	rows, err := Fig5(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 sizes x (1 reference + 3 alphas).
+	if len(rows) != 8 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.Seconds <= 0 {
+			t.Fatalf("non-positive time in %+v", r)
+		}
+	}
+	// Decoupled must beat the reference at 64 procs.
+	var ref, dec float64
+	for _, r := range rows {
+		if r.Procs == 64 && r.Series == "Reference" {
+			ref = r.Seconds
+		}
+		if r.Procs == 64 && strings.Contains(r.Series, "6.25") {
+			dec = r.Seconds
+		}
+	}
+	if dec <= 0 || ref <= dec {
+		t.Fatalf("fig5 at 64 procs: ref=%v dec=%v", ref, dec)
+	}
+}
+
+func TestFig6RowsShape(t *testing.T) {
+	rows, err := Fig6(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	series := map[string]bool{}
+	for _, r := range rows {
+		series[r.Series] = true
+	}
+	for _, want := range []string{"Reference (Blocking)", "Reference (Non-blocking)", "Decoupling"} {
+		if !series[want] {
+			t.Errorf("missing series %q", want)
+		}
+	}
+}
+
+func TestFig7And8Rows(t *testing.T) {
+	rows, err := Fig7(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("fig7 rows = %d", len(rows))
+	}
+	rows, err = Fig8(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("fig8 rows = %d", len(rows))
+	}
+}
+
+func TestSyntheticConventionalMatchesEq1(t *testing.T) {
+	c := DefaultSynthetic(32)
+	c.ImbalanceCoV = 0.0001 // nearly balanced
+	got, err := RunSyntheticConventional(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := model.Conventional(c.ModelParams())
+	ratio := float64(got) / float64(want)
+	if ratio < 0.9 || ratio > 1.2 {
+		t.Fatalf("conventional measured %v vs Eq1 %v (ratio %.3f)", got, want, ratio)
+	}
+}
+
+func TestSyntheticDecoupledBeatsConventional(t *testing.T) {
+	c := DefaultSynthetic(64)
+	conv, err := RunSyntheticConventional(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := RunSyntheticDecoupled(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec >= conv {
+		t.Fatalf("decoupled (%v) not faster than conventional (%v)", dec, conv)
+	}
+}
+
+func TestGranularityAblationHasInteriorOptimum(t *testing.T) {
+	rows, err := AblationGranularity(Options{Runs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var meas []Row
+	for _, r := range rows {
+		if r.Series == "Decoupling" {
+			meas = append(meas, r)
+		}
+	}
+	if len(meas) < 5 {
+		t.Fatalf("only %d measured points", len(meas))
+	}
+	best := 0
+	for i, r := range meas {
+		if r.Seconds < meas[best].Seconds {
+			best = i
+		}
+	}
+	if best == 0 || best == len(meas)-1 {
+		t.Fatalf("optimum at boundary (index %d of %d): fine grains should pay overhead, coarse grains should lose pipelining", best, len(meas))
+	}
+}
+
+func TestFCFSAblation(t *testing.T) {
+	rows, err := AblationFCFS(Options{Runs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fcfs, fixed float64
+	for _, r := range rows {
+		switch r.Series {
+		case "FCFS (consumer idle)":
+			fcfs = r.Seconds
+		case "Fixed order (consumer idle)":
+			fixed = r.Seconds
+		}
+	}
+	if fcfs <= 0 || fixed < fcfs {
+		t.Fatalf("FCFS %.3fs should not exceed fixed order %.3fs", fcfs, fixed)
+	}
+}
+
+func TestModelValidationAgreement(t *testing.T) {
+	rows, err := ModelValidation(Options{MaxProcs: 64, Runs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bySeries := map[string]map[int]float64{}
+	for _, r := range rows {
+		if bySeries[r.Series] == nil {
+			bySeries[r.Series] = map[int]float64{}
+		}
+		bySeries[r.Series][r.Procs] = r.Seconds
+	}
+	for p, measured := range bySeries["Conventional (measured)"] {
+		predicted := bySeries["Conventional (Eq1)"][p]
+		if ratio := measured / predicted; ratio < 0.8 || ratio > 1.5 {
+			t.Errorf("procs=%d conventional measured/Eq1 = %.3f", p, ratio)
+		}
+	}
+	for p, measured := range bySeries["Decoupled (measured)"] {
+		predicted := bySeries["Decoupled (Eq4)"][p]
+		// Eq4 is deliberately pessimistic (it assumes Op1 always
+		// finishes last), so measurement may be faster.
+		if ratio := measured / predicted; ratio < 0.3 || ratio > 1.5 {
+			t.Errorf("procs=%d decoupled measured/Eq4 = %.3f", p, ratio)
+		}
+	}
+}
+
+func TestFig2Renders(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Fig2(&buf, 60); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "Reference implementation") ||
+		!strings.Contains(out, "Decoupled implementation") {
+		t.Fatalf("missing panels:\n%s", out)
+	}
+	if !strings.Contains(out, "P6") {
+		t.Fatal("missing rank rows")
+	}
+}
+
+func TestFig3Renders(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Fig3(&buf, 60); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, panel := range []string{"(a) conventional", "(b) non-blocking", "(c) decoupled"} {
+		if !strings.Contains(out, panel) {
+			t.Fatalf("missing panel %q:\n%s", panel, out)
+		}
+	}
+}
+
+func TestFormatTableAndCSV(t *testing.T) {
+	rows := []Row{{Experiment: "figX", Series: "S", Procs: 32, Seconds: 1.5, StdDev: 0.1, Runs: 3}}
+	var buf bytes.Buffer
+	if err := FormatTable(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "figX") {
+		t.Fatal("table missing data")
+	}
+	buf.Reset()
+	if err := FormatCSV(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "figX,S,32,0,1.5") {
+		t.Fatalf("csv = %q", buf.String())
+	}
+}
+
+func TestMeasureAggregates(t *testing.T) {
+	opts := Options{Runs: 4}
+	mean, sd := measure(opts, func(seed int64) float64 { return float64(seed) })
+	if mean != 2.5 {
+		t.Fatalf("mean = %v", mean)
+	}
+	if sd < 1.2 || sd > 1.4 { // stddev of 1,2,3,4 is ~1.29
+		t.Fatalf("stddev = %v", sd)
+	}
+}
+
+func TestSyntheticValidate(t *testing.T) {
+	c := DefaultSynthetic(32)
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	c.Alpha = 0
+	if c.Validate() == nil {
+		t.Fatal("alpha=0 accepted")
+	}
+	c = DefaultSynthetic(32)
+	c.S = 0
+	if c.Validate() == nil {
+		t.Fatal("S=0 accepted")
+	}
+}
+
+func TestSyntheticDeterministic(t *testing.T) {
+	c := DefaultSynthetic(32)
+	a, _ := RunSyntheticDecoupled(c)
+	b, _ := RunSyntheticDecoupled(c)
+	if a != b {
+		t.Fatalf("nondeterministic: %v vs %v", a, b)
+	}
+	if a <= 0 || a > 100*sim.Second {
+		t.Fatalf("implausible time %v", a)
+	}
+}

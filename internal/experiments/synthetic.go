@@ -1,0 +1,383 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/model"
+	"repro/internal/mpi"
+	"repro/internal/netmodel"
+	"repro/internal/sim"
+	"repro/internal/stream"
+	"repro/internal/workload"
+)
+
+// SyntheticConfig describes the two-operation application of the paper's
+// performance model (Section II-D): Op0 is computation distributed over
+// the producer group; Op1 processes a data flow of D bytes and is either
+// coupled (conventional, every process runs both) or decoupled onto an
+// alpha fraction of processes.
+type SyntheticConfig struct {
+	// Procs is the total number of processes.
+	Procs int
+	// Alpha is the decoupled group fraction.
+	Alpha float64
+	// W0 is Op0's per-process compute time in the conventional model.
+	W0 sim.Time
+	// D is the total volume flowing into Op1, in bytes.
+	D int64
+	// S is the stream element granularity in bytes (Eq. 4's S).
+	S int64
+	// Op1Rate is Op1's processing throughput in bytes per second; the
+	// conventional per-process time TW1 is (D/Procs)/Op1Rate.
+	Op1Rate float64
+	// DecoupledRateGain is how much faster the dedicated group processes
+	// Op1 (batching and application-specific optimization — the paper's
+	// T'W1 << TW1). 1 means no optimization.
+	DecoupledRateGain float64
+	// Overhead is the per-element injection overhead (Eq. 4's o).
+	Overhead sim.Time
+	// ImbalanceCoV spreads W0 across processes.
+	ImbalanceCoV float64
+	// Seed, Noise and Tracer as elsewhere.
+	Seed   int64
+	Noise  netmodel.Noise
+	Tracer mpi.Tracer
+}
+
+// DefaultSynthetic returns a balanced configuration for the given scale.
+func DefaultSynthetic(procs int) SyntheticConfig {
+	return SyntheticConfig{
+		Procs:             procs,
+		Alpha:             0.125,
+		W0:                2 * sim.Second,
+		D:                 int64(procs) * (8 << 20),
+		S:                 64 << 10,
+		Op1Rate:           10e6,
+		DecoupledRateGain: 2,
+		Overhead:          500 * sim.Nanosecond,
+		ImbalanceCoV:      0.15,
+		Seed:              1,
+		Noise:             netmodel.None{},
+	}
+}
+
+// Validate reports whether the configuration is runnable.
+func (c SyntheticConfig) Validate() error {
+	if c.Procs < 2 || c.Alpha <= 0 || c.Alpha >= 1 {
+		return fmt.Errorf("experiments: bad synthetic group setup (procs=%d alpha=%v)", c.Procs, c.Alpha)
+	}
+	if c.W0 <= 0 || c.D <= 0 || c.S <= 0 || c.Op1Rate <= 0 {
+		return fmt.Errorf("experiments: non-positive synthetic workload")
+	}
+	if c.DecoupledRateGain < 1 {
+		return fmt.Errorf("experiments: DecoupledRateGain %v below 1", c.DecoupledRateGain)
+	}
+	return nil
+}
+
+// tw1 is the conventional per-process Op1 time.
+func (c SyntheticConfig) tw1() sim.Time {
+	return sim.FromSeconds(float64(c.D) / float64(c.Procs) / c.Op1Rate)
+}
+
+// ModelParams translates the configuration into the analytic model's
+// parameters, for prediction-vs-measurement comparison.
+func (c SyntheticConfig) ModelParams() model.Params {
+	tw1 := c.tw1()
+	// Expected imbalance: the extreme-value estimate of max-minus-mean
+	// over Procs draws with the configured coefficient of variation.
+	sigma := float64(c.W0) * c.ImbalanceCoV * math.Sqrt(2*math.Log(float64(c.Procs)))
+	return model.Params{
+		TW0:    c.W0,
+		TW1:    tw1,
+		TSigma: sim.Time(sigma),
+		Alpha:  c.Alpha,
+		D:      c.D,
+		S:      c.S,
+		DecoupledTW1: func(alpha float64) sim.Time {
+			return sim.Time(float64(tw1) / c.DecoupledRateGain)
+		},
+		Overhead: c.Overhead,
+	}
+}
+
+// RunSyntheticConventional executes the coupled model: every process
+// computes its (imbalanced) share of Op0, synchronizes, then processes its
+// share of Op1's data.
+func RunSyntheticConventional(c SyntheticConfig) (sim.Time, error) {
+	if err := c.Validate(); err != nil {
+		return 0, err
+	}
+	factors := workload.Imbalance(c.Procs, c.ImbalanceCoV, c.Seed+5)
+	w := mpi.NewWorld(mpi.Config{Procs: c.Procs, Seed: c.Seed, Noise: noiseOrNone(c.Noise), Tracer: c.Tracer})
+	var makespan sim.Time
+	_, err := w.Run(func(r *mpi.Rank) {
+		world := r.World()
+		r.ComputeLabeled(sim.Time(float64(c.W0)*factors[r.ID()]), "op0")
+		// Stage boundary: data exchange and synchronization happen at
+		// the completion of the operation (Section II-A).
+		world.Barrier(r)
+		r.ComputeLabeled(c.tw1(), "op1")
+		world.Barrier(r)
+		if t := r.Now(); t > makespan {
+			makespan = t
+		}
+	})
+	return makespan, err
+}
+
+// RunSyntheticDecoupled executes the decoupled model: producers compute
+// Op0 (proportionally more work on fewer processes) and inject S-byte
+// stream elements throughout; consumers apply Op1 to elements first-come-
+// first-served.
+func RunSyntheticDecoupled(c SyntheticConfig) (sim.Time, error) {
+	if err := c.Validate(); err != nil {
+		return 0, err
+	}
+	consumers := int(float64(c.Procs)*c.Alpha + 0.5)
+	if consumers < 1 {
+		consumers = 1
+	}
+	producers := c.Procs - consumers
+	factors := workload.Imbalance(producers, c.ImbalanceCoV, c.Seed+5)
+	w := mpi.NewWorld(mpi.Config{Procs: c.Procs, Seed: c.Seed, Noise: noiseOrNone(c.Noise), Tracer: c.Tracer})
+	var makespan sim.Time
+	perProducer := c.D / int64(producers)
+	_, err := w.Run(func(r *mpi.Rank) {
+		world := r.World()
+		role := stream.Producer
+		if r.ID() >= producers {
+			role = stream.Consumer
+		}
+		ch := stream.CreateChannel(r, world, role)
+		st := ch.Attach(r, stream.Options{ElementBytes: c.S, InjectOverhead: c.Overhead})
+		if role == stream.Producer {
+			// Op0 grows by P/(P - alpha P) on the remaining processes.
+			myW0 := sim.Time(float64(c.W0) * factors[r.ID()] * float64(c.Procs) / float64(producers))
+			elements := perProducer / c.S
+			if elements < 1 {
+				elements = 1
+			}
+			slice := myW0 / sim.Time(elements)
+			for e := int64(0); e < elements; e++ {
+				r.ComputeLabeled(slice, "op0")
+				st.Isend(r, stream.Element{Bytes: c.S})
+			}
+			st.Terminate(r)
+		} else {
+			rate := c.Op1Rate * c.DecoupledRateGain
+			st.Operate(r, func(rr *mpi.Rank, e stream.Element, src int) {
+				rr.ComputeLabeled(sim.FromSeconds(float64(e.Bytes)/rate), "op1")
+			})
+		}
+		ch.Free(r)
+		if t := r.Now(); t > makespan {
+			makespan = t
+		}
+	})
+	return makespan, err
+}
+
+func noiseOrNone(n netmodel.Noise) netmodel.Noise {
+	if n == nil {
+		return netmodel.None{}
+	}
+	return n
+}
+
+// AblationGranularity sweeps the stream element size S on the synthetic
+// application, exposing Eq. 4's pipelining-versus-overhead trade-off
+// (design choice 1 in DESIGN.md). Param carries S in bytes.
+func AblationGranularity(opts Options) ([]Row, error) {
+	opts = opts.withDefaults()
+	var rows []Row
+	var firstErr error
+	procs := 64
+	for _, s := range []int64{1 << 10, 4 << 10, 16 << 10, 64 << 10, 256 << 10, 1 << 20, 4 << 20, 16 << 20} {
+		s := s
+		opts.logf("ablation-granularity: S=%d", s)
+		mean, sd := measure(opts, func(seed int64) float64 {
+			c := DefaultSynthetic(procs)
+			c.Seed = seed
+			c.S = s
+			c.Overhead = 20 * sim.Microsecond // pronounced per-element cost
+			t, err := RunSyntheticDecoupled(c)
+			if err != nil && firstErr == nil {
+				firstErr = err
+			}
+			return t.Seconds()
+		})
+		rows = append(rows, Row{Experiment: "ablation-granularity", Series: "Decoupling",
+			Procs: procs, Param: float64(s), Seconds: mean, StdDev: sd, Runs: opts.Runs})
+		// Analytic prediction for the same point.
+		c := DefaultSynthetic(procs)
+		c.S = s
+		c.Overhead = 20 * sim.Microsecond
+		rows = append(rows, Row{Experiment: "ablation-granularity", Series: "Eq4 prediction",
+			Procs: procs, Param: float64(s),
+			Seconds: model.Decoupled(c.ModelParams()).Seconds(), Runs: 1})
+	}
+	return rows, firstErr
+}
+
+// AblationAlpha sweeps the decoupled group fraction on the MapReduce
+// application beyond the paper's three values (design choice 2). Param
+// carries alpha in percent.
+func AblationAlpha(opts Options) ([]Row, error) {
+	opts = opts.withDefaults()
+	var rows []Row
+	var firstErr error
+	procs := 256
+	if procs > opts.MaxProcs {
+		procs = opts.MaxProcs
+	}
+	for _, alpha := range []float64{0.015625, 0.03125, 0.0625, 0.125, 0.25} {
+		alpha := alpha
+		opts.logf("ablation-alpha: alpha=%g", alpha)
+		mean, sd := measure(opts, func(seed int64) float64 {
+			c := mapreduceConfigForAblation(procs, seed, alpha)
+			res, err := runMapreduceDecoupled(c)
+			if err != nil && firstErr == nil {
+				firstErr = err
+			}
+			return res
+		})
+		rows = append(rows, Row{Experiment: "ablation-alpha", Series: "Decoupling",
+			Procs: procs, Param: alpha * 100, Seconds: mean, StdDev: sd, Runs: opts.Runs})
+	}
+	return rows, firstErr
+}
+
+// AblationFCFS compares first-come-first-served consumption against
+// fixed-order consumption on the synthetic application with a straggling
+// producer (design choice 3: the absorption mechanism itself). The metric
+// is the consumer's idle time: with FCFS the consumer processes whatever
+// has arrived while the straggler trickles; in fixed order it stalls on
+// the straggler with work queued. The makespan is bounded by the
+// straggler either way — absorption buys consumer utilization, which is
+// what lets a real decoupled group take on extra optimization work.
+func AblationFCFS(opts Options) ([]Row, error) {
+	opts = opts.withDefaults()
+	var rows []Row
+	var firstErr error
+	procs := 64
+	for _, fixed := range []bool{false, true} {
+		fixed := fixed
+		series := "FCFS"
+		if fixed {
+			series = "Fixed order"
+		}
+		opts.logf("ablation-fcfs: %s", series)
+		mean, sd := measure(opts, func(seed int64) float64 {
+			wait, err := runSyntheticOrdered(procs, seed, fixed)
+			if err != nil && firstErr == nil {
+				firstErr = err
+			}
+			return wait.Seconds()
+		})
+		rows = append(rows, Row{Experiment: "ablation-fcfs", Series: series + " (consumer idle)",
+			Procs: procs, Seconds: mean, StdDev: sd, Runs: opts.Runs})
+	}
+	return rows, firstErr
+}
+
+// runSyntheticOrdered is RunSyntheticDecoupled with selectable consumption
+// order and a deliberate straggler; it returns the maximum consumer idle
+// (wait) time.
+func runSyntheticOrdered(procs int, seed int64, fixedOrder bool) (sim.Time, error) {
+	c := DefaultSynthetic(procs)
+	c.Seed = seed
+	c.ImbalanceCoV = 0.3
+	// Slow consumers: processing is comparable to the arrival rate, so
+	// the queueing discipline matters.
+	c.Op1Rate = 0.5e6
+	consumers := int(float64(c.Procs)*c.Alpha + 0.5)
+	if consumers < 1 {
+		consumers = 1
+	}
+	producers := c.Procs - consumers
+	factors := workload.Imbalance(producers, c.ImbalanceCoV, c.Seed+5)
+	factors[0] *= 4 // the straggler
+	w := mpi.NewWorld(mpi.Config{Procs: c.Procs, Seed: c.Seed})
+	var maxWait sim.Time
+	perProducer := c.D / int64(producers)
+	_, err := w.Run(func(r *mpi.Rank) {
+		world := r.World()
+		role := stream.Producer
+		if r.ID() >= producers {
+			role = stream.Consumer
+		}
+		ch := stream.CreateChannel(r, world, role)
+		st := ch.Attach(r, stream.Options{
+			ElementBytes:   c.S,
+			InjectOverhead: c.Overhead,
+			FixedOrder:     fixedOrder,
+		})
+		if role == stream.Producer {
+			myW0 := sim.Time(float64(c.W0) * factors[r.ID()] * float64(c.Procs) / float64(producers))
+			elements := perProducer / c.S
+			if elements < 1 {
+				elements = 1
+			}
+			slice := myW0 / sim.Time(elements)
+			for e := int64(0); e < elements; e++ {
+				r.ComputeLabeled(slice, "op0")
+				st.Isend(r, stream.Element{Bytes: c.S})
+			}
+			st.Terminate(r)
+		} else {
+			rate := c.Op1Rate * c.DecoupledRateGain
+			stats := st.Operate(r, func(rr *mpi.Rank, e stream.Element, src int) {
+				rr.ComputeLabeled(sim.FromSeconds(float64(e.Bytes)/rate), "op1")
+			})
+			if stats.WaitTime > maxWait {
+				maxWait = stats.WaitTime
+			}
+		}
+		ch.Free(r)
+	})
+	return maxWait, err
+}
+
+// ModelValidation compares Eq. 1 and Eq. 4 predictions against simulator
+// measurements of the synthetic application across scales.
+func ModelValidation(opts Options) ([]Row, error) {
+	opts = opts.withDefaults()
+	var rows []Row
+	var firstErr error
+	max := opts.MaxProcs
+	if max > 512 {
+		max = 512
+	}
+	for _, p := range sweep(max) {
+		p := p
+		opts.logf("model: procs=%d", p)
+		convMean, convSD := measure(opts, func(seed int64) float64 {
+			c := DefaultSynthetic(p)
+			c.Seed = seed
+			t, err := RunSyntheticConventional(c)
+			if err != nil && firstErr == nil {
+				firstErr = err
+			}
+			return t.Seconds()
+		})
+		decMean, decSD := measure(opts, func(seed int64) float64 {
+			c := DefaultSynthetic(p)
+			c.Seed = seed
+			t, err := RunSyntheticDecoupled(c)
+			if err != nil && firstErr == nil {
+				firstErr = err
+			}
+			return t.Seconds()
+		})
+		params := DefaultSynthetic(p).ModelParams()
+		rows = append(rows,
+			Row{Experiment: "model", Series: "Conventional (measured)", Procs: p, Seconds: convMean, StdDev: convSD, Runs: opts.Runs},
+			Row{Experiment: "model", Series: "Conventional (Eq1)", Procs: p, Seconds: model.Conventional(params).Seconds(), Runs: 1},
+			Row{Experiment: "model", Series: "Decoupled (measured)", Procs: p, Seconds: decMean, StdDev: decSD, Runs: opts.Runs},
+			Row{Experiment: "model", Series: "Decoupled (Eq4)", Procs: p, Seconds: model.Decoupled(params).Seconds(), Runs: 1},
+		)
+	}
+	return rows, firstErr
+}

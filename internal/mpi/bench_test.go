@@ -1,0 +1,56 @@
+package mpi
+
+import (
+	"fmt"
+	"testing"
+)
+
+// BenchmarkPingPong measures one blocking message round trip between two
+// ranks, the runtime's end-to-end point-to-point cost.
+func BenchmarkPingPong(b *testing.B) {
+	w := NewWorld(Config{Procs: 2, Seed: 1})
+	if _, err := w.Run(func(r *Rank) {
+		c := r.World()
+		for i := 0; i < b.N; i++ {
+			if r.ID() == 0 {
+				c.Send(r, 1, 0, 64, nil)
+				c.Recv(r, 1, 0)
+			} else {
+				c.Recv(r, 0, 0)
+				c.Send(r, 0, 0, 64, nil)
+			}
+		}
+	}); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkBarrier measures dissemination barriers at several scales.
+func BenchmarkBarrier(b *testing.B) {
+	for _, p := range []int{16, 128, 1024} {
+		p := p
+		b.Run(fmt.Sprintf("p%d", p), func(b *testing.B) {
+			w := NewWorld(Config{Procs: p, Seed: 1})
+			if _, err := w.Run(func(r *Rank) {
+				for i := 0; i < b.N; i++ {
+					r.World().Barrier(r)
+				}
+			}); err != nil {
+				b.Fatal(err)
+			}
+		})
+	}
+}
+
+// BenchmarkAllreduce measures the recursive-doubling allreduce with real
+// scalar payloads.
+func BenchmarkAllreduce(b *testing.B) {
+	w := NewWorld(Config{Procs: 64, Seed: 1})
+	if _, err := w.Run(func(r *Rank) {
+		for i := 0; i < b.N; i++ {
+			r.World().Allreduce(r, Part{Bytes: 8, Data: int64(1)}, SumInt64, nil)
+		}
+	}); err != nil {
+		b.Fatal(err)
+	}
+}

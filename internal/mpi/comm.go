@@ -1,0 +1,133 @@
+package mpi
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Comm is a communicator: an ordered group of ranks with a private message
+// context. The same *Comm descriptor is shared by all member ranks.
+type Comm struct {
+	w       *World
+	id      int
+	members []int       // comm rank -> world rank
+	index   map[int]int // world rank -> comm rank
+	collSeq []int       // per-member collective tag counters (lockstep)
+}
+
+// newComm builds a communicator descriptor over the given world ranks.
+func newComm(w *World, members []int, index map[int]int) *Comm {
+	return &Comm{
+		w:       w,
+		id:      w.nextCommID(),
+		members: members,
+		index:   index,
+		collSeq: make([]int, len(members)),
+	}
+}
+
+// Size reports the number of ranks in the communicator.
+func (c *Comm) Size() int { return len(c.members) }
+
+// ID reports the communicator's context id.
+func (c *Comm) ID() int { return c.id }
+
+// RankOf reports r's rank within this communicator. It panics if r is not
+// a member.
+func (c *Comm) RankOf(r *Rank) int {
+	cr, ok := c.index[r.rs.rank]
+	if !ok {
+		panic(fmt.Sprintf("mpi: world rank %d is not a member of comm %d", r.rs.rank, c.id))
+	}
+	return cr
+}
+
+// Member reports whether r belongs to this communicator.
+func (c *Comm) Member(r *Rank) bool {
+	_, ok := c.index[r.rs.rank]
+	return ok
+}
+
+// WorldRank translates a comm rank to a world rank.
+func (c *Comm) WorldRank(commRank int) int { return c.members[commRank] }
+
+// splitState accumulates one collective Split call over a parent comm.
+type splitState struct {
+	want    int
+	entries []splitEntry
+	result  map[int]*Comm // color -> child comm
+}
+
+type splitEntry struct {
+	color, key, worldRank int
+}
+
+// Split partitions the communicator by color, ordering ranks within each
+// child by (key, parent rank), like MPI_Comm_split. It is collective over
+// the communicator: every member must call it with the same generation of
+// arguments. A color of -1 (like MPI_UNDEFINED) returns nil for that rank.
+//
+// Membership metadata is exchanged through shared simulator state; the
+// network cost of the operation is modelled by the barrier that closes the
+// rendezvous.
+func (c *Comm) Split(r *Rank, color, key int) *Comm {
+	w := c.w
+	skey := fmt.Sprintf("split:%d", c.id)
+	st, ok := w.splits[skey]
+	if !ok {
+		st = &splitState{want: len(c.members)}
+		w.splits[skey] = st
+	}
+	st.entries = append(st.entries, splitEntry{color: color, key: key, worldRank: r.rs.rank})
+	if len(st.entries) == st.want {
+		// Last arrival materializes the child communicators.
+		st.result = make(map[int]*Comm)
+		byColor := make(map[int][]splitEntry)
+		for _, en := range st.entries {
+			if en.color >= 0 {
+				byColor[en.color] = append(byColor[en.color], en)
+			}
+		}
+		colors := make([]int, 0, len(byColor))
+		for col := range byColor {
+			colors = append(colors, col)
+		}
+		sort.Ints(colors) // deterministic comm id assignment
+		for _, col := range colors {
+			ens := byColor[col]
+			sort.Slice(ens, func(i, j int) bool {
+				if ens[i].key != ens[j].key {
+					return ens[i].key < ens[j].key
+				}
+				return ens[i].worldRank < ens[j].worldRank
+			})
+			members := make([]int, len(ens))
+			index := make(map[int]int, len(ens))
+			for i, en := range ens {
+				members[i] = en.worldRank
+				index[en.worldRank] = i
+			}
+			st.result[col] = newComm(w, members, index)
+		}
+		delete(w.splits, skey)
+	}
+	// The rendezvous costs a barrier on the parent communicator, which is
+	// roughly what MPI_Comm_split costs (an allgather of (color, key)).
+	c.Barrier(r)
+	if color < 0 {
+		return nil
+	}
+	// After the barrier, st.result is materialized (the barrier cannot
+	// complete before every member has registered its entry above).
+	return st.result[color]
+}
+
+// Translate returns the rank in other of the process that is commRank in
+// c, or -1 if it is not a member of other.
+func (c *Comm) Translate(commRank int, other *Comm) int {
+	wr := c.members[commRank]
+	if or, ok := other.index[wr]; ok {
+		return or
+	}
+	return -1
+}

@@ -1,0 +1,207 @@
+package mpi
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestSendrecvExchanges(t *testing.T) {
+	w := testWorld(t, 4)
+	got := make([]int, 4)
+	mustRun(t, w, func(r *Rank) {
+		c := r.World()
+		right := (r.ID() + 1) % 4
+		left := (r.ID() + 3) % 4
+		st := c.Sendrecv(r, right, 5, 8, r.ID()*7, left, 5)
+		got[r.ID()] = st.Data.(int)
+	})
+	for i := 0; i < 4; i++ {
+		if want := ((i + 3) % 4) * 7; got[i] != want {
+			t.Fatalf("rank %d got %d, want %d", i, got[i], want)
+		}
+	}
+}
+
+func TestScanPrefixSums(t *testing.T) {
+	for _, p := range []int{1, 2, 5, 8} {
+		w := testWorld(t, p)
+		got := make([]int64, p)
+		mustRun(t, w, func(r *Rank) {
+			res := r.World().Scan(r, Part{Bytes: 8, Data: int64(r.ID() + 1)}, SumInt64, nil)
+			got[r.ID()] = res.Data.(int64)
+		})
+		for i := 0; i < p; i++ {
+			want := int64((i + 1) * (i + 2) / 2)
+			if got[i] != want {
+				t.Fatalf("p=%d rank %d scan = %d, want %d", p, i, got[i], want)
+			}
+		}
+	}
+}
+
+func TestReduceScatterBlock(t *testing.T) {
+	const p = 6
+	w := testWorld(t, p)
+	got := make([]int64, p)
+	mustRun(t, w, func(r *Rank) {
+		parts := make([]Part, p)
+		for i := range parts {
+			parts[i] = Part{Bytes: 8, Data: int64(i + r.ID())}
+		}
+		res := r.World().ReduceScatterBlock(r, parts, SumInt64, nil)
+		got[r.ID()] = res.Data.(int64)
+	})
+	// Slot i combined over ranks: sum_r (i + r) = p*i + p(p-1)/2.
+	for i := 0; i < p; i++ {
+		want := int64(p*i + p*(p-1)/2)
+		if got[i] != want {
+			t.Fatalf("slot %d = %d, want %d", i, got[i], want)
+		}
+	}
+}
+
+func TestScatterDistributes(t *testing.T) {
+	const p = 5
+	w := testWorld(t, p)
+	got := make([]string, p)
+	mustRun(t, w, func(r *Rank) {
+		var parts []Part
+		if r.ID() == 2 {
+			for i := 0; i < p; i++ {
+				parts = append(parts, Part{Bytes: 8, Data: string(rune('a' + i))})
+			}
+		}
+		res := r.World().Scatter(r, 2, parts)
+		got[r.ID()] = res.Data.(string)
+	})
+	for i := 0; i < p; i++ {
+		if got[i] != string(rune('a'+i)) {
+			t.Fatalf("rank %d got %q", i, got[i])
+		}
+	}
+}
+
+func TestPersistentSendRecvCycles(t *testing.T) {
+	w := testWorld(t, 2)
+	var got []int
+	mustRun(t, w, func(r *Rank) {
+		c := r.World()
+		if r.ID() == 0 {
+			ps := c.SendInit(r, 1, 9, 64)
+			for i := 0; i < 5; i++ {
+				ps.Start(r, i*i)
+				ps.Wait(r)
+			}
+			if ps.Starts() != 5 {
+				t.Errorf("starts = %d", ps.Starts())
+			}
+		} else {
+			pr := c.RecvInit(r, 0, 9)
+			for i := 0; i < 5; i++ {
+				pr.Start(r, nil)
+				st := pr.Wait(r)
+				got = append(got, st.Data.(int))
+			}
+		}
+	})
+	for i, v := range got {
+		if v != i*i {
+			t.Fatalf("cycle %d got %d", i, v)
+		}
+	}
+}
+
+func TestPersistentCheaperThanIsendBursts(t *testing.T) {
+	const msgs = 2000
+	run := func(persistent bool) sim.Time {
+		w := NewWorld(Config{Procs: 2, Seed: 1})
+		var end sim.Time
+		if _, err := w.Run(func(r *Rank) {
+			c := r.World()
+			if r.ID() == 0 {
+				if persistent {
+					ps := c.SendInit(r, 1, 0, 8)
+					for i := 0; i < msgs; i++ {
+						ps.Start(r, nil)
+						ps.Wait(r)
+					}
+				} else {
+					for i := 0; i < msgs; i++ {
+						c.Wait(r, c.Isend(r, 1, 0, 8, nil))
+					}
+				}
+			} else {
+				for i := 0; i < msgs; i++ {
+					c.Recv(r, 0, 0)
+				}
+				end = r.Now()
+			}
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return end
+	}
+	plain, pers := run(false), run(true)
+	if pers >= plain {
+		t.Fatalf("persistent (%v) not cheaper than plain Isend (%v)", pers, plain)
+	}
+}
+
+func TestPersistentMisusePanics(t *testing.T) {
+	w := testWorld(t, 2)
+	mustRun(t, w, func(r *Rank) {
+		c := r.World()
+		if r.ID() != 0 {
+			c.Recv(r, 0, 1)
+			return
+		}
+		ps := c.SendInit(r, 1, 1, 8)
+		ps.Start(r, nil)
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("double Start did not panic")
+				}
+			}()
+			ps.Start(r, nil)
+		}()
+		ps.Wait(r)
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("Wait on inactive did not panic")
+				}
+			}()
+			ps.Wait(r)
+		}()
+	})
+}
+
+func TestPersistentTest(t *testing.T) {
+	w := testWorld(t, 2)
+	mustRun(t, w, func(r *Rank) {
+		c := r.World()
+		if r.ID() == 0 {
+			r.Idle(sim.Millisecond)
+			c.Send(r, 1, 2, 8, "x")
+		} else {
+			pr := c.RecvInit(r, 0, 2)
+			pr.Start(r, nil)
+			if ok, _ := pr.Test(r); ok {
+				t.Error("Test true before send")
+			}
+			if !pr.Active() {
+				t.Error("request should be active")
+			}
+			r.Idle(10 * sim.Millisecond)
+			ok, st := pr.Test(r)
+			if !ok || st.Data.(string) != "x" {
+				t.Errorf("Test after arrival: ok=%v st=%+v", ok, st)
+			}
+			if pr.Active() {
+				t.Error("request should deactivate after successful Test")
+			}
+		}
+	})
+}

@@ -1,0 +1,176 @@
+package mpi
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// File models a shared file on the striped parallel file system. All
+// write paths consume virtual time on the world's shared stripe bank, so
+// concurrent jobs of I/O contend with each other as on a real machine.
+//
+// Three write paths mirror the paper's Section IV-D2:
+//
+//   - WriteAt: independent write at an explicit offset.
+//   - WriteShared: shared-file-pointer write (MPI_File_write_shared);
+//     pointer updates serialize on a global token.
+//   - WriteAll: collective two-phase write (MPI_File_write_all); sizes are
+//     allgathered (the per-iteration file-view recalculation), data is
+//     shipped to aggregator ranks, and aggregators issue large writes.
+type File struct {
+	w     *World
+	comm  *Comm
+	name  string
+	token sim.Token
+	size  int64
+
+	ops          int64
+	bytesWritten int64
+}
+
+// openState tracks a collective Open rendezvous (unused fields reserved
+// for multi-communicator opens).
+type openState struct {
+	file *File
+}
+
+// Open opens (creating if needed) the named shared file, collectively over
+// c. Every member must call it.
+func (c *Comm) Open(r *Rank, name string) *File {
+	w := c.w
+	key := fmt.Sprintf("%d:%s", c.id, name)
+	st, ok := w.opens[key]
+	if !ok {
+		st = &openState{file: &File{w: w, comm: c, name: name}}
+		w.opens[key] = st
+		w.files[key] = st.file
+	}
+	c.Barrier(r)
+	return st.file
+}
+
+// Name reports the file name.
+func (f *File) Name() string { return f.name }
+
+// Size reports the current file size (bytes appended so far).
+func (f *File) Size() int64 { return f.size }
+
+// Ops reports the number of write operations issued.
+func (f *File) Ops() int64 { return f.ops }
+
+// BytesWritten reports the total bytes written.
+func (f *File) BytesWritten() int64 { return f.bytesWritten }
+
+// WriteAt writes bytes at an explicit offset: a per-operation latency,
+// then occupancy of one stripe.
+func (f *File) WriteAt(r *Rank, bytes int64) {
+	f.transfer(r, bytes, "write")
+}
+
+// ReadAt reads bytes from the file, with the same cost shape as WriteAt.
+func (f *File) ReadAt(r *Rank, bytes int64) {
+	f.transfer(r, bytes, "read")
+}
+
+func (f *File) transfer(r *Rank, bytes int64, label string) {
+	if bytes < 0 {
+		panic("mpi: negative I/O size")
+	}
+	fs := f.w.cfg.FS
+	start := r.proc.Now()
+	r.proc.Advance(fs.PerOpLatency)
+	_, end := f.w.fs.Reserve(r.proc.Now(), fs.WriteTime(bytes))
+	r.proc.AdvanceTo(end)
+	f.ops++
+	if label == "write" {
+		f.size += bytes
+		f.bytesWritten += bytes
+	}
+	r.trace("io", label, start)
+}
+
+// WriteShared appends bytes through the shared file pointer. The pointer
+// update serializes globally on the file's token (the consistency
+// semantics the MPI library must maintain), then the data occupies a
+// stripe. At large process counts the token hand-off dominates — the
+// paper's reason MPI_File_write_shared scales worst.
+func (f *File) WriteShared(r *Rank, bytes int64) {
+	if bytes < 0 {
+		panic("mpi: negative I/O size")
+	}
+	fs := f.w.cfg.FS
+	start := r.proc.Now()
+	f.token.Acquire(r.proc, "shared file pointer")
+	r.proc.Advance(fs.SharedPointerLatency + fs.PerOpLatency)
+	f.size += bytes
+	f.bytesWritten += bytes
+	f.ops++
+	_, end := f.w.fs.Reserve(r.proc.Now(), fs.WriteTime(bytes))
+	f.token.Release(r.proc)
+	r.proc.AdvanceTo(end)
+	r.trace("io", "write_shared", start)
+}
+
+// WriteAll performs a collective two-phase write: every member of the
+// file's communicator contributes bytes. Sizes are allgathered to compute
+// the file view, data moves to aggregator ranks over the network, and the
+// aggregators issue one large write each.
+func (f *File) WriteAll(r *Rank, bytes int64) {
+	if bytes < 0 {
+		panic("mpi: negative I/O size")
+	}
+	c := f.comm
+	me := c.RankOf(r)
+	p := c.Size()
+	fs := f.w.cfg.FS
+	start := r.proc.Now()
+
+	// Phase 0: file-view recalculation. Every rank learns every size.
+	sizes := c.Allgatherv(r, Part{Bytes: 8, Data: bytes})
+
+	// Phase 1: ship data to aggregators (one per stripe, at most P).
+	na := fs.Stripes
+	if na > p {
+		na = p
+	}
+	agg := me * na / p
+	// The aggregator of group g is the first rank whose group is g.
+	aggRank := (agg*p + na - 1) / na
+	tag := c.nextCollTag(me)
+	var myReqs []*Request
+	if me != aggRank {
+		myReqs = append(myReqs, c.Isend(r, aggRank, tag, bytes, nil))
+	}
+	if me == aggRank {
+		// Collect from all ranks whose aggregator is me.
+		var total int64
+		var reqs []*Request
+		for other := 0; other < p; other++ {
+			if other == me {
+				total += bytes
+				continue
+			}
+			if other*na/p == agg {
+				reqs = append(reqs, c.Irecv(r, other, tag))
+			}
+		}
+		for _, q := range reqs {
+			st := c.Wait(r, q)
+			sz, _ := sizes[st.Source].Data.(int64)
+			total += sz
+		}
+		// Phase 2: one large write per aggregator. Interleaved per-rank
+		// regions defeat stripe sequentiality (CollInterleaveFactor).
+		r.proc.Advance(fs.PerOpLatency)
+		_, end := f.w.fs.Reserve(r.proc.Now(), fs.CollWriteTime(total))
+		r.proc.AdvanceTo(end)
+		f.ops++
+		f.size += total
+		f.bytesWritten += total
+	}
+	c.WaitAll(r, myReqs...)
+	// The collective completes together.
+	c.Barrier(r)
+	r.trace("io", "write_all", start)
+}

@@ -1,0 +1,297 @@
+package mpi
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// simProc aliases the simulator's process type; operations may run on a
+// rank's main process or on a helper process of the same rank.
+type simProc = sim.Proc
+
+// message is an in-flight or delivered point-to-point message. src is the
+// sender's rank within the communicator identified by commID.
+type message struct {
+	commID int
+	src    int
+	tag    int
+	bytes  int64
+	data   interface{}
+}
+
+// postedRecv is a pending receive waiting for a matching message.
+type postedRecv struct {
+	commID int
+	src    int // comm rank or AnySource
+	tag    int // or AnyTag
+	req    *Request
+}
+
+func (p *postedRecv) matches(m *message) bool {
+	return p.commID == m.commID &&
+		(p.src == AnySource || p.src == m.src) &&
+		(p.tag == AnyTag || p.tag == m.tag)
+}
+
+// Status describes a completed receive.
+type Status struct {
+	// Source is the sender's rank in the receive's communicator.
+	Source int
+	// Tag is the message tag.
+	Tag int
+	// Bytes is the message payload size used for costing.
+	Bytes int64
+	// Data is the payload, passed by reference (zero copy). Receivers
+	// must treat shared buffers as immutable.
+	Data interface{}
+}
+
+// Request is the handle of a nonblocking operation. Wait, WaitAll, WaitAny
+// and Test observe its completion.
+//
+// Send requests are "timed": their completion instant (the end of the
+// sender's NIC slot) is known when the send is issued, so waiting on them
+// advances the clock directly instead of sleeping on an event. Receive
+// requests complete when a matching message is delivered.
+type Request struct {
+	done   bool
+	timed  bool
+	doneAt sim.Time
+	isRecv bool
+	status Status
+}
+
+// completedBy reports whether the request is complete as of virtual time
+// now.
+func (q *Request) completedBy(now sim.Time) bool {
+	return q.done || (q.timed && now >= q.doneAt)
+}
+
+// Done reports whether the operation has completed; it is a pure query
+// and consumes no overhead.
+func (q *Request) Done(now sim.Time) bool { return q.completedBy(now) }
+
+// Isend starts a nonblocking send of bytes payload bytes (and optional
+// data) to dst with the given tag. The caller pays the configured send
+// overhead immediately; the returned request completes when the message
+// has been handed to the network (buffered-send semantics).
+func (c *Comm) Isend(r *Rank, dst, tag int, bytes int64, data interface{}) *Request {
+	return c.isendFrom(r, r.proc, dst, tag, bytes, data)
+}
+
+// isendFrom implements Isend on behalf of proc, which may be a helper
+// process of the same rank (nonblocking collectives).
+func (c *Comm) isendFrom(r *Rank, proc *simProc, dst, tag int, bytes int64, data interface{}) *Request {
+	return c.isendOv(r, proc, dst, tag, bytes, data, r.w.cfg.Net.SendOverhead)
+}
+
+// isendOv is isendFrom with an explicit sender CPU overhead (persistent
+// requests pay a reduced per-start cost).
+func (c *Comm) isendOv(r *Rank, proc *simProc, dst, tag int, bytes int64, data interface{}, overhead sim.Time) *Request {
+	if dst < 0 || dst >= len(c.members) {
+		panic(fmt.Sprintf("mpi: Isend to rank %d of %d", dst, len(c.members)))
+	}
+	if bytes < 0 {
+		panic("mpi: negative message size")
+	}
+	w := r.w
+	net := w.cfg.Net
+	me := c.RankOf(r)
+	src := r.rs
+	dstState := w.ranks[c.members[dst]]
+	req := &Request{}
+
+	// Sender CPU overhead (the LogGP "o"), accumulated as debt so that
+	// bursts of sends cost one engine yield instead of one per message.
+	proc.AddDebt(overhead)
+	src.msgsSent++
+	src.bytesSent += bytes
+
+	e := w.eng
+	msg := &message{commID: c.id, src: me, tag: tag, bytes: bytes, data: data}
+
+	if dstState == src {
+		// Self-send: no NIC or wire involvement.
+		req.done = true
+		req.status = Status{Source: me, Tag: tag, Bytes: bytes, Data: data}
+		e.At(e.Now(), func() { w.deliver(dstState, msg) })
+		return req
+	}
+
+	// Sender NIC serialization, starting after any CPU debt the sending
+	// process has accumulated. The slot is granted now, so the send
+	// request's completion instant is already known: no event needed.
+	ser := net.SerializationTime(bytes)
+	_, sendEnd := src.sendLink.Reserve(e.Now()+proc.Debt(), ser)
+	req.timed = true
+	req.doneAt = sendEnd
+	req.status = Status{Source: me, Tag: tag, Bytes: bytes, Data: data}
+	// Wire latency after the slot, then receiver NIC serialization at
+	// arrival time (arrivals occur in sendEnd order, so receiver-side
+	// reservations are made in arrival order).
+	arrive := sendEnd + net.Latency
+	e.At(arrive, func() {
+		_, recvEnd := dstState.recvLink.Reserve(e.Now(), ser)
+		e.At(recvEnd, func() { w.deliver(dstState, msg) })
+	})
+	return req
+}
+
+// deliver matches a message against posted receives or queues it.
+func (w *World) deliver(dst *rankState, m *message) {
+	for i, p := range dst.posted {
+		if p.matches(m) {
+			dst.posted = append(dst.posted[:i], dst.posted[i+1:]...)
+			p.req.done = true
+			p.req.status = Status{Source: m.src, Tag: m.tag, Bytes: m.bytes, Data: m.data}
+			dst.progress.Broadcast(w.eng)
+			return
+		}
+	}
+	dst.unexpected = append(dst.unexpected, m)
+	dst.progress.Broadcast(w.eng)
+}
+
+// Irecv posts a nonblocking receive from src (or AnySource) with the given
+// tag (or AnyTag).
+func (c *Comm) Irecv(r *Rank, src, tag int) *Request {
+	return c.irecvFor(r, src, tag)
+}
+
+func (c *Comm) irecvFor(r *Rank, src, tag int) *Request {
+	if src != AnySource && (src < 0 || src >= len(c.members)) {
+		panic(fmt.Sprintf("mpi: Irecv from rank %d of %d", src, len(c.members)))
+	}
+	rs := r.rs
+	req := &Request{isRecv: true}
+	p := &postedRecv{commID: c.id, src: src, tag: tag, req: req}
+	// Match against already-arrived messages first (FIFO arrival order
+	// preserves MPI's non-overtaking guarantee per (source, tag)).
+	for i, m := range rs.unexpected {
+		if p.matches(m) {
+			rs.unexpected = append(rs.unexpected[:i], rs.unexpected[i+1:]...)
+			req.done = true
+			req.status = Status{Source: m.src, Tag: m.tag, Bytes: m.bytes, Data: m.data}
+			return req
+		}
+	}
+	rs.posted = append(rs.posted, p)
+	return req
+}
+
+// Send is a blocking send: Isend followed by Wait. With buffered-send
+// semantics it returns once the message is handed to the network, so
+// pairwise exchanges do not deadlock.
+func (c *Comm) Send(r *Rank, dst, tag int, bytes int64, data interface{}) {
+	req := c.Isend(r, dst, tag, bytes, data)
+	c.Wait(r, req)
+}
+
+// Recv is a blocking receive.
+func (c *Comm) Recv(r *Rank, src, tag int) Status {
+	req := c.Irecv(r, src, tag)
+	return c.Wait(r, req)
+}
+
+// Wait blocks until req completes and returns its status. Completed
+// receives additionally charge the configured receive overhead to the
+// calling process.
+func (c *Comm) Wait(r *Rank, req *Request) Status {
+	return c.waitOn(r, r.proc, req)
+}
+
+func (c *Comm) waitOn(r *Rank, proc *simProc, req *Request) Status {
+	proc.FlushDebt()
+	start := r.w.eng.Now()
+	if req.timed && !req.done {
+		proc.AdvanceTo(req.doneAt)
+		req.done = true
+	}
+	for !req.done {
+		r.rs.progress.Wait(proc, "mpi wait")
+	}
+	if req.isRecv {
+		proc.Advance(r.w.cfg.Net.RecvOverhead)
+	}
+	if r.w.cfg.Tracer != nil && r.w.eng.Now() > start && proc == r.proc {
+		r.w.cfg.Tracer.Span(r.rs.rank, "comm", "wait", start, r.w.eng.Now())
+	}
+	return req.status
+}
+
+// WaitAll waits for every request in order.
+func (c *Comm) WaitAll(r *Rank, reqs ...*Request) []Status {
+	out := make([]Status, len(reqs))
+	for i, q := range reqs {
+		out[i] = c.Wait(r, q)
+	}
+	return out
+}
+
+// WaitAny blocks until at least one request has completed and returns the
+// lowest completed index with its status. The paper's imbalance-absorption
+// mechanism ("process the first available data") is built on this.
+func (c *Comm) WaitAny(r *Rank, reqs []*Request) (int, Status) {
+	if len(reqs) == 0 {
+		panic("mpi: WaitAny with no requests")
+	}
+	r.proc.FlushDebt()
+	start := r.w.eng.Now()
+	for {
+		now := r.w.eng.Now()
+		// Earliest pending timed (send) completion, if any.
+		var minTimed sim.Time = -1
+		for i, q := range reqs {
+			if q == nil {
+				continue
+			}
+			if q.completedBy(now) {
+				q.done = true
+				if q.isRecv {
+					r.proc.Advance(r.w.cfg.Net.RecvOverhead)
+				}
+				if r.w.cfg.Tracer != nil && r.w.eng.Now() > start {
+					r.w.cfg.Tracer.Span(r.rs.rank, "comm", "waitany", start, r.w.eng.Now())
+				}
+				return i, q.status
+			}
+			if q.timed && (minTimed < 0 || q.doneAt < minTimed) {
+				minTimed = q.doneAt
+			}
+		}
+		if minTimed >= 0 {
+			// A send will complete at a known instant; a receive may
+			// complete during the advance and wins the next scan.
+			r.proc.AdvanceTo(minTimed)
+			continue
+		}
+		r.rs.progress.Wait(r.proc, "mpi waitany")
+	}
+}
+
+// Test reports whether req has completed, consuming receive overhead on
+// the first successful test of a receive.
+func (c *Comm) Test(r *Rank, req *Request) (bool, Status) {
+	if !req.completedBy(r.w.eng.Now()) {
+		return false, Status{}
+	}
+	req.done = true
+	if req.isRecv {
+		r.proc.Advance(r.w.cfg.Net.RecvOverhead)
+		req.isRecv = false // charge overhead once
+	}
+	return true, req.status
+}
+
+// Probe reports whether a matching message has already arrived, without
+// receiving it.
+func (c *Comm) Probe(r *Rank, src, tag int) (bool, Status) {
+	for _, m := range r.rs.unexpected {
+		p := postedRecv{commID: c.id, src: src, tag: tag}
+		if p.matches(m) {
+			return true, Status{Source: m.src, Tag: m.tag, Bytes: m.bytes, Data: m.data}
+		}
+	}
+	return false, Status{}
+}

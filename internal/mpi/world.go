@@ -1,0 +1,259 @@
+// Package mpi implements an MPI-like message-passing runtime on top of the
+// discrete-event simulator in internal/sim.
+//
+// The package exists because the paper's proof-of-concept (MPIStream) is
+// built atop MPI on a Cray XC40, and Go has no MPI ecosystem. Ranks are
+// simulated processes; point-to-point messages follow the LogGP-style cost
+// model in internal/netmodel, with per-endpoint NIC serialization so that
+// congestion at hot receivers emerges naturally. Collectives are
+// implemented with the standard distributed algorithms (binomial trees,
+// recursive doubling, rings, pairwise exchange) over the point-to-point
+// layer, so their cost — and its growth with the number of processes —
+// emerges from message costs rather than being asserted.
+//
+// Messages carry real payloads, which makes the algorithms testable for
+// correctness, not only for cost: the CG solver in internal/apps/cg
+// converges through this runtime.
+package mpi
+
+import (
+	"fmt"
+
+	"repro/internal/netmodel"
+	"repro/internal/sim"
+)
+
+// Reserved tag space: tags at or above collTagBase are used internally by
+// collective operations; application code must use smaller tags.
+const collTagBase = 1 << 24
+
+// AnySource and AnyTag are wildcards for Recv matching.
+const (
+	AnySource = -1
+	AnyTag    = -1
+)
+
+// Tracer receives execution spans (compute, communication wait, I/O) from
+// the runtime. internal/trace provides an implementation; the interface
+// lives here so the runtime does not depend on the trace package.
+type Tracer interface {
+	Span(rank int, category, label string, start, end sim.Time)
+}
+
+// Config describes a simulated machine and job.
+type Config struct {
+	// Procs is the total number of MPI processes (world size).
+	Procs int
+	// Net is the network cost model. Zero value is replaced by
+	// netmodel.AriesLike.
+	Net netmodel.Params
+	// FS is the file-system cost model. Zero value is replaced by
+	// netmodel.LustreLike.
+	FS netmodel.FSParams
+	// Noise perturbs compute operations. Nil means netmodel.None.
+	Noise netmodel.Noise
+	// Seed drives every random stream in the simulation.
+	Seed int64
+	// Tracer, if non-nil, receives execution spans.
+	Tracer Tracer
+}
+
+func (c Config) withDefaults() Config {
+	if c.Net == (netmodel.Params{}) {
+		c.Net = netmodel.AriesLike()
+	}
+	if c.FS == (netmodel.FSParams{}) {
+		c.FS = netmodel.LustreLike()
+	}
+	if c.Noise == nil {
+		c.Noise = netmodel.None{}
+	}
+	return c
+}
+
+// World is one simulated job: an engine, a set of ranks and the shared
+// network and file-system state.
+type World struct {
+	cfg    Config
+	eng    *sim.Engine
+	ranks  []*rankState
+	world  *Comm
+	comms  int // next communicator id
+	splits map[string]*splitState
+	opens  map[string]*openState
+	files  map[string]*File
+	fs     *sim.Striped
+	stash  map[string]interface{}
+}
+
+// rankState is the per-rank runtime state shared by the main process and
+// any helper processes (nonblocking collectives) of that rank.
+type rankState struct {
+	world      *World
+	rank       int
+	proc       *sim.Proc
+	sendLink   sim.Link
+	recvLink   sim.Link
+	unexpected []*message
+	posted     []*postedRecv
+	progress   sim.WaitQueue
+	speed      float64
+
+	bytesSent int64
+	msgsSent  int64
+}
+
+// NewWorld builds a world with cfg.Procs ranks. Run starts them.
+func NewWorld(cfg Config) *World {
+	cfg = cfg.withDefaults()
+	if cfg.Procs <= 0 {
+		panic(fmt.Sprintf("mpi: world size %d", cfg.Procs))
+	}
+	if err := cfg.Net.Validate(); err != nil {
+		panic(err)
+	}
+	if err := cfg.FS.Validate(); err != nil {
+		panic(err)
+	}
+	w := &World{
+		cfg:    cfg,
+		eng:    sim.NewEngine(cfg.Seed),
+		splits: make(map[string]*splitState),
+		opens:  make(map[string]*openState),
+		files:  make(map[string]*File),
+		fs:     sim.NewStriped(cfg.FS.Stripes),
+		stash:  make(map[string]interface{}),
+	}
+	w.ranks = make([]*rankState, cfg.Procs)
+	members := make([]int, cfg.Procs)
+	for i := range w.ranks {
+		w.ranks[i] = &rankState{
+			world: w,
+			rank:  i,
+			speed: cfg.Noise.SpeedFactor(cfg.Seed, i),
+		}
+		members[i] = i
+	}
+	w.world = newComm(w, members, identityIndex(cfg.Procs))
+	return w
+}
+
+func (w *World) nextCommID() int {
+	w.comms++
+	return w.comms
+}
+
+func identityIndex(n int) map[int]int {
+	m := make(map[int]int, n)
+	for i := 0; i < n; i++ {
+		m[i] = i
+	}
+	return m
+}
+
+// Engine exposes the underlying simulation engine.
+func (w *World) Engine() *sim.Engine { return w.eng }
+
+// Config returns the world configuration (after defaulting).
+func (w *World) Config() Config { return w.cfg }
+
+// Size reports the world size.
+func (w *World) Size() int { return len(w.ranks) }
+
+// BytesSent reports the total bytes injected into the network by all
+// ranks, for utilization reporting.
+func (w *World) BytesSent() int64 {
+	var total int64
+	for _, rs := range w.ranks {
+		total += rs.bytesSent
+	}
+	return total
+}
+
+// MessagesSent reports the total number of point-to-point messages.
+func (w *World) MessagesSent() int64 {
+	var total int64
+	for _, rs := range w.ranks {
+		total += rs.msgsSent
+	}
+	return total
+}
+
+// Run spawns one process per rank executing main and runs the simulation
+// to completion, returning the final virtual time.
+func (w *World) Run(main func(r *Rank)) (sim.Time, error) {
+	for i := range w.ranks {
+		rs := w.ranks[i]
+		rank := &Rank{w: w, rs: rs}
+		rs.proc = w.eng.Spawn(fmt.Sprintf("rank%d", rs.rank), func(p *sim.Proc) {
+			rank.proc = p
+			main(rank)
+		})
+	}
+	return w.eng.Run()
+}
+
+// Rank is the handle a rank's code uses to compute and communicate. It is
+// valid only inside the function passed to Run, on that rank's process.
+type Rank struct {
+	w    *World
+	rs   *rankState
+	proc *sim.Proc
+}
+
+// ID reports this process's rank in the world communicator.
+func (r *Rank) ID() int { return r.rs.rank }
+
+// Size reports the world size.
+func (r *Rank) Size() int { return len(r.w.ranks) }
+
+// World returns the world communicator.
+func (r *Rank) World() *Comm { return r.w.world }
+
+// Now reports the current virtual time.
+func (r *Rank) Now() sim.Time { return r.proc.Now() }
+
+// SpeedFactor reports the static noise-model slowdown of this rank.
+func (r *Rank) SpeedFactor() float64 { return r.rs.speed }
+
+// Compute consumes d of virtual time scaled by this rank's speed factor
+// and perturbed by the configured noise model. All application computation
+// must go through Compute (or ComputeLabeled) so that imbalance injection
+// applies uniformly.
+func (r *Rank) Compute(d sim.Time) { r.ComputeLabeled(d, "comp") }
+
+// ComputeLabeled is Compute with an explicit trace label.
+func (r *Rank) ComputeLabeled(d sim.Time, label string) {
+	if d <= 0 {
+		return
+	}
+	scaled := sim.Time(float64(d) * r.rs.speed)
+	scaled += r.w.cfg.Noise.Jitter(r.proc.Rand(), scaled)
+	start := r.proc.Now()
+	r.proc.Advance(scaled)
+	r.trace("comp", label, start)
+}
+
+// Idle consumes d of virtual time without noise scaling, modelling
+// deliberate waiting.
+func (r *Rank) Idle(d sim.Time) {
+	if d > 0 {
+		r.proc.Advance(d)
+	}
+}
+
+// trace emits a span if a tracer is configured.
+func (r *Rank) trace(category, label string, start sim.Time) {
+	if t := r.w.cfg.Tracer; t != nil {
+		t.Span(r.rs.rank, category, label, start, r.proc.Now())
+	}
+}
+
+// Proc exposes the underlying simulated process (for advanced callers such
+// as the stream library).
+func (r *Rank) Proc() *sim.Proc { return r.proc }
+
+// Stash is a world-wide scratch space for libraries built on the runtime
+// (for example, the stream library's channel registry). Simulation code
+// runs single-threaded, so no locking is needed.
+func (r *Rank) Stash() map[string]interface{} { return r.w.stash }

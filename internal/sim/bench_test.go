@@ -1,0 +1,56 @@
+package sim
+
+import "testing"
+
+// BenchmarkDispatch measures one process resume cycle (event schedule +
+// two coroutine handoffs) — the simulator's fundamental cost.
+func BenchmarkDispatch(b *testing.B) {
+	e := NewEngine(1)
+	e.Spawn("p", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			p.Advance(10)
+		}
+	})
+	b.ResetTimer()
+	if _, err := e.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkEventHeap measures raw event scheduling without process
+// switches.
+func BenchmarkEventHeap(b *testing.B) {
+	e := NewEngine(1)
+	n := 0
+	var tick func()
+	tick = func() {
+		if n < b.N {
+			n++
+			e.After(Time(n%64+1), tick)
+		}
+	}
+	e.After(1, tick)
+	b.ResetTimer()
+	if _, err := e.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkDebtFastPath measures AddDebt (the no-yield overhead path used
+// by message sends).
+func BenchmarkDebtFastPath(b *testing.B) {
+	e := NewEngine(1)
+	e.Spawn("p", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			p.AddDebt(1)
+			if i%1024 == 1023 {
+				p.FlushDebt()
+			}
+		}
+		p.FlushDebt()
+	})
+	b.ResetTimer()
+	if _, err := e.Run(); err != nil {
+		b.Fatal(err)
+	}
+}

@@ -1,0 +1,286 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// event is a scheduled occurrence in virtual time: either a process resume
+// (proc != nil) or a callback (fn != nil). Events with equal time fire in
+// scheduling order (seq), which makes runs deterministic. Events are
+// stored by value in the heap to avoid one allocation per event.
+type event struct {
+	t    Time
+	seq  uint64
+	proc *Proc
+	fn   func()
+}
+
+// eventHeap is a hand-rolled binary min-heap of events ordered by
+// (t, seq). It avoids container/heap's interface costs on the hottest
+// path in the simulator.
+type eventHeap []event
+
+func (h eventHeap) less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h *eventHeap) push(ev event) {
+	*h = append(*h, ev)
+	q := *h
+	i := len(q) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.less(i, parent) {
+			break
+		}
+		q[i], q[parent] = q[parent], q[i]
+		i = parent
+	}
+}
+
+func (h *eventHeap) pop() event {
+	q := *h
+	top := q[0]
+	n := len(q) - 1
+	q[0] = q[n]
+	q[n] = event{}
+	q = q[:n]
+	*h = q
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && q.less(l, smallest) {
+			smallest = l
+		}
+		if r < n && q.less(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		q[i], q[smallest] = q[smallest], q[i]
+		i = smallest
+	}
+	return top
+}
+
+// Engine is a discrete-event simulation engine. The zero value is not
+// usable; create engines with NewEngine.
+//
+// All simulated code (process bodies and event callbacks) runs under the
+// engine's single logical thread of control, so it may freely mutate
+// shared simulation state without locking.
+type Engine struct {
+	now    Time
+	queue  eventHeap
+	seq    uint64
+	parked chan struct{} // handshake: procs hand control back to the loop
+	seed   int64
+
+	procs     []*Proc
+	live      int // procs spawned and not yet finished
+	nextProc  int
+	running   bool
+	fired     uint64
+	stopped   bool
+	panicked  interface{}
+	panicProc *Proc
+}
+
+// NewEngine returns an engine whose per-process random streams derive from
+// seed. Two engines built with the same seed and driven by the same code
+// produce identical trajectories.
+func NewEngine(seed int64) *Engine {
+	return &Engine{
+		parked: make(chan struct{}),
+		seed:   seed,
+	}
+}
+
+// Now reports the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Seed reports the engine's base seed.
+func (e *Engine) Seed() int64 { return e.seed }
+
+// Events reports how many events have fired so far.
+func (e *Engine) Events() uint64 { return e.fired }
+
+// At schedules fn to run at virtual time t. Scheduling in the past is a
+// programming error and panics.
+func (e *Engine) At(t Time, fn func()) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
+	}
+	e.seq++
+	e.queue.push(event{t: t, seq: e.seq, fn: fn})
+}
+
+// atProc schedules a resume of p at virtual time t without allocating a
+// closure.
+func (e *Engine) atProc(t Time, p *Proc) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling resume at %v before now %v", t, e.now))
+	}
+	e.seq++
+	e.queue.push(event{t: t, seq: e.seq, proc: p})
+}
+
+// After schedules fn to run d after the current virtual time.
+func (e *Engine) After(d Time, fn func()) { e.At(e.now+d, fn) }
+
+// Spawn creates a new simulated process executing body. The process starts
+// at the current virtual time (or at time 0 if the engine has not started
+// running yet). Spawn may be called before Run or from inside running
+// simulation code.
+func (e *Engine) Spawn(name string, body func(*Proc)) *Proc {
+	p := &Proc{
+		e:     e,
+		name:  name,
+		id:    e.nextProc,
+		wake:  make(chan struct{}),
+		state: procNew,
+	}
+	e.nextProc++
+	e.procs = append(e.procs, p)
+	e.live++
+	go func() {
+		<-p.wake
+		defer func() {
+			if r := recover(); r != nil {
+				if _, isStop := r.(stopSignal); !isStop && e.panicked == nil {
+					e.panicked = r
+					e.panicProc = p
+				}
+			}
+			p.state = procDone
+			e.live--
+			e.parked <- struct{}{}
+		}()
+		if !e.stopped {
+			body(p)
+		}
+	}()
+	e.atProc(e.now, p)
+	return p
+}
+
+// stopSignal is panicked inside proc goroutines to unwind them when the
+// engine is stopped with procs still blocked.
+type stopSignal struct{}
+
+// dispatch transfers control to p until it yields or finishes.
+func (e *Engine) dispatch(p *Proc) {
+	if p.state == procDone {
+		return
+	}
+	p.state = procRunning
+	p.wake <- struct{}{}
+	<-e.parked
+	if e.panicked != nil {
+		panic(fmt.Sprintf("sim: process %q panicked: %v", e.panicProc.name, e.panicked))
+	}
+}
+
+// Run executes events until the queue is empty, then returns the final
+// virtual time. If processes remain blocked when the queue drains, Run
+// returns ErrDeadlock describing them.
+func (e *Engine) Run() (Time, error) {
+	if e.running {
+		return e.now, fmt.Errorf("sim: Run called reentrantly")
+	}
+	e.running = true
+	defer func() { e.running = false }()
+	for len(e.queue) > 0 {
+		ev := e.queue.pop()
+		if ev.t < e.now {
+			panic("sim: event heap yielded an event in the past")
+		}
+		e.now = ev.t
+		e.fired++
+		if ev.proc != nil {
+			e.dispatch(ev.proc)
+		} else {
+			ev.fn()
+		}
+	}
+	if e.live > 0 {
+		err := e.deadlockError()
+		e.unwind()
+		return e.now, err
+	}
+	e.unwind()
+	return e.now, nil
+}
+
+// RunUntil executes events up to and including virtual time limit and
+// stops there, leaving remaining events queued.
+func (e *Engine) RunUntil(limit Time) (Time, error) {
+	if e.running {
+		return e.now, fmt.Errorf("sim: RunUntil called reentrantly")
+	}
+	e.running = true
+	defer func() { e.running = false }()
+	for len(e.queue) > 0 && e.queue[0].t <= limit {
+		ev := e.queue.pop()
+		e.now = ev.t
+		e.fired++
+		if ev.proc != nil {
+			e.dispatch(ev.proc)
+		} else {
+			ev.fn()
+		}
+	}
+	if e.now < limit {
+		e.now = limit
+	}
+	return e.now, nil
+}
+
+// unwind terminates any still-blocked process goroutines so they do not
+// leak after the simulation ends.
+func (e *Engine) unwind() {
+	e.stopped = true
+	for _, p := range e.procs {
+		if p.state == procBlocked || p.state == procNew {
+			p.state = procRunning
+			p.wake <- struct{}{}
+			<-e.parked
+		}
+	}
+	e.panicked = nil
+}
+
+// deadlockError builds a descriptive error naming all blocked processes.
+func (e *Engine) deadlockError() error {
+	var blocked []string
+	for _, p := range e.procs {
+		if p.state == procBlocked {
+			blocked = append(blocked, fmt.Sprintf("%s (%s)", p.name, p.blockReason))
+		}
+	}
+	sort.Strings(blocked)
+	const max = 12
+	if len(blocked) > max {
+		blocked = append(blocked[:max], fmt.Sprintf("... and %d more", len(blocked)-max))
+	}
+	return &DeadlockError{Blocked: blocked, At: e.now}
+}
+
+// DeadlockError reports that the event queue drained while processes were
+// still blocked.
+type DeadlockError struct {
+	Blocked []string
+	At      Time
+}
+
+func (d *DeadlockError) Error() string {
+	return fmt.Sprintf("sim: deadlock at %v: %d blocked process(es): %s",
+		d.At, len(d.Blocked), strings.Join(d.Blocked, "; "))
+}

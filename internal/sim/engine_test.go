@@ -1,0 +1,455 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+func TestEngineEmptyRun(t *testing.T) {
+	e := NewEngine(1)
+	end, err := e.Run()
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if end != 0 {
+		t.Fatalf("end = %v, want 0", end)
+	}
+}
+
+func TestEventsFireInTimeOrder(t *testing.T) {
+	e := NewEngine(1)
+	var got []Time
+	for _, d := range []Time{50, 10, 30, 20, 40} {
+		d := d
+		e.At(d, func() { got = append(got, d) })
+	}
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []Time{10, 20, 30, 40, 50}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestEqualTimeEventsFireInScheduleOrder(t *testing.T) {
+	e := NewEngine(1)
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.At(100, func() { got = append(got, i) })
+	}
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if got[i] != i {
+			t.Fatalf("tie-break order = %v", got)
+		}
+	}
+}
+
+func TestSchedulingInPastPanics(t *testing.T) {
+	e := NewEngine(1)
+	e.At(100, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("At in the past did not panic")
+			}
+		}()
+		e.At(50, func() {})
+	})
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProcAdvance(t *testing.T) {
+	e := NewEngine(1)
+	var at1, at2 Time
+	e.Spawn("p", func(p *Proc) {
+		p.Advance(100)
+		at1 = p.Now()
+		p.Advance(250)
+		at2 = p.Now()
+	})
+	end, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if at1 != 100 || at2 != 350 || end != 350 {
+		t.Fatalf("at1=%v at2=%v end=%v", at1, at2, end)
+	}
+}
+
+func TestAdvanceZeroIsNoop(t *testing.T) {
+	e := NewEngine(1)
+	e.Spawn("p", func(p *Proc) {
+		p.Advance(0)
+		if p.Now() != 0 {
+			t.Errorf("now = %v after Advance(0)", p.Now())
+		}
+	})
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAdvanceNegativePanics(t *testing.T) {
+	e := NewEngine(1)
+	e.Spawn("p", func(p *Proc) {
+		defer func() {
+			if recover() == nil {
+				t.Error("negative Advance did not panic")
+			}
+		}()
+		p.Advance(-1)
+	})
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAdvanceTo(t *testing.T) {
+	e := NewEngine(1)
+	e.Spawn("p", func(p *Proc) {
+		p.AdvanceTo(500)
+		if p.Now() != 500 {
+			t.Errorf("now = %v, want 500", p.Now())
+		}
+		p.AdvanceTo(100) // in the past: no-op
+		if p.Now() != 500 {
+			t.Errorf("now = %v after past AdvanceTo, want 500", p.Now())
+		}
+	})
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProcsInterleaveDeterministically(t *testing.T) {
+	run := func() []string {
+		e := NewEngine(7)
+		var log []string
+		for i := 0; i < 4; i++ {
+			i := i
+			e.Spawn(fmt.Sprintf("p%d", i), func(p *Proc) {
+				for step := 0; step < 3; step++ {
+					p.Advance(Time(10 * (i + 1)))
+					log = append(log, fmt.Sprintf("%d@%d", i, p.Now()))
+				}
+			})
+		}
+		if _, err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return log
+	}
+	a, b := run(), run()
+	if len(a) != 12 {
+		t.Fatalf("log length = %d, want 12", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("nondeterministic interleaving: %v vs %v", a, b)
+		}
+	}
+}
+
+func TestWaitQueueSignalOrder(t *testing.T) {
+	e := NewEngine(1)
+	var q WaitQueue
+	var order []int
+	for i := 0; i < 3; i++ {
+		i := i
+		e.Spawn(fmt.Sprintf("w%d", i), func(p *Proc) {
+			p.Advance(Time(i + 1)) // deterministic arrival order
+			q.Wait(p, "test")
+			order = append(order, i)
+		})
+	}
+	e.Spawn("signaller", func(p *Proc) {
+		p.Advance(100)
+		for q.Signal(p.e) {
+			p.Advance(1)
+		}
+	})
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 3 || order[0] != 0 || order[1] != 1 || order[2] != 2 {
+		t.Fatalf("wake order = %v, want FIFO [0 1 2]", order)
+	}
+}
+
+func TestWaitQueueBroadcast(t *testing.T) {
+	e := NewEngine(1)
+	var q WaitQueue
+	released := 0
+	for i := 0; i < 5; i++ {
+		e.Spawn(fmt.Sprintf("w%d", i), func(p *Proc) {
+			q.Wait(p, "test")
+			released++
+		})
+	}
+	e.Spawn("b", func(p *Proc) {
+		p.Advance(10)
+		q.Broadcast(p.e)
+	})
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if released != 5 {
+		t.Fatalf("released = %d, want 5", released)
+	}
+}
+
+func TestCompletionReleasesWaitersAndLateWaiters(t *testing.T) {
+	e := NewEngine(1)
+	var c Completion
+	var earlyAt, lateAt Time
+	e.Spawn("early", func(p *Proc) {
+		c.Wait(p, "early")
+		earlyAt = p.Now()
+	})
+	e.Spawn("completer", func(p *Proc) {
+		p.Advance(100)
+		c.Complete(p.e)
+	})
+	e.Spawn("late", func(p *Proc) {
+		p.Advance(200)
+		c.Wait(p, "late") // already done: returns immediately
+		lateAt = p.Now()
+	})
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if earlyAt != 100 {
+		t.Errorf("early waiter released at %v, want 100", earlyAt)
+	}
+	if lateAt != 200 {
+		t.Errorf("late waiter released at %v, want 200", lateAt)
+	}
+	if !c.Done() || c.DoneAt() != 100 {
+		t.Errorf("Done=%v DoneAt=%v", c.Done(), c.DoneAt())
+	}
+}
+
+func TestCompletionDoubleCompletePanics(t *testing.T) {
+	e := NewEngine(1)
+	e.Spawn("p", func(p *Proc) {
+		var c Completion
+		c.Complete(p.e)
+		defer func() {
+			if recover() == nil {
+				t.Error("double Complete did not panic")
+			}
+		}()
+		c.Complete(p.e)
+	})
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeadlockDetection(t *testing.T) {
+	e := NewEngine(1)
+	var q WaitQueue
+	e.Spawn("stuck", func(p *Proc) {
+		q.Wait(p, "never signalled")
+	})
+	_, err := e.Run()
+	var dl *DeadlockError
+	if !errors.As(err, &dl) {
+		t.Fatalf("err = %v, want DeadlockError", err)
+	}
+	if len(dl.Blocked) != 1 {
+		t.Fatalf("blocked = %v, want one entry", dl.Blocked)
+	}
+}
+
+func TestSpawnDuringRun(t *testing.T) {
+	e := NewEngine(1)
+	childRan := false
+	e.Spawn("parent", func(p *Proc) {
+		p.Advance(50)
+		p.Spawn("child", func(c *Proc) {
+			if c.Now() != 50 {
+				t.Errorf("child started at %v, want 50", c.Now())
+			}
+			c.Advance(25)
+			childRan = true
+		})
+		p.Advance(100)
+	})
+	end, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !childRan || end != 150 {
+		t.Fatalf("childRan=%v end=%v", childRan, end)
+	}
+}
+
+func TestRunUntilStopsAtLimit(t *testing.T) {
+	e := NewEngine(1)
+	var ticks []Time
+	e.Spawn("ticker", func(p *Proc) {
+		for i := 0; i < 10; i++ {
+			p.Advance(100)
+			ticks = append(ticks, p.Now())
+		}
+	})
+	now, err := e.RunUntil(350)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if now != 350 || len(ticks) != 3 {
+		t.Fatalf("now=%v ticks=%v", now, ticks)
+	}
+	// Continue to the end.
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(ticks) != 10 {
+		t.Fatalf("after full run ticks=%d, want 10", len(ticks))
+	}
+}
+
+func TestProcPanicPropagates(t *testing.T) {
+	e := NewEngine(1)
+	e.Spawn("bomb", func(p *Proc) {
+		p.Advance(10)
+		panic("boom")
+	})
+	defer func() {
+		if recover() == nil {
+			t.Error("proc panic did not propagate out of Run")
+		}
+	}()
+	e.Run() //nolint:errcheck // panics before returning
+}
+
+func TestPerProcRandIsDeterministicAndDistinct(t *testing.T) {
+	draw := func(seed int64) [2]float64 {
+		e := NewEngine(seed)
+		var out [2]float64
+		e.Spawn("a", func(p *Proc) { out[0] = p.Rand().Float64() })
+		e.Spawn("b", func(p *Proc) { out[1] = p.Rand().Float64() })
+		if _, err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	x, y := draw(42), draw(42)
+	if x != y {
+		t.Fatalf("same seed differs: %v vs %v", x, y)
+	}
+	if x[0] == x[1] {
+		t.Fatalf("distinct procs drew identical values: %v", x)
+	}
+	z := draw(43)
+	if z == x {
+		t.Fatalf("different seeds produced identical draws")
+	}
+}
+
+func TestEventsCounter(t *testing.T) {
+	e := NewEngine(1)
+	for i := 0; i < 5; i++ {
+		e.At(Time(i), func() {})
+	}
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if e.Events() != 5 {
+		t.Fatalf("Events = %d, want 5", e.Events())
+	}
+}
+
+// Property: for any set of non-negative delays, a proc advancing through
+// them ends at their sum.
+func TestAdvanceSumProperty(t *testing.T) {
+	f := func(raw []uint16) bool {
+		e := NewEngine(1)
+		var want Time
+		for _, r := range raw {
+			want += Time(r)
+		}
+		var end Time
+		e.Spawn("p", func(p *Proc) {
+			for _, r := range raw {
+				p.Advance(Time(r))
+			}
+			end = p.Now()
+		})
+		if _, err := e.Run(); err != nil {
+			return false
+		}
+		return end == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: events scheduled at arbitrary times fire in nondecreasing
+// time order.
+func TestEventOrderProperty(t *testing.T) {
+	f := func(raw []uint32) bool {
+		e := NewEngine(1)
+		var fired []Time
+		for _, r := range raw {
+			d := Time(r)
+			e.At(d, func() { fired = append(fired, d) })
+		}
+		if _, err := e.Run(); err != nil {
+			return false
+		}
+		for i := 1; i < len(fired); i++ {
+			if fired[i] < fired[i-1] {
+				return false
+			}
+		}
+		return len(fired) == len(raw)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTimeString(t *testing.T) {
+	cases := []struct {
+		t    Time
+		want string
+	}{
+		{500, "500ns"},
+		{1500, "1.500us"},
+		{2500 * Microsecond, "2.500ms"},
+		{3 * Second, "3.000s"},
+	}
+	for _, c := range cases {
+		if got := c.t.String(); got != c.want {
+			t.Errorf("%d.String() = %q, want %q", int64(c.t), got, c.want)
+		}
+	}
+}
+
+func TestFromSecondsRoundTrip(t *testing.T) {
+	for _, s := range []float64{0, 0.001, 1.5, 12.25} {
+		got := FromSeconds(s).Seconds()
+		if diff := got - s; diff > 1e-9 || diff < -1e-9 {
+			t.Errorf("round trip %v -> %v", s, got)
+		}
+	}
+}
+
+func TestMaxMin(t *testing.T) {
+	if Max(1, 2) != 2 || Max(2, 1) != 2 || Min(1, 2) != 1 || Min(2, 1) != 1 {
+		t.Fatal("Max/Min broken")
+	}
+}

@@ -1,0 +1,227 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+type procState int
+
+const (
+	procNew procState = iota
+	procRunning
+	procBlocked
+	procDone
+)
+
+// Proc is a simulated process: a goroutine that runs under the engine's
+// event loop. Process bodies call Proc methods to consume virtual time and
+// to block on simulation conditions; while a process runs, no other
+// simulation code runs.
+type Proc struct {
+	e           *Engine
+	name        string
+	id          int
+	wake        chan struct{}
+	state       procState
+	blockReason string
+	rng         *rand.Rand
+	debt        Time
+}
+
+// Name reports the process name given to Spawn.
+func (p *Proc) Name() string { return p.name }
+
+// ID reports the engine-unique process id, in spawn order.
+func (p *Proc) ID() int { return p.id }
+
+// Engine returns the engine this process belongs to.
+func (p *Proc) Engine() *Engine { return p.e }
+
+// Now reports the current virtual time.
+func (p *Proc) Now() Time { return p.e.now }
+
+// Rand returns a deterministic per-process random source, derived from the
+// engine seed and the process id. The source is created lazily so that
+// processes that never draw random numbers do not perturb others.
+func (p *Proc) Rand() *rand.Rand {
+	if p.rng == nil {
+		p.rng = rand.New(rand.NewSource(mix(p.e.seed, int64(p.id))))
+	}
+	return p.rng
+}
+
+// mix combines a seed and a stream id with a splitmix64 finalizer so that
+// adjacent ids yield uncorrelated streams.
+func mix(seed, id int64) int64 {
+	z := uint64(seed) + 0x9e3779b97f4a7c15*uint64(id+1)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return int64(z)
+}
+
+// yield hands control back to the engine loop and waits to be dispatched
+// again. All blocking primitives are built on yield.
+func (p *Proc) yield(reason string) {
+	p.state = procBlocked
+	p.blockReason = reason
+	p.e.parked <- struct{}{}
+	<-p.wake
+	if p.e.stopped {
+		panic(stopSignal{})
+	}
+	p.state = procRunning
+	p.blockReason = ""
+}
+
+// Advance consumes d of virtual time (plus any accumulated debt),
+// modelling computation or any other busy activity. Negative durations are
+// a programming error.
+func (p *Proc) Advance(d Time) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: Advance(%v) with negative duration in %q", d, p.name))
+	}
+	d += p.debt
+	p.debt = 0
+	if d == 0 {
+		return
+	}
+	e := p.e
+	e.atProc(e.now+d, p)
+	p.yield("advancing")
+}
+
+// AdvanceTo consumes virtual time until max(t, now+debt). If the target is
+// in the past it only flushes outstanding debt.
+func (p *Proc) AdvanceTo(t Time) {
+	target := Max(t, p.e.now+p.debt)
+	p.debt = 0
+	if target > p.e.now {
+		p.e.atProc(target, p)
+		p.yield("advancing")
+	}
+}
+
+// AddDebt records d of CPU time consumed by p without yielding to the
+// engine. Debt is a performance fast path for sub-microsecond overheads
+// (for example, per-message send overhead): it accumulates until the next
+// Advance/AdvanceTo or FlushDebt, at which point it is converted into real
+// virtual time. Blocking primitives must call FlushDebt before their first
+// condition check.
+func (p *Proc) AddDebt(d Time) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: AddDebt(%v) negative in %q", d, p.name))
+	}
+	p.debt += d
+}
+
+// Debt reports the accumulated unflushed CPU time.
+func (p *Proc) Debt() Time { return p.debt }
+
+// FlushDebt converts accumulated debt into virtual time. It must be called
+// before a blocking wait's first condition check, never between the check
+// and the park (that would either miss wakeups or double-resume).
+func (p *Proc) FlushDebt() {
+	if p.debt > 0 {
+		p.Advance(0)
+	}
+}
+
+// park blocks the process until another piece of simulation code calls
+// unpark. reason is shown in deadlock reports. Parking with unflushed debt
+// is a programming error: the debt would silently vanish from the
+// timeline.
+func (p *Proc) park(reason string) {
+	if p.debt != 0 {
+		panic(fmt.Sprintf("sim: %q parked with %v of unflushed debt", p.name, p.debt))
+	}
+	p.yield(reason)
+}
+
+// unpark schedules p to resume at the current virtual time. It must be
+// called from simulation context (another process or an event callback)
+// and p must be blocked in park.
+func (e *Engine) unpark(p *Proc) {
+	e.atProc(e.now, p)
+}
+
+// Spawn starts a child process at the current virtual time. It is a
+// convenience wrapper over Engine.Spawn for forking helpers (for example,
+// progress threads for nonblocking collectives).
+func (p *Proc) Spawn(name string, body func(*Proc)) *Proc {
+	return p.e.Spawn(name, body)
+}
+
+// WaitQueue is a FIFO list of processes blocked on a condition. The zero
+// value is ready to use.
+type WaitQueue struct {
+	waiters []*Proc
+}
+
+// Wait blocks the calling process until Signal releases it. reason is
+// shown in deadlock reports.
+func (q *WaitQueue) Wait(p *Proc, reason string) {
+	q.waiters = append(q.waiters, p)
+	p.park(reason)
+}
+
+// Signal releases the longest-waiting process, if any, and reports whether
+// one was released.
+func (q *WaitQueue) Signal(e *Engine) bool {
+	if len(q.waiters) == 0 {
+		return false
+	}
+	p := q.waiters[0]
+	copy(q.waiters, q.waiters[1:])
+	q.waiters = q.waiters[:len(q.waiters)-1]
+	e.unpark(p)
+	return true
+}
+
+// Broadcast releases all waiting processes.
+func (q *WaitQueue) Broadcast(e *Engine) {
+	for _, p := range q.waiters {
+		e.unpark(p)
+	}
+	q.waiters = q.waiters[:0]
+}
+
+// Len reports how many processes are waiting.
+func (q *WaitQueue) Len() int { return len(q.waiters) }
+
+// Completion is a one-shot event that processes can wait on. It is used to
+// implement requests (nonblocking operation handles).
+type Completion struct {
+	done    bool
+	at      Time
+	waiters WaitQueue
+}
+
+// Done reports whether the completion has fired.
+func (c *Completion) Done() bool { return c.done }
+
+// DoneAt reports the virtual time at which the completion fired; it is
+// meaningful only when Done is true.
+func (c *Completion) DoneAt() Time { return c.at }
+
+// Complete fires the completion, releasing all waiters. Completing twice
+// is a programming error.
+func (c *Completion) Complete(e *Engine) {
+	if c.done {
+		panic("sim: Completion completed twice")
+	}
+	c.done = true
+	c.at = e.now
+	c.waiters.Broadcast(e)
+}
+
+// Wait blocks p until the completion fires. Returns immediately if it
+// already has.
+func (c *Completion) Wait(p *Proc, reason string) {
+	p.FlushDebt()
+	if c.done {
+		return
+	}
+	c.waiters.Wait(p, reason)
+}

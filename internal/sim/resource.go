@@ -1,0 +1,100 @@
+package sim
+
+// Link models a serial transmission resource (for example, a NIC or a
+// file-system stripe) as a timeline reservation: callers reserve
+// contiguous slots and the link hands out the earliest available start
+// time. Reservations do not block the caller; they are pure bookkeeping
+// that the communication layer converts into event times.
+type Link struct {
+	nextFree Time
+	busy     Time // accumulated reserved time, for utilization reporting
+}
+
+// Reserve books dur of exclusive link time no earlier than at, returning
+// the start and end of the granted slot.
+func (l *Link) Reserve(at, dur Time) (start, end Time) {
+	start = Max(at, l.nextFree)
+	end = start + dur
+	l.nextFree = end
+	l.busy += dur
+	return start, end
+}
+
+// NextFree reports when the link next becomes idle.
+func (l *Link) NextFree() Time { return l.nextFree }
+
+// Busy reports the total reserved time on this link.
+func (l *Link) Busy() Time { return l.busy }
+
+// Striped is a bank of identical serial links with least-loaded placement,
+// modelling a striped resource such as a parallel file system with
+// multiple storage targets.
+type Striped struct {
+	links []Link
+}
+
+// NewStriped creates a bank of n links. n must be positive.
+func NewStriped(n int) *Striped {
+	if n <= 0 {
+		panic("sim: Striped needs at least one link")
+	}
+	return &Striped{links: make([]Link, n)}
+}
+
+// Width reports the number of links in the bank.
+func (s *Striped) Width() int { return len(s.links) }
+
+// Reserve books dur on the link that can start earliest (ties broken by
+// lowest index, for determinism).
+func (s *Striped) Reserve(at, dur Time) (start, end Time) {
+	best := 0
+	bestStart := Max(at, s.links[0].nextFree)
+	for i := 1; i < len(s.links); i++ {
+		st := Max(at, s.links[i].nextFree)
+		if st < bestStart {
+			best, bestStart = i, st
+		}
+	}
+	return s.links[best].Reserve(at, dur)
+}
+
+// Busy reports the total reserved time across all links.
+func (s *Striped) Busy() Time {
+	var total Time
+	for i := range s.links {
+		total += s.links[i].busy
+	}
+	return total
+}
+
+// Token is a distributed mutual-exclusion resource with FIFO hand-off and
+// a fixed per-acquisition cost, used to model shared-file-pointer
+// serialization. Unlike Link it blocks the acquiring process.
+type Token struct {
+	holder  *Proc
+	waiters WaitQueue
+	grants  uint64
+}
+
+// Acquire blocks p until the token is free, then takes it.
+func (t *Token) Acquire(p *Proc, reason string) {
+	p.FlushDebt()
+	for t.holder != nil {
+		t.waiters.Wait(p, reason)
+	}
+	t.holder = p
+	t.grants++
+}
+
+// Release frees the token and wakes the next waiter. Releasing a token the
+// caller does not hold is a programming error.
+func (t *Token) Release(p *Proc) {
+	if t.holder != p {
+		panic("sim: Token released by non-holder")
+	}
+	t.holder = nil
+	t.waiters.Signal(p.e)
+}
+
+// Grants reports how many times the token has been acquired.
+func (t *Token) Grants() uint64 { return t.grants }

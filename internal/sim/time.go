@@ -1,0 +1,64 @@
+// Package sim implements a deterministic, process-oriented discrete-event
+// simulator. It is the substrate on which the MPI-like runtime
+// (internal/mpi) and everything above it run.
+//
+// Simulated processes are goroutines that execute one at a time under the
+// control of a single event loop, so simulations are fully deterministic:
+// the same seed and configuration always produce the same virtual-time
+// trajectory, regardless of host scheduling.
+package sim
+
+import "fmt"
+
+// Time is a point in virtual time, measured in nanoseconds from the start
+// of the simulation. Durations are also expressed as Time values.
+type Time int64
+
+// Convenient duration units in virtual time.
+const (
+	Nanosecond  Time = 1
+	Microsecond Time = 1000 * Nanosecond
+	Millisecond Time = 1000 * Microsecond
+	Second      Time = 1000 * Millisecond
+)
+
+// FromSeconds converts a floating-point number of seconds to a Time.
+func FromSeconds(s float64) Time { return Time(s * float64(Second)) }
+
+// Seconds reports t as a floating-point number of seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// String formats the time with an adaptive unit, e.g. "1.500ms".
+func (t Time) String() string {
+	switch {
+	case t < 0:
+		return fmt.Sprintf("-%s", -t)
+	case t < Microsecond:
+		return fmt.Sprintf("%dns", int64(t))
+	case t < Millisecond:
+		return fmt.Sprintf("%.3fus", float64(t)/float64(Microsecond))
+	case t < Second:
+		return fmt.Sprintf("%.3fms", float64(t)/float64(Millisecond))
+	default:
+		return fmt.Sprintf("%.3fs", t.Seconds())
+	}
+}
+
+// MaxTime is the largest representable virtual time.
+const MaxTime Time = 1<<63 - 1
+
+// Max returns the later of a and b.
+func Max(a, b Time) Time {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Min returns the earlier of a and b.
+func Min(a, b Time) Time {
+	if a < b {
+		return a
+	}
+	return b
+}

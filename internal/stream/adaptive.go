@@ -1,0 +1,115 @@
+package stream
+
+import (
+	"repro/internal/mpi"
+	"repro/internal/sim"
+)
+
+// AdaptiveOptions configures the adaptive batching controller. The paper
+// notes that "the optimal setup could change dynamically at runtime.
+// Currently, the library only supports static configuration of these
+// values. An extension to support adaptive changes of the configuration is
+// subject of a current work" (Section III-A). This is that extension: the
+// producer adjusts its aggregation factor from observed injection rate, so
+// the effective granularity S tracks Eq. 4's trade-off at runtime.
+type AdaptiveOptions struct {
+	// MinBatch and MaxBatch bound the aggregation factor.
+	MinBatch, MaxBatch int
+	// TargetMessageEvery is the desired spacing of network messages. If
+	// elements arrive faster, batches grow; slower, they shrink.
+	TargetMessageEvery sim.Time
+	// Window is how many elements between controller updates.
+	Window int
+}
+
+func (o AdaptiveOptions) withDefaults() AdaptiveOptions {
+	if o.MinBatch <= 0 {
+		o.MinBatch = 1
+	}
+	if o.MaxBatch < o.MinBatch {
+		o.MaxBatch = o.MinBatch * 64
+	}
+	if o.TargetMessageEvery <= 0 {
+		o.TargetMessageEvery = 50 * sim.Microsecond
+	}
+	if o.Window <= 0 {
+		o.Window = 32
+	}
+	return o
+}
+
+// AdaptiveStream wraps a Stream with a producer-side controller that tunes
+// the batch size to the observed element rate.
+type AdaptiveStream struct {
+	*Stream
+	opts AdaptiveOptions
+
+	windowStart sim.Time
+	windowCount int
+	batch       int
+	adjustments int
+}
+
+// AttachAdaptive creates a stream whose aggregation adapts at runtime.
+// The static Options' BatchElements is used as the starting point.
+func (ch *Channel) AttachAdaptive(r *mpi.Rank, opts Options, a AdaptiveOptions) *AdaptiveStream {
+	a = a.withDefaults()
+	if opts.BatchElements <= 0 {
+		opts.BatchElements = a.MinBatch
+	}
+	s := ch.Attach(r, opts)
+	return &AdaptiveStream{
+		Stream: s,
+		opts:   a,
+		batch:  s.opts.BatchElements,
+	}
+}
+
+// Batch reports the current aggregation factor.
+func (s *AdaptiveStream) Batch() int { return s.batch }
+
+// Adjustments reports how many times the controller changed the batch
+// size.
+func (s *AdaptiveStream) Adjustments() int { return s.adjustments }
+
+// Isend injects one element, updating the controller every Window
+// elements: if the window produced messages faster than
+// TargetMessageEvery, the batch grows (coarser granularity, less
+// overhead); if slower, it shrinks (finer granularity, better
+// pipelining).
+func (s *AdaptiveStream) Isend(r *mpi.Rank, elem Element) {
+	if s.windowCount == 0 {
+		s.windowStart = r.Now()
+	}
+	s.windowCount++
+	s.Stream.Isend(r, elem)
+	if s.windowCount < s.opts.Window {
+		return
+	}
+	elapsed := r.Now() - s.windowStart
+	msgs := (s.windowCount + s.batch - 1) / s.batch
+	if msgs > 0 {
+		perMsg := elapsed / sim.Time(msgs)
+		newBatch := s.batch
+		switch {
+		case perMsg < s.opts.TargetMessageEvery/2 && s.batch < s.opts.MaxBatch:
+			newBatch = s.batch * 2
+			if newBatch > s.opts.MaxBatch {
+				newBatch = s.opts.MaxBatch
+			}
+		case perMsg > s.opts.TargetMessageEvery*2 && s.batch > s.opts.MinBatch:
+			newBatch = s.batch / 2
+			if newBatch < s.opts.MinBatch {
+				newBatch = s.opts.MinBatch
+			}
+		}
+		if newBatch != s.batch {
+			// Flush the partial batch before changing granularity.
+			s.Stream.Flush(r)
+			s.batch = newBatch
+			s.Stream.opts.BatchElements = newBatch
+			s.adjustments++
+		}
+	}
+	s.windowCount = 0
+}

@@ -1,0 +1,126 @@
+package stream
+
+import (
+	"testing"
+
+	"repro/internal/mpi"
+	"repro/internal/sim"
+)
+
+func TestAdaptiveDefaults(t *testing.T) {
+	a := AdaptiveOptions{}.withDefaults()
+	if a.MinBatch != 1 || a.MaxBatch != 64 || a.Window != 32 || a.TargetMessageEvery <= 0 {
+		t.Fatalf("defaults = %+v", a)
+	}
+}
+
+func TestAdaptiveGrowsBatchUnderFastProduction(t *testing.T) {
+	w := mpi.NewWorld(mpi.Config{Procs: 2, Seed: 3})
+	var finalBatch, adjustments int
+	var msgs int64
+	if _, err := w.Run(func(r *mpi.Rank) {
+		role := Consumer
+		if r.ID() == 0 {
+			role = Producer
+		}
+		ch := CreateChannel(r, r.World(), role)
+		if role == Producer {
+			s := ch.AttachAdaptive(r, Options{}, AdaptiveOptions{
+				TargetMessageEvery: 100 * sim.Microsecond,
+				Window:             16,
+				MaxBatch:           128,
+			})
+			// Elements produced every microsecond: far faster than the
+			// target message spacing, so batches must grow.
+			for i := 0; i < 600; i++ {
+				r.Compute(sim.Microsecond)
+				s.Isend(r, Element{})
+			}
+			s.Terminate(r)
+			finalBatch = s.Batch()
+			adjustments = s.Adjustments()
+		} else {
+			st := ch.Attach(r, Options{})
+			stats := st.Operate(r, func(*mpi.Rank, Element, int) {})
+			msgs = stats.Messages
+		}
+		ch.Free(r)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if finalBatch <= 1 {
+		t.Fatalf("batch did not grow: %d", finalBatch)
+	}
+	if adjustments == 0 {
+		t.Fatal("controller never adjusted")
+	}
+	if msgs >= 600 {
+		t.Fatalf("aggregation had no effect: %d messages for 600 elements", msgs)
+	}
+}
+
+func TestAdaptiveShrinksBatchUnderSlowProduction(t *testing.T) {
+	w := mpi.NewWorld(mpi.Config{Procs: 2, Seed: 3})
+	var finalBatch int
+	if _, err := w.Run(func(r *mpi.Rank) {
+		role := Consumer
+		if r.ID() == 0 {
+			role = Producer
+		}
+		ch := CreateChannel(r, r.World(), role)
+		if role == Producer {
+			s := ch.AttachAdaptive(r, Options{BatchElements: 64}, AdaptiveOptions{
+				TargetMessageEvery: 10 * sim.Microsecond,
+				Window:             16,
+				MaxBatch:           128,
+			})
+			// Slow production: a 64-element batch takes ~6.4ms per
+			// message, far above the 10us target, so batches shrink.
+			for i := 0; i < 200; i++ {
+				r.Compute(100 * sim.Microsecond)
+				s.Isend(r, Element{})
+			}
+			s.Terminate(r)
+			finalBatch = s.Batch()
+		} else {
+			st := ch.Attach(r, Options{})
+			st.Operate(r, func(*mpi.Rank, Element, int) {})
+		}
+		ch.Free(r)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if finalBatch >= 64 {
+		t.Fatalf("batch did not shrink: %d", finalBatch)
+	}
+}
+
+func TestAdaptiveDeliversEverything(t *testing.T) {
+	w := mpi.NewWorld(mpi.Config{Procs: 3, Seed: 5})
+	var received int64
+	if _, err := w.Run(func(r *mpi.Rank) {
+		role := Consumer
+		if r.ID() < 2 {
+			role = Producer
+		}
+		ch := CreateChannel(r, r.World(), role)
+		if role == Producer {
+			s := ch.AttachAdaptive(r, Options{}, AdaptiveOptions{Window: 8})
+			for i := 0; i < 100; i++ {
+				r.Compute(sim.Microsecond * 3)
+				s.Isend(r, Element{})
+			}
+			s.Terminate(r)
+		} else {
+			st := ch.Attach(r, Options{})
+			stats := st.Operate(r, func(*mpi.Rank, Element, int) {})
+			received = stats.ElementsReceived
+		}
+		ch.Free(r)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if received != 200 {
+		t.Fatalf("received %d elements, want 200", received)
+	}
+}

@@ -1,0 +1,243 @@
+// Package stream implements the paper's MPIStream library: asynchronous,
+// fine-grained data flows between disjoint groups of processes, which is
+// the mechanism the decoupling strategy uses to link operation groups
+// (Section III of the paper).
+//
+// The API mirrors the paper's C interface:
+//
+//	MPIStream_CreateChannel -> CreateChannel
+//	MPIStream_Attach        -> Channel.Attach
+//	MPIStream_Isend         -> Stream.Isend / Stream.IsendTo
+//	MPIStream_Operate       -> Stream.Operate
+//	MPIStream_Terminate     -> Stream.Terminate
+//	MPIStream_FreeChannel   -> Channel.Free
+//
+// Producers inject stream elements as soon as they are ready; consumers
+// process arrived elements first-come-first-served, which is what absorbs
+// process imbalance (Section II-B). Each injected element costs the
+// configured per-element overhead — the "o" of the paper's Eq. 4.
+package stream
+
+import (
+	"fmt"
+
+	"repro/internal/mpi"
+	"repro/internal/sim"
+)
+
+// Tag space: application tags must stay below streamTagBase; collective
+// tags live above 1<<24 (see internal/mpi).
+const streamTagBase = 1 << 20
+
+// Role declares a rank's part in a channel.
+type Role int
+
+// Channel roles. A rank that is neither producer nor consumer passes None
+// (it participates in channel setup but carries no data).
+const (
+	None Role = iota
+	Producer
+	Consumer
+)
+
+// Channel is a communication channel between a producer group and a
+// consumer group, created collectively over a parent communicator.
+type Channel struct {
+	parent    *mpi.Comm
+	producers []int // parent comm ranks, in rank order
+	consumers []int // parent comm ranks, in rank order
+	prodComm  *mpi.Comm
+	consComm  *mpi.Comm
+	role      Role
+	seq       int         // channel sequence number on the parent comm
+	attachSeq map[int]int // per-rank stream attach counters (lockstep)
+	freeSeq   map[int]int // per-rank Free counters
+}
+
+// CreateChannel establishes a channel over parent. Collective: every
+// member of parent must call it with its role. The group from which data
+// originates is the producer group; the group to which data flows is the
+// consumer group (paper Section III-A, step 1).
+func CreateChannel(r *mpi.Rank, parent *mpi.Comm, role Role) *Channel {
+	me := parent.RankOf(r)
+	roles := parent.Allgatherv(r, mpi.Part{Bytes: 4, Data: role})
+	ch := &Channel{
+		parent:    parent,
+		role:      role,
+		attachSeq: make(map[int]int),
+		freeSeq:   make(map[int]int),
+	}
+	for rank, part := range roles {
+		switch part.Data.(Role) {
+		case Producer:
+			ch.producers = append(ch.producers, rank)
+		case Consumer:
+			ch.consumers = append(ch.consumers, rank)
+		}
+	}
+	if len(ch.producers) == 0 || len(ch.consumers) == 0 {
+		panic("stream: channel needs at least one producer and one consumer")
+	}
+	// Sub-communicators for group-internal coordination (consumers use
+	// theirs for termination detection).
+	prodColor, consColor := -1, -1
+	if role == Producer {
+		prodColor = 1
+	}
+	if role == Consumer {
+		consColor = 1
+	}
+	ch.prodComm = parent.Split(r, prodColor, me)
+	ch.consComm = parent.Split(r, consColor, me)
+
+	// Deterministic channel sequence number, shared via the world stash
+	// (channel creation is collective, so all ranks observe the same
+	// counter state).
+	key := fmt.Sprintf("stream:chanseq:%d", parent.ID())
+	stash := r.Stash()
+	seqs, _ := stash[key].(map[int]int)
+	if seqs == nil {
+		seqs = make(map[int]int)
+		stash[key] = seqs
+	}
+	seqs[me]++
+	ch.seq = seqs[me]
+	return ch
+}
+
+// Role reports this rank's role in the channel.
+func (ch *Channel) Role() Role { return ch.role }
+
+// ProducerComm returns the producer group's own communicator (nil on
+// ranks outside the producer group).
+func (ch *Channel) ProducerComm() *mpi.Comm { return ch.prodComm }
+
+// ConsumerComm returns the consumer group's own communicator (nil on
+// ranks outside the consumer group).
+func (ch *Channel) ConsumerComm() *mpi.Comm { return ch.consComm }
+
+// ParentComm returns the communicator the channel was created over.
+func (ch *Channel) ParentComm() *mpi.Comm { return ch.parent }
+
+// Producers reports the number of producer ranks.
+func (ch *Channel) Producers() int { return len(ch.producers) }
+
+// Consumers reports the number of consumer ranks.
+func (ch *Channel) Consumers() int { return len(ch.consumers) }
+
+// Alpha reports the fraction of channel ranks dedicated to consumption —
+// the α of the paper's Eq. 2-4.
+func (ch *Channel) Alpha() float64 {
+	return float64(len(ch.consumers)) / float64(len(ch.producers)+len(ch.consumers))
+}
+
+// ProducerIndex translates r into its index within the producer group, or
+// -1 if r is not a producer.
+func (ch *Channel) ProducerIndex(r *mpi.Rank) int {
+	me := ch.parent.RankOf(r)
+	for i, p := range ch.producers {
+		if p == me {
+			return i
+		}
+	}
+	return -1
+}
+
+// ConsumerIndex translates r into its index within the consumer group, or
+// -1 if r is not a consumer.
+func (ch *Channel) ConsumerIndex(r *mpi.Rank) int {
+	me := ch.parent.RankOf(r)
+	for i, c := range ch.consumers {
+		if c == me {
+			return i
+		}
+	}
+	return -1
+}
+
+// HomeConsumer reports the consumer index that producer index pi streams
+// to by default (block mapping, so consecutive producers share a home
+// consumer).
+func (ch *Channel) HomeConsumer(pi int) int {
+	return pi * len(ch.consumers) / len(ch.producers)
+}
+
+// homeProducerCount reports how many producers have consumer index ci as
+// their home.
+func (ch *Channel) homeProducerCount(ci int) int {
+	n := 0
+	for pi := range ch.producers {
+		if ch.HomeConsumer(pi) == ci {
+			n++
+		}
+	}
+	return n
+}
+
+// Free releases the channel. Collective over the parent communicator
+// (paper step 5: MPIStream_FreeChannel). Freeing the channel more than
+// once on the same rank is a programming error.
+func (ch *Channel) Free(r *mpi.Rank) {
+	me := ch.parent.RankOf(r)
+	ch.freeSeq[me]++
+	if ch.freeSeq[me] > 1 {
+		panic("stream: channel freed twice")
+	}
+	ch.parent.Barrier(r)
+}
+
+// Options configures a stream attached to a channel.
+type Options struct {
+	// ElementBytes is the stream granularity S: the default payload size
+	// of one element. Elements may override it individually.
+	ElementBytes int64
+	// InjectOverhead is the per-element producer-side overhead o of
+	// Eq. 4: building the element and calling the injection function.
+	InjectOverhead sim.Time
+	// BatchElements, when > 1, aggregates this many elements into one
+	// message (the "data aggregation scheme" optimization the paper
+	// applies to communication-intensive decoupled operations).
+	BatchElements int
+	// FixedOrder disables first-come-first-served consumption: the
+	// consumer drains its home producers in a fixed round-robin order.
+	// It exists to ablate the imbalance-absorption mechanism and only
+	// supports default (home) routing.
+	FixedOrder bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.ElementBytes <= 0 {
+		o.ElementBytes = 1024
+	}
+	if o.InjectOverhead <= 0 {
+		o.InjectOverhead = 200 * sim.Nanosecond
+	}
+	if o.BatchElements <= 0 {
+		o.BatchElements = 1
+	}
+	return o
+}
+
+// Attach creates a stream on the channel (paper step 3: the operator is
+// supplied to Operate on the consumer side). Collective over the parent
+// communicator in the sense that producers and consumers must attach
+// streams in the same order.
+func (ch *Channel) Attach(r *mpi.Rank, opts Options) *Stream {
+	me := ch.parent.RankOf(r)
+	ch.attachSeq[me]++
+	base := streamTagBase + ch.seq*4096 + ch.attachSeq[me]*4
+	s := &Stream{
+		ch:      ch,
+		opts:    opts.withDefaults(),
+		elemTag: base,
+		termTag: base + 1,
+		sent:    make(map[int]int64),
+	}
+	if pi := ch.ProducerIndex(r); pi >= 0 {
+		s.prodIdx = pi
+	} else {
+		s.prodIdx = -1
+	}
+	s.consIdx = ch.ConsumerIndex(r)
+	return s
+}

@@ -1,0 +1,311 @@
+package stream
+
+import (
+	"fmt"
+
+	"repro/internal/mpi"
+	"repro/internal/sim"
+)
+
+// Element is the basic unit of a data stream (paper Section III-A). Bytes
+// defaults to the stream's configured granularity when zero.
+type Element struct {
+	Bytes int64
+	Data  interface{}
+}
+
+// Operator processes one arrived stream element on the consumer
+// (MPIStream's operator attached to the data stream). src is the producer
+// index the element came from.
+type Operator func(r *mpi.Rank, elem Element, src int)
+
+// Stats summarizes a stream endpoint's activity.
+type Stats struct {
+	// ElementsSent / ElementsReceived count stream elements.
+	ElementsSent     int64
+	ElementsReceived int64
+	// Bytes counts element payload bytes at this endpoint.
+	Bytes int64
+	// Messages counts network messages (smaller than elements when
+	// batching is enabled).
+	Messages int64
+	// FirstAt / LastAt bracket element arrival times on the consumer.
+	FirstAt, LastAt sim.Time
+	// WaitTime is the total time the consumer spent blocked waiting for
+	// data.
+	WaitTime sim.Time
+}
+
+// batch is the wire format of one stream message: elements plus their
+// producer index.
+type batch struct {
+	src   int
+	elems []Element
+}
+
+// termMsg closes a producer's stream: sentTo[ci] is how many elements this
+// producer sent to consumer index ci over the stream's lifetime.
+type termMsg struct {
+	src    int
+	sentTo map[int]int64
+}
+
+// Stream is one directed data flow over a channel. Producer ranks inject
+// elements with Isend and close with Terminate; consumer ranks run
+// Operate.
+type Stream struct {
+	ch      *Channel
+	opts    Options
+	elemTag int
+	termTag int
+
+	prodIdx int // -1 on non-producers
+	consIdx int // -1 on non-consumers
+
+	// Producer state.
+	sent       map[int]int64 // consumer index -> elements sent
+	pending    []Element     // batch under construction
+	pendingDst int
+	terminated bool
+
+	stats Stats
+}
+
+// Options reports the stream's effective (defaulted) options.
+func (s *Stream) Options() Options { return s.opts }
+
+// Stats reports endpoint statistics gathered so far.
+func (s *Stream) Stats() Stats { return s.stats }
+
+// Isend injects one element toward the producer's home consumer, as soon
+// as the data for the element is ready (paper step 4). It never blocks:
+// the element is handed to the network asynchronously.
+func (s *Stream) Isend(r *mpi.Rank, elem Element) {
+	if s.prodIdx < 0 {
+		panic("stream: Isend called on a non-producer rank")
+	}
+	s.IsendTo(r, elem, s.ch.HomeConsumer(s.prodIdx))
+}
+
+// IsendTo injects one element toward an explicit consumer index. Explicit
+// routing lets applications key elements (for example, hashing reduce keys
+// over the consumer group).
+func (s *Stream) IsendTo(r *mpi.Rank, elem Element, consumer int) {
+	if s.prodIdx < 0 {
+		panic("stream: IsendTo called on a non-producer rank")
+	}
+	if s.terminated {
+		panic("stream: Isend after Terminate")
+	}
+	if consumer < 0 || consumer >= len(s.ch.consumers) {
+		panic(fmt.Sprintf("stream: consumer index %d of %d", consumer, len(s.ch.consumers)))
+	}
+	if s.opts.FixedOrder && consumer != s.ch.HomeConsumer(s.prodIdx) {
+		panic("stream: explicit routing is incompatible with FixedOrder consumption")
+	}
+	if elem.Bytes <= 0 {
+		elem.Bytes = s.opts.ElementBytes
+	}
+	// Element construction + injection-call overhead: the o of Eq. 4.
+	r.Proc().AddDebt(s.opts.InjectOverhead)
+	s.stats.ElementsSent++
+	s.stats.Bytes += elem.Bytes
+	s.sent[consumer]++
+
+	if s.opts.BatchElements > 1 {
+		if len(s.pending) > 0 && s.pendingDst != consumer {
+			s.flush(r)
+		}
+		s.pending = append(s.pending, elem)
+		s.pendingDst = consumer
+		if len(s.pending) >= s.opts.BatchElements {
+			s.flush(r)
+		}
+		return
+	}
+	s.send(r, consumer, []Element{elem})
+}
+
+// Flush sends any batched elements immediately.
+func (s *Stream) Flush(r *mpi.Rank) {
+	if len(s.pending) > 0 {
+		s.flush(r)
+	}
+}
+
+func (s *Stream) flush(r *mpi.Rank) {
+	elems := s.pending
+	s.pending = nil
+	s.send(r, s.pendingDst, elems)
+}
+
+func (s *Stream) send(r *mpi.Rank, consumer int, elems []Element) {
+	var bytes int64
+	for _, e := range elems {
+		bytes += e.Bytes
+	}
+	dst := s.ch.consumers[consumer]
+	s.ch.parent.Isend(r, dst, s.elemTag, bytes, batch{src: s.prodIdx, elems: elems})
+	s.stats.Messages++
+}
+
+// Terminate closes the producer's side of the stream (paper step 5:
+// MPIStream_Terminate). Any batched elements are flushed first, then a
+// termination record carrying the producer's per-consumer element counts
+// goes to its home consumer.
+func (s *Stream) Terminate(r *mpi.Rank) {
+	if s.prodIdx < 0 {
+		panic("stream: Terminate called on a non-producer rank")
+	}
+	if s.terminated {
+		panic("stream: Terminate called twice")
+	}
+	s.Flush(r)
+	s.terminated = true
+	counts := make(map[int]int64, len(s.sent))
+	for ci, n := range s.sent {
+		counts[ci] = n
+	}
+	home := s.ch.HomeConsumer(s.prodIdx)
+	dst := s.ch.consumers[home]
+	s.ch.parent.Isend(r, dst, s.termTag, 64, termMsg{src: s.prodIdx, sentTo: counts})
+}
+
+// Operate runs the consumer loop (paper step 4: MPIStream_Operate):
+// elements are processed first-come-first-served as they arrive, applying
+// op on the fly, until every producer has terminated and every element
+// addressed to this consumer has been processed. It returns the consumer's
+// statistics.
+//
+// Termination detection: each producer's termination record reaches its
+// home consumer; once a consumer holds all its home producers' records,
+// the consumer group allgathers the per-consumer totals, after which each
+// consumer knows exactly how many elements it still owes processing.
+func (s *Stream) Operate(r *mpi.Rank, op Operator) Stats {
+	if s.consIdx < 0 {
+		panic("stream: Operate called on a non-consumer rank")
+	}
+	if s.opts.FixedOrder {
+		return s.operateFixed(r, op)
+	}
+	c := s.ch.parent
+	homeTerms := s.ch.homeProducerCount(s.consIdx)
+	expected := int64(-1)
+	var received int64
+	// Accumulated per-consumer totals from my home producers' records.
+	totals := make([]int64, len(s.ch.consumers))
+
+	elemReq := c.Irecv(r, mpi.AnySource, s.elemTag)
+	termReq := c.Irecv(r, mpi.AnySource, s.termTag)
+	if homeTerms == 0 {
+		// No producer terminates through this consumer: join the
+		// termination exchange immediately (contributing zeros) so the
+		// consumer group agrees on per-consumer totals.
+		expected = s.exchangeTotals(r, totals)
+	}
+	for expected < 0 || received < expected {
+		waitStart := r.Now()
+		idx, st := c.WaitAny(r, []*mpi.Request{elemReq, termReq})
+		s.stats.WaitTime += r.Now() - waitStart
+		if idx == 0 {
+			b := st.Data.(batch)
+			for _, elem := range b.elems {
+				received++
+				s.stats.ElementsReceived++
+				s.stats.Bytes += elem.Bytes
+				if s.stats.FirstAt == 0 {
+					s.stats.FirstAt = r.Now()
+				}
+				s.stats.LastAt = r.Now()
+				op(r, elem, b.src)
+			}
+			s.stats.Messages++
+			elemReq = c.Irecv(r, mpi.AnySource, s.elemTag)
+			continue
+		}
+		tm := st.Data.(termMsg)
+		for ci, n := range tm.sentTo {
+			totals[ci] += n
+		}
+		homeTerms--
+		if homeTerms > 0 {
+			termReq = c.Irecv(r, mpi.AnySource, s.termTag)
+			continue
+		}
+		// All home producers terminated: agree on global totals.
+		expected = s.exchangeTotals(r, totals)
+	}
+	return s.stats
+}
+
+// exchangeTotals allgathers the per-consumer element totals over the
+// consumer group and returns how many elements this consumer owes.
+func (s *Stream) exchangeTotals(r *mpi.Rank, totals []int64) int64 {
+	parts := s.ch.consComm.Allgatherv(r, mpi.Part{
+		Bytes: int64(8 * len(totals)),
+		Data:  totals,
+	})
+	var expected int64
+	for _, part := range parts {
+		expected += part.Data.([]int64)[s.consIdx]
+	}
+	return expected
+}
+
+// operateFixed is the ablation consumer: it drains home producers in a
+// fixed round-robin order instead of first-come-first-served, so a slow
+// producer stalls consumption of already-arrived data from others.
+func (s *Stream) operateFixed(r *mpi.Rank, op Operator) Stats {
+	c := s.ch.parent
+	type srcState struct {
+		pi       int
+		elemReq  *mpi.Request
+		termReq  *mpi.Request
+		finished bool
+	}
+	var states []*srcState
+	for pi := range s.ch.producers {
+		if s.ch.HomeConsumer(pi) == s.consIdx {
+			states = append(states, &srcState{pi: pi})
+		}
+	}
+	remaining := len(states)
+	for remaining > 0 {
+		for _, st := range states {
+			if st.finished {
+				continue
+			}
+			src := s.ch.producers[st.pi]
+			// Posted requests persist across passes; never double-post.
+			if st.elemReq == nil {
+				st.elemReq = c.Irecv(r, src, s.elemTag)
+			}
+			if st.termReq == nil {
+				st.termReq = c.Irecv(r, src, s.termTag)
+			}
+			waitStart := r.Now()
+			idx, status := c.WaitAny(r, []*mpi.Request{st.elemReq, st.termReq})
+			s.stats.WaitTime += r.Now() - waitStart
+			if idx == 1 {
+				// Non-overtaking per (source, tag) plus issue order on
+				// the producer guarantee no element follows the term.
+				st.finished = true
+				remaining--
+				continue
+			}
+			b := status.Data.(batch)
+			for _, elem := range b.elems {
+				s.stats.ElementsReceived++
+				s.stats.Bytes += elem.Bytes
+				if s.stats.FirstAt == 0 {
+					s.stats.FirstAt = r.Now()
+				}
+				s.stats.LastAt = r.Now()
+				op(r, elem, b.src)
+			}
+			s.stats.Messages++
+			st.elemReq = nil
+		}
+	}
+	return s.stats
+}

@@ -1,0 +1,388 @@
+package stream
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mpi"
+	"repro/internal/netmodel"
+	"repro/internal/sim"
+)
+
+// runChannel spawns a world of p ranks where ranks with id < producers are
+// producers and the rest are consumers, then runs body.
+func runChannel(t *testing.T, procs, producers int, noise netmodel.Noise,
+	body func(r *mpi.Rank, ch *Channel)) {
+	t.Helper()
+	w := mpi.NewWorld(mpi.Config{Procs: procs, Seed: 11, Noise: noise})
+	if _, err := w.Run(func(r *mpi.Rank) {
+		role := Consumer
+		if r.ID() < producers {
+			role = Producer
+		}
+		ch := CreateChannel(r, r.World(), role)
+		body(r, ch)
+		ch.Free(r)
+	}); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestChannelGroups(t *testing.T) {
+	runChannel(t, 6, 4, nil, func(r *mpi.Rank, ch *Channel) {
+		if ch.Producers() != 4 || ch.Consumers() != 2 {
+			t.Errorf("groups = %d/%d, want 4/2", ch.Producers(), ch.Consumers())
+		}
+		if a := ch.Alpha(); a < 0.33 || a > 0.34 {
+			t.Errorf("alpha = %v, want 1/3", a)
+		}
+		switch {
+		case r.ID() < 4:
+			if ch.ProducerIndex(r) != r.ID() || ch.ConsumerIndex(r) != -1 {
+				t.Errorf("rank %d indices wrong", r.ID())
+			}
+		default:
+			if ch.ConsumerIndex(r) != r.ID()-4 || ch.ProducerIndex(r) != -1 {
+				t.Errorf("rank %d indices wrong", r.ID())
+			}
+		}
+	})
+}
+
+func TestHomeConsumerBlockMapping(t *testing.T) {
+	runChannel(t, 6, 4, nil, func(r *mpi.Rank, ch *Channel) {
+		if r.ID() != 0 {
+			return
+		}
+		// 4 producers onto 2 consumers: 0,1 -> 0 and 2,3 -> 1.
+		for pi, want := range []int{0, 0, 1, 1} {
+			if got := ch.HomeConsumer(pi); got != want {
+				t.Errorf("HomeConsumer(%d) = %d, want %d", pi, got, want)
+			}
+		}
+	})
+}
+
+func TestStreamDeliversAllElementsExactlyOnce(t *testing.T) {
+	const producers, consumers, perProducer = 6, 2, 25
+	seen := map[string]int{}
+	runChannel(t, producers+consumers, producers, nil, func(r *mpi.Rank, ch *Channel) {
+		s := ch.Attach(r, Options{ElementBytes: 512})
+		switch ch.Role() {
+		case Producer:
+			for i := 0; i < perProducer; i++ {
+				s.Isend(r, Element{Data: fmt.Sprintf("p%d-e%d", ch.ProducerIndex(r), i)})
+			}
+			s.Terminate(r)
+		case Consumer:
+			s.Operate(r, func(r *mpi.Rank, e Element, src int) {
+				seen[e.Data.(string)]++
+			})
+		}
+	})
+	if len(seen) != producers*perProducer {
+		t.Fatalf("saw %d distinct elements, want %d", len(seen), producers*perProducer)
+	}
+	for k, n := range seen {
+		if n != 1 {
+			t.Fatalf("element %s delivered %d times", k, n)
+		}
+	}
+}
+
+func TestPerProducerOrderPreserved(t *testing.T) {
+	const producers, perProducer = 4, 30
+	lastSeen := map[int]int{}
+	violations := 0
+	runChannel(t, producers+1, producers, nil, func(r *mpi.Rank, ch *Channel) {
+		s := ch.Attach(r, Options{})
+		if ch.Role() == Producer {
+			for i := 0; i < perProducer; i++ {
+				s.Isend(r, Element{Data: i})
+			}
+			s.Terminate(r)
+			return
+		}
+		s.Operate(r, func(r *mpi.Rank, e Element, src int) {
+			seq := e.Data.(int)
+			if last, ok := lastSeen[src]; ok && seq != last+1 {
+				violations++
+			}
+			lastSeen[src] = seq
+		})
+	})
+	if violations != 0 {
+		t.Fatalf("%d per-producer order violations", violations)
+	}
+}
+
+func TestExplicitRoutingByKey(t *testing.T) {
+	const producers, consumers = 4, 3
+	received := make([]map[int]bool, consumers)
+	for i := range received {
+		received[i] = map[int]bool{}
+	}
+	runChannel(t, producers+consumers, producers, nil, func(r *mpi.Rank, ch *Channel) {
+		s := ch.Attach(r, Options{})
+		if ch.Role() == Producer {
+			for key := 0; key < 30; key++ {
+				s.IsendTo(r, Element{Data: key}, key%consumers)
+			}
+			s.Terminate(r)
+			return
+		}
+		ci := ch.ConsumerIndex(r)
+		s.Operate(r, func(r *mpi.Rank, e Element, src int) {
+			received[ci][e.Data.(int)] = true
+		})
+	})
+	for ci, keys := range received {
+		for key := range keys {
+			if key%consumers != ci {
+				t.Fatalf("consumer %d received key %d (wrong shard)", ci, key)
+			}
+		}
+		if len(keys) != 10 {
+			t.Fatalf("consumer %d saw %d keys, want 10", ci, len(keys))
+		}
+	}
+}
+
+func TestBatchingReducesMessages(t *testing.T) {
+	count := func(batch int) (msgs int64) {
+		runChannel(t, 3, 2, nil, func(r *mpi.Rank, ch *Channel) {
+			s := ch.Attach(r, Options{BatchElements: batch})
+			if ch.Role() == Producer {
+				for i := 0; i < 64; i++ {
+					s.Isend(r, Element{})
+				}
+				s.Terminate(r)
+				return
+			}
+			st := s.Operate(r, func(*mpi.Rank, Element, int) {})
+			msgs = st.Messages
+			if st.ElementsReceived != 128 {
+				t.Fatalf("received %d elements, want 128", st.ElementsReceived)
+			}
+		})
+		return msgs
+	}
+	unbatched, batched := count(1), count(16)
+	if batched >= unbatched/8 {
+		t.Fatalf("batching did not reduce messages: %d vs %d", batched, unbatched)
+	}
+}
+
+func TestInjectOverheadCharged(t *testing.T) {
+	elapsed := func(overhead sim.Time) sim.Time {
+		var end sim.Time
+		runChannel(t, 2, 1, nil, func(r *mpi.Rank, ch *Channel) {
+			s := ch.Attach(r, Options{InjectOverhead: overhead})
+			if ch.Role() == Producer {
+				for i := 0; i < 1000; i++ {
+					s.Isend(r, Element{})
+				}
+				s.Terminate(r)
+				r.Compute(sim.Microsecond) // flush debt into the clock
+				end = r.Now()
+				return
+			}
+			s.Operate(r, func(*mpi.Rank, Element, int) {})
+		})
+		return end
+	}
+	cheap := elapsed(100 * sim.Nanosecond)
+	costly := elapsed(10 * sim.Microsecond)
+	if costly < cheap+9*sim.Millisecond {
+		t.Fatalf("inject overhead not charged: cheap=%v costly=%v", cheap, costly)
+	}
+}
+
+func TestFCFSAbsorbsImbalance(t *testing.T) {
+	// One slow producer out of four. FCFS consumption should let the
+	// consumer process the three fast producers' elements while the slow
+	// one trickles; fixed-order consumption stalls on the slow producer.
+	run := func(fixed bool) sim.Time {
+		var end sim.Time
+		w := mpi.NewWorld(mpi.Config{Procs: 5, Seed: 7})
+		if _, err := w.Run(func(r *mpi.Rank) {
+			role := Consumer
+			if r.ID() < 4 {
+				role = Producer
+			}
+			ch := CreateChannel(r, r.World(), role)
+			s := ch.Attach(r, Options{FixedOrder: fixed})
+			if role == Producer {
+				slow := r.ID() == 0
+				for i := 0; i < 20; i++ {
+					if slow {
+						r.Idle(2 * sim.Millisecond) // imbalanced producer
+					}
+					s.Isend(r, Element{})
+				}
+				s.Terminate(r)
+				return
+			}
+			s.Operate(r, func(rr *mpi.Rank, e Element, src int) {
+				rr.Compute(500 * sim.Microsecond) // processing cost per element
+			})
+			end = r.Now()
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return end
+	}
+	fcfs, fixed := run(false), run(true)
+	if fcfs > fixed {
+		t.Fatalf("FCFS (%v) slower than fixed order (%v)", fcfs, fixed)
+	}
+}
+
+func TestConsumerStatsTimeline(t *testing.T) {
+	runChannel(t, 2, 1, nil, func(r *mpi.Rank, ch *Channel) {
+		s := ch.Attach(r, Options{})
+		if ch.Role() == Producer {
+			for i := 0; i < 10; i++ {
+				r.Compute(sim.Millisecond)
+				s.Isend(r, Element{Bytes: 2048})
+			}
+			s.Terminate(r)
+			return
+		}
+		st := s.Operate(r, func(*mpi.Rank, Element, int) {})
+		if st.ElementsReceived != 10 || st.Bytes != 20480 {
+			t.Errorf("stats = %+v", st)
+		}
+		if st.FirstAt >= st.LastAt {
+			t.Errorf("FirstAt %v not before LastAt %v", st.FirstAt, st.LastAt)
+		}
+		if st.WaitTime <= 0 {
+			t.Errorf("consumer never waited: %+v", st)
+		}
+	})
+}
+
+func TestTwoStreamsOnOneChannelDoNotMix(t *testing.T) {
+	countA, countB := 0, 0
+	runChannel(t, 3, 2, nil, func(r *mpi.Rank, ch *Channel) {
+		a := ch.Attach(r, Options{})
+		b := ch.Attach(r, Options{})
+		if ch.Role() == Producer {
+			for i := 0; i < 5; i++ {
+				a.Isend(r, Element{Data: "A"})
+				b.Isend(r, Element{Data: "B"})
+			}
+			a.Terminate(r)
+			b.Terminate(r)
+			return
+		}
+		a.Operate(r, func(r *mpi.Rank, e Element, src int) {
+			if e.Data.(string) != "A" {
+				t.Errorf("stream A saw %v", e.Data)
+			}
+			countA++
+		})
+		b.Operate(r, func(r *mpi.Rank, e Element, src int) {
+			if e.Data.(string) != "B" {
+				t.Errorf("stream B saw %v", e.Data)
+			}
+			countB++
+		})
+	})
+	if countA != 10 || countB != 10 {
+		t.Fatalf("countA=%d countB=%d, want 10/10", countA, countB)
+	}
+}
+
+func TestProducerAPIOnConsumerPanics(t *testing.T) {
+	runChannel(t, 2, 1, nil, func(r *mpi.Rank, ch *Channel) {
+		s := ch.Attach(r, Options{})
+		if ch.Role() == Consumer {
+			for _, fn := range []func(){
+				func() { s.Isend(r, Element{}) },
+				func() { s.Terminate(r) },
+			} {
+				func() {
+					defer func() {
+						if recover() == nil {
+							t.Error("producer API on consumer did not panic")
+						}
+					}()
+					fn()
+				}()
+			}
+			// Drain the producer's stream so the world terminates.
+			s.Operate(r, func(*mpi.Rank, Element, int) {})
+			return
+		}
+		s.Isend(r, Element{})
+		s.Terminate(r)
+	})
+}
+
+func TestIsendAfterTerminatePanics(t *testing.T) {
+	runChannel(t, 2, 1, nil, func(r *mpi.Rank, ch *Channel) {
+		s := ch.Attach(r, Options{})
+		if ch.Role() == Producer {
+			s.Terminate(r)
+			defer func() {
+				if recover() == nil {
+					t.Error("Isend after Terminate did not panic")
+				}
+			}()
+			s.Isend(r, Element{})
+			return
+		}
+		s.Operate(r, func(*mpi.Rank, Element, int) {})
+	})
+}
+
+func TestDefaultOptions(t *testing.T) {
+	o := Options{}.withDefaults()
+	if o.ElementBytes != 1024 || o.InjectOverhead != 200*sim.Nanosecond || o.BatchElements != 1 {
+		t.Fatalf("defaults = %+v", o)
+	}
+}
+
+// Property: for arbitrary per-producer element counts, every element is
+// delivered exactly once and totals match.
+func TestDeliveryCountProperty(t *testing.T) {
+	f := func(counts []uint8) bool {
+		if len(counts) == 0 {
+			return true
+		}
+		if len(counts) > 6 {
+			counts = counts[:6]
+		}
+		producers := len(counts)
+		var want int64
+		for _, c := range counts {
+			want += int64(c % 40)
+		}
+		var got int64
+		w := mpi.NewWorld(mpi.Config{Procs: producers + 2, Seed: 13})
+		_, err := w.Run(func(r *mpi.Rank) {
+			role := Consumer
+			if r.ID() < producers {
+				role = Producer
+			}
+			ch := CreateChannel(r, r.World(), role)
+			s := ch.Attach(r, Options{})
+			if role == Producer {
+				n := int(counts[r.ID()] % 40)
+				for i := 0; i < n; i++ {
+					s.Isend(r, Element{})
+				}
+				s.Terminate(r)
+				return
+			}
+			st := s.Operate(r, func(*mpi.Rank, Element, int) {})
+			got += st.ElementsReceived
+		})
+		return err == nil && got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

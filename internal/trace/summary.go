@@ -1,0 +1,91 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/sim"
+)
+
+// Utilization is one rank's activity breakdown over the trace window.
+type Utilization struct {
+	Rank int
+	// Busy is time per category.
+	Busy map[string]sim.Time
+	// Total is the trace window length.
+	Total sim.Time
+	// Fraction returns the share of the window spent in a category.
+}
+
+// Fraction reports the share of the window spent in category.
+func (u Utilization) Fraction(category string) float64 {
+	if u.Total <= 0 {
+		return 0
+	}
+	return float64(u.Busy[category]) / float64(u.Total)
+}
+
+// Idle reports the share of the window covered by no recorded span.
+func (u Utilization) Idle() float64 {
+	if u.Total <= 0 {
+		return 0
+	}
+	var busy sim.Time
+	for _, t := range u.Busy {
+		busy += t
+	}
+	f := 1 - float64(busy)/float64(u.Total)
+	if f < 0 {
+		return 0
+	}
+	return f
+}
+
+// Utilizations computes per-rank activity breakdowns over the full trace
+// window. Ranks appear in ascending order.
+func (rec *Recorder) Utilizations() []Utilization {
+	lo, hi := rec.Window()
+	total := hi - lo
+	byRank := map[int]map[string]sim.Time{}
+	for _, s := range rec.spans {
+		m := byRank[s.Rank]
+		if m == nil {
+			m = map[string]sim.Time{}
+			byRank[s.Rank] = m
+		}
+		m[s.Category] += s.End - s.Start
+	}
+	ranks := make([]int, 0, len(byRank))
+	for r := range byRank {
+		ranks = append(ranks, r)
+	}
+	sort.Ints(ranks)
+	out := make([]Utilization, 0, len(ranks))
+	for _, r := range ranks {
+		out = append(out, Utilization{Rank: r, Busy: byRank[r], Total: total})
+	}
+	return out
+}
+
+// Summary writes a per-rank utilization table: the quantitative companion
+// to the Fig. 2 timelines (how much of each rank's time is computation vs
+// communication wait vs I/O).
+func (rec *Recorder) Summary(w io.Writer) error {
+	utils := rec.Utilizations()
+	if len(utils) == 0 {
+		_, err := fmt.Fprintln(w, "(empty trace)")
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "rank  compute  comm-wait  io     idle\n"); err != nil {
+		return err
+	}
+	for _, u := range utils {
+		if _, err := fmt.Fprintf(w, "P%-4d %6.1f%%  %8.1f%%  %5.1f%%  %5.1f%%\n",
+			u.Rank, 100*u.Fraction("comp"), 100*u.Fraction("comm"),
+			100*u.Fraction("io"), 100*u.Idle()); err != nil {
+			return err
+		}
+	}
+	return nil
+}

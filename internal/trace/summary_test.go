@@ -1,0 +1,61 @@
+package trace
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestUtilizations(t *testing.T) {
+	var rec Recorder
+	rec.Span(0, "comp", "", 0, 600)
+	rec.Span(0, "comm", "", 600, 800)
+	rec.Span(1, "comp", "", 0, 1000)
+	utils := rec.Utilizations()
+	if len(utils) != 2 {
+		t.Fatalf("got %d utilizations", len(utils))
+	}
+	u0 := utils[0]
+	if u0.Rank != 0 || math.Abs(u0.Fraction("comp")-0.6) > 1e-9 || math.Abs(u0.Fraction("comm")-0.2) > 1e-9 {
+		t.Fatalf("rank 0 utilization %+v", u0)
+	}
+	if math.Abs(u0.Idle()-0.2) > 1e-9 {
+		t.Fatalf("rank 0 idle = %v", u0.Idle())
+	}
+	if utils[1].Idle() != 0 {
+		t.Fatalf("rank 1 idle = %v", utils[1].Idle())
+	}
+}
+
+func TestUtilizationEmpty(t *testing.T) {
+	var u Utilization
+	if u.Fraction("comp") != 0 || u.Idle() != 0 {
+		t.Fatal("zero utilization should report zeros")
+	}
+}
+
+func TestSummaryFormat(t *testing.T) {
+	var rec Recorder
+	rec.Span(3, "comp", "", 0, 500)
+	rec.Span(3, "io", "", 500, 1000)
+	var buf bytes.Buffer
+	if err := rec.Summary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "P3") || !strings.Contains(out, "50.0%") {
+		t.Fatalf("summary = %q", out)
+	}
+}
+
+func TestSummaryEmpty(t *testing.T) {
+	var rec Recorder
+	var buf bytes.Buffer
+	if err := rec.Summary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "empty") {
+		t.Fatalf("summary = %q", buf.String())
+	}
+}
