@@ -10,22 +10,35 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/sim"
 )
+
+// benchEntry is one experiment's performance record in the -json report.
+type benchEntry struct {
+	NsPerOp      int64   `json:"ns_per_op"`
+	Events       uint64  `json:"events"`
+	EventsPerSec float64 `json:"events_per_sec"`
+	Rows         int     `json:"rows"`
+}
 
 func main() {
 	var (
 		experiment = flag.String("experiment", "all", "experiment to run: "+strings.Join(experiments.Names(), ", ")+", or all")
 		maxProcs   = flag.Int("max-procs", 1024, "largest process count in the weak-scaling sweeps (paper: 8192)")
 		runs       = flag.Int("runs", 3, "repetitions per data point (paper: 10)")
+		workers    = flag.Int("workers", 0, "concurrent sweep points (0: REPRO_WORKERS or one per CPU)")
 		format     = flag.String("format", "table", "output format: table or csv")
 		out        = flag.String("out", "", "output file (default stdout)")
 		quiet      = flag.Bool("quiet", false, "suppress progress logging")
+		jsonBench  = flag.Bool("json", false, "emit a machine-readable benchmark report (name -> ns/op, events/sec) instead of figure rows")
 	)
 	flag.Parse()
 
@@ -43,17 +56,28 @@ func main() {
 		}
 	}
 
-	opts := experiments.Options{MaxProcs: *maxProcs, Runs: *runs}
+	opts := experiments.Options{MaxProcs: *maxProcs, Runs: *runs, Workers: *workers}
 	if !*quiet {
 		opts.Log = os.Stderr
 	}
 
 	var rows []experiments.Row
+	report := make(map[string]benchEntry, len(names))
 	for _, name := range names {
+		ev0 := sim.GlobalEvents()
+		t0 := time.Now()
 		r, err := experiments.Registry[name](opts)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
 			os.Exit(1)
+		}
+		elapsed := time.Since(t0)
+		events := sim.GlobalEvents() - ev0
+		report[name] = benchEntry{
+			NsPerOp:      elapsed.Nanoseconds(),
+			Events:       events,
+			EventsPerSec: float64(events) / elapsed.Seconds(),
+			Rows:         len(r),
 		}
 		rows = append(rows, r...)
 	}
@@ -69,10 +93,14 @@ func main() {
 		w = f
 	}
 	var err error
-	switch *format {
-	case "table":
+	switch {
+	case *jsonBench:
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		err = enc.Encode(report)
+	case *format == "table":
 		err = experiments.FormatTable(w, rows)
-	case "csv":
+	case *format == "csv":
 		err = experiments.FormatCSV(w, rows)
 	default:
 		err = fmt.Errorf("unknown format %q", *format)

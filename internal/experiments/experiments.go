@@ -8,8 +8,12 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"os"
 	"runtime"
+	"runtime/debug"
 	"sort"
+	"strconv"
+	"sync"
 	"text/tabwriter"
 )
 
@@ -41,6 +45,11 @@ type Options struct {
 	// Runs is the number of repetitions per point (paper: 10). Seeds
 	// vary per run; the mean and standard deviation are reported.
 	Runs int
+	// Workers is the number of sweep points simulated concurrently. Each
+	// simulation owns its engine, so points are embarrassingly parallel
+	// and results are bit-identical to a serial sweep. Zero means the
+	// REPRO_WORKERS environment variable, or else one worker per CPU.
+	Workers int
 	// Log, if non-nil, receives progress lines.
 	Log io.Writer
 }
@@ -51,6 +60,13 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Runs <= 0 {
 		o.Runs = 3
+	}
+	if o.Workers <= 0 {
+		if v, err := strconv.Atoi(os.Getenv("REPRO_WORKERS")); err == nil && v > 0 {
+			o.Workers = v
+		} else {
+			o.Workers = runtime.NumCPU()
+		}
 	}
 	return o
 }
@@ -71,24 +87,92 @@ func (o Options) logf(format string, args ...interface{}) {
 	}
 }
 
-// serialize pins the Go runtime to one core for the duration of fn: the
-// simulator is inherently serial, and cross-core handoffs only add
-// scheduler overhead.
-func serialize(fn func()) {
-	prev := runtime.GOMAXPROCS(1)
-	defer runtime.GOMAXPROCS(prev)
-	fn()
+// point is one sweep point: a row template (Experiment, Series, Procs,
+// Param) plus the simulation to measure at each seed. Every point of an
+// experiment runs independently — one engine, one world per (point, seed)
+// — so a sweep parallelizes without changing any result.
+type point struct {
+	row Row
+	fn  func(seed int64) (float64, error)
 }
 
-// measure runs fn once per seed and aggregates mean and stddev of the
-// returned virtual seconds.
-func measure(opts Options, fn func(seed int64) float64) (mean, stddev float64) {
-	var samples []float64
-	serialize(func() {
+// runPoints measures every point over opts.Runs seeds (seed = run+1, as
+// the serial sweep always used) across a pool of opts.Workers goroutines,
+// and aggregates mean and sample standard deviation per point. Rows come
+// back in point order and every sample lands in its (point, run) slot, so
+// the output is bit-identical regardless of worker count or scheduling.
+// The first error in (point, run) order is returned, matching the serial
+// sweep's first-encountered error.
+func runPoints(opts Options, points []point) ([]Row, error) {
+	// The sweep trades memory for fewer GC cycles: simulation backlogs
+	// keep a large live heap, and the default target (GOGC=100) re-marks
+	// it constantly. Restored on return.
+	prevGC := debug.SetGCPercent(gcPercent())
+	defer debug.SetGCPercent(prevGC)
+	if opts.Workers == 1 {
+		// A single worker keeps the seed's behavior of pinning the Go
+		// runtime to one core: the simulator is inherently serial, and
+		// cross-core handoffs only add scheduler overhead.
+		prev := runtime.GOMAXPROCS(1)
+		defer runtime.GOMAXPROCS(prev)
+	}
+
+	type slot struct{ pi, run int }
+	samples := make([][]float64, len(points))
+	errs := make([][]error, len(points))
+	for i := range points {
+		samples[i] = make([]float64, opts.Runs)
+		errs[i] = make([]error, opts.Runs)
+	}
+	jobs := make(chan slot)
+	var wg sync.WaitGroup
+	for w := 0; w < opts.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for s := range jobs {
+				samples[s.pi][s.run], errs[s.pi][s.run] = points[s.pi].fn(int64(s.run + 1))
+			}
+		}()
+	}
+	for pi, p := range points {
+		opts.logf("%s: %s procs=%d param=%g", p.row.Experiment, p.row.Series, p.row.Procs, p.row.Param)
 		for run := 0; run < opts.Runs; run++ {
-			samples = append(samples, fn(int64(run+1)))
+			jobs <- slot{pi, run}
 		}
-	})
+	}
+	close(jobs)
+	wg.Wait()
+
+	rows := make([]Row, len(points))
+	var firstErr error
+	for pi, p := range points {
+		for _, err := range errs[pi] {
+			if err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+		mean, sd := aggregate(samples[pi])
+		row := p.row
+		row.Seconds, row.StdDev, row.Runs = mean, sd, opts.Runs
+		rows[pi] = row
+	}
+	return rows, firstErr
+}
+
+// gcPercent reports the GC target used while sweeps run: REPRO_GOGC if
+// set, else 1000. Simulation working sets are bounded by in-flight
+// messages, so a high target mostly stops the collector from re-marking
+// the backlog; lower REPRO_GOGC for memory-constrained full-scale runs.
+func gcPercent() int {
+	if v, err := strconv.Atoi(os.Getenv("REPRO_GOGC")); err == nil && v > 0 {
+		return v
+	}
+	return 1000
+}
+
+// aggregate returns the mean and sample standard deviation of samples.
+func aggregate(samples []float64) (mean, stddev float64) {
 	var sum float64
 	for _, s := range samples {
 		sum += s

@@ -249,14 +249,46 @@ func TestFormatTableAndCSV(t *testing.T) {
 	}
 }
 
-func TestMeasureAggregates(t *testing.T) {
-	opts := Options{Runs: 4}
-	mean, sd := measure(opts, func(seed int64) float64 { return float64(seed) })
-	if mean != 2.5 {
-		t.Fatalf("mean = %v", mean)
+func TestRunPointsAggregates(t *testing.T) {
+	opts := Options{Runs: 4, Workers: 2, MaxProcs: 32}.withDefaults()
+	rows, err := runPoints(opts, []point{{
+		row: Row{Experiment: "x", Series: "s"},
+		fn:  func(seed int64) (float64, error) { return float64(seed), nil },
+	}})
+	if err != nil {
+		t.Fatal(err)
 	}
-	if sd < 1.2 || sd > 1.4 { // stddev of 1,2,3,4 is ~1.29
+	if rows[0].Seconds != 2.5 {
+		t.Fatalf("mean = %v", rows[0].Seconds)
+	}
+	if sd := rows[0].StdDev; sd < 1.2 || sd > 1.4 { // stddev of 1,2,3,4 is ~1.29
 		t.Fatalf("stddev = %v", sd)
+	}
+	if rows[0].Runs != 4 {
+		t.Fatalf("runs = %d", rows[0].Runs)
+	}
+}
+
+// Worker count must not change any reported value: every (point, run)
+// sample lands in its own slot and aggregation order is fixed.
+func TestRunPointsWorkerCountInvariant(t *testing.T) {
+	sweepOnce := func(workers int) []Row {
+		opts := Options{Runs: 2, Workers: workers, MaxProcs: 64}
+		rows, err := Fig7(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rows
+	}
+	serial := sweepOnce(1)
+	parallel := sweepOnce(4)
+	if len(serial) == 0 || len(serial) != len(parallel) {
+		t.Fatalf("row counts differ: %d vs %d", len(serial), len(parallel))
+	}
+	for i := range serial {
+		if serial[i] != parallel[i] {
+			t.Fatalf("row %d differs between 1 and 4 workers:\n%+v\n%+v", i, serial[i], parallel[i])
+		}
 	}
 }
 

@@ -191,26 +191,29 @@ func noiseOrNone(n netmodel.Noise) netmodel.Noise {
 // (design choice 1 in DESIGN.md). Param carries S in bytes.
 func AblationGranularity(opts Options) ([]Row, error) {
 	opts = opts.withDefaults()
-	var rows []Row
-	var firstErr error
 	procs := 64
-	for _, s := range []int64{1 << 10, 4 << 10, 16 << 10, 64 << 10, 256 << 10, 1 << 20, 4 << 20, 16 << 20} {
+	sizes := []int64{1 << 10, 4 << 10, 16 << 10, 64 << 10, 256 << 10, 1 << 20, 4 << 20, 16 << 20}
+	var points []point
+	for _, s := range sizes {
 		s := s
-		opts.logf("ablation-granularity: S=%d", s)
-		mean, sd := measure(opts, func(seed int64) float64 {
-			c := DefaultSynthetic(procs)
-			c.Seed = seed
-			c.S = s
-			c.Overhead = 20 * sim.Microsecond // pronounced per-element cost
-			t, err := RunSyntheticDecoupled(c)
-			if err != nil && firstErr == nil {
-				firstErr = err
-			}
-			return t.Seconds()
+		points = append(points, point{
+			row: Row{Experiment: "ablation-granularity", Series: "Decoupling",
+				Procs: procs, Param: float64(s)},
+			fn: func(seed int64) (float64, error) {
+				c := DefaultSynthetic(procs)
+				c.Seed = seed
+				c.S = s
+				c.Overhead = 20 * sim.Microsecond // pronounced per-element cost
+				t, err := RunSyntheticDecoupled(c)
+				return t.Seconds(), err
+			},
 		})
-		rows = append(rows, Row{Experiment: "ablation-granularity", Series: "Decoupling",
-			Procs: procs, Param: float64(s), Seconds: mean, StdDev: sd, Runs: opts.Runs})
-		// Analytic prediction for the same point.
+	}
+	measured, err := runPoints(opts, points)
+	// Interleave each measured point with its analytic prediction.
+	var rows []Row
+	for i, s := range sizes {
+		rows = append(rows, measured[i])
 		c := DefaultSynthetic(procs)
 		c.S = s
 		c.Overhead = 20 * sim.Microsecond
@@ -218,7 +221,7 @@ func AblationGranularity(opts Options) ([]Row, error) {
 			Procs: procs, Param: float64(s),
 			Seconds: model.Decoupled(c.ModelParams()).Seconds(), Runs: 1})
 	}
-	return rows, firstErr
+	return rows, err
 }
 
 // AblationAlpha sweeps the decoupled group fraction on the MapReduce
@@ -226,27 +229,23 @@ func AblationGranularity(opts Options) ([]Row, error) {
 // carries alpha in percent.
 func AblationAlpha(opts Options) ([]Row, error) {
 	opts = opts.withDefaults()
-	var rows []Row
-	var firstErr error
 	procs := 256
 	if procs > opts.MaxProcs {
 		procs = opts.MaxProcs
 	}
+	var points []point
 	for _, alpha := range []float64{0.015625, 0.03125, 0.0625, 0.125, 0.25} {
 		alpha := alpha
-		opts.logf("ablation-alpha: alpha=%g", alpha)
-		mean, sd := measure(opts, func(seed int64) float64 {
-			c := mapreduceConfigForAblation(procs, seed, alpha)
-			res, err := runMapreduceDecoupled(c)
-			if err != nil && firstErr == nil {
-				firstErr = err
-			}
-			return res
+		points = append(points, point{
+			row: Row{Experiment: "ablation-alpha", Series: "Decoupling",
+				Procs: procs, Param: alpha * 100},
+			fn: func(seed int64) (float64, error) {
+				c := mapreduceConfigForAblation(procs, seed, alpha)
+				return runMapreduceDecoupled(c)
+			},
 		})
-		rows = append(rows, Row{Experiment: "ablation-alpha", Series: "Decoupling",
-			Procs: procs, Param: alpha * 100, Seconds: mean, StdDev: sd, Runs: opts.Runs})
 	}
-	return rows, firstErr
+	return runPoints(opts, points)
 }
 
 // AblationFCFS compares first-come-first-served consumption against
@@ -259,27 +258,24 @@ func AblationAlpha(opts Options) ([]Row, error) {
 // what lets a real decoupled group take on extra optimization work.
 func AblationFCFS(opts Options) ([]Row, error) {
 	opts = opts.withDefaults()
-	var rows []Row
-	var firstErr error
 	procs := 64
+	var points []point
 	for _, fixed := range []bool{false, true} {
 		fixed := fixed
 		series := "FCFS"
 		if fixed {
 			series = "Fixed order"
 		}
-		opts.logf("ablation-fcfs: %s", series)
-		mean, sd := measure(opts, func(seed int64) float64 {
-			wait, err := runSyntheticOrdered(procs, seed, fixed)
-			if err != nil && firstErr == nil {
-				firstErr = err
-			}
-			return wait.Seconds()
+		points = append(points, point{
+			row: Row{Experiment: "ablation-fcfs", Series: series + " (consumer idle)",
+				Procs: procs},
+			fn: func(seed int64) (float64, error) {
+				wait, err := runSyntheticOrdered(procs, seed, fixed)
+				return wait.Seconds(), err
+			},
 		})
-		rows = append(rows, Row{Experiment: "ablation-fcfs", Series: series + " (consumer idle)",
-			Procs: procs, Seconds: mean, StdDev: sd, Runs: opts.Runs})
 	}
-	return rows, firstErr
+	return runPoints(opts, points)
 }
 
 // runSyntheticOrdered is RunSyntheticDecoupled with selectable consumption
@@ -344,40 +340,43 @@ func runSyntheticOrdered(procs int, seed int64, fixedOrder bool) (sim.Time, erro
 // measurements of the synthetic application across scales.
 func ModelValidation(opts Options) ([]Row, error) {
 	opts = opts.withDefaults()
-	var rows []Row
-	var firstErr error
 	max := opts.MaxProcs
 	if max > 512 {
 		max = 512
 	}
-	for _, p := range sweep(max) {
+	procs := sweep(max)
+	var points []point
+	for _, p := range procs {
 		p := p
-		opts.logf("model: procs=%d", p)
-		convMean, convSD := measure(opts, func(seed int64) float64 {
-			c := DefaultSynthetic(p)
-			c.Seed = seed
-			t, err := RunSyntheticConventional(c)
-			if err != nil && firstErr == nil {
-				firstErr = err
-			}
-			return t.Seconds()
+		points = append(points, point{
+			row: Row{Experiment: "model", Series: "Conventional (measured)", Procs: p},
+			fn: func(seed int64) (float64, error) {
+				c := DefaultSynthetic(p)
+				c.Seed = seed
+				t, err := RunSyntheticConventional(c)
+				return t.Seconds(), err
+			},
 		})
-		decMean, decSD := measure(opts, func(seed int64) float64 {
-			c := DefaultSynthetic(p)
-			c.Seed = seed
-			t, err := RunSyntheticDecoupled(c)
-			if err != nil && firstErr == nil {
-				firstErr = err
-			}
-			return t.Seconds()
+		points = append(points, point{
+			row: Row{Experiment: "model", Series: "Decoupled (measured)", Procs: p},
+			fn: func(seed int64) (float64, error) {
+				c := DefaultSynthetic(p)
+				c.Seed = seed
+				t, err := RunSyntheticDecoupled(c)
+				return t.Seconds(), err
+			},
 		})
+	}
+	measured, err := runPoints(opts, points)
+	var rows []Row
+	for i, p := range procs {
 		params := DefaultSynthetic(p).ModelParams()
 		rows = append(rows,
-			Row{Experiment: "model", Series: "Conventional (measured)", Procs: p, Seconds: convMean, StdDev: convSD, Runs: opts.Runs},
+			measured[2*i],
 			Row{Experiment: "model", Series: "Conventional (Eq1)", Procs: p, Seconds: model.Conventional(params).Seconds(), Runs: 1},
-			Row{Experiment: "model", Series: "Decoupled (measured)", Procs: p, Seconds: decMean, StdDev: decSD, Runs: opts.Runs},
+			measured[2*i+1],
 			Row{Experiment: "model", Series: "Decoupled (Eq4)", Procs: p, Seconds: model.Decoupled(params).Seconds(), Runs: 1},
 		)
 	}
-	return rows, firstErr
+	return rows, err
 }

@@ -9,6 +9,13 @@ type Cart struct {
 	Comm     *Comm
 	Dims     []int
 	Periodic bool
+
+	// One-rank cache of unit shifts: Shift sits in halo-exchange inner
+	// loops and is almost always asked about the caller's own rank with
+	// displacement ±1. Layout: for each dim, [src(-1), dst(-1), src(+1),
+	// dst(+1)].
+	cachedRank int // -1 when empty
+	unitShift  []int
 }
 
 // NewCart builds a Cartesian topology with the given dimensions over c.
@@ -24,7 +31,7 @@ func NewCart(c *Comm, dims []int, periodic bool) *Cart {
 	if prod != c.Size() {
 		panic(fmt.Sprintf("mpi: cart dims %v (=%d) do not cover comm size %d", dims, prod, c.Size()))
 	}
-	return &Cart{Comm: c, Dims: append([]int(nil), dims...), Periodic: periodic}
+	return &Cart{Comm: c, Dims: append([]int(nil), dims...), Periodic: periodic, cachedRank: -1}
 }
 
 // BalancedDims factors size into ndims factors as close to each other as
@@ -109,12 +116,40 @@ func (ct *Cart) RankAt(coords []int) int {
 // Shift returns the (source, dest) comm ranks for a displacement along
 // dim, like MPI_Cart_shift. Either may be -1 on non-periodic boundaries.
 func (ct *Cart) Shift(rank, dim, disp int) (src, dst int) {
+	if disp == 1 || disp == -1 {
+		if rank != ct.cachedRank {
+			ct.fillUnitShifts(rank)
+		}
+		base := dim * 4
+		if disp == 1 {
+			base += 2
+		}
+		return ct.unitShift[base], ct.unitShift[base+1]
+	}
+	return ct.shiftSlow(rank, dim, disp)
+}
+
+func (ct *Cart) shiftSlow(rank, dim, disp int) (src, dst int) {
 	coords := ct.Coords(rank)
 	up := append([]int(nil), coords...)
 	up[dim] += disp
 	down := append([]int(nil), coords...)
 	down[dim] -= disp
 	return ct.RankAt(down), ct.RankAt(up)
+}
+
+// fillUnitShifts computes every ±1 shift of rank into the one-rank cache.
+func (ct *Cart) fillUnitShifts(rank int) {
+	if ct.unitShift == nil {
+		ct.unitShift = make([]int, 4*len(ct.Dims))
+	}
+	for dim := range ct.Dims {
+		src, dst := ct.shiftSlow(rank, dim, -1)
+		ct.unitShift[dim*4], ct.unitShift[dim*4+1] = src, dst
+		src, dst = ct.shiftSlow(rank, dim, 1)
+		ct.unitShift[dim*4+2], ct.unitShift[dim*4+3] = src, dst
+	}
+	ct.cachedRank = rank
 }
 
 // Neighbors returns the comm ranks of the 2*ndims face neighbours of

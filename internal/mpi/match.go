@@ -1,0 +1,446 @@
+package mpi
+
+// Message-matching index.
+//
+// The runtime used to match messages against posted receives (and receives
+// against queued unexpected messages) with linear scans and O(n) slice
+// deletions, which dominated profiles at scale: a consumer that falls
+// behind its producers accumulates thousands of unexpected messages, and
+// every match memmoved the whole tail. The matchIndex replaces both scans
+// with hash buckets keyed by (communicator, source, tag):
+//
+//   - Posted receives are bucketed by their selector verbatim, wildcards
+//     included, so a (comm, AnySource, tag) receive lives in its own
+//     bucket. An arriving message can only be claimed by one of four
+//     selector keys — (src,tag), (Any,tag), (src,Any), (Any,Any) — and the
+//     earliest-posted among those four bucket heads wins, which is exactly
+//     the posting-order scan the linear version performed.
+//   - Unexpected messages are bucketed by their concrete (comm, src, tag)
+//     key in arrival order, so a concrete receive pops its bucket head in
+//     O(1). For wildcard receives the index additionally keeps a global
+//     arrival list; the earliest live arrival that matches the selector is
+//     necessarily the head of its own bucket (any earlier message in that
+//     bucket would match too), so removal is still a bucket pop-front.
+//
+// Both directions preserve MPI's non-overtaking guarantee per (source,
+// tag) and reproduce the linear scans' match order exactly: the same
+// simulation produces bit-identical virtual-time trajectories.
+//
+// Bucket queues use head indices instead of slice deletions, and the
+// arrival list uses lazy deletion (consumed flags) with periodic
+// compaction, so steady-state matching allocates nothing.
+
+// matchKey identifies a matching bucket: communicator context plus source
+// and tag selectors. Posted receives use their selector values verbatim
+// (AnySource/AnyTag included); message keys are always concrete.
+type matchKey struct {
+	comm, src, tag int
+}
+
+func (m *message) key() matchKey { return matchKey{m.commID, m.src, m.tag} }
+
+// recvFIFO is a posting-ordered queue of pending receives with O(1)
+// pop-front via a head index.
+type recvFIFO struct {
+	items []*postedRecv
+	head  int
+}
+
+func (q *recvFIFO) empty() bool       { return q.head >= len(q.items) }
+func (q *recvFIFO) peek() *postedRecv { return q.items[q.head] }
+
+func (q *recvFIFO) push(p *postedRecv) { q.items = append(q.items, p) }
+
+func (q *recvFIFO) pop() *postedRecv {
+	p := q.items[q.head]
+	q.items[q.head] = nil
+	q.head++
+	if q.head == len(q.items) {
+		q.items = q.items[:0]
+		q.head = 0
+	}
+	return p
+}
+
+// msgFIFO is an arrival-ordered queue of unexpected messages with O(1)
+// pop-front. A message can sit in several queues at once (its concrete
+// bucket plus any wildcard side-lists), so consumption is recorded on the
+// message and queues skip consumed entries lazily when their head is
+// inspected.
+type msgFIFO struct {
+	items []*message
+	head  int
+}
+
+func (q *msgFIFO) push(m *message) { q.items = append(q.items, m) }
+
+// first returns the earliest live (unconsumed) message, trimming consumed
+// entries off the front, or nil if none remain.
+func (q *msgFIFO) first() *message {
+	for q.head < len(q.items) && q.items[q.head].consumed {
+		q.items[q.head] = nil
+		q.head++
+	}
+	if q.head == len(q.items) {
+		q.items = q.items[:0]
+		q.head = 0
+		return nil
+	}
+	return q.items[q.head]
+}
+
+// popHead removes the current head. Callers must have established it via
+// first.
+func (q *msgFIFO) popHead() {
+	q.items[q.head] = nil
+	q.head++
+	if q.head == len(q.items) {
+		q.items = q.items[:0]
+		q.head = 0
+	}
+}
+
+// firstReady returns the earliest live message that is fully received as
+// of now (readyAt <= now), or nil. Unlike first it does not assume ready
+// instants are monotonic in arrival order (self-sends are ready
+// immediately and may sit behind in-flight network messages), so it scans
+// live entries.
+func (q *msgFIFO) firstReady(now simTimeT) *message {
+	for _, m := range q.items[q.head:] {
+		if m != nil && !m.consumed && m.readyAt <= now {
+			return m
+		}
+	}
+	return nil
+}
+
+// maybeCompact drops consumed entries when they dominate the queue.
+// liveBound is an upper bound on the queue's live entries (the rank's
+// total live count works); keeping the queue within a factor of it bounds
+// memory by the live backlog, not by total traffic.
+func (q *msgFIFO) maybeCompact(liveBound int) {
+	if n := len(q.items) - q.head; n >= 64 && n > 4*liveBound {
+		out := q.items[:0]
+		for _, m := range q.items[q.head:] {
+			if m != nil && !m.consumed {
+				out = append(out, m)
+			}
+		}
+		tail := q.items[len(out):]
+		for i := range tail {
+			tail[i] = nil
+		}
+		q.items = out
+		q.head = 0
+	}
+}
+
+// matchIndex is one rank's matching state: posted receives and unexpected
+// messages, both indexed for O(1) matching on the concrete paths.
+type matchIndex struct {
+	postSeq uint64
+	posted  map[matchKey]*recvFIFO
+	// shapes counts posted receives by selector shape (see shapeOf), so
+	// message delivery probes only the selector keys that can exist —
+	// usually one — instead of all four.
+	shapes [4]int
+	// sideShapes records which wildcard side-list shapes have ever been
+	// built, gating the extra pushes in addUnexpected.
+	sideShapes [4]bool
+
+	queued map[matchKey]*msgFIFO // concrete (comm, src, tag) buckets
+	// side holds wildcard-selector views of the unexpected queue — keys
+	// are (comm, AnySource, tag), (comm, src, AnyTag) or (comm,
+	// AnySource, AnyTag) — in arrival order. Each is built on first use
+	// from the arrival list and maintained incrementally afterwards, so
+	// repeated wildcard receives (the stream library posts AnySource
+	// receives continuously) match in O(1) instead of rescanning.
+	side       map[matchKey]*msgFIFO
+	arrivals   []*message // arrival order, lazily deleted via m.consumed
+	arrHead    int
+	live       int // unconsumed messages in arrivals
+	selfQueued int // live queued self-sends (always ready; break readyAt monotonicity)
+
+	// One-entry caches in front of the bucket maps: steady-state traffic
+	// reuses one selector per rank (a consumer reposting the same
+	// receive, a neighbour exchange on one tag), and buckets are never
+	// removed from the maps, so cached pointers stay valid.
+	lastPostKey matchKey
+	lastPostQ   *recvFIFO
+	lastSelKey  matchKey
+	lastSelQ    *msgFIFO
+}
+
+// wildcard reports whether the selector uses AnySource or AnyTag.
+func wildcard(src, tag int) bool { return src == AnySource || tag == AnyTag }
+
+// shapeOf maps a selector to its shape index: bit 0 set for AnySource,
+// bit 1 for AnyTag.
+func shapeOf(src, tag int) int {
+	s := 0
+	if src == AnySource {
+		s |= 1
+	}
+	if tag == AnyTag {
+		s |= 2
+	}
+	return s
+}
+
+// selectorMatches reports whether a (src, tag) selector accepts m within
+// commID's context.
+func selectorMatches(commID, src, tag int, m *message) bool {
+	return commID == m.commID &&
+		(src == AnySource || src == m.src) &&
+		(tag == AnyTag || tag == m.tag)
+}
+
+// post registers a pending receive, stamping it with posting order.
+func (x *matchIndex) post(p *postedRecv) {
+	x.postSeq++
+	p.seq = x.postSeq
+	k := matchKey{p.commID, p.src, p.tag}
+	q := x.lastPostQ
+	if q == nil || k != x.lastPostKey {
+		if x.posted == nil {
+			x.posted = make(map[matchKey]*recvFIFO)
+		}
+		q = x.posted[k]
+		if q == nil {
+			q = &recvFIFO{}
+			x.posted[k] = q
+		}
+		x.lastPostKey, x.lastPostQ = k, q
+	}
+	q.push(p)
+	x.shapes[shapeOf(p.src, p.tag)]++
+}
+
+// takePosted removes and returns the earliest-posted receive whose
+// selector accepts m, or nil. Only four selector keys can accept a
+// concrete message, so the search is four bucket-head peeks.
+func (x *matchIndex) takePosted(m *message) *postedRecv {
+	if len(x.posted) == 0 {
+		return nil
+	}
+	var best *recvFIFO
+	candidates := [4]matchKey{
+		{m.commID, m.src, m.tag},
+		{m.commID, AnySource, m.tag},
+		{m.commID, m.src, AnyTag},
+		{m.commID, AnySource, AnyTag},
+	}
+	for shape, k := range candidates {
+		if x.shapes[shape] == 0 {
+			continue
+		}
+		q := x.lastPostQ
+		if q == nil || k != x.lastPostKey {
+			q = x.posted[k]
+		}
+		if q != nil && !q.empty() {
+			if best == nil || q.peek().seq < best.peek().seq {
+				best = q
+			}
+		}
+	}
+	if best == nil {
+		return nil
+	}
+	p := best.pop()
+	x.shapes[shapeOf(p.src, p.tag)]--
+	return p
+}
+
+// addUnexpected queues a message that found no posted receive.
+func (x *matchIndex) addUnexpected(m *message) {
+	if x.queued == nil {
+		x.queued = make(map[matchKey]*msgFIFO)
+	}
+	k := m.key()
+	q := x.queued[k]
+	if q == nil {
+		q = &msgFIFO{}
+		x.queued[k] = q
+	}
+	q.push(m)
+	q.maybeCompact(x.live + 1)
+	if x.sideShapes[1] {
+		if s := x.side[matchKey{m.commID, AnySource, m.tag}]; s != nil {
+			s.push(m)
+			s.maybeCompact(x.live + 1)
+		}
+	}
+	if x.sideShapes[2] {
+		if s := x.side[matchKey{m.commID, m.src, AnyTag}]; s != nil {
+			s.push(m)
+			s.maybeCompact(x.live + 1)
+		}
+	}
+	if x.sideShapes[3] {
+		if s := x.side[matchKey{m.commID, AnySource, AnyTag}]; s != nil {
+			s.push(m)
+			s.maybeCompact(x.live + 1)
+		}
+	}
+	x.arrivals = append(x.arrivals, m)
+	x.live++
+	if m.self {
+		x.selfQueued++
+	}
+}
+
+// consume marks m matched. Queues it still sits in skip it lazily.
+func (x *matchIndex) consume(m *message) {
+	m.consumed = true
+	x.live--
+	if m.self {
+		x.selfQueued--
+	}
+	x.advanceArrHead()
+	// Compact the arrival list when lazy deletions dominate it, so a
+	// long-running rank's memory stays proportional to its live backlog.
+	if len(x.arrivals) >= 64 && x.live*4 < len(x.arrivals)-x.arrHead {
+		x.compact()
+	}
+}
+
+// sideList returns (building on first use) the arrival-ordered view of
+// the unexpected queue for a wildcard selector key.
+func (x *matchIndex) sideList(k matchKey) *msgFIFO {
+	if q := x.side[k]; q != nil {
+		return q
+	}
+	q := &msgFIFO{}
+	for _, m := range x.arrivals[x.arrHead:] {
+		if m != nil && !m.consumed && selectorMatches(k.comm, k.src, k.tag, m) {
+			q.push(m)
+		}
+	}
+	if x.side == nil {
+		x.side = make(map[matchKey]*msgFIFO)
+	}
+	x.side[k] = q
+	x.sideShapes[shapeOf(k.src, k.tag)] = true
+	return q
+}
+
+// advanceArrHead skips consumed entries at the front of the arrival list,
+// recycling the backing array once drained.
+func (x *matchIndex) advanceArrHead() {
+	for x.arrHead < len(x.arrivals) && x.arrivals[x.arrHead].consumed {
+		x.arrivals[x.arrHead] = nil
+		x.arrHead++
+	}
+	if x.arrHead == len(x.arrivals) {
+		x.arrivals = x.arrivals[:0]
+		x.arrHead = 0
+	}
+}
+
+// compact rewrites the arrival list to hold only live messages.
+func (x *matchIndex) compact() {
+	out := x.arrivals[:0]
+	for _, m := range x.arrivals[x.arrHead:] {
+		if m != nil && !m.consumed {
+			out = append(out, m)
+		}
+	}
+	tail := x.arrivals[len(out):]
+	for i := range tail {
+		tail[i] = nil
+	}
+	x.arrivals = out
+	x.arrHead = 0
+}
+
+// selectorQueue returns the arrival-ordered queue the (src, tag) selector
+// reads from: the concrete bucket, or a wildcard side-list.
+func (x *matchIndex) selectorQueue(commID, src, tag int) *msgFIFO {
+	k := matchKey{commID, src, tag}
+	if x.lastSelQ != nil && k == x.lastSelKey {
+		return x.lastSelQ
+	}
+	var q *msgFIFO
+	if !wildcard(src, tag) {
+		q = x.queued[k]
+	} else {
+		q = x.sideList(k)
+	}
+	if q != nil {
+		x.lastSelKey, x.lastSelQ = k, q
+	}
+	return q
+}
+
+// firstReadyIn returns the earliest live message in q that is fully
+// received as of now, or nil. With no self-sends queued, readiness is
+// monotonic in arrival order, so only the head needs checking; queued
+// self-sends are always ready but may sit behind in-flight network
+// messages, forcing a scan.
+func (x *matchIndex) firstReadyIn(q *msgFIFO, now simTimeT) *message {
+	if x.selfQueued == 0 {
+		if m := q.first(); m != nil && m.readyAt <= now {
+			return m
+		}
+		return nil
+	}
+	return q.firstReady(now)
+}
+
+// takeQueued removes and returns the unexpected message the (src, tag)
+// selector matches in commID's context, or nil: the earliest-arrived
+// fully-received message if one exists (so a receive always takes the
+// message a Probe just reported), else the earliest-arrived in-flight
+// message, which the caller completes at its readiness instant.
+func (x *matchIndex) takeQueued(commID, src, tag int, now simTimeT) *message {
+	if x.live == 0 {
+		return nil
+	}
+	q := x.selectorQueue(commID, src, tag)
+	if q == nil {
+		return nil
+	}
+	m := x.firstReadyIn(q, now)
+	if m == nil {
+		m = q.first()
+	}
+	if m == nil {
+		return nil
+	}
+	if m == q.first() {
+		q.popHead()
+	}
+	x.consume(m)
+	return m
+}
+
+// findQueued returns the earliest-arrived live message accepted by the
+// selector without removing it, or nil.
+func (x *matchIndex) findQueued(commID, src, tag int) *message {
+	if x.live == 0 {
+		return nil
+	}
+	q := x.selectorQueue(commID, src, tag)
+	if q == nil {
+		return nil
+	}
+	return q.first()
+}
+
+// findQueuedReady returns the earliest-arrived live message accepted by
+// the selector that is fully received as of now, without removing it, or
+// nil. Used by Probe, which must see a delivered self-send even when an
+// earlier-arrived network message is still on the receiver NIC; a
+// receive posted after the Probe takes the same message (takeQueued
+// prefers ready messages with the same scan order).
+func (x *matchIndex) findQueuedReady(commID, src, tag int, now simTimeT) *message {
+	if x.live == 0 {
+		return nil
+	}
+	q := x.selectorQueue(commID, src, tag)
+	if q == nil {
+		return nil
+	}
+	return x.firstReadyIn(q, now)
+}

@@ -1,0 +1,258 @@
+package mpi
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestNonOvertakingPerSourceAndTag: messages between one (source, tag)
+// pair must be received in send order, whatever mix of tags is in flight
+// and whether the receives are posted before or after arrival.
+func TestNonOvertakingPerSourceAndTag(t *testing.T) {
+	cases := []struct {
+		name      string
+		preload   bool // let all messages arrive before the first receive
+		sendTags  []int
+		recvTag   int
+		wantOrder []int64 // payload order among messages with recvTag
+	}{
+		{"same-tag-posted-late", true, []int{5, 5, 5, 5}, 5, []int64{0, 1, 2, 3}},
+		{"interleaved-tags", true, []int{5, 9, 5, 9, 5}, 5, []int64{0, 2, 4}},
+		{"other-tag-first", true, []int{9, 5, 5}, 5, []int64{1, 2}},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			w := testWorld(t, 2)
+			var got []int64
+			mustRun(t, w, func(r *Rank) {
+				c := r.World()
+				if r.ID() == 0 {
+					for i, tag := range tc.sendTags {
+						c.Send(r, 1, tag, 64, int64(i))
+					}
+					return
+				}
+				if tc.preload {
+					r.Idle(1e9) // all sends arrive before any receive posts
+				}
+				for range tc.wantOrder {
+					st := c.Recv(r, 0, tc.recvTag)
+					got = append(got, st.Data.(int64))
+				}
+				// Drain the rest so the run ends cleanly.
+				for i, tag := range tc.sendTags {
+					if tag != tc.recvTag {
+						_ = i
+						c.Recv(r, 0, tag)
+					}
+				}
+			})
+			if len(got) != len(tc.wantOrder) {
+				t.Fatalf("received %v, want %v", got, tc.wantOrder)
+			}
+			for i := range got {
+				if got[i] != tc.wantOrder[i] {
+					t.Fatalf("order %v, want %v (non-overtaking violated)", got, tc.wantOrder)
+				}
+			}
+		})
+	}
+}
+
+// TestWildcardFIFOFairness: AnySource and AnyTag receives must match the
+// earliest-arrived message among all that qualify, in arrival order, even
+// when concrete-keyed traffic interleaves.
+func TestWildcardFIFOFairness(t *testing.T) {
+	cases := []struct {
+		name     string
+		src, tag int // receive selector on rank 2 (AnySource/AnyTag ok)
+		want     []string
+	}{
+		// Rank 0 sends "a0"(tag 1), "a1"(tag 2); rank 1 sends "b0"(tag 1),
+		// "b1"(tag 2); arrival order a0, b0, a1, b1 (staggered below).
+		{"any-source-tag1", AnySource, 1, []string{"a0", "b0"}},
+		{"any-source-tag2", AnySource, 2, []string{"a1", "b1"}},
+		{"src0-any-tag", 0, AnyTag, []string{"a0", "a1"}},
+		{"src1-any-tag", 1, AnyTag, []string{"b0", "b1"}},
+		{"any-any", AnySource, AnyTag, []string{"a0", "b0", "a1", "b1"}},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			w := testWorld(t, 3)
+			var got []string
+			mustRun(t, w, func(r *Rank) {
+				c := r.World()
+				switch r.ID() {
+				case 0:
+					c.Send(r, 2, 1, 64, "a0")
+					r.Idle(2e6)
+					c.Send(r, 2, 2, 64, "a1")
+				case 1:
+					r.Idle(1e6)
+					c.Send(r, 2, 1, 64, "b0")
+					r.Idle(2e6)
+					c.Send(r, 2, 2, 64, "b1")
+				case 2:
+					r.Idle(1e9) // everything arrives first
+					for range tc.want {
+						st := c.Recv(r, tc.src, tc.tag)
+						got = append(got, st.Data.(string))
+					}
+					// Drain whatever the selector did not cover.
+					for len(got) < 4 {
+						st := c.Recv(r, AnySource, AnyTag)
+						got = append(got, st.Data.(string))
+					}
+				}
+			})
+			for i, want := range tc.want {
+				if got[i] != want {
+					t.Fatalf("selector (%d,%d) received %v, want prefix %v", tc.src, tc.tag, got, tc.want)
+				}
+			}
+		})
+	}
+}
+
+// TestWildcardVsConcretePostingOrder: an arriving message must match the
+// earliest-posted receive that accepts it, across wildcard and concrete
+// selectors.
+func TestWildcardVsConcretePostingOrder(t *testing.T) {
+	for _, wildcardFirst := range []bool{true, false} {
+		wildcardFirst := wildcardFirst
+		t.Run(fmt.Sprintf("wildcardFirst=%v", wildcardFirst), func(t *testing.T) {
+			w := testWorld(t, 2)
+			mustRun(t, w, func(r *Rank) {
+				c := r.World()
+				if r.ID() == 0 {
+					r.Idle(1e6)
+					c.Send(r, 1, 7, 64, "only")
+					return
+				}
+				var first, second *Request
+				if wildcardFirst {
+					first = c.Irecv(r, AnySource, AnyTag)
+					second = c.Irecv(r, 0, 7)
+				} else {
+					first = c.Irecv(r, 0, 7)
+					second = c.Irecv(r, AnySource, AnyTag)
+				}
+				st := c.Wait(r, first)
+				if st.Data.(string) != "only" {
+					t.Errorf("first-posted receive did not win: %+v", st)
+				}
+				if ok, _ := c.Test(r, second); ok {
+					t.Error("second-posted receive completed without a message")
+				}
+				_ = second
+			})
+		})
+	}
+}
+
+// TestProbeDoesNotConsume: Probe must report a queued message without
+// removing it, repeatedly, and a later Recv still gets it in order.
+func TestProbeDoesNotConsume(t *testing.T) {
+	w := testWorld(t, 2)
+	mustRun(t, w, func(r *Rank) {
+		c := r.World()
+		if r.ID() == 0 {
+			c.Send(r, 1, 4, 64, "m0")
+			c.Send(r, 1, 4, 64, "m1")
+			return
+		}
+		r.Idle(1e9)
+		for _, selector := range [][2]int{{0, 4}, {AnySource, 4}, {0, AnyTag}, {AnySource, AnyTag}} {
+			for rep := 0; rep < 2; rep++ {
+				ok, st := c.Probe(r, selector[0], selector[1])
+				if !ok {
+					t.Fatalf("Probe(%v) found nothing", selector)
+				}
+				if st.Data.(string) != "m0" {
+					t.Fatalf("Probe(%v) = %+v, want earliest message m0", selector, st)
+				}
+			}
+		}
+		if st := c.Recv(r, 0, 4); st.Data.(string) != "m0" {
+			t.Fatalf("Recv after Probe = %+v, want m0 (Probe consumed it?)", st)
+		}
+		if st := c.Recv(r, 0, 4); st.Data.(string) != "m1" {
+			t.Fatalf("second Recv = %+v, want m1", st)
+		}
+		if ok, _ := c.Probe(r, AnySource, AnyTag); ok {
+			t.Fatal("Probe found a message after both were received")
+		}
+	})
+}
+
+// TestProbeSeesSelfSendBehindInFlightMessage: a delivered self-send must
+// be visible to Probe even while an earlier-arrived network message is
+// still being serialized by the receiver NIC (ready instants are not
+// monotonic across self-sends).
+func TestProbeSeesSelfSendBehindInFlightMessage(t *testing.T) {
+	w := testWorld(t, 2)
+	mustRun(t, w, func(r *Rank) {
+		c := r.World()
+		if r.ID() == 1 {
+			// Big message: arrives quickly, serializes for a long time.
+			c.Isend(r, 0, 3, 100<<20, "big")
+			return
+		}
+		// Let the big message reach rank 0's NIC, then self-send while it
+		// is still serializing.
+		r.Idle(5e6)
+		c.Isend(r, 0, 3, 8, "self")
+		r.Idle(1e3) // let the self-send delivery event fire
+		ok, st := c.Probe(r, AnySource, 3)
+		if !ok {
+			t.Fatal("Probe missed the delivered self-send behind the in-flight message")
+		}
+		if st.Data.(string) != "self" {
+			t.Fatalf("Probe = %+v, want the ready self-send", st)
+		}
+		// MPI's probe-then-receive guarantee: the next matching receive
+		// must return the probed message, not the in-flight one.
+		if got := c.Recv(r, AnySource, 3); got.Data.(string) != "self" {
+			t.Fatalf("Recv after Probe = %+v, want the probed self-send", got)
+		}
+		if got := c.Recv(r, AnySource, 3); got.Data.(string) != "big" {
+			t.Fatalf("second Recv = %+v, want the network message", got)
+		}
+	})
+}
+
+// TestTestThenWaitChargesOverheadOnce: a successful Test charges the
+// receive overhead; a following Wait on the same request must not charge
+// it again (regression test for the old isRecv-mutation hack).
+func TestTestThenWaitChargesOverheadOnce(t *testing.T) {
+	cfg := Config{Procs: 2, Seed: 1}
+	w := NewWorld(cfg)
+	ov := w.Config().Net.RecvOverhead
+	mustRun(t, w, func(r *Rank) {
+		c := r.World()
+		if r.ID() == 0 {
+			c.Send(r, 1, 2, 64, nil)
+			return
+		}
+		r.Idle(1e9)
+		req := c.Irecv(r, 0, 2)
+		before := r.Now()
+		ok, _ := c.Test(r, req)
+		if !ok {
+			t.Fatal("Test found the queued message incomplete")
+		}
+		afterTest := r.Now()
+		if afterTest-before != ov {
+			t.Fatalf("Test charged %v, want RecvOverhead %v", afterTest-before, ov)
+		}
+		c.Wait(r, req)
+		if r.Now() != afterTest {
+			t.Fatalf("Wait after Test charged %v more (double charge)", r.Now()-afterTest)
+		}
+		if !req.isRecv {
+			t.Fatal("Test mutated isRecv")
+		}
+	})
+}

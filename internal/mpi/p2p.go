@@ -11,27 +11,52 @@ import (
 type simProc = sim.Proc
 
 // message is an in-flight or delivered point-to-point message. src is the
-// sender's rank within the communicator identified by commID.
+// sender's rank within the communicator identified by commID. readyAt is
+// the end of the receiver-NIC serialization slot: the instant the payload
+// is fully received. Messages are bound to receives at arrival time (one
+// event earlier than readyAt), but completion is never observable before
+// readyAt — see deliverAt. consumed marks messages already matched out of
+// the unexpected queue (lazy deletion in the index's arrival list).
+//
+// Messages are pooled per world (see World.newMessage) and double as
+// their own delivery events (sim.Action), so the steady-state send path
+// allocates nothing but the Request.
 type message struct {
-	commID int
-	src    int
-	tag    int
-	bytes  int64
-	data   interface{}
+	commID   int
+	src      int
+	tag      int
+	bytes    int64
+	data     interface{}
+	readyAt  sim.Time
+	consumed bool
+
+	// Delivery state for Fire.
+	dst  *rankState
+	ser  sim.Time
+	self bool
 }
 
-// postedRecv is a pending receive waiting for a matching message.
+// Fire delivers the message: self-sends deliver immediately; network
+// messages fire at wire arrival, reserve the receiver NIC and become
+// observable when its serialization slot ends.
+func (m *message) Fire() {
+	w := m.dst.world
+	if m.self {
+		w.deliverAt(m.dst, m, w.eng.Now())
+		return
+	}
+	_, recvEnd := m.dst.recvLink.Reserve(w.eng.Now(), m.ser)
+	w.deliverAt(m.dst, m, recvEnd)
+}
+
+// postedRecv is a pending receive waiting for a matching message. seq is
+// its posting order within the rank, assigned by the matching index.
 type postedRecv struct {
 	commID int
 	src    int // comm rank or AnySource
 	tag    int // or AnyTag
+	seq    uint64
 	req    *Request
-}
-
-func (p *postedRecv) matches(m *message) bool {
-	return p.commID == m.commID &&
-		(p.src == AnySource || p.src == m.src) &&
-		(p.tag == AnyTag || p.tag == m.tag)
 }
 
 // Status describes a completed receive.
@@ -55,10 +80,15 @@ type Status struct {
 // advances the clock directly instead of sleeping on an event. Receive
 // requests complete when a matching message is delivered.
 type Request struct {
-	done   bool
-	timed  bool
-	doneAt sim.Time
-	isRecv bool
+	done      bool
+	timed     bool
+	doneAt    sim.Time
+	isRecv    bool
+	ovCharged bool // receive overhead charged (exactly once per request)
+	// waiter is the process parked in Wait on this request, if any.
+	// Delivery wakes it directly at the completion instant — no rank-wide
+	// broadcast event, no spurious wakeups of unrelated waiters.
+	waiter *simProc
 	status Status
 }
 
@@ -109,13 +139,16 @@ func (c *Comm) isendOv(r *Rank, proc *simProc, dst, tag int, bytes int64, data i
 	src.bytesSent += bytes
 
 	e := w.eng
-	msg := &message{commID: c.id, src: me, tag: tag, bytes: bytes, data: data}
+	msg := w.newMessage()
+	msg.commID, msg.src, msg.tag, msg.bytes, msg.data = c.id, me, tag, bytes, data
+	msg.dst = dstState
 
 	if dstState == src {
 		// Self-send: no NIC or wire involvement.
 		req.done = true
 		req.status = Status{Source: me, Tag: tag, Bytes: bytes, Data: data}
-		e.At(e.Now(), func() { w.deliver(dstState, msg) })
+		msg.self = true
+		e.AtAction(e.Now(), msg)
 		return req
 	}
 
@@ -129,27 +162,75 @@ func (c *Comm) isendOv(r *Rank, proc *simProc, dst, tag int, bytes int64, data i
 	req.status = Status{Source: me, Tag: tag, Bytes: bytes, Data: data}
 	// Wire latency after the slot, then receiver NIC serialization at
 	// arrival time (arrivals occur in sendEnd order, so receiver-side
-	// reservations are made in arrival order).
+	// reservations are made in arrival order). The message is bound to a
+	// receive at arrival; completion becomes observable at recvEnd. This
+	// needs one event per message instead of two, and the known completion
+	// instant lets waiting receivers advance their clock instead of
+	// parking.
 	arrive := sendEnd + net.Latency
-	e.At(arrive, func() {
-		_, recvEnd := dstState.recvLink.Reserve(e.Now(), ser)
-		e.At(recvEnd, func() { w.deliver(dstState, msg) })
-	})
+	msg.ser = ser
+	e.AtAction(arrive, msg)
 	return req
 }
 
-// deliver matches a message against posted receives or queues it.
-func (w *World) deliver(dst *rankState, m *message) {
-	for i, p := range dst.posted {
-		if p.matches(m) {
-			dst.posted = append(dst.posted[:i], dst.posted[i+1:]...)
-			p.req.done = true
-			p.req.status = Status{Source: m.src, Tag: m.tag, Bytes: m.bytes, Data: m.data}
-			dst.progress.Broadcast(w.eng)
+// deliverAt matches a message against posted receives or queues it. The
+// earliest-posted matching receive wins (see matchIndex.takePosted).
+// ready is the instant the payload is fully received (the end of the
+// receiver-NIC slot); a receive matched before then completes as a timed
+// request at ready, which is exactly when the separate delivery event
+// used to complete it.
+//
+// For network traffic, binding at arrival instead of ready changes no
+// outcome: per-rank NIC reservations are made in arrival order, so ready
+// instants are monotonic in arrival order and the match order is the same
+// either way; receives posted between arrival and ready would have lost
+// the match to any earlier-posted receive under either scheme, or else
+// find the message in the unexpected queue (with its readiness instant)
+// themselves.
+//
+// Self-sends are the one exception to that monotonicity: they are ready
+// immediately and may deliver while an earlier-arrived network message is
+// still on the NIC. A receive already posted when the network message
+// arrived keeps its early binding even though strict delivery order would
+// have handed it the self-send. That is a valid MPI outcome — matching
+// order across different sources is unspecified, and non-overtaking only
+// constrains one (source, tag) pair, which a self-send (src == me) and a
+// network message (src != me) never share. Queue-side visibility IS kept
+// delivery-faithful: Probe reports only fully-received messages and a
+// receive posted over the queue prefers them in the same order
+// (firstReadyIn), so probe-then-receive always agrees.
+func (w *World) deliverAt(dst *rankState, m *message, ready sim.Time) {
+	if p := dst.match.takePosted(m); p != nil {
+		req := p.req
+		req.status = Status{Source: m.src, Tag: m.tag, Bytes: m.bytes, Data: m.data}
+		w.freePostedRecv(p)
+		w.freeMessage(m)
+		if ready > w.eng.Now() {
+			req.timed = true
+			req.doneAt = ready
+			// Nobody can act on the completion before ready; wake waiters
+			// then, not now (a waiter woken early would only re-park or
+			// burn a yield advancing to ready). A process parked in Wait
+			// on this request resumes directly; rank-level waiters
+			// (WaitAny, WaitColl) get a broadcast. Waiters that arrive
+			// after this instant see the timed request directly.
+			if req.waiter != nil {
+				w.eng.WakeAt(ready, req.waiter)
+			} else if dst.progress.Len() > 0 {
+				w.eng.AtAction(ready, dst)
+			}
 			return
 		}
+		req.done = true
+		if req.waiter != nil {
+			w.eng.WakeAt(w.eng.Now(), req.waiter)
+		} else {
+			dst.progress.Broadcast(w.eng)
+		}
+		return
 	}
-	dst.unexpected = append(dst.unexpected, m)
+	m.readyAt = ready
+	dst.match.addUnexpected(m)
 	dst.progress.Broadcast(w.eng)
 }
 
@@ -165,18 +246,23 @@ func (c *Comm) irecvFor(r *Rank, src, tag int) *Request {
 	}
 	rs := r.rs
 	req := &Request{isRecv: true}
-	p := &postedRecv{commID: c.id, src: src, tag: tag, req: req}
 	// Match against already-arrived messages first (FIFO arrival order
-	// preserves MPI's non-overtaking guarantee per (source, tag)).
-	for i, m := range rs.unexpected {
-		if p.matches(m) {
-			rs.unexpected = append(rs.unexpected[:i], rs.unexpected[i+1:]...)
+	// preserves MPI's non-overtaking guarantee per (source, tag)). A
+	// message still on the receiver NIC completes the request at its
+	// readiness instant.
+	if m := rs.match.takeQueued(c.id, src, tag, r.w.eng.Now()); m != nil {
+		req.status = Status{Source: m.src, Tag: m.tag, Bytes: m.bytes, Data: m.data}
+		if m.readyAt > r.w.eng.Now() {
+			req.timed = true
+			req.doneAt = m.readyAt
+		} else {
 			req.done = true
-			req.status = Status{Source: m.src, Tag: m.tag, Bytes: m.bytes, Data: m.data}
-			return req
 		}
+		return req
 	}
-	rs.posted = append(rs.posted, p)
+	p := r.w.newPostedRecv()
+	p.commID, p.src, p.tag, p.req = c.id, src, tag, req
+	rs.match.post(p)
 	return req
 }
 
@@ -202,30 +288,100 @@ func (c *Comm) Wait(r *Rank, req *Request) Status {
 }
 
 func (c *Comm) waitOn(r *Rank, proc *simProc, req *Request) Status {
+	if c.w.cfg.Tracer != nil {
+		return c.waitOnTraced(r, proc, req)
+	}
+	e := r.w.eng
+	// floor is the earliest instant this process can observe anything:
+	// entry time plus the CPU debt it owes. The debt rides through the
+	// park (its busy window overlaps the blocked period) and is folded
+	// into the single settling advance below — one engine yield for the
+	// whole wait, however the request completes.
+	floor := e.Now() + proc.Debt()
+	for !req.done && !req.timed {
+		// The park registers this process on the request, so delivery
+		// wakes exactly this process at exactly the right instant.
+		req.waiter = proc
+		proc.ParkKeepingDebt("mpi wait")
+		req.waiter = nil
+	}
+	target := e.Now()
+	if floor > target {
+		target = floor
+	}
+	if req.timed && req.doneAt > target {
+		target = req.doneAt
+	}
+	req.done = true
+	if req.isRecv && !req.ovCharged {
+		req.ovCharged = true
+		target += r.w.cfg.Net.RecvOverhead
+	}
+	proc.SettleTo(target)
+	return req.status
+}
+
+// waitOnTraced is the waitOn used when a Tracer is configured: it keeps
+// the serial sequence of clock advances (flush debt, wait, then charge
+// receive overhead) so emitted spans match the untuned path exactly.
+func (c *Comm) waitOnTraced(r *Rank, proc *simProc, req *Request) Status {
 	proc.FlushDebt()
 	start := r.w.eng.Now()
-	if req.timed && !req.done {
-		proc.AdvanceTo(req.doneAt)
-		req.done = true
-	}
 	for !req.done {
-		r.rs.progress.Wait(proc, "mpi wait")
+		if req.timed {
+			proc.AdvanceTo(req.doneAt)
+			req.done = true
+			break
+		}
+		req.waiter = proc
+		proc.Park("mpi wait")
+		req.waiter = nil
 	}
-	if req.isRecv {
+	if req.isRecv && !req.ovCharged {
+		req.ovCharged = true
 		proc.Advance(r.w.cfg.Net.RecvOverhead)
 	}
-	if r.w.cfg.Tracer != nil && r.w.eng.Now() > start && proc == r.proc {
+	if r.w.eng.Now() > start && proc == r.proc {
 		r.w.cfg.Tracer.Span(r.rs.rank, "comm", "wait", start, r.w.eng.Now())
 	}
 	return req.status
 }
 
-// WaitAll waits for every request in order.
+// WaitAll waits for every request in order. Requests that are already
+// complete when reached are settled without an engine yield, and their
+// receive overheads accumulate as CPU debt (the way AddDebt coalesces
+// send overhead) — one clock advance at the end instead of one per
+// request. The virtual-time outcome is identical to waiting on each
+// request in sequence.
 func (c *Comm) WaitAll(r *Rank, reqs ...*Request) []Status {
 	out := make([]Status, len(reqs))
+	if c.w.cfg.Tracer != nil {
+		// Tracing runs keep the per-request path so emitted wait spans
+		// match the serial semantics exactly.
+		for i, q := range reqs {
+			out[i] = c.Wait(r, q)
+		}
+		return out
+	}
+	proc := r.proc
+	e := c.w.eng
+	ov := c.w.cfg.Net.RecvOverhead
 	for i, q := range reqs {
+		// Fast path: complete as of now plus pending debt. (Timed send
+		// completions compare against the post-flush clock, matching what
+		// Wait's FlushDebt-then-AdvanceTo would observe.)
+		if q.done || (q.timed && q.doneAt <= e.Now()+proc.Debt()) {
+			q.done = true
+			if q.isRecv && !q.ovCharged {
+				q.ovCharged = true
+				proc.AddDebt(ov)
+			}
+			out[i] = q.status
+			continue
+		}
 		out[i] = c.Wait(r, q)
 	}
+	proc.FlushDebt()
 	return out
 }
 
@@ -240,7 +396,8 @@ func (c *Comm) WaitAny(r *Rank, reqs []*Request) (int, Status) {
 	start := r.w.eng.Now()
 	for {
 		now := r.w.eng.Now()
-		// Earliest pending timed (send) completion, if any.
+		// Earliest pending timed completion (sends, and receives whose
+		// message is already bound), if any.
 		var minTimed sim.Time = -1
 		for i, q := range reqs {
 			if q == nil {
@@ -248,7 +405,8 @@ func (c *Comm) WaitAny(r *Rank, reqs []*Request) (int, Status) {
 			}
 			if q.completedBy(now) {
 				q.done = true
-				if q.isRecv {
+				if q.isRecv && !q.ovCharged {
+					q.ovCharged = true
 					r.proc.Advance(r.w.cfg.Net.RecvOverhead)
 				}
 				if r.w.cfg.Tracer != nil && r.w.eng.Now() > start {
@@ -271,27 +429,27 @@ func (c *Comm) WaitAny(r *Rank, reqs []*Request) (int, Status) {
 }
 
 // Test reports whether req has completed, consuming receive overhead on
-// the first successful test of a receive.
+// the first successful test of a receive. The overhead is charged exactly
+// once per request (ovCharged), so Test-then-Wait sequences neither
+// double- nor under-charge.
 func (c *Comm) Test(r *Rank, req *Request) (bool, Status) {
 	if !req.completedBy(r.w.eng.Now()) {
 		return false, Status{}
 	}
 	req.done = true
-	if req.isRecv {
+	if req.isRecv && !req.ovCharged {
+		req.ovCharged = true
 		r.proc.Advance(r.w.cfg.Net.RecvOverhead)
-		req.isRecv = false // charge overhead once
 	}
 	return true, req.status
 }
 
 // Probe reports whether a matching message has already arrived, without
-// receiving it.
+// receiving it. A message still being serialized by the receiver NIC is
+// not yet visible.
 func (c *Comm) Probe(r *Rank, src, tag int) (bool, Status) {
-	for _, m := range r.rs.unexpected {
-		p := postedRecv{commID: c.id, src: src, tag: tag}
-		if p.matches(m) {
-			return true, Status{Source: m.src, Tag: m.tag, Bytes: m.bytes, Data: m.data}
-		}
+	if m := r.rs.match.findQueuedReady(c.id, src, tag, r.w.eng.Now()); m != nil {
+		return true, Status{Source: m.src, Tag: m.tag, Bytes: m.bytes, Data: m.data}
 	}
 	return false, Status{}
 }

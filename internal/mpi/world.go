@@ -84,24 +84,71 @@ type World struct {
 	files  map[string]*File
 	fs     *sim.Striped
 	stash  map[string]interface{}
+
+	// Freelists for matching-path objects (simulation code is single-
+	// threaded per world, so plain slices suffice). Messages matched
+	// straight against a posted receive and popped posted receives recycle
+	// here; messages that entered the unexpected queue are left to the GC
+	// (wildcard side-lists may still reference them).
+	msgFree []*message
+	prFree  []*postedRecv
+}
+
+// newMessage returns a recycled or fresh message. Callers must set all
+// matching fields.
+func (w *World) newMessage() *message {
+	if n := len(w.msgFree); n > 0 {
+		m := w.msgFree[n-1]
+		w.msgFree = w.msgFree[:n-1]
+		return m
+	}
+	return &message{}
+}
+
+// freeMessage recycles a message that no queue references.
+func (w *World) freeMessage(m *message) {
+	m.data = nil
+	m.consumed = false
+	m.readyAt = 0
+	m.self = false
+	w.msgFree = append(w.msgFree, m)
+}
+
+// newPostedRecv returns a recycled or fresh posted-receive entry.
+func (w *World) newPostedRecv() *postedRecv {
+	if n := len(w.prFree); n > 0 {
+		p := w.prFree[n-1]
+		w.prFree = w.prFree[:n-1]
+		return p
+	}
+	return &postedRecv{}
+}
+
+// freePostedRecv recycles a posted-receive entry popped from its bucket.
+func (w *World) freePostedRecv(p *postedRecv) {
+	p.req = nil
+	w.prFree = append(w.prFree, p)
 }
 
 // rankState is the per-rank runtime state shared by the main process and
 // any helper processes (nonblocking collectives) of that rank.
 type rankState struct {
-	world      *World
-	rank       int
-	proc       *sim.Proc
-	sendLink   sim.Link
-	recvLink   sim.Link
-	unexpected []*message
-	posted     []*postedRecv
-	progress   sim.WaitQueue
-	speed      float64
+	world    *World
+	rank     int
+	proc     *sim.Proc
+	sendLink sim.Link
+	recvLink sim.Link
+	match    matchIndex // posted receives + unexpected messages (match.go)
+	progress sim.WaitQueue
+	speed    float64
 
 	bytesSent int64
 	msgsSent  int64
 }
+
+// Fire wakes the rank's progress waiters; rankState doubles as a
+// scheduling action so deferred wakeups need no closure.
+func (rs *rankState) Fire() { rs.progress.Broadcast(rs.world.eng) }
 
 // NewWorld builds a world with cfg.Procs ranks. Run starts them.
 func NewWorld(cfg Config) *World {
@@ -228,7 +275,11 @@ func (r *Rank) ComputeLabeled(d sim.Time, label string) {
 		return
 	}
 	scaled := sim.Time(float64(d) * r.rs.speed)
-	scaled += r.w.cfg.Noise.Jitter(r.proc.Rand(), scaled)
+	// The zero noise model ignores its random source and adds nothing;
+	// skipping it avoids materializing a per-process generator at all.
+	if _, zero := r.w.cfg.Noise.(netmodel.None); !zero {
+		scaled += r.w.cfg.Noise.Jitter(r.proc.Rand(), scaled)
+	}
 	start := r.proc.Now()
 	r.proc.Advance(scaled)
 	r.trace("comp", label, start)

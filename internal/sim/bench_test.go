@@ -54,3 +54,95 @@ func BenchmarkDebtFastPath(b *testing.B) {
 		b.Fatal(err)
 	}
 }
+
+// reportEventRate attaches the engine's event throughput to the
+// benchmark, the simulator's headline capacity number.
+func reportEventRate(b *testing.B, e *Engine) {
+	b.Helper()
+	b.ReportMetric(float64(e.Events())/b.Elapsed().Seconds(), "events/sec")
+}
+
+// BenchmarkAdvanceInline measures the inline-advance fast path: a sole
+// runnable process moving the clock with zero goroutine switches and zero
+// heap traffic.
+func BenchmarkAdvanceInline(b *testing.B) {
+	e := NewEngine(1)
+	e.Spawn("p", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			p.Advance(10)
+		}
+	})
+	b.ResetTimer()
+	if _, err := e.Run(); err != nil {
+		b.Fatal(err)
+	}
+	reportEventRate(b, e)
+}
+
+// BenchmarkHandoffPingPong measures the direct process-to-process token
+// handoff: two processes advancing in strict alternation, so every event
+// is a cross-goroutine switch — the simulator's worst-case dispatch.
+func BenchmarkHandoffPingPong(b *testing.B) {
+	e := NewEngine(1)
+	for i := 0; i < 2; i++ {
+		i := i
+		e.Spawn("p", func(p *Proc) {
+			p.Advance(Time(i + 1)) // offset so the two strictly interleave
+			for n := 0; n < b.N; n++ {
+				p.Advance(2)
+			}
+		})
+	}
+	b.ResetTimer()
+	if _, err := e.Run(); err != nil {
+		b.Fatal(err)
+	}
+	reportEventRate(b, e)
+}
+
+// BenchmarkSameTimeCallbacks measures the same-timestamp FIFO ring:
+// bursts of callbacks scheduled at the current instant bypass the heap
+// entirely.
+func BenchmarkSameTimeCallbacks(b *testing.B) {
+	e := NewEngine(1)
+	n := 0
+	var tick func()
+	tick = func() {
+		for burst := 0; burst < 63 && n < b.N; burst++ {
+			n++
+			e.At(e.Now(), func() {})
+		}
+		if n < b.N {
+			n++
+			e.After(1, tick)
+		}
+	}
+	e.After(1, tick)
+	b.ResetTimer()
+	if _, err := e.Run(); err != nil {
+		b.Fatal(err)
+	}
+	reportEventRate(b, e)
+}
+
+// BenchmarkManyProcsStaggered measures heap-dominated dispatch: many
+// processes advancing with co-prime strides, so resumes interleave
+// through the event heap like a large lockstep simulation.
+func BenchmarkManyProcsStaggered(b *testing.B) {
+	const procs = 64
+	e := NewEngine(1)
+	per := b.N/procs + 1
+	for i := 0; i < procs; i++ {
+		i := i
+		e.Spawn("p", func(p *Proc) {
+			for n := 0; n < per; n++ {
+				p.Advance(Time(97 + i%7))
+			}
+		})
+	}
+	b.ResetTimer()
+	if _, err := e.Run(); err != nil {
+		b.Fatal(err)
+	}
+	reportEventRate(b, e)
+}

@@ -61,13 +61,16 @@ func mix(seed, id int64) int64 {
 	return int64(z)
 }
 
-// yield hands control back to the engine loop and waits to be dispatched
-// again. All blocking primitives are built on yield.
+// yield hands the control token to the event loop and waits to be
+// dispatched again. The loop runs on this goroutine (see Engine.schedule):
+// if the next runnable event is this process's own resume, yield returns
+// without any goroutine switch; otherwise the token moves to the next
+// event's goroutine and this one parks. All blocking primitives are built
+// on yield.
 func (p *Proc) yield(reason string) {
 	p.state = procBlocked
 	p.blockReason = reason
-	p.e.parked <- struct{}{}
-	<-p.wake
+	p.e.schedule(p)
 	if p.e.stopped {
 		panic(stopSignal{})
 	}
@@ -88,7 +91,15 @@ func (p *Proc) Advance(d Time) {
 		return
 	}
 	e := p.e
-	e.atProc(e.now+d, p)
+	target := e.now + d
+	// Fast path: nothing else is scheduled at or before target, so the
+	// engine would pop this process's own resume next — move the clock
+	// directly and keep running, skipping the park/dispatch round trip.
+	if e.canAdvanceInline(target) {
+		e.jumpTo(target)
+		return
+	}
+	e.atProc(target, p)
 	p.yield("advancing")
 }
 
@@ -98,7 +109,31 @@ func (p *Proc) AdvanceTo(t Time) {
 	target := Max(t, p.e.now+p.debt)
 	p.debt = 0
 	if target > p.e.now {
+		if p.e.canAdvanceInline(target) {
+			p.e.jumpTo(target)
+			return
+		}
 		p.e.atProc(target, p)
+		p.yield("advancing")
+	}
+}
+
+// SettleTo consumes all outstanding debt and advances to t, which the
+// caller asserts already accounts for that debt (and any further charges
+// it wants folded into a single clock advance). It is the one-yield form
+// of FlushDebt-then-AdvanceTo-then-Advance sequences on hot completion
+// paths, and the settling half of ParkKeepingDebt.
+func (p *Proc) SettleTo(t Time) {
+	if t < p.e.now {
+		panic(fmt.Sprintf("sim: SettleTo(%v) before now %v in %q", t, p.e.now, p.name))
+	}
+	p.debt = 0
+	if t > p.e.now {
+		if p.e.canAdvanceInline(t) {
+			p.e.jumpTo(t)
+			return
+		}
+		p.e.atProc(t, p)
 		p.yield("advancing")
 	}
 }
@@ -138,6 +173,23 @@ func (p *Proc) park(reason string) {
 	}
 	p.yield(reason)
 }
+
+// Park blocks the process until another piece of simulation code wakes it
+// with Engine.WakeAt. It is the raw primitive under WaitQueue for callers
+// that track their single waiter themselves and can wake it directly.
+func (p *Proc) Park(reason string) { p.park(reason) }
+
+// ParkKeepingDebt parks like Park but leaves accumulated debt pending:
+// the process's busy window overlaps the blocked period instead of
+// preceding it. The caller must fold the debt into a SettleTo target on
+// wake — observe nothing earlier than park-time now plus the debt — which
+// yields the same resume instant as flushing before the park, one yield
+// cheaper.
+func (p *Proc) ParkKeepingDebt(reason string) { p.yield(reason) }
+
+// WakeAt schedules p, parked via Park (or a WaitQueue), to resume at
+// virtual time t.
+func (e *Engine) WakeAt(t Time, p *Proc) { e.atProc(t, p) }
 
 // unpark schedules p to resume at the current virtual time. It must be
 // called from simulation context (another process or an event callback)

@@ -6,6 +6,27 @@
 // control of a single event loop, so simulations are fully deterministic:
 // the same seed and configuration always produce the same virtual-time
 // trajectory, regardless of host scheduling.
+//
+// # Fast-path invariants
+//
+// Three fast paths keep the hot loop cheap without changing any
+// trajectory (see Engine for details):
+//
+//   - Direct handoff: control passes straight between process goroutines;
+//     there is no event-loop goroutine in the middle. Exactly one
+//     goroutine — the token holder — touches engine state at a time.
+//   - Same-timestamp ring: events scheduled at the current instant bypass
+//     the heap when no heap entry shares that instant, preserving seq
+//     (scheduling) order. Invariant: while the ring is non-empty, every
+//     heap entry is strictly later than now.
+//   - Inline advance: a process may move the clock directly only when
+//     nothing else (ring or heap) is scheduled at or before the target
+//     and the target does not exceed the run limit, i.e. exactly when the
+//     loop's next pop would be that process's own resume.
+//
+// Equal-time events always fire in scheduling (seq) order, whichever path
+// they take; all three fast paths preserve that order, which is what
+// keeps optimized runs bit-identical to the naive loop.
 package sim
 
 import "fmt"

@@ -203,9 +203,11 @@ func (s *Stream) Operate(r *mpi.Rank, op Operator) Stats {
 		// consumer group agrees on per-consumer totals.
 		expected = s.exchangeTotals(r, totals)
 	}
+	reqs := make([]*mpi.Request, 2)
 	for expected < 0 || received < expected {
 		waitStart := r.Now()
-		idx, st := c.WaitAny(r, []*mpi.Request{elemReq, termReq})
+		reqs[0], reqs[1] = elemReq, termReq
+		idx, st := c.WaitAny(r, reqs)
 		s.stats.WaitTime += r.Now() - waitStart
 		if idx == 0 {
 			b := st.Data.(batch)
@@ -270,6 +272,7 @@ func (s *Stream) operateFixed(r *mpi.Rank, op Operator) Stats {
 		}
 	}
 	remaining := len(states)
+	reqs := make([]*mpi.Request, 2)
 	for remaining > 0 {
 		for _, st := range states {
 			if st.finished {
@@ -284,7 +287,8 @@ func (s *Stream) operateFixed(r *mpi.Rank, op Operator) Stats {
 				st.termReq = c.Irecv(r, src, s.termTag)
 			}
 			waitStart := r.Now()
-			idx, status := c.WaitAny(r, []*mpi.Request{st.elemReq, st.termReq})
+			reqs[0], reqs[1] = st.elemReq, st.termReq
+			idx, status := c.WaitAny(r, reqs)
 			s.stats.WaitTime += r.Now() - waitStart
 			if idx == 1 {
 				// Non-overtaking per (source, tag) plus issue order on
