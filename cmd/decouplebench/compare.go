@@ -1,0 +1,91 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"text/tabwriter"
+)
+
+// loadReport reads a -json benchmark report.
+func loadReport(path string) (map[string]benchEntry, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep map[string]benchEntry
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return rep, nil
+}
+
+// compareReports prints per-experiment ns/op and events/sec deltas
+// between two -json reports and returns the process exit code: nonzero
+// when any experiment present in both reports slowed down (ns/op) by more
+// than regressPct percent. Wall-clock comparisons across different
+// machines are noisy; CI pairs this with a generous threshold and the
+// machine-neutral events count as the tie-breaking signal.
+func compareReports(oldPath, newPath string, regressPct float64) int {
+	oldRep, err := loadReport(oldPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	newRep, err := loadReport(newPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	names := make([]string, 0, len(newRep))
+	for name := range newRep {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	pct := func(oldV, newV float64) float64 {
+		if oldV == 0 {
+			return 0
+		}
+		return (newV - oldV) / oldV * 100
+	}
+
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "experiment\told ns/op\tnew ns/op\tdelta\told ev/s\tnew ev/s\tdelta")
+	exit := 0
+	var regressed []string
+	for _, name := range names {
+		n := newRep[name]
+		o, ok := oldRep[name]
+		if !ok {
+			fmt.Fprintf(tw, "%s\t-\t%d\tnew\t-\t%.0f\tnew\n", name, n.NsPerOp, n.EventsPerSec)
+			continue
+		}
+		dNs := pct(float64(o.NsPerOp), float64(n.NsPerOp))
+		dEv := pct(o.EventsPerSec, n.EventsPerSec)
+		mark := ""
+		if dNs > regressPct {
+			mark = "  REGRESSION"
+			regressed = append(regressed, name)
+			exit = 1
+		}
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%+.1f%%\t%.0f\t%.0f\t%+.1f%%%s\n",
+			name, o.NsPerOp, n.NsPerOp, dNs, o.EventsPerSec, n.EventsPerSec, dEv, mark)
+	}
+	var removed []string
+	for name := range oldRep {
+		if _, ok := newRep[name]; !ok {
+			removed = append(removed, name)
+		}
+	}
+	sort.Strings(removed)
+	for _, name := range removed {
+		fmt.Fprintf(tw, "%s\t%d\t-\tremoved\t%.0f\t-\tremoved\n", name, oldRep[name].NsPerOp, oldRep[name].EventsPerSec)
+	}
+	tw.Flush()
+	if exit != 0 {
+		fmt.Fprintf(os.Stderr, "regression above %.0f%% in: %v\n", regressPct, regressed)
+	}
+	return exit
+}

@@ -5,6 +5,7 @@
 //
 //	decouplebench -experiment fig5 -max-procs 8192 -runs 10
 //	decouplebench -experiment all -format csv -out results.csv
+//	decouplebench -compare -regress-pct 50 BENCH_PR2.json new.json
 //
 // Figure 2 and 3 are trace renderings; use cmd/traceviz for those.
 package main
@@ -35,12 +36,23 @@ func main() {
 		maxProcs   = flag.Int("max-procs", 1024, "largest process count in the weak-scaling sweeps (paper: 8192)")
 		runs       = flag.Int("runs", 3, "repetitions per data point (paper: 10)")
 		workers    = flag.Int("workers", 0, "concurrent sweep points (0: REPRO_WORKERS or one per CPU)")
+		fibers     = flag.Bool("fibers", false, "run rank bodies as goroutine-free fibers where ported (default: REPRO_FIBERS)")
 		format     = flag.String("format", "table", "output format: table or csv")
 		out        = flag.String("out", "", "output file (default stdout)")
 		quiet      = flag.Bool("quiet", false, "suppress progress logging")
 		jsonBench  = flag.Bool("json", false, "emit a machine-readable benchmark report (name -> ns/op, events/sec) instead of figure rows")
+		compare    = flag.Bool("compare", false, "compare two -json reports (old.json new.json as positional args) and exit nonzero on regression")
+		regressPct = flag.Float64("regress-pct", 25, "with -compare: fail when an experiment's ns/op regresses by more than this percentage")
 	)
 	flag.Parse()
+
+	if *compare {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "usage: decouplebench -compare [-regress-pct N] old.json new.json")
+			os.Exit(2)
+		}
+		os.Exit(compareReports(flag.Arg(0), flag.Arg(1), *regressPct))
+	}
 
 	var names []string
 	if *experiment == "all" {
@@ -56,7 +68,7 @@ func main() {
 		}
 	}
 
-	opts := experiments.Options{MaxProcs: *maxProcs, Runs: *runs, Workers: *workers}
+	opts := experiments.Options{MaxProcs: *maxProcs, Runs: *runs, Workers: *workers, Fibers: *fibers}
 	if !*quiet {
 		opts.Log = os.Stderr
 	}

@@ -79,6 +79,10 @@ type Config struct {
 	// progress engine hides it behind the inner stencil; the decoupled
 	// variant replaces the collective entirely.
 	ScanCostPerRank sim.Time
+	// Fibers selects the step-function process representation for the
+	// rank bodies (goroutine-free dispatch; trajectories are bit-identical
+	// either way). Ignored when a Tracer is configured.
+	Fibers bool
 	// Seed and Noise drive the imbalance injection.
 	Seed  int64
 	Noise netmodel.Noise
@@ -143,6 +147,14 @@ func (c Config) iterCompute() (inner, boundary sim.Time) {
 func Run(c Config, v Variant) (Result, error) {
 	if err := c.Validate(); err != nil {
 		return Result{}, err
+	}
+	if c.Fibers && c.Tracer == nil {
+		switch v {
+		case Blocking, Nonblocking:
+			return runReferenceFibers(c, v == Nonblocking)
+		case Decoupled:
+			return runDecoupledFibers(c)
+		}
 	}
 	switch v {
 	case Blocking, Nonblocking:
@@ -211,7 +223,9 @@ func runReference(c Config, nonblocking bool) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	return Result{Time: makespan, Messages: w.MessagesSent()}, nil
+	res := Result{Time: makespan, Messages: w.MessagesSent()}
+	w.Release()
+	return res, nil
 }
 
 // faceMsg is one streamed boundary face.
@@ -296,5 +310,7 @@ func runDecoupled(c Config) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	return Result{Time: makespan, Messages: w.MessagesSent()}, nil
+	res := Result{Time: makespan, Messages: w.MessagesSent()}
+	w.Release()
+	return res, nil
 }

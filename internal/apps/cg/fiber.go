@@ -1,0 +1,188 @@
+// Fiber ports of the CG rank bodies: the halo-exchange kernels of cg.go
+// rewritten as explicit continuation state machines and run goroutine-
+// free with World.RunFibers. Operation order matches the goroutine bodies
+// exactly, so Fig. 6 trajectories are bit-identical across
+// representations (asserted by TestFiberVariantsBitIdentical and the
+// experiments differential test).
+package cg
+
+import (
+	"repro/internal/mpi"
+	"repro/internal/sim"
+	"repro/internal/stream"
+)
+
+// runReferenceFibers executes the blocking or nonblocking reference with
+// fiber rank bodies.
+func runReferenceFibers(c Config, nonblocking bool) (Result, error) {
+	w := mpi.NewWorld(mpi.Config{Procs: c.Procs, Seed: c.Seed, Noise: c.Noise})
+	dims := mpi.BalancedDims(c.Procs, 3)
+	var makespan sim.Time
+	inner, boundary := c.iterCompute()
+	face := c.faceBytes()
+	_, err := w.RunFibers(func(r *mpi.Rank, f *sim.Fiber) sim.StepFunc {
+		world := r.World()
+		cart := mpi.NewCart(world, dims, true)
+		me := world.RankOf(r)
+		it := 0
+		var iter sim.StepFunc
+		record := func(_ *sim.Fiber) sim.StepFunc {
+			if t := r.Now(); t > makespan {
+				makespan = t
+			}
+			return nil
+		}
+		// Residual aggregation: two global dot products per CG iteration.
+		residual := func(_ *sim.Fiber) sim.StepFunc {
+			return world.FAllreduce(r, mpi.Part{Bytes: 8}, mpi.SumFloat64, nil, func(mpi.Part) sim.StepFunc {
+				return world.FAllreduce(r, mpi.Part{Bytes: 8}, mpi.SumFloat64, nil, func(mpi.Part) sim.StepFunc {
+					return iter
+				})
+			})
+		}
+		iter = func(_ *sim.Fiber) sim.StepFunc {
+			if it >= c.Iterations {
+				return record
+			}
+			it++
+			if nonblocking {
+				// Post everything, overlap the inner stencil.
+				var reqs []*mpi.Request
+				for dim := 0; dim < 3; dim++ {
+					for _, disp := range []int{-1, 1} {
+						_, dst := cart.Shift(me, dim, disp)
+						reqs = append(reqs, world.Isend(r, dst, haloTag, face, nil))
+						reqs = append(reqs, world.Irecv(r, mpi.AnySource, haloTag))
+					}
+				}
+				return r.FComputeLabeled(inner, "stencil-inner", func(_ *sim.Fiber) sim.StepFunc {
+					return world.FWaitAll(r, reqs, func([]mpi.Status) sim.StepFunc {
+						return r.FComputeLabeled(boundary, "stencil-boundary", residual)
+					})
+				})
+			}
+			// Blocking all-to-all halo exchange: dimension-ordered
+			// neighbour coupling after the descriptor scan.
+			k := 0
+			var exch sim.StepFunc
+			exch = func(_ *sim.Fiber) sim.StepFunc {
+				if k >= 6 {
+					return r.FComputeLabeled(inner, "stencil-inner", func(_ *sim.Fiber) sim.StepFunc {
+						return r.FComputeLabeled(boundary, "stencil-boundary", residual)
+					})
+				}
+				dim := k / 2
+				disp := -1 + 2*(k%2) // -1 first, then +1, per dimension
+				k++
+				src, dst := cart.Shift(me, dim, disp)
+				return world.FSend(r, dst, haloTag, face, nil, func(_ *sim.Fiber) sim.StepFunc {
+					return world.FRecv(r, src, haloTag, func(mpi.Status) sim.StepFunc { return exch })
+				})
+			}
+			return r.FComputeLabeled(sim.Time(c.Procs)*c.ScanCostPerRank, "alltoall-scan", exch)
+		}
+		return iter
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	res := Result{Time: makespan, Messages: w.MessagesSent()}
+	w.Release()
+	return res, nil
+}
+
+// runDecoupledFibers executes the decoupled variant with fiber rank
+// bodies: compute ranks stream faces to helpers and receive one
+// aggregated message back per iteration.
+func runDecoupledFibers(c Config) (Result, error) {
+	w := mpi.NewWorld(mpi.Config{Procs: c.Procs, Seed: c.Seed, Noise: c.Noise})
+	helpers := int(float64(c.Procs)*c.Alpha + 0.5)
+	if helpers < 1 {
+		helpers = 1
+	}
+	computes := c.Procs - helpers
+	dims := mpi.BalancedDims(computes, 3)
+	inner, boundary := c.iterCompute()
+	face := c.faceBytes()
+	var makespan sim.Time
+	const aggTag = 4
+	_, err := w.RunFibers(func(r *mpi.Rank, f *sim.Fiber) sim.StepFunc {
+		world := r.World()
+		role := stream.Producer
+		if r.ID() >= computes {
+			role = stream.Consumer
+		}
+		return stream.FCreateChannel(r, world, role, func(ch *stream.Channel) sim.StepFunc {
+			st := ch.Attach(r, stream.Options{ElementBytes: face})
+			finish := func(_ *sim.Fiber) sim.StepFunc {
+				return ch.FFree(r, func(_ *sim.Fiber) sim.StepFunc {
+					if t := r.Now(); t > makespan {
+						makespan = t
+					}
+					return nil
+				})
+			}
+			if role == stream.Producer {
+				g0 := ch.ProducerComm()
+				cart := mpi.NewCart(g0, dims, true)
+				me := g0.RankOf(r)
+				it := 0
+				var iter sim.StepFunc
+				iter = func(_ *sim.Fiber) sim.StepFunc {
+					if it >= c.Iterations {
+						st.Terminate(r)
+						return finish
+					}
+					// Stream my six boundary faces to the helpers that own
+					// the destination ranks, then overlap the inner stencil.
+					for dim := 0; dim < 3; dim++ {
+						for _, disp := range []int{-1, 1} {
+							_, dst := cart.Shift(me, dim, disp)
+							st.IsendTo(r, stream.Element{
+								Bytes: face,
+								Data:  faceMsg{dst: dst, iter: it},
+							}, ch.HomeConsumer(dst))
+						}
+					}
+					it++
+					return r.FComputeLabeled(inner, "stencil-inner", func(_ *sim.Fiber) sim.StepFunc {
+						// One aggregated message replaces six neighbour
+						// receives.
+						return world.FRecv(r, mpi.AnySource, aggTag, func(mpi.Status) sim.StepFunc {
+							return r.FComputeLabeled(boundary, "stencil-boundary", func(_ *sim.Fiber) sim.StepFunc {
+								// Residual aggregation stays within the
+								// compute group.
+								return g0.FAllreduce(r, mpi.Part{Bytes: 8}, mpi.SumFloat64, nil, func(mpi.Part) sim.StepFunc {
+									return g0.FAllreduce(r, mpi.Part{Bytes: 8}, mpi.SumFloat64, nil, func(mpi.Part) sim.StepFunc {
+										return iter
+									})
+								})
+							})
+						})
+					})
+				}
+				return iter
+			}
+			// Helper: collect the six faces addressed to each of my
+			// compute ranks per iteration; return them as one message.
+			type key struct{ dst, iter int }
+			pending := make(map[key]int)
+			return st.FOperate(r, func(rr *mpi.Rank, e stream.Element, src int, then sim.StepFunc) sim.StepFunc {
+				fm := e.Data.(faceMsg)
+				k := key{dst: fm.dst, iter: fm.iter}
+				pending[k]++
+				if pending[k] == 6 {
+					delete(pending, k)
+					world.Isend(rr, fm.dst, aggTag, 6*face, nil)
+				}
+				return then
+			}, func(stream.Stats) sim.StepFunc { return finish })
+		})
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	res := Result{Time: makespan, Messages: w.MessagesSent()}
+	w.Release()
+	return res, nil
+}

@@ -23,6 +23,9 @@ func RunCommReference(c Config) (Result, error) {
 		return Result{}, err
 	}
 	w := mpi.NewWorld(mpi.Config{Procs: c.Procs, Seed: c.Seed, Noise: c.Noise, Tracer: c.Tracer})
+	if c.Fibers && c.Tracer == nil {
+		return runCommReferenceFibers(c, w)
+	}
 	dims := dims3(c.Procs)
 	field := c.field(dims, c.Procs)
 	var makespan sim.Time
@@ -85,7 +88,9 @@ func RunCommReference(c Config) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	return Result{Time: makespan, Messages: w.MessagesSent(), ForwardRounds: totalRounds}, nil
+	res := Result{Time: makespan, Messages: w.MessagesSent(), ForwardRounds: totalRounds}
+	w.Release()
+	return res, nil
 }
 
 // commMsg tags one streamed batch of exiting particles.
@@ -105,6 +110,9 @@ func RunCommDecoupled(c Config) (Result, error) {
 		return Result{}, err
 	}
 	w := mpi.NewWorld(mpi.Config{Procs: c.Procs, Seed: c.Seed, Noise: c.Noise, Tracer: c.Tracer})
+	if c.Fibers && c.Tracer == nil {
+		return runCommDecoupledFibers(c, w)
+	}
 	helpers := int(float64(c.Procs)*c.Alpha + 0.5)
 	if helpers < 1 {
 		helpers = 1
@@ -206,5 +214,7 @@ func RunCommDecoupled(c Config) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	return Result{Time: makespan, Messages: w.MessagesSent()}, nil
+	res := Result{Time: makespan, Messages: w.MessagesSent()}
+	w.Release()
+	return res, nil
 }

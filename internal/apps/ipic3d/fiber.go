@@ -1,0 +1,357 @@
+// Fiber ports of the iPIC3D rank bodies (Figs. 7 and 8): the goroutine
+// bodies of comm.go and io.go as explicit continuation state machines,
+// run goroutine-free with World.RunFibers. Operation order matches the
+// goroutine bodies exactly, so the regenerated rows are bit-identical
+// across representations (asserted by the experiments differential test).
+package ipic3d
+
+import (
+	"repro/internal/mpi"
+	"repro/internal/sim"
+	"repro/internal/stream"
+)
+
+// runCommReferenceFibers is RunCommReference's body in fiber form.
+func runCommReferenceFibers(c Config, w *mpi.World) (Result, error) {
+	dims := dims3(c.Procs)
+	field := c.field(dims, c.Procs)
+	var makespan sim.Time
+	totalRounds := 0
+	_, err := w.RunFibers(func(r *mpi.Rank, f *sim.Fiber) sim.StepFunc {
+		world := r.World()
+		cart := mpi.NewCart(world, dims[:], true)
+		me := world.RankOf(r)
+		coords := cart.Coords(me)
+		myCount := field.Count([3]int{coords[0], coords[1], coords[2]})
+		exitFrac := field.ExitFraction([3]int{coords[0], coords[1], coords[2]}, c.Mobility)
+		packTime := func(bytes int64) sim.Time {
+			return sim.FromSeconds(float64(bytes) / c.PackRate)
+		}
+		step := 0
+		var outbound int64
+		rounds := 0
+		var stepLoop, roundLoop sim.StepFunc
+		stepLoop = func(_ *sim.Fiber) sim.StepFunc {
+			if step >= c.Steps {
+				if t := r.Now(); t > makespan {
+					makespan = t
+				}
+				return nil
+			}
+			step++
+			// Mover: update particle positions (skewed per-rank load).
+			return r.FComputeLabeled(c.moverTime(myCount), "mover", func(_ *sim.Fiber) sim.StepFunc {
+				outbound = int64(float64(myCount) * exitFrac)
+				rounds = 0
+				return roundLoop
+			})
+		}
+		roundLoop = func(_ *sim.Fiber) sim.StepFunc {
+			counts := exitCounts(outbound)
+			var reqs []*mpi.Request
+			dir := 0
+			var inbound int64
+			for dim := 0; dim < 3; dim++ {
+				for _, disp := range []int{-1, 1} {
+					_, dst := cart.Shift(me, dim, disp)
+					bytes := counts[dir] * c.ParticleBytes
+					reqs = append(reqs, world.Isend(r, dst, fwdTag, bytes, counts[dir]))
+					dir++
+				}
+			}
+			// Packing the outbound buffers costs CPU every round.
+			return r.FComputeLabeled(packTime(outbound*c.ParticleBytes), "pack", func(_ *sim.Fiber) sim.StepFunc {
+				got := 0
+				var recvLoop sim.StepFunc
+				recvLoop = func(_ *sim.Fiber) sim.StepFunc {
+					if got < 6 {
+						got++
+						return world.FRecv(r, mpi.AnySource, fwdTag, func(st mpi.Status) sim.StepFunc {
+							inbound += st.Data.(int64)
+							return recvLoop
+						})
+					}
+					return world.FWaitAll(r, reqs, func([]mpi.Status) sim.StepFunc {
+						// Unpack and re-sort the arrivals before the next round.
+						return r.FComputeLabeled(packTime(inbound*c.ParticleBytes), "unpack", func(_ *sim.Fiber) sim.StepFunc {
+							rounds++
+							// Diagonal movers must continue along another dimension.
+							outbound = int64(float64(inbound) * c.ForwardContinue)
+							// Global termination check, paid every round.
+							return world.FAllreduce(r, mpi.Part{Bytes: 8, Data: outbound}, mpi.SumInt64, nil, func(part mpi.Part) sim.StepFunc {
+								if part.Data.(int64) == 0 {
+									if me == 0 {
+										totalRounds += rounds
+									}
+									return stepLoop
+								}
+								return roundLoop
+							})
+						})
+					})
+				}
+				return recvLoop
+			})
+		}
+		return stepLoop
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	res := Result{Time: makespan, Messages: w.MessagesSent(), ForwardRounds: totalRounds}
+	w.Release()
+	return res, nil
+}
+
+// runCommDecoupledFibers is RunCommDecoupled's body in fiber form.
+func runCommDecoupledFibers(c Config, w *mpi.World) (Result, error) {
+	helpers := int(float64(c.Procs)*c.Alpha + 0.5)
+	if helpers < 1 {
+		helpers = 1
+	}
+	computes := c.Procs - helpers
+	dims := dims3(computes)
+	field := c.field(dims, computes)
+	var makespan sim.Time
+	_, err := w.RunFibers(func(r *mpi.Rank, f *sim.Fiber) sim.StepFunc {
+		world := r.World()
+		role := stream.Producer
+		if r.ID() >= computes {
+			role = stream.Consumer
+		}
+		return stream.FCreateChannel(r, world, role, func(ch *stream.Channel) sim.StepFunc {
+			st := ch.Attach(r, stream.Options{ElementBytes: c.ParticleBytes})
+			finish := func(_ *sim.Fiber) sim.StepFunc {
+				return ch.FFree(r, func(_ *sim.Fiber) sim.StepFunc {
+					if t := r.Now(); t > makespan {
+						makespan = t
+					}
+					return nil
+				})
+			}
+			if role == stream.Producer {
+				g0 := ch.ProducerComm()
+				cart := mpi.NewCart(g0, dims[:], true)
+				me := g0.RankOf(r)
+				coords := cart.Coords(me)
+				myCount := field.Count([3]int{coords[0], coords[1], coords[2]})
+				exitFrac := field.ExitFraction([3]int{coords[0], coords[1], coords[2]}, c.Mobility)
+				arrived := 0
+				pendingAgg := world.Irecv(r, mpi.AnySource, aggTag)
+				step := 0
+				var counts [6]int64
+				k := 0
+				var stepLoop, dirLoop, testLoop, drainLoop sim.StepFunc
+				stepLoop = func(_ *sim.Fiber) sim.StepFunc {
+					if step >= c.Steps {
+						st.Terminate(r)
+						return drainLoop
+					}
+					counts = exitCounts(int64(float64(myCount) * exitFrac))
+					k = 0
+					return dirLoop
+				}
+				dirLoop = func(_ *sim.Fiber) sim.StepFunc {
+					if k >= 6 {
+						return testLoop
+					}
+					idx := k
+					k++
+					return r.FComputeLabeled(c.moverTime(myCount)/6, "mover", func(_ *sim.Fiber) sim.StepFunc {
+						_, dst := cart.Shift(me, idx/2, -1+2*(idx%2))
+						bytes := counts[idx] * c.ParticleBytes
+						st.IsendTo(r, stream.Element{
+							Bytes: bytes,
+							Data:  commMsg{dst: dst, step: step},
+						}, ch.HomeConsumer(dst))
+						return dirLoop
+					})
+				}
+				testLoop = func(_ *sim.Fiber) sim.StepFunc {
+					if arrived >= c.Steps {
+						step++
+						return stepLoop
+					}
+					return world.FTest(r, pendingAgg, func(ok bool, _ mpi.Status) sim.StepFunc {
+						if !ok {
+							step++
+							return stepLoop
+						}
+						arrived++ // arrivals integrate into the next sweep
+						if arrived < c.Steps {
+							pendingAgg = world.Irecv(r, mpi.AnySource, aggTag)
+						}
+						return testLoop
+					})
+				}
+				// Drain the remaining aggregates before exiting.
+				drainLoop = func(_ *sim.Fiber) sim.StepFunc {
+					if arrived >= c.Steps {
+						return finish
+					}
+					return world.FWait(r, pendingAgg, func(mpi.Status) sim.StepFunc {
+						arrived++
+						if arrived < c.Steps {
+							pendingAgg = world.Irecv(r, mpi.AnySource, aggTag)
+						}
+						return drainLoop
+					})
+				}
+				return stepLoop
+			}
+			// Communication group: aggregate by destination, forward in
+			// one pass once a destination's six batches for a step have
+			// arrived.
+			type key struct{ dst, step int }
+			pending := make(map[key]int)
+			volume := make(map[key]int64)
+			return st.FOperate(r, func(rr *mpi.Rank, e stream.Element, src int, then sim.StepFunc) sim.StepFunc {
+				cm := e.Data.(commMsg)
+				k := key{dst: cm.dst, step: cm.step}
+				pending[k]++
+				volume[k] += e.Bytes
+				if pending[k] == 6 {
+					world.Isend(rr, cm.dst, aggTag, volume[k], nil)
+					delete(pending, k)
+					delete(volume, k)
+				}
+				return then
+			}, func(stream.Stats) sim.StepFunc { return finish })
+		})
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	res := Result{Time: makespan, Messages: w.MessagesSent()}
+	w.Release()
+	return res, nil
+}
+
+// runIOReferenceFibers is runIOReference's body in fiber form.
+func runIOReferenceFibers(c Config, v IOVariant, w *mpi.World) (Result, error) {
+	dims := dims3(c.Procs)
+	field := c.field(dims, c.Procs)
+	var makespan sim.Time
+	var file *mpi.File
+	_, err := w.RunFibers(func(r *mpi.Rank, fib *sim.Fiber) sim.StepFunc {
+		world := r.World()
+		cart := mpi.NewCart(world, dims[:], true)
+		coords := cart.Coords(world.RankOf(r))
+		myCount := field.Count([3]int{coords[0], coords[1], coords[2]})
+		return world.FOpen(r, "particles.dat", func(f *mpi.File) sim.StepFunc {
+			file = f
+			out := c.saveBytes(myCount)
+			step := 0
+			var stepLoop sim.StepFunc
+			stepLoop = func(_ *sim.Fiber) sim.StepFunc {
+				if step >= c.Steps {
+					if t := r.Now(); t > makespan {
+						makespan = t
+					}
+					return nil
+				}
+				step++
+				return r.FComputeLabeled(c.moverTime(myCount), "mover", func(_ *sim.Fiber) sim.StepFunc {
+					if v == IOCollective {
+						return f.FWriteAll(r, out, stepLoop)
+					}
+					return f.FWriteShared(r, out, stepLoop)
+				})
+			}
+			return stepLoop
+		})
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	res := Result{Time: makespan, Messages: w.MessagesSent(), BytesWritten: file.BytesWritten()}
+	w.Release()
+	return res, nil
+}
+
+// runIODecoupledFibers is runIODecoupled's body in fiber form.
+func runIODecoupledFibers(c Config, w *mpi.World) (Result, error) {
+	ioProcs := int(float64(c.Procs)*c.Alpha + 0.5)
+	if ioProcs < 1 {
+		ioProcs = 1
+	}
+	computes := c.Procs - ioProcs
+	dims := dims3(computes)
+	field := c.field(dims, computes)
+	var makespan sim.Time
+	var file *mpi.File
+	_, err := w.RunFibers(func(r *mpi.Rank, fib *sim.Fiber) sim.StepFunc {
+		world := r.World()
+		role := stream.Producer
+		if r.ID() >= computes {
+			role = stream.Consumer
+		}
+		return stream.FCreateChannel(r, world, role, func(ch *stream.Channel) sim.StepFunc {
+			st := ch.Attach(r, stream.Options{})
+			finish := func(_ *sim.Fiber) sim.StepFunc {
+				return ch.FFree(r, func(_ *sim.Fiber) sim.StepFunc {
+					if t := r.Now(); t > makespan {
+						makespan = t
+					}
+					return nil
+				})
+			}
+			if role == stream.Producer {
+				g0 := ch.ProducerComm()
+				cart := mpi.NewCart(g0, dims[:], true)
+				coords := cart.Coords(g0.RankOf(r))
+				myCount := field.Count([3]int{coords[0], coords[1], coords[2]})
+				out := c.saveBytes(myCount)
+				step, burst := 0, 0
+				var stepLoop sim.StepFunc
+				stepLoop = func(_ *sim.Fiber) sim.StepFunc {
+					if step >= c.Steps {
+						st.Terminate(r)
+						return finish
+					}
+					// The mover emits output in bursts through the step.
+					if burst >= 4 {
+						burst = 0
+						step++
+						return stepLoop
+					}
+					burst++
+					return r.FComputeLabeled(c.moverTime(myCount)/4, "mover", func(_ *sim.Fiber) sim.StepFunc {
+						st.Isend(r, stream.Element{Bytes: out / 4})
+						return stepLoop
+					})
+				}
+				return stepLoop
+			}
+			return ch.ConsumerComm().FOpen(r, "particles.dat", func(f *mpi.File) sim.StepFunc {
+				file = f
+				// Aggressive buffering: flush one large shared write per
+				// BufferSteps steps' worth of my producers' output.
+				perProducerStep := c.saveBytes(c.ParticlesPerProc)
+				producersHere := int64((computes + ioProcs - 1) / ioProcs)
+				threshold := int64(c.BufferSteps) * perProducerStep * producersHere
+				var buffered int64
+				return st.FOperate(r, func(rr *mpi.Rank, e stream.Element, src int, then sim.StepFunc) sim.StepFunc {
+					buffered += e.Bytes
+					if buffered >= threshold {
+						b := buffered
+						buffered = 0
+						return f.FWriteShared(rr, b, then)
+					}
+					return then
+				}, func(stream.Stats) sim.StepFunc {
+					if buffered > 0 {
+						return f.FWriteShared(r, buffered, finish)
+					}
+					return finish
+				})
+			})
+		})
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	res := Result{Time: makespan, Messages: w.MessagesSent(), BytesWritten: file.BytesWritten()}
+	w.Release()
+	return res, nil
+}

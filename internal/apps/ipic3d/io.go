@@ -64,6 +64,9 @@ func (c Config) saveBytes(count int64) int64 {
 // the chosen MPI-IO path before the next step.
 func runIOReference(c Config, v IOVariant) (Result, error) {
 	w := mpi.NewWorld(mpi.Config{Procs: c.Procs, Seed: c.Seed, Noise: c.Noise, Tracer: c.Tracer})
+	if c.Fibers && c.Tracer == nil {
+		return runIOReferenceFibers(c, v, w)
+	}
 	dims := dims3(c.Procs)
 	field := c.field(dims, c.Procs)
 	var makespan sim.Time
@@ -94,7 +97,9 @@ func runIOReference(c Config, v IOVariant) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	return Result{Time: makespan, Messages: w.MessagesSent(), BytesWritten: file.BytesWritten()}, nil
+	res := Result{Time: makespan, Messages: w.MessagesSent(), BytesWritten: file.BytesWritten()}
+	w.Release()
+	return res, nil
 }
 
 // runIODecoupled: compute ranks stream particle output to the I/O group as
@@ -103,6 +108,9 @@ func runIOReference(c Config, v IOVariant) (Result, error) {
 // the computation of subsequent steps.
 func runIODecoupled(c Config) (Result, error) {
 	w := mpi.NewWorld(mpi.Config{Procs: c.Procs, Seed: c.Seed, Noise: c.Noise, Tracer: c.Tracer})
+	if c.Fibers && c.Tracer == nil {
+		return runIODecoupledFibers(c, w)
+	}
 	ioProcs := int(float64(c.Procs)*c.Alpha + 0.5)
 	if ioProcs < 1 {
 		ioProcs = 1
@@ -163,5 +171,7 @@ func runIODecoupled(c Config) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	return Result{Time: makespan, Messages: w.MessagesSent(), BytesWritten: file.BytesWritten()}, nil
+	res := Result{Time: makespan, Messages: w.MessagesSent(), BytesWritten: file.BytesWritten()}
+	w.Release()
+	return res, nil
 }

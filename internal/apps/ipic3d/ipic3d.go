@@ -55,6 +55,10 @@ type Config struct {
 	// buffers before flushing one large write ("the I/O group ... can
 	// dedicate substantial memory for buffering").
 	BufferSteps int
+	// Fibers selects the step-function process representation for the
+	// rank bodies (goroutine-free dispatch; trajectories are bit-identical
+	// either way). Ignored when a Tracer is configured.
+	Fibers bool
 	// Seed, Noise and Tracer as elsewhere.
 	Seed   int64
 	Noise  netmodel.Noise

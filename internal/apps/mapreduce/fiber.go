@@ -1,0 +1,187 @@
+// Fiber ports of the MapReduce rank bodies (Fig. 5): the goroutine
+// bodies of mapreduce.go as explicit continuation state machines, run
+// goroutine-free with World.RunFibers. Operation order matches the
+// goroutine bodies exactly, so the regenerated rows are bit-identical
+// across representations (asserted by the experiments differential test).
+package mapreduce
+
+import (
+	"repro/internal/mpi"
+	"repro/internal/sim"
+	"repro/internal/stream"
+)
+
+// mapFileFibers is mapFile in continuation form: chunk computes
+// interleaved with emissions (which themselves never block).
+func mapFileFibers(r *mpi.Rank, c Config, bytes int64, emit func(chunkKV int64), done sim.StepFunc) sim.StepFunc {
+	off := int64(0)
+	var loop sim.StepFunc
+	loop = func(_ *sim.Fiber) sim.StepFunc {
+		if off >= bytes {
+			return done
+		}
+		chunk := c.ChunkBytes
+		if off+chunk > bytes {
+			chunk = bytes - off
+		}
+		off += c.ChunkBytes
+		return r.FComputeLabeled(sim.FromSeconds(float64(chunk)/c.MapRate), "map", func(_ *sim.Fiber) sim.StepFunc {
+			if emit != nil {
+				emit(int64(float64(chunk) * c.EmitRatio))
+			}
+			return loop
+		})
+	}
+	return loop
+}
+
+// runReferenceFibers is RunReference's body in fiber form.
+func runReferenceFibers(c Config, w *mpi.World) (Result, error) {
+	corpus := c.corpus()
+	var makespan sim.Time
+	shares := c.inputShares(c.Procs)
+	_, err := w.RunFibers(func(r *mpi.Rank, f *sim.Fiber) sim.StepFunc {
+		world := r.World()
+		return mapFileFibers(r, c, shares[r.ID()], nil, func(_ *sim.Fiber) sim.StepFunc {
+			return world.FIallgatherv(r, mpi.Part{Bytes: c.KeyBytesPerProc}, func(kr *mpi.CollRequest) sim.StepFunc {
+				return world.FWaitColl(r, kr, func(interface{}) sim.StepFunc {
+					return world.FIreduce(r, 0, mpi.Part{Bytes: c.GlobalKeyBytes}, mpi.SumInt64,
+						mpi.LinearCost(sim.Time(float64(sim.Second)/c.MergeRate)),
+						func(rr *mpi.CollRequest) sim.StepFunc {
+							return world.FWaitColl(r, rr, func(interface{}) sim.StepFunc {
+								if t := r.Now(); t > makespan {
+									makespan = t
+								}
+								return nil
+							})
+						})
+				})
+			})
+		})
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	res := Result{Time: makespan, TotalBytes: corpus.TotalBytes(), Messages: w.MessagesSent()}
+	w.Release()
+	return res, nil
+}
+
+// runDecoupledFibers is RunDecoupled's body in fiber form.
+func runDecoupledFibers(c Config, w *mpi.World) (Result, error) {
+	corpus := c.corpus()
+	var makespan sim.Time
+	var elements int64
+	reducers := int(float64(c.Procs)*c.Alpha + 0.5)
+	if reducers < 1 {
+		reducers = 1
+	}
+	mappers := c.Procs - reducers
+	shares := c.inputShares(mappers)
+	masterWorld := mappers
+	_, err := w.RunFibers(func(r *mpi.Rank, f *sim.Fiber) sim.StepFunc {
+		world := r.World()
+		role := stream.Producer
+		if r.ID() >= mappers {
+			role = stream.Consumer
+		}
+		return stream.FCreateChannel(r, world, role, func(ch *stream.Channel) sim.StepFunc {
+			st := ch.Attach(r, stream.Options{
+				ElementBytes:   int64(float64(c.ChunkBytes) * c.EmitRatio),
+				InjectOverhead: 200 * sim.Nanosecond,
+			})
+			mergeCost := func(bytes int64) sim.Time {
+				return sim.FromSeconds(float64(bytes) / c.StreamMergeRate)
+			}
+			finish := func(_ *sim.Fiber) sim.StepFunc {
+				return ch.FFree(r, func(_ *sim.Fiber) sim.StepFunc {
+					if t := r.Now(); t > makespan {
+						makespan = t
+					}
+					return nil
+				})
+			}
+			switch {
+			case role == stream.Producer:
+				pi := ch.ProducerIndex(r)
+				shards := ch.Consumers() - 1
+				base := 1
+				if shards == 0 {
+					shards, base = 1, 0
+				}
+				chunkSeq := pi // stagger shard assignment across mappers
+				return mapFileFibers(r, c, shares[pi], func(kv int64) {
+					st.IsendTo(r, stream.Element{Bytes: kv}, base+chunkSeq%shards)
+					chunkSeq++
+				}, func(_ *sim.Fiber) sim.StepFunc {
+					st.Terminate(r)
+					return finish
+				})
+			case ch.ConsumerIndex(r) == 0 && ch.Consumers() > 1:
+				// Master: drain the (empty) stream to participate in
+				// termination, then aggregate reducer updates until every
+				// reducer reports done.
+				return st.FOperate(r, func(_ *mpi.Rank, _ stream.Element, _ int, then sim.StepFunc) sim.StepFunc {
+					return then
+				}, func(stream.Stats) sim.StepFunc {
+					var updates, expected int64
+					done := 0
+					upReq := world.Irecv(r, mpi.AnySource, updateTag)
+					doneReq := world.Irecv(r, mpi.AnySource, doneTag)
+					reqs := make([]*mpi.Request, 2)
+					var drain sim.StepFunc
+					drain = func(_ *sim.Fiber) sim.StepFunc {
+						if done >= reducers-1 && updates >= expected {
+							return finish
+						}
+						reqs[0], reqs[1] = upReq, doneReq
+						return world.FWaitAny(r, reqs, func(idx int, stt mpi.Status) sim.StepFunc {
+							if idx == 0 {
+								updates++
+								return r.FComputeLabeled(c.UpdateCost, "master-update", func(_ *sim.Fiber) sim.StepFunc {
+									upReq = world.Irecv(r, mpi.AnySource, updateTag)
+									return drain
+								})
+							}
+							expected += stt.Data.(int64)
+							done++
+							doneReq = world.Irecv(r, mpi.AnySource, doneTag)
+							return drain
+						})
+					}
+					return drain
+				})
+			default:
+				// Local reducer: merge arrivals on the fly, forwarding an
+				// unaggregated update record to the master per element.
+				var myUpdates int64
+				return st.FOperate(r, func(rr *mpi.Rank, e stream.Element, src int, then sim.StepFunc) sim.StepFunc {
+					return rr.FComputeLabeled(mergeCost(e.Bytes), "reduce", func(_ *sim.Fiber) sim.StepFunc {
+						if ch.Consumers() > 1 {
+							world.Isend(rr, masterWorld, updateTag, c.UpdateBytes, nil)
+							myUpdates++
+						}
+						return then
+					})
+				}, func(stats stream.Stats) sim.StepFunc {
+					elements += stats.ElementsReceived
+					if ch.Consumers() > 1 {
+						return world.FSend(r, masterWorld, doneTag, 8, myUpdates, finish)
+					}
+					return finish
+				})
+			}
+		})
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	res := Result{
+		Time:       makespan,
+		TotalBytes: corpus.TotalBytes(),
+		Messages:   w.MessagesSent(),
+		Elements:   elements,
+	}
+	w.Release()
+	return res, nil
+}

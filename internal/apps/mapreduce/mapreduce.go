@@ -80,6 +80,10 @@ type Config struct {
 	// ImbalanceCoV is the coefficient of variation of per-process input
 	// shares, modelling the 256 MB - 1 GB file-size skew of the corpus.
 	ImbalanceCoV float64
+	// Fibers selects the step-function process representation for the
+	// rank bodies (goroutine-free dispatch; trajectories are bit-identical
+	// either way). Ignored when a Tracer is configured.
+	Fibers bool
 	// Seed drives all randomness; Noise is the compute noise model.
 	Seed  int64
 	Noise netmodel.Noise
@@ -182,6 +186,9 @@ func RunReference(c Config) (Result, error) {
 	}
 	corpus := c.corpus()
 	w := mpi.NewWorld(mpi.Config{Procs: c.Procs, Seed: c.Seed, Noise: c.Noise, Tracer: c.Tracer})
+	if c.Fibers && c.Tracer == nil {
+		return runReferenceFibers(c, w)
+	}
 	var makespan sim.Time
 	shares := c.inputShares(c.Procs)
 	_, err := w.Run(func(r *mpi.Rank) {
@@ -204,7 +211,9 @@ func RunReference(c Config) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	return Result{Time: makespan, TotalBytes: corpus.TotalBytes(), Messages: w.MessagesSent()}, nil
+	res := Result{Time: makespan, TotalBytes: corpus.TotalBytes(), Messages: w.MessagesSent()}
+	w.Release()
+	return res, nil
 }
 
 // RunDecoupled executes the decoupled implementation with the configured
@@ -218,6 +227,9 @@ func RunDecoupled(c Config) (Result, error) {
 	}
 	corpus := c.corpus()
 	w := mpi.NewWorld(mpi.Config{Procs: c.Procs, Seed: c.Seed, Noise: c.Noise, Tracer: c.Tracer})
+	if c.Fibers && c.Tracer == nil {
+		return runDecoupledFibers(c, w)
+	}
 	var makespan sim.Time
 	var elements int64
 	reducers := int(float64(c.Procs)*c.Alpha + 0.5)
@@ -305,10 +317,12 @@ func RunDecoupled(c Config) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	return Result{
+	res := Result{
 		Time:       makespan,
 		TotalBytes: corpus.TotalBytes(),
 		Messages:   w.MessagesSent(),
 		Elements:   elements,
-	}, nil
+	}
+	w.Release()
+	return res, nil
 }

@@ -1,0 +1,39 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestFiberRowsBitIdentical is the determinism contract for the
+// step-function process representation: every figure and ablation
+// experiment, run at reduced scale with goroutine rank bodies and with
+// fiber rank bodies, must produce byte-identical row output. Experiments
+// whose bodies have fiber ports (model, the synthetic ablations, fig6)
+// exercise the fiber runtime end to end; the rest guard that the option
+// plumbing alone changes nothing.
+func TestFiberRowsBitIdentical(t *testing.T) {
+	for _, name := range Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			render := func(fibers bool) []byte {
+				opts := Options{MaxProcs: 32, Runs: 2, Workers: 2, Fibers: fibers}
+				rows, err := Registry[name](opts)
+				if err != nil {
+					t.Fatalf("fibers=%v: %v", fibers, err)
+				}
+				var buf bytes.Buffer
+				if err := FormatCSV(&buf, rows); err != nil {
+					t.Fatal(err)
+				}
+				return buf.Bytes()
+			}
+			procRows := render(false)
+			fiberRows := render(true)
+			if !bytes.Equal(procRows, fiberRows) {
+				t.Errorf("rows differ between representations\n--- goroutines ---\n%s--- fibers ---\n%s",
+					procRows, fiberRows)
+			}
+		})
+	}
+}

@@ -50,6 +50,13 @@ type Options struct {
 	// and results are bit-identical to a serial sweep. Zero means the
 	// REPRO_WORKERS environment variable, or else one worker per CPU.
 	Workers int
+	// Fibers selects the goroutine-free (step-function) process
+	// representation for the rank bodies. Every figure and ablation body
+	// is ported (synthetic, CG, MapReduce, iPIC3D comm and I/O), so the
+	// flag switches the whole registry. Trajectories are bit-identical
+	// either way; fibers just dispatch faster. False means the
+	// REPRO_FIBERS environment variable.
+	Fibers bool
 	// Log, if non-nil, receives progress lines.
 	Log io.Writer
 }
@@ -66,6 +73,11 @@ func (o Options) withDefaults() Options {
 			o.Workers = v
 		} else {
 			o.Workers = runtime.NumCPU()
+		}
+	}
+	if !o.Fibers {
+		if v, err := strconv.ParseBool(os.Getenv("REPRO_FIBERS")); err == nil {
+			o.Fibers = v
 		}
 	}
 	return o

@@ -21,6 +21,7 @@ func Fig5(opts Options) ([]Row, error) {
 			fn: func(seed int64) (float64, error) {
 				c := mapreduce.DefaultConfig(p)
 				c.Seed = seed
+				c.Fibers = opts.Fibers
 				res, err := mapreduce.RunReference(c)
 				return res.Time.Seconds(), err
 			},
@@ -35,6 +36,7 @@ func Fig5(opts Options) ([]Row, error) {
 					c := mapreduce.DefaultConfig(p)
 					c.Seed = seed
 					c.Alpha = alpha
+					c.Fibers = opts.Fibers
 					res, err := mapreduce.RunDecoupled(c)
 					return res.Time.Seconds(), err
 				},
@@ -62,6 +64,7 @@ func Fig6(opts Options) ([]Row, error) {
 				fn: func(seed int64) (float64, error) {
 					c := cg.DefaultConfig(p)
 					c.Seed = seed
+					c.Fibers = opts.Fibers
 					res, err := cg.Run(c, v)
 					return res.Time.Seconds() * iterScale, err
 				},
@@ -90,6 +93,7 @@ func Fig7(opts Options) ([]Row, error) {
 			fn: func(seed int64) (float64, error) {
 				c := ipic3d.DefaultConfig(p)
 				c.Seed = seed
+				c.Fibers = opts.Fibers
 				res, err := ipic3d.RunCommReference(c)
 				return res.Time.Seconds(), err
 			},
@@ -99,6 +103,7 @@ func Fig7(opts Options) ([]Row, error) {
 			fn: func(seed int64) (float64, error) {
 				c := ipic3d.DefaultConfig(p)
 				c.Seed = seed
+				c.Fibers = opts.Fibers
 				res, err := ipic3d.RunCommDecoupled(c)
 				return res.Time.Seconds(), err
 			},
@@ -121,6 +126,7 @@ func Fig8(opts Options) ([]Row, error) {
 				fn: func(seed int64) (float64, error) {
 					c := ipic3d.DefaultConfig(p)
 					c.Seed = seed
+					c.Fibers = opts.Fibers
 					res, err := ipic3d.RunIO(c, v)
 					return res.Time.Seconds(), err
 				},

@@ -39,6 +39,10 @@ type SyntheticConfig struct {
 	Overhead sim.Time
 	// ImbalanceCoV spreads W0 across processes.
 	ImbalanceCoV float64
+	// Fibers selects the step-function process representation for the
+	// rank bodies (goroutine-free dispatch; trajectories are bit-identical
+	// either way). Ignored when a Tracer is configured.
+	Fibers bool
 	// Seed, Noise and Tracer as elsewhere.
 	Seed   int64
 	Noise  netmodel.Noise
@@ -111,6 +115,9 @@ func RunSyntheticConventional(c SyntheticConfig) (sim.Time, error) {
 	}
 	factors := workload.Imbalance(c.Procs, c.ImbalanceCoV, c.Seed+5)
 	w := mpi.NewWorld(mpi.Config{Procs: c.Procs, Seed: c.Seed, Noise: noiseOrNone(c.Noise), Tracer: c.Tracer})
+	if c.Fibers && c.Tracer == nil {
+		return runSyntheticConventionalFibers(c, w, factors)
+	}
 	var makespan sim.Time
 	_, err := w.Run(func(r *mpi.Rank) {
 		world := r.World()
@@ -124,6 +131,9 @@ func RunSyntheticConventional(c SyntheticConfig) (sim.Time, error) {
 			makespan = t
 		}
 	})
+	if err == nil {
+		w.Release()
+	}
 	return makespan, err
 }
 
@@ -142,6 +152,9 @@ func RunSyntheticDecoupled(c SyntheticConfig) (sim.Time, error) {
 	producers := c.Procs - consumers
 	factors := workload.Imbalance(producers, c.ImbalanceCoV, c.Seed+5)
 	w := mpi.NewWorld(mpi.Config{Procs: c.Procs, Seed: c.Seed, Noise: noiseOrNone(c.Noise), Tracer: c.Tracer})
+	if c.Fibers && c.Tracer == nil {
+		return runSyntheticDecoupledFibers(c, w, producers, factors)
+	}
 	var makespan sim.Time
 	perProducer := c.D / int64(producers)
 	_, err := w.Run(func(r *mpi.Rank) {
@@ -176,6 +189,9 @@ func RunSyntheticDecoupled(c SyntheticConfig) (sim.Time, error) {
 			makespan = t
 		}
 	})
+	if err == nil {
+		w.Release()
+	}
 	return makespan, err
 }
 
@@ -204,6 +220,7 @@ func AblationGranularity(opts Options) ([]Row, error) {
 				c.Seed = seed
 				c.S = s
 				c.Overhead = 20 * sim.Microsecond // pronounced per-element cost
+				c.Fibers = opts.Fibers
 				t, err := RunSyntheticDecoupled(c)
 				return t.Seconds(), err
 			},
@@ -241,6 +258,7 @@ func AblationAlpha(opts Options) ([]Row, error) {
 				Procs: procs, Param: alpha * 100},
 			fn: func(seed int64) (float64, error) {
 				c := mapreduceConfigForAblation(procs, seed, alpha)
+				c.Fibers = opts.Fibers
 				return runMapreduceDecoupled(c)
 			},
 		})
@@ -270,7 +288,7 @@ func AblationFCFS(opts Options) ([]Row, error) {
 			row: Row{Experiment: "ablation-fcfs", Series: series + " (consumer idle)",
 				Procs: procs},
 			fn: func(seed int64) (float64, error) {
-				wait, err := runSyntheticOrdered(procs, seed, fixed)
+				wait, err := runSyntheticOrdered(procs, seed, fixed, opts.Fibers)
 				return wait.Seconds(), err
 			},
 		})
@@ -281,7 +299,7 @@ func AblationFCFS(opts Options) ([]Row, error) {
 // runSyntheticOrdered is RunSyntheticDecoupled with selectable consumption
 // order and a deliberate straggler; it returns the maximum consumer idle
 // (wait) time.
-func runSyntheticOrdered(procs int, seed int64, fixedOrder bool) (sim.Time, error) {
+func runSyntheticOrdered(procs int, seed int64, fixedOrder, fibers bool) (sim.Time, error) {
 	c := DefaultSynthetic(procs)
 	c.Seed = seed
 	c.ImbalanceCoV = 0.3
@@ -296,6 +314,9 @@ func runSyntheticOrdered(procs int, seed int64, fixedOrder bool) (sim.Time, erro
 	factors := workload.Imbalance(producers, c.ImbalanceCoV, c.Seed+5)
 	factors[0] *= 4 // the straggler
 	w := mpi.NewWorld(mpi.Config{Procs: c.Procs, Seed: c.Seed})
+	if fibers {
+		return runSyntheticOrderedFibers(c, w, producers, factors, fixedOrder)
+	}
 	var maxWait sim.Time
 	perProducer := c.D / int64(producers)
 	_, err := w.Run(func(r *mpi.Rank) {
@@ -333,6 +354,9 @@ func runSyntheticOrdered(procs int, seed int64, fixedOrder bool) (sim.Time, erro
 		}
 		ch.Free(r)
 	})
+	if err == nil {
+		w.Release()
+	}
 	return maxWait, err
 }
 
@@ -353,6 +377,7 @@ func ModelValidation(opts Options) ([]Row, error) {
 			fn: func(seed int64) (float64, error) {
 				c := DefaultSynthetic(p)
 				c.Seed = seed
+				c.Fibers = opts.Fibers
 				t, err := RunSyntheticConventional(c)
 				return t.Seconds(), err
 			},
@@ -362,6 +387,7 @@ func ModelValidation(opts Options) ([]Row, error) {
 			fn: func(seed int64) (float64, error) {
 				c := DefaultSynthetic(p)
 				c.Seed = seed
+				c.Fibers = opts.Fibers
 				t, err := RunSyntheticDecoupled(c)
 				return t.Seconds(), err
 			},

@@ -1,0 +1,151 @@
+// Fiber ports of the synthetic rank bodies.
+//
+// These are the goroutine bodies of synthetic.go rewritten as explicit
+// continuation state machines (sim.StepFunc), run with World.RunFibers so
+// that a cross-rank dispatch costs a method call instead of a goroutine
+// switch. Every simulation operation happens in the same order with the
+// same arguments as in the goroutine bodies, so the trajectories — and
+// therefore every figure row — are bit-identical across representations
+// (TestFiberRowsBitIdentical asserts this for the full experiment
+// registry).
+package experiments
+
+import (
+	"repro/internal/mpi"
+	"repro/internal/sim"
+	"repro/internal/stream"
+)
+
+// runSyntheticConventionalFibers is RunSyntheticConventional's body in
+// fiber form: imbalanced Op0, barrier, Op1, barrier.
+func runSyntheticConventionalFibers(c SyntheticConfig, w *mpi.World, factors []float64) (sim.Time, error) {
+	var makespan sim.Time
+	_, err := w.RunFibers(func(r *mpi.Rank, f *sim.Fiber) sim.StepFunc {
+		world := r.World()
+		return r.FComputeLabeled(sim.Time(float64(c.W0)*factors[r.ID()]), "op0", func(_ *sim.Fiber) sim.StepFunc {
+			// Stage boundary: data exchange and synchronization happen at
+			// the completion of the operation (Section II-A).
+			return world.FBarrier(r, func(_ *sim.Fiber) sim.StepFunc {
+				return r.FComputeLabeled(c.tw1(), "op1", func(_ *sim.Fiber) sim.StepFunc {
+					return world.FBarrier(r, func(_ *sim.Fiber) sim.StepFunc {
+						if t := r.Now(); t > makespan {
+							makespan = t
+						}
+						return nil
+					})
+				})
+			})
+		})
+	})
+	if err == nil {
+		w.Release()
+	}
+	return makespan, err
+}
+
+// syntheticProducerFibers returns the producer-side step: compute a slice
+// of Op0, inject one element, repeat; then terminate the stream.
+func syntheticProducerFibers(r *mpi.Rank, st *stream.Stream, myW0 sim.Time, elements int64, elemBytes int64, done sim.StepFunc) sim.StepFunc {
+	slice := myW0 / sim.Time(elements)
+	e := int64(0)
+	var loop sim.StepFunc
+	loop = func(_ *sim.Fiber) sim.StepFunc {
+		if e >= elements {
+			st.Terminate(r)
+			return done
+		}
+		e++
+		return r.FComputeLabeled(slice, "op0", func(_ *sim.Fiber) sim.StepFunc {
+			st.Isend(r, stream.Element{Bytes: elemBytes})
+			return loop
+		})
+	}
+	return loop
+}
+
+// runSyntheticDecoupledFibers is RunSyntheticDecoupled's body in fiber
+// form.
+func runSyntheticDecoupledFibers(c SyntheticConfig, w *mpi.World, producers int, factors []float64) (sim.Time, error) {
+	var makespan sim.Time
+	perProducer := c.D / int64(producers)
+	_, err := w.RunFibers(func(r *mpi.Rank, f *sim.Fiber) sim.StepFunc {
+		world := r.World()
+		role := stream.Producer
+		if r.ID() >= producers {
+			role = stream.Consumer
+		}
+		return stream.FCreateChannel(r, world, role, func(ch *stream.Channel) sim.StepFunc {
+			st := ch.Attach(r, stream.Options{ElementBytes: c.S, InjectOverhead: c.Overhead})
+			finish := func(_ *sim.Fiber) sim.StepFunc {
+				return ch.FFree(r, func(_ *sim.Fiber) sim.StepFunc {
+					if t := r.Now(); t > makespan {
+						makespan = t
+					}
+					return nil
+				})
+			}
+			if role == stream.Producer {
+				// Op0 grows by P/(P - alpha P) on the remaining processes.
+				myW0 := sim.Time(float64(c.W0) * factors[r.ID()] * float64(c.Procs) / float64(producers))
+				elements := perProducer / c.S
+				if elements < 1 {
+					elements = 1
+				}
+				return syntheticProducerFibers(r, st, myW0, elements, c.S, finish)
+			}
+			rate := c.Op1Rate * c.DecoupledRateGain
+			return st.FOperate(r, func(rr *mpi.Rank, e stream.Element, src int, then sim.StepFunc) sim.StepFunc {
+				return rr.FComputeLabeled(sim.FromSeconds(float64(e.Bytes)/rate), "op1", then)
+			}, func(stream.Stats) sim.StepFunc { return finish })
+		})
+	})
+	if err == nil {
+		w.Release()
+	}
+	return makespan, err
+}
+
+// runSyntheticOrderedFibers is runSyntheticOrdered's body in fiber form:
+// the straggler ablation with selectable consumption order.
+func runSyntheticOrderedFibers(c SyntheticConfig, w *mpi.World, producers int, factors []float64, fixedOrder bool) (sim.Time, error) {
+	var maxWait sim.Time
+	perProducer := c.D / int64(producers)
+	_, err := w.RunFibers(func(r *mpi.Rank, f *sim.Fiber) sim.StepFunc {
+		world := r.World()
+		role := stream.Producer
+		if r.ID() >= producers {
+			role = stream.Consumer
+		}
+		return stream.FCreateChannel(r, world, role, func(ch *stream.Channel) sim.StepFunc {
+			st := ch.Attach(r, stream.Options{
+				ElementBytes:   c.S,
+				InjectOverhead: c.Overhead,
+				FixedOrder:     fixedOrder,
+			})
+			finish := func(_ *sim.Fiber) sim.StepFunc {
+				return ch.FFree(r, nil)
+			}
+			if role == stream.Producer {
+				myW0 := sim.Time(float64(c.W0) * factors[r.ID()] * float64(c.Procs) / float64(producers))
+				elements := perProducer / c.S
+				if elements < 1 {
+					elements = 1
+				}
+				return syntheticProducerFibers(r, st, myW0, elements, c.S, finish)
+			}
+			rate := c.Op1Rate * c.DecoupledRateGain
+			return st.FOperate(r, func(rr *mpi.Rank, e stream.Element, src int, then sim.StepFunc) sim.StepFunc {
+				return rr.FComputeLabeled(sim.FromSeconds(float64(e.Bytes)/rate), "op1", then)
+			}, func(stats stream.Stats) sim.StepFunc {
+				if stats.WaitTime > maxWait {
+					maxWait = stats.WaitTime
+				}
+				return finish
+			})
+		})
+	})
+	if err == nil {
+		w.Release()
+	}
+	return maxWait, err
+}

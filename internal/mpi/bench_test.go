@@ -54,3 +54,84 @@ func BenchmarkAllreduce(b *testing.B) {
 		b.Fatal(err)
 	}
 }
+
+// BenchmarkFiberPingPong is BenchmarkPingPong with fiber rank bodies: the
+// same blocking round trip with zero goroutine switches per message.
+func BenchmarkFiberPingPong(b *testing.B) {
+	w := NewWorld(Config{Procs: 2, Seed: 1})
+	if _, err := w.RunFibers(func(r *Rank, f *simFiber) simStep {
+		c := r.World()
+		i := 0
+		var loop simStep
+		loop = func(_ *simFiber) simStep {
+			if i >= b.N {
+				return nil
+			}
+			i++
+			if r.ID() == 0 {
+				return c.FSend(r, 1, 0, 64, nil, func(_ *simFiber) simStep {
+					return c.FRecv(r, 1, 0, func(Status) simStep { return loop })
+				})
+			}
+			return c.FRecv(r, 0, 0, func(Status) simStep {
+				return c.FSend(r, 0, 0, 64, nil, loop)
+			})
+		}
+		return loop
+	}); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkFiberBarrier measures fiber dissemination barriers at several
+// scales.
+func BenchmarkFiberBarrier(b *testing.B) {
+	for _, p := range []int{16, 128, 1024} {
+		p := p
+		b.Run(fmt.Sprintf("p%d", p), func(b *testing.B) {
+			w := NewWorld(Config{Procs: p, Seed: 1})
+			if _, err := w.RunFibers(func(r *Rank, f *simFiber) simStep {
+				i := 0
+				var loop simStep
+				loop = func(_ *simFiber) simStep {
+					if i >= b.N {
+						return nil
+					}
+					i++
+					return r.World().FBarrier(r, loop)
+				}
+				return loop
+			}); err != nil {
+				b.Fatal(err)
+			}
+		})
+	}
+}
+
+// BenchmarkWaitAllAllocs guards the coalescing WaitAll fast path: with
+// the rank-owned status scratch, waiting on a batch of already-complete
+// requests must not allocate per call (the requests themselves are the
+// only per-operation allocation on this path).
+func BenchmarkWaitAllAllocs(b *testing.B) {
+	w := NewWorld(Config{Procs: 2, Seed: 1})
+	b.ReportAllocs()
+	if _, err := w.Run(func(r *Rank) {
+		c := r.World()
+		reqs := make([]*Request, 4)
+		for i := 0; i < b.N; i++ {
+			if r.ID() == 0 {
+				for j := range reqs {
+					reqs[j] = c.Isend(r, 1, j, 64, nil)
+				}
+				c.WaitAll(r, reqs...)
+			} else {
+				for j := range reqs {
+					reqs[j] = c.Irecv(r, 0, j)
+				}
+				c.WaitAll(r, reqs...)
+			}
+		}
+	}); err != nil {
+		b.Fatal(err)
+	}
+}

@@ -71,6 +71,22 @@ type splitEntry struct {
 // network cost of the operation is modelled by the barrier that closes the
 // rendezvous.
 func (c *Comm) Split(r *Rank, color, key int) *Comm {
+	st := c.splitRegister(r, color, key)
+	// The rendezvous costs a barrier on the parent communicator, which is
+	// roughly what MPI_Comm_split costs (an allgather of (color, key)).
+	c.Barrier(r)
+	if color < 0 {
+		return nil
+	}
+	// After the barrier, st.result is materialized (the barrier cannot
+	// complete before every member has registered its entry above).
+	return st.result[color]
+}
+
+// splitRegister records one member's (color, key) for the current Split
+// generation; the last arrival materializes the child communicators. The
+// membership bookkeeping is shared by Split and FSplit.
+func (c *Comm) splitRegister(r *Rank, color, key int) *splitState {
 	w := c.w
 	skey := fmt.Sprintf("split:%d", c.id)
 	st, ok := w.splits[skey]
@@ -111,15 +127,7 @@ func (c *Comm) Split(r *Rank, color, key int) *Comm {
 		}
 		delete(w.splits, skey)
 	}
-	// The rendezvous costs a barrier on the parent communicator, which is
-	// roughly what MPI_Comm_split costs (an allgather of (color, key)).
-	c.Barrier(r)
-	if color < 0 {
-		return nil
-	}
-	// After the barrier, st.result is materialized (the barrier cannot
-	// complete before every member has registered its entry above).
-	return st.result[color]
+	return st
 }
 
 // Translate returns the rank in other of the process that is commRank in

@@ -1,0 +1,610 @@
+// Fiber-backed runtime entry points.
+//
+// This file is the continuation-passing counterpart of the blocking calls
+// in p2p.go and coll.go, for ranks run with World.RunFibers. Every
+// primitive mirrors its goroutine twin decision for decision — the same
+// debt floors, the same settle targets, the same order of request posting
+// and waiting — so a fiber port of a rank body produces a bit-identical
+// virtual-time trajectory (the engine's (t, seq) contract; asserted by
+// the differential tests in internal/experiments).
+//
+// The only structural difference is control flow: a wait that would park
+// a goroutine instead stores its continuation on the request (the same
+// Request.waiter slot delivery already wakes) and returns, unwinding to
+// the engine loop. Delivery then resumes the fiber with a plain function
+// call on the current token holder — no goroutine switch anywhere on a
+// fiber-to-fiber message path.
+package mpi
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// FIsend is Isend for fiber-backed ranks. Isend itself is representation-
+// neutral; the alias keeps fiber bodies visually uniform.
+func (c *Comm) FIsend(r *Rank, dst, tag int, bytes int64, data interface{}) *Request {
+	return c.Isend(r, dst, tag, bytes, data)
+}
+
+// FWait is Wait for fiber-backed ranks: it completes req, charges receive
+// overhead exactly as Wait does, and continues with then(status).
+func (c *Comm) FWait(r *Rank, req *Request, then func(Status) sim.StepFunc) sim.StepFunc {
+	return c.fwaitOn(r, r.fib, req, then)
+}
+
+// fwait is the pooled state of one fiber wait: the closure environment of
+// fwaitOn hand-hoisted into a struct so the steady-state wait path
+// allocates nothing. The step fields hold bound-method values created
+// once per struct lifetime; the struct recycles through the world's
+// single-threaded freelist when the wait settles.
+type fwait struct {
+	r        *Rank
+	f        *sim.Fiber
+	req      *Request
+	floor    sim.Time
+	then     func(Status) sim.StepFunc // exactly one of then/thenStep is set
+	thenStep sim.StepFunc
+	ov       sim.Time
+
+	check  sim.StepFunc // bound s.checkStep
+	wake   sim.StepFunc // bound s.wakeStep
+	settle sim.StepFunc // bound s.settleStep
+}
+
+// newFwait readies a pooled (or fresh) wait state.
+func (w *World) newFwait(r *Rank, f *sim.Fiber, req *Request, then func(Status) sim.StepFunc, thenStep sim.StepFunc) *fwait {
+	var s *fwait
+	if n := len(w.fwFree); n > 0 {
+		s = w.fwFree[n-1]
+		w.fwFree = w.fwFree[:n-1]
+	} else {
+		s = &fwait{}
+		s.check = s.checkStep
+		s.wake = s.wakeStep
+		s.settle = s.settleStep
+	}
+	s.r, s.f, s.req, s.then, s.thenStep = r, f, req, then, thenStep
+	s.floor = w.eng.Now() + f.Debt()
+	s.ov = w.cfg.Net.RecvOverhead
+	return s
+}
+
+// checkStep mirrors waitOn's loop body: park on the request if it is
+// still pending, else fold floor, completion instant and receive overhead
+// into one settling advance.
+func (s *fwait) checkStep(_ *sim.Fiber) sim.StepFunc {
+	req := s.req
+	if !req.done && !req.timed {
+		// The park registers this fiber on the request, so delivery
+		// wakes exactly this fiber at exactly the right instant.
+		req.waiter = s.f
+		return s.f.ParkKeepingDebt("mpi wait", s.wake)
+	}
+	e := s.r.w.eng
+	target := e.Now()
+	if s.floor > target {
+		target = s.floor
+	}
+	if req.timed && req.doneAt > target {
+		target = req.doneAt
+	}
+	req.done = true
+	if req.isRecv && !req.ovCharged {
+		req.ovCharged = true
+		target += s.ov
+	}
+	return s.f.SettleTo(target, s.settle)
+}
+
+func (s *fwait) wakeStep(_ *sim.Fiber) sim.StepFunc {
+	s.req.waiter = nil
+	return s.check
+}
+
+// settleStep finishes the wait: recycle the state, then run the caller's
+// continuation.
+func (s *fwait) settleStep(_ *sim.Fiber) sim.StepFunc {
+	then, thenStep, st, w := s.then, s.thenStep, s.req.status, s.r.w
+	s.r, s.f, s.req, s.then, s.thenStep = nil, nil, nil, nil, nil
+	w.fwFree = append(w.fwFree, s)
+	if then != nil {
+		return then(st)
+	}
+	return thenStep
+}
+
+// fwaitOn mirrors waitOn: floor is entry time plus pending debt, the debt
+// rides through the park, and a single settling advance folds floor,
+// completion instant and receive overhead together.
+func (c *Comm) fwaitOn(r *Rank, f *sim.Fiber, req *Request, then func(Status) sim.StepFunc) sim.StepFunc {
+	return c.w.newFwait(r, f, req, then, nil).check
+}
+
+// fwaitOnStep is fwaitOn for continuations that ignore the status,
+// avoiding a wrapper closure on the hot send-wait path.
+func (c *Comm) fwaitOnStep(r *Rank, f *sim.Fiber, req *Request, then sim.StepFunc) sim.StepFunc {
+	return c.w.newFwait(r, f, req, nil, then).check
+}
+
+// FSend is the blocking send for fiber-backed ranks: FIsend then FWait.
+func (c *Comm) FSend(r *Rank, dst, tag int, bytes int64, data interface{}, then sim.StepFunc) sim.StepFunc {
+	req := c.FIsend(r, dst, tag, bytes, data)
+	return c.fwaitOnStep(r, r.fib, req, then)
+}
+
+// FRecv is the blocking receive for fiber-backed ranks: Irecv then FWait.
+// (Irecv itself never blocks and is shared between representations.)
+func (c *Comm) FRecv(r *Rank, src, tag int, then func(Status) sim.StepFunc) sim.StepFunc {
+	req := c.irecvFor(r, src, tag)
+	return c.fwaitOn(r, r.fib, req, then)
+}
+
+// fwaitAll is the pooled closure environment of FWaitAll.
+type fwaitAll struct {
+	c    *Comm
+	r    *Rank
+	f    *sim.Fiber
+	reqs []*Request
+	out  []Status
+	then func([]Status) sim.StepFunc
+	i    int
+	cur  int // slot index of the wait in flight
+
+	loop sim.StepFunc            // bound s.loopStep
+	slot func(Status) sim.StepFunc // bound s.slotStep
+	fin  sim.StepFunc            // bound s.finStep
+}
+
+func (s *fwaitAll) loopStep(_ *sim.Fiber) sim.StepFunc {
+	e := s.c.w.eng
+	ov := s.c.w.cfg.Net.RecvOverhead
+	for s.i < len(s.reqs) {
+		q := s.reqs[s.i]
+		// Fast path: complete as of now plus pending debt; coalesce the
+		// receive overhead as debt, exactly as WaitAll does.
+		if q.done || (q.timed && q.doneAt <= e.Now()+s.f.Debt()) {
+			q.done = true
+			if q.isRecv && !q.ovCharged {
+				q.ovCharged = true
+				s.f.AddDebt(ov)
+			}
+			s.out[s.i] = q.status
+			s.i++
+			continue
+		}
+		s.cur = s.i
+		s.i++
+		return s.c.fwaitOn(s.r, s.f, q, s.slot)
+	}
+	return s.f.FlushDebt(s.fin)
+}
+
+func (s *fwaitAll) slotStep(st Status) sim.StepFunc {
+	s.out[s.cur] = st
+	return s.loop
+}
+
+func (s *fwaitAll) finStep(_ *sim.Fiber) sim.StepFunc {
+	then, out, w := s.then, s.out, s.c.w
+	s.c, s.r, s.f, s.reqs, s.out, s.then = nil, nil, nil, nil, nil, nil
+	w.fwAllFree = append(w.fwAllFree, s)
+	return then(out)
+}
+
+// FWaitAll mirrors WaitAll: already-complete requests settle without an
+// engine yield and coalesce their receive overheads as debt; pending ones
+// get a full wait in order. Statuses land in the rank's reusable scratch
+// slice (same ownership rule as WaitAll's return value).
+func (c *Comm) FWaitAll(r *Rank, reqs []*Request, then func([]Status) sim.StepFunc) sim.StepFunc {
+	w := c.w
+	var s *fwaitAll
+	if n := len(w.fwAllFree); n > 0 {
+		s = w.fwAllFree[n-1]
+		w.fwAllFree = w.fwAllFree[:n-1]
+	} else {
+		s = &fwaitAll{}
+		s.loop = s.loopStep
+		s.slot = s.slotStep
+		s.fin = s.finStep
+	}
+	s.c, s.r, s.f, s.reqs, s.then = c, r, r.fib, reqs, then
+	s.out = r.rs.statusScratch(len(reqs))
+	s.i = 0
+	return s.loop
+}
+
+// fwaitAny is the pooled closure environment of FWaitAny.
+type fwaitAny struct {
+	c    *Comm
+	r    *Rank
+	f    *sim.Fiber
+	reqs []*Request
+	then func(int, Status) sim.StepFunc
+	won  int // index whose receive overhead is being charged
+
+	loop    sim.StepFunc // bound s.loopStep
+	charged sim.StepFunc // bound s.chargedStep
+}
+
+func (s *fwaitAny) loopStep(_ *sim.Fiber) sim.StepFunc {
+	e := s.c.w.eng
+	now := e.Now()
+	var minTimed sim.Time = -1
+	for i, q := range s.reqs {
+		if q == nil {
+			continue
+		}
+		if q.completedBy(now) {
+			q.done = true
+			if q.isRecv && !q.ovCharged {
+				q.ovCharged = true
+				s.won = i
+				return s.f.Advance(s.c.w.cfg.Net.RecvOverhead, s.charged)
+			}
+			return s.finish(i)
+		}
+		if q.timed && (minTimed < 0 || q.doneAt < minTimed) {
+			minTimed = q.doneAt
+		}
+	}
+	if minTimed >= 0 {
+		// A send will complete at a known instant; a receive may
+		// complete during the advance and wins the next scan.
+		return s.f.AdvanceTo(minTimed, s.loop)
+	}
+	return s.r.rs.progress.WaitFiber(s.f, "mpi waitany", s.loop)
+}
+
+func (s *fwaitAny) chargedStep(_ *sim.Fiber) sim.StepFunc {
+	return s.finish(s.won)
+}
+
+// finish recycles the state and runs the caller's continuation with the
+// winning index and status.
+func (s *fwaitAny) finish(i int) sim.StepFunc {
+	then, st, w := s.then, s.reqs[i].status, s.c.w
+	s.c, s.r, s.f, s.reqs, s.then = nil, nil, nil, nil, nil
+	w.fwAnyFree = append(w.fwAnyFree, s)
+	return then(i, st)
+}
+
+// FWaitAny mirrors WaitAny: flush debt, then repeatedly scan for the
+// lowest completed index, advancing to the earliest pending timed
+// completion or parking on the rank's progress queue when nothing is in
+// sight. Completed receives charge the receive overhead exactly once.
+func (c *Comm) FWaitAny(r *Rank, reqs []*Request, then func(int, Status) sim.StepFunc) sim.StepFunc {
+	if len(reqs) == 0 {
+		panic("mpi: FWaitAny with no requests")
+	}
+	w := c.w
+	var s *fwaitAny
+	if n := len(w.fwAnyFree); n > 0 {
+		s = w.fwAnyFree[n-1]
+		w.fwAnyFree = w.fwAnyFree[:n-1]
+	} else {
+		s = &fwaitAny{}
+		s.loop = s.loopStep
+		s.charged = s.chargedStep
+	}
+	s.c, s.r, s.f, s.reqs, s.then = c, r, r.fib, reqs, then
+	return s.f.FlushDebt(s.loop)
+}
+
+// FBarrier is Barrier for fiber-backed ranks (same dissemination rounds,
+// same tag counters — fiber and goroutine ranks of one world could even
+// interleave, though the runners keep worlds homogeneous).
+func (c *Comm) FBarrier(r *Rank, then sim.StepFunc) sim.StepFunc {
+	me := c.RankOf(r)
+	return c.fbarrierOn(r, r.fib, me, c.nextCollTag(me), then)
+}
+
+func (c *Comm) fbarrierOn(r *Rank, f *sim.Fiber, me, tag int, then sim.StepFunc) sim.StepFunc {
+	p := len(c.members)
+	k := 1
+	var round sim.StepFunc
+	round = func(_ *sim.Fiber) sim.StepFunc {
+		if k >= p {
+			return then
+		}
+		dst := (me + k) % p
+		src := (me - k + p) % p
+		k <<= 1
+		req := c.isendOv(r, f, dst, tag, 0, nil, r.w.cfg.Net.SendOverhead)
+		rreq := c.irecvFor(r, src, tag)
+		return c.fwaitOn(r, f, req, func(Status) sim.StepFunc {
+			return c.fwaitOn(r, f, rreq, func(Status) sim.StepFunc { return round })
+		})
+	}
+	return round
+}
+
+// FBcast is Bcast for fiber-backed ranks: binomial tree, identical
+// message pattern, result delivered to then.
+func (c *Comm) FBcast(r *Rank, root int, part Part, then func(Part) sim.StepFunc) sim.StepFunc {
+	me := c.RankOf(r)
+	return c.fbcastOn(r, r.fib, me, root, part, c.nextCollTag(me), then)
+}
+
+func (c *Comm) fbcastOn(r *Rank, f *sim.Fiber, me, root int, part Part, tag int, then func(Part) sim.StepFunc) sim.StepFunc {
+	p := len(c.members)
+	if p == 1 {
+		return then(part)
+	}
+	vr := (me - root + p) % p
+	// Receive phase: find the mask at which this rank receives, if any.
+	recvMask := 0
+	for mask := 1; mask < p; mask <<= 1 {
+		if vr&mask != 0 {
+			recvMask = mask
+			break
+		}
+	}
+	sendPhase := func(topMask int) sim.StepFunc {
+		mask := topMask
+		var send sim.StepFunc
+		send = func(_ *sim.Fiber) sim.StepFunc {
+			for mask > 0 {
+				if vr&mask == 0 && vr+mask < p {
+					dst := (vr + mask + root) % p
+					req := c.isendOv(r, f, dst, tag, part.Bytes, part.Data, r.w.cfg.Net.SendOverhead)
+					mask >>= 1
+					return c.fwaitOn(r, f, req, func(Status) sim.StepFunc { return send })
+				}
+				mask >>= 1
+			}
+			return then(part)
+		}
+		return send
+	}
+	if recvMask != 0 {
+		src := (vr - recvMask + root) % p
+		rreq := c.irecvFor(r, src, tag)
+		return c.fwaitOn(r, f, rreq, func(st Status) sim.StepFunc {
+			part = Part{Bytes: st.Bytes, Data: st.Data}
+			return sendPhase(recvMask >> 1)
+		})
+	}
+	topMask := 1
+	for topMask < p {
+		topMask <<= 1
+	}
+	return sendPhase(topMask >> 1)
+}
+
+// FReduce is Reduce for fiber-backed ranks: binomial tree toward root,
+// delivering (part, isRoot) to then.
+func (c *Comm) FReduce(r *Rank, root int, part Part, op ReduceOp, cost CostFn, then func(Part, bool) sim.StepFunc) sim.StepFunc {
+	me := c.RankOf(r)
+	return c.freduceOn(r, r.fib, me, root, part, op, cost, c.nextCollTag(me), then)
+}
+
+func (c *Comm) freduceOn(r *Rank, f *sim.Fiber, me, root int, part Part, op ReduceOp, cost CostFn, tag int, then func(Part, bool) sim.StepFunc) sim.StepFunc {
+	p := len(c.members)
+	if p == 1 {
+		return then(part, true)
+	}
+	vr := (me - root + p) % p
+	acc := part
+	mask := 1
+	var round sim.StepFunc
+	round = func(fb *sim.Fiber) sim.StepFunc {
+		for mask < p {
+			if vr&mask != 0 {
+				dst := (vr - mask + root) % p
+				req := c.isendOv(r, f, dst, tag, acc.Bytes, acc.Data, r.w.cfg.Net.SendOverhead)
+				return c.fwaitOn(r, f, req, func(Status) sim.StepFunc {
+					return then(Part{}, false)
+				})
+			}
+			peer := vr | mask
+			if peer < p {
+				rreq := c.irecvFor(r, (peer+root)%p, tag)
+				return c.fwaitOn(r, f, rreq, func(st Status) sim.StepFunc {
+					combine := func(_ *sim.Fiber) sim.StepFunc {
+						acc = Part{Bytes: maxI64(acc.Bytes, st.Bytes), Data: op(acc.Data, st.Data)}
+						mask <<= 1
+						return round
+					}
+					if cost != nil {
+						return f.Advance(cost(acc.Bytes+st.Bytes), combine)
+					}
+					return combine
+				})
+			}
+			mask <<= 1
+		}
+		return then(acc, true)
+	}
+	return round
+}
+
+// FAllreduce is Allreduce for fiber-backed ranks: recursive doubling for
+// power-of-two sizes, reduce-to-0 plus broadcast otherwise, with the same
+// rank-ordered combines as the goroutine version.
+func (c *Comm) FAllreduce(r *Rank, part Part, op ReduceOp, cost CostFn, then func(Part) sim.StepFunc) sim.StepFunc {
+	me := c.RankOf(r)
+	return c.fallreduceOn(r, r.fib, me, part, op, cost, c.nextCollTag(me), then)
+}
+
+func (c *Comm) fallreduceOn(r *Rank, f *sim.Fiber, me int, part Part, op ReduceOp, cost CostFn, tag int, then func(Part) sim.StepFunc) sim.StepFunc {
+	p := len(c.members)
+	if p == 1 {
+		return then(part)
+	}
+	if p&(p-1) == 0 {
+		acc := part
+		mask := 1
+		var round sim.StepFunc
+		round = func(_ *sim.Fiber) sim.StepFunc {
+			if mask >= p {
+				return then(acc)
+			}
+			peer := me ^ mask
+			sreq := c.isendOv(r, f, peer, tag, acc.Bytes, acc.Data, r.w.cfg.Net.SendOverhead)
+			rreq := c.irecvFor(r, peer, tag)
+			return c.fwaitOn(r, f, rreq, func(st Status) sim.StepFunc {
+				return c.fwaitOn(r, f, sreq, func(Status) sim.StepFunc {
+					combine := func(_ *sim.Fiber) sim.StepFunc {
+						// Combine in rank order for cross-rank determinism.
+						if peer < me {
+							acc = Part{Bytes: maxI64(acc.Bytes, st.Bytes), Data: op(st.Data, acc.Data)}
+						} else {
+							acc = Part{Bytes: maxI64(acc.Bytes, st.Bytes), Data: op(acc.Data, st.Data)}
+						}
+						mask <<= 1
+						return round
+					}
+					if cost != nil {
+						return f.Advance(cost(acc.Bytes+st.Bytes), combine)
+					}
+					return combine
+				})
+			})
+		}
+		return round
+	}
+	return c.freduceOn(r, f, me, 0, part, op, cost, tag, func(res Part, isRoot bool) sim.StepFunc {
+		if !isRoot {
+			res = Part{}
+		}
+		return c.fbcastOn(r, f, me, 0, res, tag, then)
+	})
+}
+
+// FAllgatherv is Allgatherv for fiber-backed ranks: recursive doubling
+// for power-of-two sizes, a ring otherwise, identical wire traffic.
+func (c *Comm) FAllgatherv(r *Rank, part Part, then func([]Part) sim.StepFunc) sim.StepFunc {
+	me := c.RankOf(r)
+	return c.fallgathervOn(r, r.fib, me, part, c.nextCollTag(me), then)
+}
+
+func (c *Comm) fallgathervOn(r *Rank, f *sim.Fiber, me int, part Part, tag int, then func([]Part) sim.StepFunc) sim.StepFunc {
+	p := len(c.members)
+	out := make([]Part, p)
+	out[me] = part
+	if p == 1 {
+		return then(out)
+	}
+	ov := r.w.cfg.Net.SendOverhead
+	if p&(p-1) == 0 {
+		have := gatherBundle{owners: []int{me}, parts: []Part{part}}
+		mask := 1
+		var round sim.StepFunc
+		round = func(_ *sim.Fiber) sim.StepFunc {
+			if mask >= p {
+				for i, owner := range have.owners {
+					out[owner] = have.parts[i]
+				}
+				return then(out)
+			}
+			peer := me ^ mask
+			sreq := c.isendOv(r, f, peer, tag, bundleBytes(have), have, ov)
+			rreq := c.irecvFor(r, peer, tag)
+			return c.fwaitOn(r, f, rreq, func(st Status) sim.StepFunc {
+				return c.fwaitOn(r, f, sreq, func(Status) sim.StepFunc {
+					got := st.Data.(gatherBundle)
+					have.owners = append(have.owners, got.owners...)
+					have.parts = append(have.parts, got.parts...)
+					mask <<= 1
+					return round
+				})
+			})
+		}
+		return round
+	}
+	// Ring: pass the neighbour's latest part around, P-1 steps.
+	cur := gatherBundle{owners: []int{me}, parts: []Part{part}}
+	right := (me + 1) % p
+	left := (me - 1 + p) % p
+	step := 0
+	var round sim.StepFunc
+	round = func(_ *sim.Fiber) sim.StepFunc {
+		if step >= p-1 {
+			return then(out)
+		}
+		step++
+		sreq := c.isendOv(r, f, right, tag, bundleBytes(cur), cur, ov)
+		rreq := c.irecvFor(r, left, tag)
+		return c.fwaitOn(r, f, rreq, func(st Status) sim.StepFunc {
+			return c.fwaitOn(r, f, sreq, func(Status) sim.StepFunc {
+				cur = st.Data.(gatherBundle)
+				out[cur.owners[0]] = cur.parts[0]
+				return round
+			})
+		})
+	}
+	return round
+}
+
+// FSplit is Split for fiber-backed ranks: identical membership
+// bookkeeping, with the closing rendezvous barrier in continuation form.
+// The child communicator (nil for color < 0) is delivered to then.
+func (c *Comm) FSplit(r *Rank, color, key int, then func(*Comm) sim.StepFunc) sim.StepFunc {
+	st := c.splitRegister(r, color, key)
+	me := c.RankOf(r)
+	return c.fbarrierOn(r, r.fib, me, c.nextCollTag(me), func(_ *sim.Fiber) sim.StepFunc {
+		if color < 0 {
+			return then(nil)
+		}
+		return then(st.result[color])
+	})
+}
+
+// FIreduce is Ireduce for fiber-backed ranks: the collective's algorithm
+// runs on a helper fiber (the goroutine-free analogue of the progress
+// helper process), and the initiating rank pays one send overhead before
+// continuing with then(cr).
+func (c *Comm) FIreduce(r *Rank, root int, part Part, op ReduceOp, cost CostFn, then func(*CollRequest) sim.StepFunc) sim.StepFunc {
+	me := c.RankOf(r)
+	tag := c.nextCollTag(me)
+	cr := &CollRequest{}
+	r.w.eng.SpawnFiber(fmt.Sprintf("rank%d/ireduce", r.rs.rank), func(hf *sim.Fiber) sim.StepFunc {
+		return c.freduceOn(r, hf, me, root, part, op, cost, tag, func(res Part, isRoot bool) sim.StepFunc {
+			if isRoot {
+				cr.value = res
+			} else {
+				cr.value = Part{}
+			}
+			return c.finishColl(r, cr)
+		})
+	})
+	return r.fib.Advance(r.w.cfg.Net.SendOverhead, func(_ *sim.Fiber) sim.StepFunc { return then(cr) })
+}
+
+// FIallgatherv is Iallgatherv for fiber-backed ranks.
+func (c *Comm) FIallgatherv(r *Rank, part Part, then func(*CollRequest) sim.StepFunc) sim.StepFunc {
+	me := c.RankOf(r)
+	tag := c.nextCollTag(me)
+	cr := &CollRequest{}
+	r.w.eng.SpawnFiber(fmt.Sprintf("rank%d/iallgatherv", r.rs.rank), func(hf *sim.Fiber) sim.StepFunc {
+		return c.fallgathervOn(r, hf, me, part, tag, func(parts []Part) sim.StepFunc {
+			cr.value = parts
+			return c.finishColl(r, cr)
+		})
+	})
+	return r.fib.Advance(r.w.cfg.Net.SendOverhead, func(_ *sim.Fiber) sim.StepFunc { return then(cr) })
+}
+
+// finishColl completes a helper-fiber collective: mark done and wake the
+// rank's progress waiters, exactly as the helper process does.
+func (c *Comm) finishColl(r *Rank, cr *CollRequest) sim.StepFunc {
+	cr.done = true
+	r.rs.progress.Broadcast(r.w.eng)
+	return nil
+}
+
+// FWaitColl is WaitColl for fiber-backed ranks, delivering the
+// collective's result value to then.
+func (c *Comm) FWaitColl(r *Rank, cr *CollRequest, then func(interface{}) sim.StepFunc) sim.StepFunc {
+	f := r.fib
+	var loop sim.StepFunc
+	loop = func(_ *sim.Fiber) sim.StepFunc {
+		if !cr.done {
+			return r.rs.progress.WaitFiber(f, "mpi waitcoll", loop)
+		}
+		return then(cr.value)
+	}
+	return f.FlushDebt(loop)
+}

@@ -1,0 +1,138 @@
+// Fiber-backed file I/O: continuation forms of the blocking write paths
+// in io.go, mirroring them operation for operation (same token FIFO
+// positions, same stripe reservations, same collective structure) so
+// fiber and goroutine ranks produce bit-identical I/O trajectories.
+package mpi
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// FTest is Test for fiber-backed ranks: the completion check is free, but
+// the first successful test of a receive charges the receive overhead,
+// which may advance the clock. then receives (ok, status).
+func (c *Comm) FTest(r *Rank, req *Request, then func(bool, Status) sim.StepFunc) sim.StepFunc {
+	if !req.completedBy(r.w.eng.Now()) {
+		return then(false, Status{})
+	}
+	req.done = true
+	if req.isRecv && !req.ovCharged {
+		req.ovCharged = true
+		return r.fib.Advance(r.w.cfg.Net.RecvOverhead, func(_ *sim.Fiber) sim.StepFunc {
+			return then(true, req.status)
+		})
+	}
+	return then(true, req.status)
+}
+
+// FOpen is Open for fiber-backed ranks: the same rendezvous bookkeeping,
+// closed by the barrier in continuation form. The file is delivered to
+// then.
+func (c *Comm) FOpen(r *Rank, name string, then func(*File) sim.StepFunc) sim.StepFunc {
+	w := c.w
+	key := fmt.Sprintf("%d:%s", c.id, name)
+	st, ok := w.opens[key]
+	if !ok {
+		st = &openState{file: &File{w: w, comm: c, name: name}}
+		w.opens[key] = st
+		w.files[key] = st.file
+	}
+	return c.FBarrier(r, func(_ *sim.Fiber) sim.StepFunc {
+		return then(st.file)
+	})
+}
+
+// FWriteShared is WriteShared for fiber-backed ranks: token-serialized
+// shared-pointer append, then stripe occupancy.
+func (f *File) FWriteShared(r *Rank, bytes int64, then sim.StepFunc) sim.StepFunc {
+	if bytes < 0 {
+		panic("mpi: negative I/O size")
+	}
+	fs := f.w.cfg.FS
+	fib := r.fib
+	return f.token.FAcquire(fib, "shared file pointer", func(_ *sim.Fiber) sim.StepFunc {
+		return fib.Advance(fs.SharedPointerLatency+fs.PerOpLatency, func(_ *sim.Fiber) sim.StepFunc {
+			f.size += bytes
+			f.bytesWritten += bytes
+			f.ops++
+			_, end := f.w.fs.Reserve(fib.Now(), fs.WriteTime(bytes))
+			f.token.Release(fib)
+			return fib.AdvanceTo(end, then)
+		})
+	})
+}
+
+// FWriteAll is WriteAll for fiber-backed ranks: allgather the sizes, ship
+// data to aggregators, aggregators issue one large write, all close with
+// a barrier.
+func (f *File) FWriteAll(r *Rank, bytes int64, then sim.StepFunc) sim.StepFunc {
+	if bytes < 0 {
+		panic("mpi: negative I/O size")
+	}
+	c := f.comm
+	me := c.RankOf(r)
+	p := c.Size()
+	fs := f.w.cfg.FS
+	fib := r.fib
+
+	// Phase 0: file-view recalculation. Every rank learns every size.
+	return c.FAllgatherv(r, Part{Bytes: 8, Data: bytes}, func(sizes []Part) sim.StepFunc {
+		// Phase 1: ship data to aggregators (one per stripe, at most P).
+		na := fs.Stripes
+		if na > p {
+			na = p
+		}
+		agg := me * na / p
+		aggRank := (agg*p + na - 1) / na
+		tag := c.nextCollTag(me)
+		var myReqs []*Request
+		if me != aggRank {
+			myReqs = append(myReqs, c.Isend(r, aggRank, tag, bytes, nil))
+		}
+		finish := func(_ *sim.Fiber) sim.StepFunc {
+			return c.FWaitAll(r, myReqs, func([]Status) sim.StepFunc {
+				// The collective completes together.
+				return c.FBarrier(r, then)
+			})
+		}
+		if me != aggRank {
+			return finish
+		}
+		// Collect from all ranks whose aggregator is me.
+		var total int64
+		var reqs []*Request
+		for other := 0; other < p; other++ {
+			if other == me {
+				total += bytes
+				continue
+			}
+			if other*na/p == agg {
+				reqs = append(reqs, c.irecvFor(r, other, tag))
+			}
+		}
+		i := 0
+		var collect sim.StepFunc
+		collect = func(_ *sim.Fiber) sim.StepFunc {
+			if i < len(reqs) {
+				q := reqs[i]
+				i++
+				return c.fwaitOn(r, fib, q, func(st Status) sim.StepFunc {
+					sz, _ := sizes[st.Source].Data.(int64)
+					total += sz
+					return collect
+				})
+			}
+			// Phase 2: one large write per aggregator.
+			return fib.Advance(fs.PerOpLatency, func(_ *sim.Fiber) sim.StepFunc {
+				_, end := f.w.fs.Reserve(fib.Now(), fs.CollWriteTime(total))
+				f.ops++
+				f.size += total
+				f.bytesWritten += total
+				return fib.AdvanceTo(end, finish)
+			})
+		}
+		return collect
+	})
+}

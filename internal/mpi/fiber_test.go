@@ -1,0 +1,326 @@
+package mpi
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// runBothWays runs the same logical program once with goroutine rank
+// bodies and once with fiber rank bodies and asserts identical final
+// virtual time and identical engine event counts — the representation-
+// equivalence contract at the runtime level.
+func runBothWays(t *testing.T, procs int, procBody func(*Rank), fibBody FiberMain) sim.Time {
+	t.Helper()
+	wp := NewWorld(Config{Procs: procs, Seed: 42})
+	pEnd, err := wp.Run(procBody)
+	if err != nil {
+		t.Fatalf("proc run: %v", err)
+	}
+	pEvents := wp.Engine().Events()
+
+	wf := NewWorld(Config{Procs: procs, Seed: 42})
+	fEnd, err := wf.RunFibers(fibBody)
+	if err != nil {
+		t.Fatalf("fiber run: %v", err)
+	}
+	fEvents := wf.Engine().Events()
+
+	if pEnd != fEnd {
+		t.Fatalf("final time: procs %v, fibers %v", pEnd, fEnd)
+	}
+	if pEvents != fEvents {
+		t.Fatalf("event count: procs %d, fibers %d", pEvents, fEvents)
+	}
+	return fEnd
+}
+
+// TestFiberPingPongMatchesProcs exercises FSend/FRecv against Send/Recv:
+// a two-rank request-reply loop with interleaved compute must produce a
+// bit-identical trajectory under both representations.
+func TestFiberPingPongMatchesProcs(t *testing.T) {
+	const rounds = 20
+	procBody := func(r *Rank) {
+		c := r.World()
+		for i := 0; i < rounds; i++ {
+			if r.ID() == 0 {
+				r.Compute(3 * sim.Microsecond)
+				c.Send(r, 1, 7, 1024, i)
+				c.Recv(r, 1, 8)
+			} else {
+				c.Recv(r, 0, 7)
+				r.Compute(5 * sim.Microsecond)
+				c.Send(r, 0, 8, 512, i)
+			}
+		}
+	}
+	fibBody := func(r *Rank, f *sim.Fiber) sim.StepFunc {
+		c := r.World()
+		i := 0
+		var loop sim.StepFunc
+		loop = func(_ *sim.Fiber) sim.StepFunc {
+			if i >= rounds {
+				return nil
+			}
+			n := i
+			i++
+			if r.ID() == 0 {
+				return r.FCompute(3*sim.Microsecond, func(_ *sim.Fiber) sim.StepFunc {
+					return c.FSend(r, 1, 7, 1024, n, func(_ *sim.Fiber) sim.StepFunc {
+						return c.FRecv(r, 1, 8, func(Status) sim.StepFunc { return loop })
+					})
+				})
+			}
+			return c.FRecv(r, 0, 7, func(Status) sim.StepFunc {
+				return r.FCompute(5*sim.Microsecond, func(_ *sim.Fiber) sim.StepFunc {
+					return c.FSend(r, 0, 8, 512, n, func(_ *sim.Fiber) sim.StepFunc { return loop })
+				})
+			})
+		}
+		return loop
+	}
+	runBothWays(t, 2, procBody, fibBody)
+}
+
+// TestFiberCollectivesMatchProcs drives barrier, allreduce and allgatherv
+// through both representations at a non-power-of-two size (covering the
+// reduce+bcast fallback) and checks payload correctness on the fiber side.
+func TestFiberCollectivesMatchProcs(t *testing.T) {
+	const procs = 6
+	procBody := func(r *Rank) {
+		c := r.World()
+		c.Barrier(r)
+		r.Compute(sim.Time(r.ID()+1) * sim.Microsecond)
+		sum := c.Allreduce(r, Part{Bytes: 8, Data: float64(r.ID())}, SumFloat64, nil)
+		if got := sum.Data.(float64); got != 15 {
+			t.Errorf("proc allreduce sum %v, want 15", got)
+		}
+		parts := c.Allgatherv(r, Part{Bytes: 8, Data: r.ID() * 10})
+		for i, p := range parts {
+			if p.Data.(int) != i*10 {
+				t.Errorf("proc allgather[%d] = %v", i, p.Data)
+			}
+		}
+		c.Barrier(r)
+	}
+	fibBody := func(r *Rank, f *sim.Fiber) sim.StepFunc {
+		c := r.World()
+		return c.FBarrier(r, func(_ *sim.Fiber) sim.StepFunc {
+			return r.FCompute(sim.Time(r.ID()+1)*sim.Microsecond, func(_ *sim.Fiber) sim.StepFunc {
+				return c.FAllreduce(r, Part{Bytes: 8, Data: float64(r.ID())}, SumFloat64, nil, func(sum Part) sim.StepFunc {
+					if got := sum.Data.(float64); got != 15 {
+						t.Errorf("fiber allreduce sum %v, want 15", got)
+					}
+					return c.FAllgatherv(r, Part{Bytes: 8, Data: r.ID() * 10}, func(parts []Part) sim.StepFunc {
+						for i, p := range parts {
+							if p.Data.(int) != i*10 {
+								t.Errorf("fiber allgather[%d] = %v", i, p.Data)
+							}
+						}
+						return c.FBarrier(r, nil)
+					})
+				})
+			})
+		})
+	}
+	runBothWays(t, procs, procBody, fibBody)
+}
+
+// TestFiberWaitAllMatchesProcs exercises the coalescing FWaitAll against
+// WaitAll with a mix of sends and receives.
+func TestFiberWaitAllMatchesProcs(t *testing.T) {
+	const procs = 4
+	procBody := func(r *Rank) {
+		c := r.World()
+		next := (r.ID() + 1) % procs
+		prev := (r.ID() - 1 + procs) % procs
+		for it := 0; it < 5; it++ {
+			reqs := []*Request{
+				c.Isend(r, next, 1, 2048, nil),
+				c.Isend(r, prev, 2, 2048, nil),
+				c.Irecv(r, prev, 1),
+				c.Irecv(r, next, 2),
+			}
+			r.Compute(2 * sim.Microsecond)
+			c.WaitAll(r, reqs...)
+		}
+	}
+	fibBody := func(r *Rank, f *sim.Fiber) sim.StepFunc {
+		c := r.World()
+		next := (r.ID() + 1) % procs
+		prev := (r.ID() - 1 + procs) % procs
+		it := 0
+		var loop sim.StepFunc
+		loop = func(_ *sim.Fiber) sim.StepFunc {
+			if it >= 5 {
+				return nil
+			}
+			it++
+			reqs := []*Request{
+				c.FIsend(r, next, 1, 2048, nil),
+				c.FIsend(r, prev, 2, 2048, nil),
+				c.Irecv(r, prev, 1),
+				c.Irecv(r, next, 2),
+			}
+			return r.FCompute(2*sim.Microsecond, func(_ *sim.Fiber) sim.StepFunc {
+				return c.FWaitAll(r, reqs, func([]Status) sim.StepFunc { return loop })
+			})
+		}
+		return loop
+	}
+	runBothWays(t, procs, procBody, fibBody)
+}
+
+// TestFiberWaitAnyMatchesProcs exercises FWaitAny ordering against
+// WaitAny: a consumer draining two producers first-come-first-served.
+func TestFiberWaitAnyMatchesProcs(t *testing.T) {
+	const msgs = 8
+	procBody := func(r *Rank) {
+		c := r.World()
+		switch r.ID() {
+		case 0, 1:
+			for i := 0; i < msgs; i++ {
+				r.Compute(sim.Time(1+r.ID()*3) * sim.Microsecond)
+				c.Send(r, 2, r.ID(), 4096, nil)
+			}
+		case 2:
+			reqs := []*Request{c.Irecv(r, 0, 0), c.Irecv(r, 1, 1)}
+			for got := 0; got < 2*msgs; got++ {
+				idx, _ := c.WaitAny(r, reqs)
+				r.Compute(2 * sim.Microsecond)
+				reqs[idx] = c.Irecv(r, idx, idx)
+				if rem := 2*msgs - got - 1; rem < 2 {
+					reqs[1-idx] = nil
+				}
+			}
+		}
+	}
+	fibBody := func(r *Rank, f *sim.Fiber) sim.StepFunc {
+		c := r.World()
+		switch r.ID() {
+		case 0, 1:
+			i := 0
+			var loop sim.StepFunc
+			loop = func(_ *sim.Fiber) sim.StepFunc {
+				if i >= msgs {
+					return nil
+				}
+				i++
+				return r.FCompute(sim.Time(1+r.ID()*3)*sim.Microsecond, func(_ *sim.Fiber) sim.StepFunc {
+					return c.FSend(r, 2, r.ID(), 4096, nil, loop)
+				})
+			}
+			return loop
+		default:
+			reqs := []*Request{c.Irecv(r, 0, 0), c.Irecv(r, 1, 1)}
+			got := 0
+			var loop sim.StepFunc
+			loop = func(_ *sim.Fiber) sim.StepFunc {
+				if got >= 2*msgs {
+					return nil
+				}
+				return c.FWaitAny(r, reqs, func(idx int, _ Status) sim.StepFunc {
+					got++
+					return r.FCompute(2*sim.Microsecond, func(_ *sim.Fiber) sim.StepFunc {
+						reqs[idx] = c.Irecv(r, idx, idx)
+						if rem := 2*msgs - got; rem < 2 {
+							reqs[1-idx] = nil
+						}
+						return loop
+					})
+				})
+			}
+			return loop
+		}
+	}
+	runBothWays(t, 3, procBody, fibBody)
+}
+
+// TestWorldPoolReuseDeterminism checks that a world recycled through
+// Release/NewWorld reproduces a fresh world's trajectory exactly, across
+// different sizes and both representations.
+func TestWorldPoolReuseDeterminism(t *testing.T) {
+	body := func(r *Rank) {
+		c := r.World()
+		next := (r.ID() + 1) % r.Size()
+		prev := (r.ID() - 1 + r.Size()) % r.Size()
+		for i := 0; i < 4; i++ {
+			c.Send(r, next, 0, 8192, nil)
+			c.Recv(r, prev, 0)
+			c.Allreduce(r, Part{Bytes: 8, Data: 1.0}, SumFloat64, nil)
+		}
+	}
+	run := func(procs int) sim.Time {
+		w := NewWorld(Config{Procs: procs, Seed: 9})
+		end, err := w.Run(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w.Release()
+		return end
+	}
+	first8 := run(8)
+	run(16) // force a differently-sized reset in between
+	run(3)
+	if again := run(8); again != first8 {
+		t.Fatalf("recycled world diverged: %v vs %v", again, first8)
+	}
+}
+
+// Aliases keeping the fiber benchmarks readable.
+type (
+	simFiber = sim.Fiber
+	simStep  = sim.StepFunc
+)
+
+// TestStatusScratchAllocFree guards WaitAll's status-slice reuse: once
+// warmed to a size, the rank scratch must hand out slices without
+// allocating.
+func TestStatusScratchAllocFree(t *testing.T) {
+	rs := &rankState{}
+	rs.statusScratch(8)
+	if a := testing.AllocsPerRun(200, func() { rs.statusScratch(8) }); a != 0 {
+		t.Errorf("statusScratch allocates %.0f allocs/op after warm-up, want 0", a)
+	}
+}
+
+// TestFiberWaitAllocFree guards the pooled fiber wait states: a warmed
+// world must serve fwait/fwaitAny/fwaitAll cycles from its freelists.
+func TestFiberWaitAllocFree(t *testing.T) {
+	w := NewWorld(Config{Procs: 2, Seed: 3})
+	body := func(r *Rank, f *sim.Fiber) sim.StepFunc {
+		c := r.World()
+		i := 0
+		var loop sim.StepFunc
+		loop = func(_ *sim.Fiber) sim.StepFunc {
+			if i >= 50 {
+				return nil
+			}
+			i++
+			if r.ID() == 0 {
+				return c.FSend(r, 1, 0, 64, nil, func(_ *sim.Fiber) sim.StepFunc {
+					return c.FRecv(r, 1, 0, func(Status) sim.StepFunc { return loop })
+				})
+			}
+			return c.FRecv(r, 0, 0, func(Status) sim.StepFunc {
+				return c.FSend(r, 0, 0, 64, nil, loop)
+			})
+		}
+		return loop
+	}
+	if _, err := w.RunFibers(body); err != nil {
+		t.Fatal(err)
+	}
+	if len(w.fwFree) == 0 {
+		t.Fatal("no pooled fwait states after a fiber run")
+	}
+	free := len(w.fwFree)
+	w.Release()
+	w2 := NewWorld(Config{Procs: 2, Seed: 3})
+	if _, err := w2.RunFibers(body); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(w2.fwFree); got > free {
+		t.Errorf("recycled world grew its fwait pool to %d (was %d): waits are allocating new states", got, free)
+	}
+}

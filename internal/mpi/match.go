@@ -171,6 +171,41 @@ type matchIndex struct {
 	lastSelQ    *msgFIFO
 }
 
+// reset returns the index to its initial state for world reuse, keeping
+// bucket-map and queue capacity. Entries still referenced (receives posted
+// but never matched at the end of a run) are dropped for the GC; pooled
+// recycling only ever happens on the matched paths.
+func (x *matchIndex) reset() {
+	x.postSeq = 0
+	for _, q := range x.posted {
+		for i := range q.items {
+			q.items[i] = nil
+		}
+		q.items = q.items[:0]
+		q.head = 0
+	}
+	for _, q := range x.queued {
+		for i := range q.items {
+			q.items[i] = nil
+		}
+		q.items = q.items[:0]
+		q.head = 0
+	}
+	// Side lists are views rebuilt on demand; drop them wholesale.
+	x.side = nil
+	x.shapes = [4]int{}
+	x.sideShapes = [4]bool{}
+	for i := range x.arrivals {
+		x.arrivals[i] = nil
+	}
+	x.arrivals = x.arrivals[:0]
+	x.arrHead = 0
+	x.live = 0
+	x.selfQueued = 0
+	x.lastPostKey, x.lastPostQ = matchKey{}, nil
+	x.lastSelKey, x.lastSelQ = matchKey{}, nil
+}
+
 // wildcard reports whether the selector uses AnySource or AnyTag.
 func wildcard(src, tag int) bool { return src == AnySource || tag == AnyTag }
 

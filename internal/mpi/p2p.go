@@ -10,6 +10,15 @@ import (
 // rank's main process or on a helper process of the same rank.
 type simProc = sim.Proc
 
+// exec is the execution-context subset shared by sim.Proc and sim.Fiber
+// that the synchronous runtime paths need: overhead accounting for the
+// send fast path. Blocking paths stay representation-specific (waitOn for
+// processes, the fiber wait continuations in fiber.go).
+type exec interface {
+	AddDebt(sim.Time)
+	Debt() sim.Time
+}
+
 // message is an in-flight or delivered point-to-point message. src is the
 // sender's rank within the communicator identified by commID. readyAt is
 // the end of the receiver-NIC serialization slot: the instant the payload
@@ -85,10 +94,12 @@ type Request struct {
 	doneAt    sim.Time
 	isRecv    bool
 	ovCharged bool // receive overhead charged (exactly once per request)
-	// waiter is the process parked in Wait on this request, if any.
-	// Delivery wakes it directly at the completion instant — no rank-wide
-	// broadcast event, no spurious wakeups of unrelated waiters.
-	waiter *simProc
+	// waiter is the process or fiber parked in Wait on this request, if
+	// any. Delivery wakes it directly at the completion instant — no
+	// rank-wide broadcast event, no spurious wakeups of unrelated waiters.
+	// Either representation consumes exactly one wake event, so the
+	// trajectory is independent of which one waits.
+	waiter sim.Runnable
 	status Status
 }
 
@@ -105,9 +116,10 @@ func (q *Request) Done(now sim.Time) bool { return q.completedBy(now) }
 // Isend starts a nonblocking send of bytes payload bytes (and optional
 // data) to dst with the given tag. The caller pays the configured send
 // overhead immediately; the returned request completes when the message
-// has been handed to the network (buffered-send semantics).
+// has been handed to the network (buffered-send semantics). Isend never
+// blocks, so it serves both process representations.
 func (c *Comm) Isend(r *Rank, dst, tag int, bytes int64, data interface{}) *Request {
-	return c.isendFrom(r, r.proc, dst, tag, bytes, data)
+	return c.isendOv(r, r.ctx(), dst, tag, bytes, data, r.w.cfg.Net.SendOverhead)
 }
 
 // isendFrom implements Isend on behalf of proc, which may be a helper
@@ -117,8 +129,10 @@ func (c *Comm) isendFrom(r *Rank, proc *simProc, dst, tag int, bytes int64, data
 }
 
 // isendOv is isendFrom with an explicit sender CPU overhead (persistent
-// requests pay a reduced per-start cost).
-func (c *Comm) isendOv(r *Rank, proc *simProc, dst, tag int, bytes int64, data interface{}, overhead sim.Time) *Request {
+// requests pay a reduced per-start cost). It accepts either process
+// representation: the send path never blocks, so overhead accounting is
+// all it needs from the caller's execution context.
+func (c *Comm) isendOv(r *Rank, proc exec, dst, tag int, bytes int64, data interface{}, overhead sim.Time) *Request {
 	if dst < 0 || dst >= len(c.members) {
 		panic(fmt.Sprintf("mpi: Isend to rank %d of %d", dst, len(c.members)))
 	}
@@ -353,8 +367,12 @@ func (c *Comm) waitOnTraced(r *Rank, proc *simProc, req *Request) Status {
 // send overhead) — one clock advance at the end instead of one per
 // request. The virtual-time outcome is identical to waiting on each
 // request in sequence.
+//
+// The returned slice is scratch storage owned by the rank and is reused
+// by that rank's next WaitAll call; callers that need the statuses longer
+// must copy them out.
 func (c *Comm) WaitAll(r *Rank, reqs ...*Request) []Status {
-	out := make([]Status, len(reqs))
+	out := r.rs.statusScratch(len(reqs))
 	if c.w.cfg.Tracer != nil {
 		// Tracing runs keep the per-request path so emitted wait spans
 		// match the serial semantics exactly.

@@ -18,6 +18,7 @@ package mpi
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/netmodel"
 	"repro/internal/sim"
@@ -92,6 +93,13 @@ type World struct {
 	// (wildcard side-lists may still reference them).
 	msgFree []*message
 	prFree  []*postedRecv
+
+	// Freelists for the fiber wait-state structs (fiber.go): the hoisted
+	// closure environments of the continuation wait primitives, recycled
+	// so steady-state fiber waits allocate nothing.
+	fwFree    []*fwait
+	fwAllFree []*fwaitAll
+	fwAnyFree []*fwaitAny
 }
 
 // newMessage returns a recycled or fresh message. Callers must set all
@@ -144,13 +152,49 @@ type rankState struct {
 
 	bytesSent int64
 	msgsSent  int64
+
+	// statuses is the rank-owned scratch backing for WaitAll results,
+	// reused across calls so the collective hot path allocates nothing.
+	statuses []Status
+}
+
+// statusScratch returns a length-n status slice backed by the rank's
+// reusable scratch array.
+func (rs *rankState) statusScratch(n int) []Status {
+	if cap(rs.statuses) < n {
+		rs.statuses = make([]Status, n)
+	}
+	s := rs.statuses[:n]
+	for i := range s {
+		s[i] = Status{}
+	}
+	return s
+}
+
+// reset returns the rank state to its initial condition for world reuse,
+// keeping matching-index and scratch capacity.
+func (rs *rankState) reset(speed float64) {
+	rs.proc = nil
+	rs.sendLink = sim.Link{}
+	rs.recvLink = sim.Link{}
+	rs.match.reset()
+	rs.speed = speed
+	rs.bytesSent = 0
+	rs.msgsSent = 0
 }
 
 // Fire wakes the rank's progress waiters; rankState doubles as a
 // scheduling action so deferred wakeups need no closure.
 func (rs *rankState) Fire() { rs.progress.Broadcast(rs.world.eng) }
 
-// NewWorld builds a world with cfg.Procs ranks. Run starts them.
+// worldPool recycles released worlds so that sweeps reuse event-heap,
+// matching-index and message-pool capacity across points instead of
+// reallocating per simulation. sync.Pool handles cross-goroutine reuse;
+// a reset world is behaviourally identical to a fresh one.
+var worldPool sync.Pool
+
+// NewWorld builds a world with cfg.Procs ranks (recycling a released world
+// when one is available). Run starts them.
 func NewWorld(cfg Config) *World {
 	cfg = cfg.withDefaults()
 	if cfg.Procs <= 0 {
@@ -162,6 +206,11 @@ func NewWorld(cfg Config) *World {
 	if err := cfg.FS.Validate(); err != nil {
 		panic(err)
 	}
+	if v := worldPool.Get(); v != nil {
+		w := v.(*World)
+		w.reset(cfg)
+		return w
+	}
 	w := &World{
 		cfg:    cfg,
 		eng:    sim.NewEngine(cfg.Seed),
@@ -171,18 +220,64 @@ func NewWorld(cfg Config) *World {
 		fs:     sim.NewStriped(cfg.FS.Stripes),
 		stash:  make(map[string]interface{}),
 	}
-	w.ranks = make([]*rankState, cfg.Procs)
+	w.buildRanks()
+	return w
+}
+
+// buildRanks (re)creates the rank array and world communicator for the
+// current configuration, reusing rankState objects where the slice
+// already holds them.
+func (w *World) buildRanks() {
+	cfg := w.cfg
+	if cap(w.ranks) >= cfg.Procs {
+		w.ranks = w.ranks[:cfg.Procs]
+	} else {
+		w.ranks = make([]*rankState, cfg.Procs)
+	}
 	members := make([]int, cfg.Procs)
 	for i := range w.ranks {
-		w.ranks[i] = &rankState{
-			world: w,
-			rank:  i,
-			speed: cfg.Noise.SpeedFactor(cfg.Seed, i),
+		speed := cfg.Noise.SpeedFactor(cfg.Seed, i)
+		if rs := w.ranks[i]; rs != nil {
+			rs.world = w
+			rs.rank = i
+			rs.reset(speed)
+		} else {
+			w.ranks[i] = &rankState{world: w, rank: i, speed: speed}
 		}
 		members[i] = i
 	}
 	w.world = newComm(w, members, identityIndex(cfg.Procs))
-	return w
+}
+
+// reset reinitializes a recycled world for cfg, retaining engine, ranks,
+// matching-index and freelist capacity. The result is behaviourally
+// indistinguishable from NewWorld building from scratch.
+func (w *World) reset(cfg Config) {
+	w.cfg = cfg
+	w.eng.Reset(cfg.Seed)
+	w.comms = 0
+	clear(w.splits)
+	clear(w.opens)
+	clear(w.files)
+	clear(w.stash)
+	if w.fs.Width() == cfg.FS.Stripes {
+		w.fs.Reset()
+	} else {
+		w.fs = sim.NewStriped(cfg.FS.Stripes)
+	}
+	w.buildRanks()
+}
+
+// Release returns the world to the process-wide pool for reuse by a later
+// NewWorld. Only call it after Run returned cleanly, and do not touch the
+// world (or any Rank, Comm or Request derived from it) afterwards. Sweeps
+// that release worlds between points cut per-point allocation churn to
+// near zero; forgetting to release is safe, just slower.
+func (w *World) Release() {
+	if w.eng == nil {
+		return
+	}
+	worldPool.Put(w)
 }
 
 func (w *World) nextCommID() int {
@@ -240,12 +335,45 @@ func (w *World) Run(main func(r *Rank)) (sim.Time, error) {
 	return w.eng.Run()
 }
 
+// FiberMain is a fiber-backed rank body: called once when the rank's
+// fiber first runs, it returns the body's first step. Blocking operations
+// use the F-prefixed continuation variants (FCompute, Comm.FRecv,
+// Comm.FBarrier, ...); the goroutine-style blocking calls panic on a
+// fiber-backed rank.
+type FiberMain func(r *Rank, f *sim.Fiber) sim.StepFunc
+
+// RunFibers is Run with the step-function process representation: one
+// fiber per rank instead of one goroutine per rank, so a cross-rank
+// dispatch costs a method call instead of a goroutine switch. A fiber
+// body that performs the same sequence of runtime operations as its
+// goroutine counterpart produces a bit-identical trajectory (the two
+// representations share the engine's (t, seq) determinism contract).
+//
+// Tracing is not supported in fiber mode: callers gate on Config.Tracer
+// and fall back to Run when one is configured.
+func (w *World) RunFibers(main FiberMain) (sim.Time, error) {
+	if w.cfg.Tracer != nil {
+		panic("mpi: RunFibers does not support tracing; use Run when a Tracer is configured")
+	}
+	for i := range w.ranks {
+		rs := w.ranks[i]
+		rank := &Rank{w: w, rs: rs}
+		rank.fib = w.eng.SpawnFiber(fmt.Sprintf("rank%d", rs.rank), func(f *sim.Fiber) sim.StepFunc {
+			return main(rank, f)
+		})
+	}
+	return w.eng.Run()
+}
+
 // Rank is the handle a rank's code uses to compute and communicate. It is
-// valid only inside the function passed to Run, on that rank's process.
+// valid only inside the function passed to Run (or RunFibers), on that
+// rank's process. Exactly one of proc and fib is set, depending on the
+// representation the world was run with.
 type Rank struct {
 	w    *World
 	rs   *rankState
 	proc *sim.Proc
+	fib  *sim.Fiber
 }
 
 // ID reports this process's rank in the world communicator.
@@ -258,7 +386,7 @@ func (r *Rank) Size() int { return len(r.w.ranks) }
 func (r *Rank) World() *Comm { return r.w.world }
 
 // Now reports the current virtual time.
-func (r *Rank) Now() sim.Time { return r.proc.Now() }
+func (r *Rank) Now() sim.Time { return r.w.eng.Now() }
 
 // SpeedFactor reports the static noise-model slowdown of this rank.
 func (r *Rank) SpeedFactor() float64 { return r.rs.speed }
@@ -300,9 +428,56 @@ func (r *Rank) trace(category, label string, start sim.Time) {
 	}
 }
 
+// ctx returns the rank's execution context — its proc or its fiber —
+// for representation-neutral overhead accounting.
+func (r *Rank) ctx() exec {
+	if r.proc != nil {
+		return r.proc
+	}
+	return r.fib
+}
+
+// AddDebt records d of CPU overhead on the rank's execution context
+// without yielding, whichever representation backs the rank. Libraries
+// layered on the runtime (for example, the stream library's per-element
+// injection overhead) use it to stay representation-neutral.
+func (r *Rank) AddDebt(d sim.Time) { r.ctx().AddDebt(d) }
+
+// FCompute is Compute for fiber-backed ranks: it consumes d of scaled,
+// noise-perturbed virtual time and continues with next.
+func (r *Rank) FCompute(d sim.Time, next sim.StepFunc) sim.StepFunc {
+	return r.FComputeLabeled(d, "comp", next)
+}
+
+// FComputeLabeled is FCompute with an explicit label, mirroring
+// ComputeLabeled's cost arithmetic exactly (labels only matter under a
+// tracer, which fiber mode does not support).
+func (r *Rank) FComputeLabeled(d sim.Time, label string, next sim.StepFunc) sim.StepFunc {
+	_ = label
+	if d <= 0 {
+		return next
+	}
+	scaled := sim.Time(float64(d) * r.rs.speed)
+	if _, zero := r.w.cfg.Noise.(netmodel.None); !zero {
+		scaled += r.w.cfg.Noise.Jitter(r.fib.Rand(), scaled)
+	}
+	return r.fib.Advance(scaled, next)
+}
+
+// FIdle is Idle for fiber-backed ranks.
+func (r *Rank) FIdle(d sim.Time, next sim.StepFunc) sim.StepFunc {
+	if d > 0 {
+		return r.fib.Advance(d, next)
+	}
+	return next
+}
+
 // Proc exposes the underlying simulated process (for advanced callers such
-// as the stream library).
+// as the stream library). It is nil on fiber-backed ranks.
 func (r *Rank) Proc() *sim.Proc { return r.proc }
+
+// Fiber exposes the underlying fiber on fiber-backed ranks, nil otherwise.
+func (r *Rank) Fiber() *sim.Fiber { return r.fib }
 
 // Stash is a world-wide scratch space for libraries built on the runtime
 // (for example, the stream library's channel registry). Simulation code

@@ -125,6 +125,117 @@ func BenchmarkSameTimeCallbacks(b *testing.B) {
 	reportEventRate(b, e)
 }
 
+// BenchmarkFiberPingPong measures fiber-to-fiber cross-process dispatch:
+// two fibers advancing in strict alternation, so every event is a resume
+// of the *other* fiber — the pattern that costs a goroutine switch
+// (~600ns) under the Proc representation and a plain method call here.
+func BenchmarkFiberPingPong(b *testing.B) {
+	e := NewEngine(1)
+	for i := 0; i < 2; i++ {
+		i := i
+		e.SpawnFiber("f", func(f *Fiber) StepFunc {
+			n := 0
+			var step StepFunc
+			step = func(f *Fiber) StepFunc {
+				if n >= b.N {
+					return nil
+				}
+				n++
+				return f.Advance(2, step)
+			}
+			return f.Advance(Time(i+1), step) // offset so the two strictly interleave
+		})
+	}
+	b.ResetTimer()
+	if _, err := e.Run(); err != nil {
+		b.Fatal(err)
+	}
+	reportEventRate(b, e)
+}
+
+// BenchmarkFiberAdvanceInline measures a sole runnable fiber on the
+// inline-advance fast path, the fiber counterpart of
+// BenchmarkAdvanceInline.
+func BenchmarkFiberAdvanceInline(b *testing.B) {
+	e := NewEngine(1)
+	e.SpawnFiber("f", func(f *Fiber) StepFunc {
+		n := 0
+		var step StepFunc
+		step = func(f *Fiber) StepFunc {
+			if n >= b.N {
+				return nil
+			}
+			n++
+			return f.Advance(10, step)
+		}
+		return step
+	})
+	b.ResetTimer()
+	if _, err := e.Run(); err != nil {
+		b.Fatal(err)
+	}
+	reportEventRate(b, e)
+}
+
+// BenchmarkManyFibersStaggered is BenchmarkManyProcsStaggered with fibers:
+// heap-dominated dispatch with zero goroutine switches.
+func BenchmarkManyFibersStaggered(b *testing.B) {
+	const fibers = 64
+	e := NewEngine(1)
+	per := b.N/fibers + 1
+	for i := 0; i < fibers; i++ {
+		i := i
+		e.SpawnFiber("f", func(f *Fiber) StepFunc {
+			n := 0
+			var step StepFunc
+			step = func(f *Fiber) StepFunc {
+				if n >= per {
+					return nil
+				}
+				n++
+				return f.Advance(Time(97+i%7), step)
+			}
+			return step
+		})
+	}
+	b.ResetTimer()
+	if _, err := e.Run(); err != nil {
+		b.Fatal(err)
+	}
+	reportEventRate(b, e)
+}
+
+// BenchmarkBroadcastAllocs guards the collective wake hot path: waking a
+// full queue of parked fibers must not allocate beyond the wake events
+// themselves (whose ring storage is reused across drains).
+func BenchmarkBroadcastAllocs(b *testing.B) {
+	const waiters = 32
+	e := NewEngine(1)
+	var q WaitQueue
+	var park func(f *Fiber) StepFunc
+	park = func(f *Fiber) StepFunc {
+		return q.WaitFiber(f, "bench", park)
+	}
+	for i := 0; i < waiters; i++ {
+		e.SpawnFiber("w", park)
+	}
+	n := 0
+	var tick func()
+	tick = func() {
+		if n < b.N {
+			n++
+			q.Broadcast(e)
+			e.After(1, tick)
+		}
+	}
+	e.After(1, tick)
+	b.ReportAllocs()
+	b.ResetTimer()
+	if _, err := e.RunUntil(Time(b.N) + 2); err != nil {
+		b.Fatal(err)
+	}
+}
+
 // BenchmarkManyProcsStaggered measures heap-dominated dispatch: many
 // processes advancing with co-prime strides, so resumes interleave
 // through the event heap like a large lockstep simulation.

@@ -154,8 +154,9 @@ type Engine struct {
 	seed    int64
 
 	procs     []*Proc
-	live      int // procs spawned and not yet finished
-	nextProc  int
+	fibs      []*Fiber
+	live      int // procs and fibers spawned and not yet finished
+	nextProc  int // shared id counter for both process representations
 	running   bool
 	fired     uint64
 	reported  uint64 // events already added to the global counter
@@ -172,6 +173,77 @@ func NewEngine(seed int64) *Engine {
 		runWake: make(chan struct{}),
 		seed:    seed,
 	}
+}
+
+// Runnable is the scheduling contract shared by the engine's two process
+// representations: goroutine-backed processes (Proc) and step-function
+// fibers (Fiber). Both are resumed via events ordered by (t, seq) in the
+// same heap and same-timestamp ring, so wait queues and wake-ups treat
+// them uniformly; only the final dispatch differs (a token handoff for a
+// Proc, an inline call for a Fiber). Code that parks either representation
+// stores the Runnable and wakes it with Engine.WakeAt.
+type Runnable interface {
+	// Name reports the spawn name, for deadlock diagnostics.
+	Name() string
+	// ID reports the engine-unique spawn-order identifier.
+	ID() int
+	// resumeAt schedules the runnable's resume event at virtual time t.
+	resumeAt(t Time)
+	// blockedOn reports whether the runnable is blocked awaiting an
+	// external wake, and the reason shown in deadlock reports.
+	blockedOn() (bool, string)
+	// engine returns the owning engine.
+	engine() *Engine
+}
+
+// Reset returns the engine to its initial state with a new seed, keeping
+// the event-heap and ring capacity so that reusing one engine across many
+// simulation runs allocates nothing per run. A reset engine behaves
+// exactly like a fresh NewEngine(seed): virtual time, sequence numbers and
+// event counters restart from zero, so trajectories are independent of
+// reuse.
+//
+// Reset must not be called while the engine is running, and every
+// goroutine-backed process must have finished or been unwound (as Run
+// guarantees on return); fibers have no stacks and are simply dropped.
+func (e *Engine) Reset(seed int64) {
+	if e.running {
+		panic("sim: Reset called while the engine is running")
+	}
+	for _, p := range e.procs {
+		if p.state != procDone {
+			panic(fmt.Sprintf("sim: Reset with process %q still live (after RunUntil?)", p.name))
+		}
+	}
+	e.flushGlobalEvents()
+	for i := range e.queue {
+		e.queue[i] = event{}
+	}
+	e.queue = e.queue[:0]
+	for i := range e.imm {
+		e.imm[i] = event{}
+	}
+	e.imm = e.imm[:0]
+	e.immHead = 0
+	for i := range e.procs {
+		e.procs[i] = nil
+	}
+	e.procs = e.procs[:0]
+	for i := range e.fibs {
+		e.fibs[i] = nil
+	}
+	e.fibs = e.fibs[:0]
+	e.now = 0
+	e.seq = 0
+	e.limit = 0
+	e.seed = seed
+	e.live = 0
+	e.nextProc = 0
+	e.fired = 0
+	e.reported = 0
+	e.stopped = false
+	e.panicked = nil
+	e.panicProc = nil
 }
 
 // Now reports the current virtual time.
@@ -433,7 +505,8 @@ func (e *Engine) RunUntil(limit Time) (Time, error) {
 
 // unwind terminates any still-blocked process goroutines so they do not
 // leak after the simulation ends. Each woken goroutine unwinds via
-// stopSignal and hands the token straight back here.
+// stopSignal and hands the token straight back here. Fibers have no
+// goroutine to unwind: their pending continuations are simply dropped.
 func (e *Engine) unwind() {
 	e.stopped = true
 	for _, p := range e.procs {
@@ -442,15 +515,24 @@ func (e *Engine) unwind() {
 			<-e.runWake
 		}
 	}
+	for _, f := range e.fibs {
+		f.next = nil
+	}
 	e.panicked = nil
 }
 
-// deadlockError builds a descriptive error naming all blocked processes.
+// deadlockError builds a descriptive error naming all blocked processes
+// and fibers.
 func (e *Engine) deadlockError() error {
 	var blocked []string
 	for _, p := range e.procs {
 		if p.state == procBlocked {
 			blocked = append(blocked, fmt.Sprintf("%s (%s)", p.name, p.blockReason))
+		}
+	}
+	for _, f := range e.fibs {
+		if isBlocked, reason := f.blockedOn(); isBlocked {
+			blocked = append(blocked, fmt.Sprintf("%s (%s)", f.name, reason))
 		}
 	}
 	sort.Strings(blocked)

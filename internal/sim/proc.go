@@ -35,6 +35,17 @@ func (p *Proc) Name() string { return p.name }
 // ID reports the engine-unique process id, in spawn order.
 func (p *Proc) ID() int { return p.id }
 
+// resumeAt schedules the process's resume event (Runnable contract).
+func (p *Proc) resumeAt(t Time) { p.e.atProc(t, p) }
+
+// blockedOn reports deadlock-diagnostic state (Runnable contract).
+func (p *Proc) blockedOn() (bool, string) {
+	return p.state == procBlocked, p.blockReason
+}
+
+// engine returns the owning engine (Runnable contract).
+func (p *Proc) engine() *Engine { return p.e }
+
 // Engine returns the engine this process belongs to.
 func (p *Proc) Engine() *Engine { return p.e }
 
@@ -187,15 +198,17 @@ func (p *Proc) Park(reason string) { p.park(reason) }
 // cheaper.
 func (p *Proc) ParkKeepingDebt(reason string) { p.yield(reason) }
 
-// WakeAt schedules p, parked via Park (or a WaitQueue), to resume at
-// virtual time t.
-func (e *Engine) WakeAt(t Time, p *Proc) { e.atProc(t, p) }
+// WakeAt schedules r — a Proc or Fiber parked via Park (or a WaitQueue) —
+// to resume at virtual time t. Either representation consumes exactly one
+// event with the next sequence number, so wake-ups are trajectory-neutral
+// across representations.
+func (e *Engine) WakeAt(t Time, r Runnable) { r.resumeAt(t) }
 
-// unpark schedules p to resume at the current virtual time. It must be
+// unpark schedules r to resume at the current virtual time. It must be
 // called from simulation context (another process or an event callback)
-// and p must be blocked in park.
-func (e *Engine) unpark(p *Proc) {
-	e.atProc(e.now, p)
+// and r must be parked.
+func (e *Engine) unpark(r Runnable) {
+	r.resumeAt(e.now)
 }
 
 // Spawn starts a child process at the current virtual time. It is a
@@ -205,10 +218,12 @@ func (p *Proc) Spawn(name string, body func(*Proc)) *Proc {
 	return p.e.Spawn(name, body)
 }
 
-// WaitQueue is a FIFO list of processes blocked on a condition. The zero
-// value is ready to use.
+// WaitQueue is a FIFO list of processes or fibers blocked on a condition.
+// The zero value is ready to use. Signal and Broadcast reuse the backing
+// array across fill/drain cycles, so steady-state waiting allocates
+// nothing.
 type WaitQueue struct {
-	waiters []*Proc
+	waiters []Runnable
 }
 
 // Wait blocks the calling process until Signal releases it. reason is
@@ -218,23 +233,38 @@ func (q *WaitQueue) Wait(p *Proc, reason string) {
 	p.park(reason)
 }
 
+// WaitFiber parks f on the queue until Signal or Broadcast releases it,
+// then continues with next. The fiber counterpart of Wait: it occupies the
+// same FIFO position a Proc would, so mixed queues wake in arrival order
+// regardless of representation.
+func (q *WaitQueue) WaitFiber(f *Fiber, reason string, next StepFunc) StepFunc {
+	if f.debt != 0 {
+		panic(fmt.Sprintf("sim: fiber %q waited with %v of unflushed debt", f.name, f.debt))
+	}
+	q.waiters = append(q.waiters, f)
+	return f.ParkKeepingDebt(reason, next)
+}
+
 // Signal releases the longest-waiting process, if any, and reports whether
 // one was released.
 func (q *WaitQueue) Signal(e *Engine) bool {
 	if len(q.waiters) == 0 {
 		return false
 	}
-	p := q.waiters[0]
+	r := q.waiters[0]
 	copy(q.waiters, q.waiters[1:])
+	q.waiters[len(q.waiters)-1] = nil
 	q.waiters = q.waiters[:len(q.waiters)-1]
-	e.unpark(p)
+	e.unpark(r)
 	return true
 }
 
-// Broadcast releases all waiting processes.
+// Broadcast releases all waiting processes in FIFO order. The backing
+// array is retained (entries cleared) for reuse by later waiters.
 func (q *WaitQueue) Broadcast(e *Engine) {
-	for _, p := range q.waiters {
-		e.unpark(p)
+	for i, r := range q.waiters {
+		e.unpark(r)
+		q.waiters[i] = nil
 	}
 	q.waiters = q.waiters[:0]
 }

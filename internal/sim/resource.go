@@ -44,6 +44,14 @@ func NewStriped(n int) *Striped {
 // Width reports the number of links in the bank.
 func (s *Striped) Width() int { return len(s.links) }
 
+// Reset clears all reservations, returning the bank to its initial state
+// for reuse across simulation runs.
+func (s *Striped) Reset() {
+	for i := range s.links {
+		s.links[i] = Link{}
+	}
+}
+
 // Reserve books dur on the link that can start earliest (ties broken by
 // lowest index, for determinism).
 func (s *Striped) Reserve(at, dur Time) (start, end Time) {
@@ -69,9 +77,10 @@ func (s *Striped) Busy() Time {
 
 // Token is a distributed mutual-exclusion resource with FIFO hand-off and
 // a fixed per-acquisition cost, used to model shared-file-pointer
-// serialization. Unlike Link it blocks the acquiring process.
+// serialization. Unlike Link it blocks the acquirer, which may be either
+// process representation.
 type Token struct {
-	holder  *Proc
+	holder  Runnable
 	waiters WaitQueue
 	grants  uint64
 }
@@ -86,14 +95,29 @@ func (t *Token) Acquire(p *Proc, reason string) {
 	t.grants++
 }
 
+// FAcquire is Acquire for fibers: it takes the token and continues with
+// next, queueing in the same FIFO positions a Proc would.
+func (t *Token) FAcquire(f *Fiber, reason string, next StepFunc) StepFunc {
+	var loop StepFunc
+	loop = func(_ *Fiber) StepFunc {
+		if t.holder != nil {
+			return t.waiters.WaitFiber(f, reason, loop)
+		}
+		t.holder = f
+		t.grants++
+		return next
+	}
+	return f.FlushDebt(loop)
+}
+
 // Release frees the token and wakes the next waiter. Releasing a token the
 // caller does not hold is a programming error.
-func (t *Token) Release(p *Proc) {
-	if t.holder != p {
+func (t *Token) Release(r Runnable) {
+	if t.holder != r {
 		panic("sim: Token released by non-holder")
 	}
 	t.holder = nil
-	t.waiters.Signal(p.e)
+	t.waiters.Signal(r.engine())
 }
 
 // Grants reports how many times the token has been acquired.

@@ -27,9 +27,58 @@
 // Equal-time events always fire in scheduling (seq) order, whichever path
 // they take; all three fast paths preserve that order, which is what
 // keeps optimized runs bit-identical to the naive loop.
+//
+// # Process representations
+//
+// Simulated processes come in two interchangeable representations:
+// goroutine-backed processes (Proc), whose bodies block naturally, and
+// step-function fibers (Fiber), explicit continuation state machines that
+// the dispatcher resumes with a plain function call — roughly two orders
+// of magnitude cheaper than a goroutine handoff on cross-process
+// dispatch. Both schedule resume events through the same heap and ring
+// and share the (t, seq) contract, so a faithfully ported body produces
+// the same trajectory under either representation.
+//
+// # Determinism versioning
+//
+// The simulator's determinism contract is: one (code version, seed,
+// configuration) triple produces exactly one virtual-time trajectory —
+// the sequence of (t, seq) event firings — and therefore bit-identical
+// experiment output. TrajectoryVersion names the code-version component.
+//
+// A change is TRAJECTORY-BREAKING, and must bump TrajectoryVersion, when
+// it alters the (t, seq) sequence any existing program fires: examples
+// are reordering the operations a primitive performs (posting a receive
+// before instead of after a send), changing wake granularity (moving
+// WaitAny from the rank-wide progress queue to per-request waiters
+// changes same-instant wake ordering and is the canonical pending case),
+// changing a collective algorithm, changing how random streams derive
+// from seeds, or changing cost arithmetic. A change is NOT breaking when
+// it preserves event order exactly: taking a different dispatch path for
+// the same events (inline advance, ring versus heap, fiber versus
+// goroutine), pooling or reusing memory, or pure API additions.
+//
+// A bump is recorded by (1) incrementing TrajectoryVersion with a comment
+// naming what changed and why, (2) regenerating the checked-in trajectory
+// artifacts (BENCH_PR*.json and any golden figure output) in the same
+// change, and (3) noting the bump in ROADMAP.md so sweep results from
+// different versions are never compared as if equal. Cross-representation
+// equivalence is enforced separately by the differential tests in
+// internal/experiments, which must pass unconditionally — representation
+// is never an excuse for a version bump.
 package sim
 
 import "fmt"
+
+// TrajectoryVersion identifies the simulator's trajectory-determinism
+// generation: all runs with equal (TrajectoryVersion, seed, config)
+// produce bit-identical virtual-time trajectories. Bump it only for
+// changes that alter event (t, seq) order for existing programs — see
+// the package comment's determinism-versioning policy.
+//
+// Version 1: the seed trajectory contract (PR 1 event order; PR 2's
+// fiber representation reproduces it exactly and did not bump).
+const TrajectoryVersion = 1
 
 // Time is a point in virtual time, measured in nanoseconds from the start
 // of the simulation. Durations are also expressed as Time values.

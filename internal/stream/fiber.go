@@ -1,0 +1,253 @@
+// Fiber-backed stream entry points.
+//
+// Producer-side calls (Isend, IsendTo, Flush, Terminate) never block and
+// are representation-neutral already; this file adds the continuation
+// forms of the operations that do block — channel setup, the consumer
+// loop and channel teardown — for ranks run with mpi.World.RunFibers.
+// Each mirrors its goroutine twin operation for operation, preserving the
+// engine's (t, seq) determinism contract across representations.
+package stream
+
+import (
+	"fmt"
+
+	"repro/internal/mpi"
+	"repro/internal/sim"
+)
+
+// FOperator is the fiber form of Operator: it processes one arrived
+// element and continues with then. Operators that only do bookkeeping
+// (no virtual-time consumption) return then directly; operators that
+// compute per element return r.FCompute(..., then).
+type FOperator func(r *mpi.Rank, elem Element, src int, then sim.StepFunc) sim.StepFunc
+
+// FCreateChannel is CreateChannel for fiber-backed ranks, delivering the
+// established channel to then.
+func FCreateChannel(r *mpi.Rank, parent *mpi.Comm, role Role, then func(*Channel) sim.StepFunc) sim.StepFunc {
+	me := parent.RankOf(r)
+	return parent.FAllgatherv(r, mpi.Part{Bytes: 4, Data: role}, func(roles []mpi.Part) sim.StepFunc {
+		ch := &Channel{
+			parent:    parent,
+			role:      role,
+			attachSeq: make(map[int]int),
+			freeSeq:   make(map[int]int),
+		}
+		for rank, part := range roles {
+			switch part.Data.(Role) {
+			case Producer:
+				ch.producers = append(ch.producers, rank)
+			case Consumer:
+				ch.consumers = append(ch.consumers, rank)
+			}
+		}
+		if len(ch.producers) == 0 || len(ch.consumers) == 0 {
+			panic("stream: channel needs at least one producer and one consumer")
+		}
+		prodColor, consColor := -1, -1
+		if role == Producer {
+			prodColor = 1
+		}
+		if role == Consumer {
+			consColor = 1
+		}
+		return parent.FSplit(r, prodColor, me, func(pc *mpi.Comm) sim.StepFunc {
+			ch.prodComm = pc
+			return parent.FSplit(r, consColor, me, func(cc *mpi.Comm) sim.StepFunc {
+				ch.consComm = cc
+				key := fmt.Sprintf("stream:chanseq:%d", parent.ID())
+				stash := r.Stash()
+				seqs, _ := stash[key].(map[int]int)
+				if seqs == nil {
+					seqs = make(map[int]int)
+					stash[key] = seqs
+				}
+				seqs[me]++
+				ch.seq = seqs[me]
+				return then(ch)
+			})
+		})
+	})
+}
+
+// FFree is Channel.Free for fiber-backed ranks.
+func (ch *Channel) FFree(r *mpi.Rank, then sim.StepFunc) sim.StepFunc {
+	me := ch.parent.RankOf(r)
+	ch.freeSeq[me]++
+	if ch.freeSeq[me] > 1 {
+		panic("stream: channel freed twice")
+	}
+	return ch.parent.FBarrier(r, then)
+}
+
+// fexchangeTotals is exchangeTotals in continuation form.
+func (s *Stream) fexchangeTotals(r *mpi.Rank, totals []int64, then func(int64) sim.StepFunc) sim.StepFunc {
+	return s.ch.consComm.FAllgatherv(r, mpi.Part{
+		Bytes: int64(8 * len(totals)),
+		Data:  totals,
+	}, func(parts []mpi.Part) sim.StepFunc {
+		var expected int64
+		for _, part := range parts {
+			expected += part.Data.([]int64)[s.consIdx]
+		}
+		return then(expected)
+	})
+}
+
+// FOperate is Operate for fiber-backed ranks: the same first-come-first-
+// served consumer loop and termination detection, with the operator and
+// all waits in continuation form. The final statistics are delivered to
+// then.
+func (s *Stream) FOperate(r *mpi.Rank, op FOperator, then func(Stats) sim.StepFunc) sim.StepFunc {
+	if s.consIdx < 0 {
+		panic("stream: FOperate called on a non-consumer rank")
+	}
+	if s.opts.FixedOrder {
+		return s.foperateFixed(r, op, then)
+	}
+	c := s.ch.parent
+	homeTerms := s.ch.homeProducerCount(s.consIdx)
+	expected := int64(-1)
+	var received int64
+	totals := make([]int64, len(s.ch.consumers))
+
+	elemReq := c.Irecv(r, mpi.AnySource, s.elemTag)
+	termReq := c.Irecv(r, mpi.AnySource, s.termTag)
+	reqs := make([]*mpi.Request, 2)
+	var loop sim.StepFunc
+	loop = func(_ *sim.Fiber) sim.StepFunc {
+		if expected >= 0 && received >= expected {
+			return then(s.stats)
+		}
+		waitStart := r.Now()
+		reqs[0], reqs[1] = elemReq, termReq
+		return c.FWaitAny(r, reqs, func(idx int, st mpi.Status) sim.StepFunc {
+			s.stats.WaitTime += r.Now() - waitStart
+			if idx == 0 {
+				b := st.Data.(batch)
+				ei := 0
+				var elems sim.StepFunc
+				elems = func(_ *sim.Fiber) sim.StepFunc {
+					if ei >= len(b.elems) {
+						s.stats.Messages++
+						elemReq = c.Irecv(r, mpi.AnySource, s.elemTag)
+						return loop
+					}
+					elem := b.elems[ei]
+					ei++
+					received++
+					s.stats.ElementsReceived++
+					s.stats.Bytes += elem.Bytes
+					if s.stats.FirstAt == 0 {
+						s.stats.FirstAt = r.Now()
+					}
+					s.stats.LastAt = r.Now()
+					return op(r, elem, b.src, elems)
+				}
+				return elems
+			}
+			tm := st.Data.(termMsg)
+			for ci, n := range tm.sentTo {
+				totals[ci] += n
+			}
+			homeTerms--
+			if homeTerms > 0 {
+				termReq = c.Irecv(r, mpi.AnySource, s.termTag)
+				return loop
+			}
+			// All home producers terminated: agree on global totals.
+			return s.fexchangeTotals(r, totals, func(exp int64) sim.StepFunc {
+				expected = exp
+				return loop
+			})
+		})
+	}
+	if homeTerms == 0 {
+		// No producer terminates through this consumer: join the
+		// termination exchange immediately, as Operate does.
+		return s.fexchangeTotals(r, totals, func(exp int64) sim.StepFunc {
+			expected = exp
+			return loop
+		})
+	}
+	return loop
+}
+
+// foperateFixed is operateFixed in continuation form: home producers are
+// drained in a fixed round-robin order, so a slow producer stalls
+// consumption of already-arrived data from the others.
+func (s *Stream) foperateFixed(r *mpi.Rank, op FOperator, then func(Stats) sim.StepFunc) sim.StepFunc {
+	c := s.ch.parent
+	type srcState struct {
+		pi       int
+		elemReq  *mpi.Request
+		termReq  *mpi.Request
+		finished bool
+	}
+	var states []*srcState
+	for pi := range s.ch.producers {
+		if s.ch.HomeConsumer(pi) == s.consIdx {
+			states = append(states, &srcState{pi: pi})
+		}
+	}
+	remaining := len(states)
+	reqs := make([]*mpi.Request, 2)
+	si := 0
+	var pass sim.StepFunc
+	pass = func(_ *sim.Fiber) sim.StepFunc {
+		if remaining == 0 {
+			return then(s.stats)
+		}
+		if si >= len(states) {
+			si = 0
+			return pass
+		}
+		st := states[si]
+		if st.finished {
+			si++
+			return pass
+		}
+		src := s.ch.producers[st.pi]
+		// Posted requests persist across passes; never double-post.
+		if st.elemReq == nil {
+			st.elemReq = c.Irecv(r, src, s.elemTag)
+		}
+		if st.termReq == nil {
+			st.termReq = c.Irecv(r, src, s.termTag)
+		}
+		waitStart := r.Now()
+		reqs[0], reqs[1] = st.elemReq, st.termReq
+		return c.FWaitAny(r, reqs, func(idx int, status mpi.Status) sim.StepFunc {
+			s.stats.WaitTime += r.Now() - waitStart
+			if idx == 1 {
+				// Non-overtaking per (source, tag) plus issue order on
+				// the producer guarantee no element follows the term.
+				st.finished = true
+				remaining--
+				si++
+				return pass
+			}
+			b := status.Data.(batch)
+			ei := 0
+			var elems sim.StepFunc
+			elems = func(_ *sim.Fiber) sim.StepFunc {
+				if ei >= len(b.elems) {
+					s.stats.Messages++
+					st.elemReq = nil
+					si++
+					return pass
+				}
+				elem := b.elems[ei]
+				ei++
+				s.stats.ElementsReceived++
+				s.stats.Bytes += elem.Bytes
+				if s.stats.FirstAt == 0 {
+					s.stats.FirstAt = r.Now()
+				}
+				s.stats.LastAt = r.Now()
+				return op(r, elem, b.src, elems)
+			}
+			return elems
+		})
+	}
+	return pass
+}

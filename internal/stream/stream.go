@@ -107,7 +107,7 @@ func (s *Stream) IsendTo(r *mpi.Rank, elem Element, consumer int) {
 		elem.Bytes = s.opts.ElementBytes
 	}
 	// Element construction + injection-call overhead: the o of Eq. 4.
-	r.Proc().AddDebt(s.opts.InjectOverhead)
+	r.AddDebt(s.opts.InjectOverhead)
 	s.stats.ElementsSent++
 	s.stats.Bytes += elem.Bytes
 	s.sent[consumer]++
