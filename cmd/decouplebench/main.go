@@ -5,6 +5,7 @@
 //
 //	decouplebench -experiment fig5 -max-procs 8192 -runs 10
 //	decouplebench -experiment all -format csv -out results.csv
+//	decouplebench -experiment cosched -jobs 3 -cosched-policy fair
 //	decouplebench -compare -regress-pct 50 BENCH_PR2.json new.json
 //
 // Figure 2 and 3 are trace renderings; use cmd/traceviz for those.
@@ -22,6 +23,11 @@ import (
 	"repro/internal/sim"
 )
 
+// fibersDefault is the -fibers default: fiber rank bodies (the soaked
+// representation), unless REPRO_FIBERS explicitly says otherwise. An
+// explicit flag on the command line overrides the environment either way.
+func fibersDefault() bool { return experiments.EnvFibers(true) }
+
 // benchEntry is one experiment's performance record in the -json report.
 type benchEntry struct {
 	NsPerOp      int64   `json:"ns_per_op"`
@@ -36,7 +42,9 @@ func main() {
 		maxProcs   = flag.Int("max-procs", 1024, "largest process count in the weak-scaling sweeps (paper: 8192)")
 		runs       = flag.Int("runs", 3, "repetitions per data point (paper: 10)")
 		workers    = flag.Int("workers", 0, "concurrent sweep points (0: REPRO_WORKERS or one per CPU)")
-		fibers     = flag.Bool("fibers", false, "run rank bodies as goroutine-free fibers where ported (default: REPRO_FIBERS)")
+		fibers     = flag.Bool("fibers", fibersDefault(), "run rank bodies as goroutine-free fibers (the soaked default; -fibers=false restores goroutine bodies)")
+		jobs       = flag.Int("jobs", 0, "cosched: concurrent jobs per point (0: sweep the built-in set)")
+		coschedPol = flag.String("cosched-policy", "", "cosched: inter-job bank policy fcfs, fair or priority (empty: all)")
 		format     = flag.String("format", "table", "output format: table or csv")
 		out        = flag.String("out", "", "output file (default stdout)")
 		quiet      = flag.Bool("quiet", false, "suppress progress logging")
@@ -68,7 +76,18 @@ func main() {
 		}
 	}
 
-	opts := experiments.Options{MaxProcs: *maxProcs, Runs: *runs, Workers: *workers, Fibers: *fibers}
+	opts := experiments.Options{
+		MaxProcs: *maxProcs,
+		Runs:     *runs,
+		Workers:  *workers,
+		// The -fibers default already folds in REPRO_FIBERS, so the
+		// parsed flag is the fully-resolved choice (an explicit
+		// -fibers=false wins over the environment).
+		Fibers:         *fibers,
+		FibersExplicit: true,
+		CoschedJobs:    *jobs,
+		CoschedPolicy:  *coschedPol,
+	}
 	if !*quiet {
 		opts.Log = os.Stderr
 	}

@@ -227,26 +227,23 @@ func runCommDecoupledFibers(c Config, w *mpi.World) (Result, error) {
 	return res, nil
 }
 
-// runIOReferenceFibers is runIOReference's body in fiber form.
-func runIOReferenceFibers(c Config, v IOVariant, w *mpi.World) (Result, error) {
-	dims := dims3(c.Procs)
-	field := c.field(dims, c.Procs)
-	var makespan sim.Time
-	var file *mpi.File
-	_, err := w.RunFibers(func(r *mpi.Rank, fib *sim.Fiber) sim.StepFunc {
+// referenceFiberBody is referenceBody in fiber form.
+func (s *ioRun) referenceFiberBody() mpi.FiberMain {
+	c, v := s.c, s.v
+	return func(r *mpi.Rank, fib *sim.Fiber) sim.StepFunc {
 		world := r.World()
-		cart := mpi.NewCart(world, dims[:], true)
+		cart := mpi.NewCart(world, s.dims[:], true)
 		coords := cart.Coords(world.RankOf(r))
-		myCount := field.Count([3]int{coords[0], coords[1], coords[2]})
+		myCount := s.field.Count([3]int{coords[0], coords[1], coords[2]})
 		return world.FOpen(r, "particles.dat", func(f *mpi.File) sim.StepFunc {
-			file = f
+			s.file = f
 			out := c.saveBytes(myCount)
 			step := 0
 			var stepLoop sim.StepFunc
 			stepLoop = func(_ *sim.Fiber) sim.StepFunc {
 				if step >= c.Steps {
-					if t := r.Now(); t > makespan {
-						makespan = t
+					if t := r.Now(); t > s.makespan {
+						s.makespan = t
 					}
 					return nil
 				}
@@ -260,27 +257,14 @@ func runIOReferenceFibers(c Config, v IOVariant, w *mpi.World) (Result, error) {
 			}
 			return stepLoop
 		})
-	})
-	if err != nil {
-		return Result{}, err
 	}
-	res := Result{Time: makespan, Messages: w.MessagesSent(), BytesWritten: file.BytesWritten()}
-	w.Release()
-	return res, nil
 }
 
-// runIODecoupledFibers is runIODecoupled's body in fiber form.
-func runIODecoupledFibers(c Config, w *mpi.World) (Result, error) {
-	ioProcs := int(float64(c.Procs)*c.Alpha + 0.5)
-	if ioProcs < 1 {
-		ioProcs = 1
-	}
-	computes := c.Procs - ioProcs
-	dims := dims3(computes)
-	field := c.field(dims, computes)
-	var makespan sim.Time
-	var file *mpi.File
-	_, err := w.RunFibers(func(r *mpi.Rank, fib *sim.Fiber) sim.StepFunc {
+// decoupledFiberBody is decoupledBody in fiber form.
+func (s *ioRun) decoupledFiberBody() mpi.FiberMain {
+	c := s.c
+	computes, ioProcs := s.computes, s.ioProcs
+	return func(r *mpi.Rank, fib *sim.Fiber) sim.StepFunc {
 		world := r.World()
 		role := stream.Producer
 		if r.ID() >= computes {
@@ -290,17 +274,17 @@ func runIODecoupledFibers(c Config, w *mpi.World) (Result, error) {
 			st := ch.Attach(r, stream.Options{})
 			finish := func(_ *sim.Fiber) sim.StepFunc {
 				return ch.FFree(r, func(_ *sim.Fiber) sim.StepFunc {
-					if t := r.Now(); t > makespan {
-						makespan = t
+					if t := r.Now(); t > s.makespan {
+						s.makespan = t
 					}
 					return nil
 				})
 			}
 			if role == stream.Producer {
 				g0 := ch.ProducerComm()
-				cart := mpi.NewCart(g0, dims[:], true)
+				cart := mpi.NewCart(g0, s.dims[:], true)
 				coords := cart.Coords(g0.RankOf(r))
-				myCount := field.Count([3]int{coords[0], coords[1], coords[2]})
+				myCount := s.field.Count([3]int{coords[0], coords[1], coords[2]})
 				out := c.saveBytes(myCount)
 				step, burst := 0, 0
 				var stepLoop sim.StepFunc
@@ -324,7 +308,7 @@ func runIODecoupledFibers(c Config, w *mpi.World) (Result, error) {
 				return stepLoop
 			}
 			return ch.ConsumerComm().FOpen(r, "particles.dat", func(f *mpi.File) sim.StepFunc {
-				file = f
+				s.file = f
 				// Aggressive buffering: flush one large shared write per
 				// BufferSteps steps' worth of my producers' output.
 				perProducerStep := c.saveBytes(c.ParticlesPerProc)
@@ -347,11 +331,5 @@ func runIODecoupledFibers(c Config, w *mpi.World) (Result, error) {
 				})
 			})
 		})
-	})
-	if err != nil {
-		return Result{}, err
 	}
-	res := Result{Time: makespan, Messages: w.MessagesSent(), BytesWritten: file.BytesWritten()}
-	w.Release()
-	return res, nil
 }

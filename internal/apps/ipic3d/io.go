@@ -6,6 +6,7 @@ import (
 	"repro/internal/mpi"
 	"repro/internal/sim"
 	"repro/internal/stream"
+	"repro/internal/workload"
 )
 
 // IOVariant selects a particle-I/O implementation (Fig. 8).
@@ -39,19 +40,38 @@ func (v IOVariant) String() string {
 	}
 }
 
+// validIOVariant rejects values outside the three implementations.
+func validIOVariant(v IOVariant) error {
+	switch v {
+	case IOCollective, IOShared, IODecoupled:
+		return nil
+	default:
+		return fmt.Errorf("ipic3d: unknown IO variant %d", int(v))
+	}
+}
+
 // RunIO executes the selected particle-I/O implementation.
 func RunIO(c Config, v IOVariant) (Result, error) {
 	if err := c.Validate(); err != nil {
 		return Result{}, err
 	}
-	switch v {
-	case IOCollective, IOShared:
-		return runIOReference(c, v)
-	case IODecoupled:
-		return runIODecoupled(c)
-	default:
-		return Result{}, fmt.Errorf("ipic3d: unknown IO variant %d", v)
+	if err := validIOVariant(v); err != nil {
+		return Result{}, err
 	}
+	w := mpi.NewWorld(mpi.Config{Procs: c.Procs, Seed: c.Seed, Noise: c.Noise, Tracer: c.Tracer})
+	s := newIORun(c, v)
+	var err error
+	if c.Fibers && c.Tracer == nil {
+		_, err = w.RunFibers(s.fiberBody())
+	} else {
+		_, err = w.Run(s.body())
+	}
+	if err != nil {
+		return Result{}, err
+	}
+	res := s.result(w)
+	w.Release()
+	return res, nil
 }
 
 // saveBytes is the per-step output volume of a rank holding count
@@ -60,24 +80,121 @@ func (c Config) saveBytes(count int64) int64 {
 	return int64(float64(count)*c.SaveFraction) * c.ParticleBytes
 }
 
-// runIOReference: every process moves its particles, then saves them with
-// the chosen MPI-IO path before the next step.
-func runIOReference(c Config, v IOVariant) (Result, error) {
-	w := mpi.NewWorld(mpi.Config{Procs: c.Procs, Seed: c.Seed, Noise: c.Noise, Tracer: c.Tracer})
-	if c.Fibers && c.Tracer == nil {
-		return runIOReferenceFibers(c, v, w)
+// ioRun is one particle-I/O job's body state, shared by the goroutine and
+// fiber representations and by the single-world (RunIO) and co-scheduled
+// (StartIO) drivers. The rank bodies it builds perform exactly the
+// operation sequence the pre-extraction closures did, so single-world
+// trajectories are unchanged.
+type ioRun struct {
+	c Config
+	v IOVariant
+
+	// computes is the number of ranks holding particles: all of them for
+	// the reference variants, Procs minus the I/O group for IODecoupled.
+	computes int
+	// ioProcs is the decoupled I/O group size (0 for reference variants).
+	ioProcs int
+	dims    [3]int
+	field   workload.ParticleField
+
+	makespan sim.Time
+	file     *mpi.File
+}
+
+// newIORun derives the job's particle layout for the chosen variant.
+func newIORun(c Config, v IOVariant) *ioRun {
+	s := &ioRun{c: c, v: v}
+	if v == IODecoupled {
+		s.ioProcs = int(float64(c.Procs)*c.Alpha + 0.5)
+		if s.ioProcs < 1 {
+			s.ioProcs = 1
+		}
+		s.computes = c.Procs - s.ioProcs
+	} else {
+		s.computes = c.Procs
 	}
-	dims := dims3(c.Procs)
-	field := c.field(dims, c.Procs)
-	var makespan sim.Time
-	var file *mpi.File
-	_, err := w.Run(func(r *mpi.Rank) {
+	s.dims = dims3(s.computes)
+	s.field = c.field(s.dims, s.computes)
+	return s
+}
+
+// body returns the goroutine rank body for the job's variant.
+func (s *ioRun) body() func(r *mpi.Rank) {
+	if s.v == IODecoupled {
+		return s.decoupledBody()
+	}
+	return s.referenceBody()
+}
+
+// fiberBody returns the fiber rank body for the job's variant (fiber.go).
+func (s *ioRun) fiberBody() mpi.FiberMain {
+	if s.v == IODecoupled {
+		return s.decoupledFiberBody()
+	}
+	return s.referenceFiberBody()
+}
+
+// result collects the job's outcome once the engine has run.
+func (s *ioRun) result(w *mpi.World) Result {
+	return Result{Time: s.makespan, Messages: w.MessagesSent(), BytesWritten: s.file.BytesWritten()}
+}
+
+// IOJob is a particle-I/O job started on a shared engine for co-scheduled
+// multi-world runs (internal/cluster): StartIO spawns the rank bodies but
+// does not run the engine.
+type IOJob struct {
+	run *ioRun
+	w   *mpi.World
+}
+
+// StartIO builds a world for the Fig. 8 job of variant v attached to the
+// shared simulation resources in base (Engine, Bank, Job, Name and the
+// cluster-wide FS cost model) and spawns its rank bodies. The caller —
+// normally a cluster.Job's Start hook — runs the shared engine once every
+// job is started; Result is valid after that run completes.
+func StartIO(c Config, v IOVariant, base mpi.Config) (*IOJob, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	if err := validIOVariant(v); err != nil {
+		return nil, err
+	}
+	if c.Tracer != nil {
+		// Unlike RunIO there is no goroutine fallback to thread spans
+		// through here; refuse rather than silently dropping the tracer.
+		return nil, fmt.Errorf("ipic3d: tracing is not supported in co-scheduled runs")
+	}
+	base.Procs = c.Procs
+	base.Seed = c.Seed
+	base.Noise = c.Noise
+	w := mpi.NewWorld(base)
+	s := newIORun(c, v)
+	if c.Fibers {
+		w.StartFibers(s.fiberBody())
+	} else {
+		w.Start(s.body())
+	}
+	return &IOJob{run: s, w: w}, nil
+}
+
+// World reports the job's world (for per-job makespans via Makespan).
+func (j *IOJob) World() *mpi.World { return j.w }
+
+// Result reports the job's outcome; call it only after the shared engine
+// has run to completion.
+func (j *IOJob) Result() Result { return j.run.result(j.w) }
+
+// referenceBody: every process moves its particles, then saves them with
+// the chosen MPI-IO path before the next step.
+func (s *ioRun) referenceBody() func(r *mpi.Rank) {
+	c, v := s.c, s.v
+	return func(r *mpi.Rank) {
 		world := r.World()
-		cart := mpi.NewCart(world, dims[:], true)
+		cart := mpi.NewCart(world, s.dims[:], true)
 		coords := cart.Coords(world.RankOf(r))
-		myCount := field.Count([3]int{coords[0], coords[1], coords[2]})
+		myCount := s.field.Count([3]int{coords[0], coords[1], coords[2]})
 		f := world.Open(r, "particles.dat")
-		file = f
+		s.file = f
 		out := c.saveBytes(myCount)
 		for step := 0; step < c.Steps; step++ {
 			r.ComputeLabeled(c.moverTime(myCount), "mover")
@@ -90,37 +207,20 @@ func runIOReference(c Config, v IOVariant) (Result, error) {
 				f.WriteShared(r, out)
 			}
 		}
-		if t := r.Now(); t > makespan {
-			makespan = t
+		if t := r.Now(); t > s.makespan {
+			s.makespan = t
 		}
-	})
-	if err != nil {
-		return Result{}, err
 	}
-	res := Result{Time: makespan, Messages: w.MessagesSent(), BytesWritten: file.BytesWritten()}
-	w.Release()
-	return res, nil
 }
 
-// runIODecoupled: compute ranks stream particle output to the I/O group as
+// decoupledBody: compute ranks stream particle output to the I/O group as
 // the mover produces it; the I/O group buffers several steps' arrivals and
 // flushes them in large shared writes, overlapping file-system time with
 // the computation of subsequent steps.
-func runIODecoupled(c Config) (Result, error) {
-	w := mpi.NewWorld(mpi.Config{Procs: c.Procs, Seed: c.Seed, Noise: c.Noise, Tracer: c.Tracer})
-	if c.Fibers && c.Tracer == nil {
-		return runIODecoupledFibers(c, w)
-	}
-	ioProcs := int(float64(c.Procs)*c.Alpha + 0.5)
-	if ioProcs < 1 {
-		ioProcs = 1
-	}
-	computes := c.Procs - ioProcs
-	dims := dims3(computes)
-	field := c.field(dims, computes)
-	var makespan sim.Time
-	var file *mpi.File
-	_, err := w.Run(func(r *mpi.Rank) {
+func (s *ioRun) decoupledBody() func(r *mpi.Rank) {
+	c := s.c
+	computes, ioProcs := s.computes, s.ioProcs
+	return func(r *mpi.Rank) {
 		world := r.World()
 		role := stream.Producer
 		if r.ID() >= computes {
@@ -130,9 +230,9 @@ func runIODecoupled(c Config) (Result, error) {
 		st := ch.Attach(r, stream.Options{})
 		if role == stream.Producer {
 			g0 := ch.ProducerComm()
-			cart := mpi.NewCart(g0, dims[:], true)
+			cart := mpi.NewCart(g0, s.dims[:], true)
 			coords := cart.Coords(g0.RankOf(r))
-			myCount := field.Count([3]int{coords[0], coords[1], coords[2]})
+			myCount := s.field.Count([3]int{coords[0], coords[1], coords[2]})
 			out := c.saveBytes(myCount)
 			for step := 0; step < c.Steps; step++ {
 				// The mover emits output in bursts through the step.
@@ -144,7 +244,7 @@ func runIODecoupled(c Config) (Result, error) {
 			st.Terminate(r)
 		} else {
 			f := ch.ConsumerComm().Open(r, "particles.dat")
-			file = f
+			s.file = f
 			// Aggressive buffering: flush one large shared write per
 			// BufferSteps steps' worth of my producers' output, while
 			// the compute group keeps working.
@@ -164,14 +264,8 @@ func runIODecoupled(c Config) (Result, error) {
 			}
 		}
 		ch.Free(r)
-		if t := r.Now(); t > makespan {
-			makespan = t
+		if t := r.Now(); t > s.makespan {
+			s.makespan = t
 		}
-	})
-	if err != nil {
-		return Result{}, err
 	}
-	res := Result{Time: makespan, Messages: w.MessagesSent(), BytesWritten: file.BytesWritten()}
-	w.Release()
-	return res, nil
 }

@@ -1,0 +1,168 @@
+// Package cluster co-schedules several independent jobs — each an
+// mpi.World running a decoupled compute+I/O application — on one
+// simulation engine, contending for a shared striped-file-system bank.
+//
+// The paper's decoupling strategy isolates compute and I/O groups inside
+// one job; its end state (burst-buffer-style data staging at exascale) is
+// only stressed when several jobs' decoupled groups contend for the same
+// storage stripes. A Cluster models exactly that regime: every job keeps
+// its private network, matching state and files, while stripe time is
+// arbitrated between jobs by a pluggable inter-job policy (FCFS,
+// fair-share, priority — sim.BankPolicy) layered over the per-stripe
+// least-loaded placement each job already used alone.
+//
+// # Determinism
+//
+// A cluster run is one simulation: every world's events schedule through
+// the shared engine's (t, seq) order, so the trajectory — and therefore
+// every per-job time — is a pure function of (sim.TrajectoryVersion, the
+// cluster seed, the ordered job list with each job's configuration, and
+// the bank policy). Job spawn order fixes global process identifiers;
+// representation (goroutine or fiber rank bodies) does not change the
+// trajectory, exactly as for single-world runs.
+package cluster
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/mpi"
+	"repro/internal/netmodel"
+	"repro/internal/sim"
+)
+
+// ParsePolicy maps the cosched CLI names onto bank policies: "fcfs",
+// "fair" and "priority".
+func ParsePolicy(s string) (sim.BankPolicy, error) {
+	switch s {
+	case "fcfs":
+		return sim.BankFCFS, nil
+	case "fair":
+		return sim.BankFair, nil
+	case "priority":
+		return sim.BankWeighted, nil
+	default:
+		return 0, fmt.Errorf("cluster: unknown policy %q (want fcfs, fair or priority)", s)
+	}
+}
+
+// Job is one co-scheduled job.
+type Job struct {
+	// Name labels the job's ranks in deadlock reports ("name/rank3").
+	// Empty means "job<i>".
+	Name string
+	// Weight is the job's bank share weight under the priority policy
+	// (sim.BankWeighted): a weight-4 job may consume four times the
+	// stripe time of a weight-1 job before the bank pushes it back.
+	// Zero means 1; other policies ignore it.
+	Weight float64
+	// Start builds the job's world from base — which carries the shared
+	// Engine, Bank, Job index, Name and cluster-wide FS cost model — and
+	// spawns its rank bodies without running the engine (World.Start /
+	// World.StartFibers, or an app-level starter such as ipic3d.StartIO).
+	// It returns the started world, whose Makespan becomes the job's
+	// completion time.
+	Start func(base mpi.Config) (*mpi.World, error)
+}
+
+// Config describes one co-scheduled run.
+type Config struct {
+	// Jobs are started in order; order is part of the trajectory.
+	Jobs []Job
+	// Policy arbitrates stripe time between jobs.
+	Policy sim.BankPolicy
+	// FS is the shared file-system cost model. The zero value is replaced
+	// by netmodel.LustreLike.
+	FS netmodel.FSParams
+	// Stripes overrides FS.Stripes when positive.
+	Stripes int
+	// Seed seeds the shared engine (per-process random streams). Each
+	// job's application seed travels in its own configuration.
+	Seed int64
+}
+
+// Result is one co-scheduled run's outcome.
+type Result struct {
+	// Makespan is the completion time of the whole cluster (the engine's
+	// final virtual time).
+	Makespan sim.Time
+	// JobTimes is each job's own completion time (the latest finish of
+	// its rank bodies), in job order.
+	JobTimes []sim.Time
+	// JobBusy is each job's total reserved stripe time, in job order.
+	JobBusy []sim.Time
+	// BankBusy is the total reserved stripe time across all jobs.
+	BankBusy sim.Time
+}
+
+// enginePool recycles engines across cluster runs, so co-scheduling
+// sweeps reuse event-heap and ring capacity the way single-world sweeps
+// reuse pooled worlds. A reset engine is behaviourally identical to a
+// fresh one.
+var enginePool sync.Pool
+
+func getEngine(seed int64) *sim.Engine {
+	if v := enginePool.Get(); v != nil {
+		e := v.(*sim.Engine)
+		e.Reset(seed)
+		return e
+	}
+	return sim.NewEngine(seed)
+}
+
+// Run starts every job on one shared engine and bank and runs the
+// simulation to completion. Worlds created by the jobs are externally
+// owned (never pooled); the engine is recycled across Run calls.
+func Run(cfg Config) (Result, error) {
+	n := len(cfg.Jobs)
+	if n == 0 {
+		return Result{}, fmt.Errorf("cluster: no jobs")
+	}
+	fs := cfg.FS
+	if fs == (netmodel.FSParams{}) {
+		fs = netmodel.LustreLike()
+	}
+	if cfg.Stripes > 0 {
+		fs.Stripes = cfg.Stripes
+	}
+	if err := fs.Validate(); err != nil {
+		return Result{}, err
+	}
+	eng := getEngine(cfg.Seed)
+	bank := sim.NewBank(fs.Stripes, n, cfg.Policy)
+	worlds := make([]*mpi.World, n)
+	for i, job := range cfg.Jobs {
+		if w := job.Weight; w > 0 {
+			bank.SetWeight(i, w)
+		}
+		name := job.Name
+		if name == "" {
+			name = fmt.Sprintf("job%d", i)
+		}
+		base := mpi.Config{Engine: eng, Bank: bank, Job: i, Name: name, FS: fs}
+		w, err := job.Start(base)
+		if err != nil {
+			// Jobs started before the failure have spawned processes that
+			// will never run; unwind them so their goroutines do not leak.
+			eng.Abort()
+			return Result{}, fmt.Errorf("cluster: job %d (%s): %w", i, name, err)
+		}
+		worlds[i] = w
+	}
+	makespan, err := eng.Run()
+	if err != nil {
+		return Result{}, err
+	}
+	res := Result{
+		Makespan: makespan,
+		JobTimes: make([]sim.Time, n),
+		JobBusy:  make([]sim.Time, n),
+		BankBusy: bank.Busy(),
+	}
+	for i, w := range worlds {
+		res.JobTimes[i] = w.Makespan()
+		res.JobBusy[i] = bank.JobBusy(i)
+	}
+	enginePool.Put(eng)
+	return res, nil
+}

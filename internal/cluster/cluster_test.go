@@ -1,0 +1,227 @@
+package cluster
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/apps/ipic3d"
+	"repro/internal/mpi"
+	"repro/internal/sim"
+)
+
+// decJob builds a decoupled iPIC3D particle-I/O job (Fig. 8's Decoupling
+// variant) for co-scheduling tests. heavy inflates the job's output
+// volume so it hogs the shared bank.
+func decJob(procs int, seed int64, fibers, heavy bool) Job {
+	c := ipic3d.DefaultConfig(procs)
+	c.Seed = seed
+	c.Fibers = fibers
+	if heavy {
+		c.SaveFraction = 0.5
+	}
+	return Job{Start: func(base mpi.Config) (*mpi.World, error) {
+		j, err := ipic3d.StartIO(c, ipic3d.IODecoupled, base)
+		if err != nil {
+			return nil, err
+		}
+		return j.World(), nil
+	}}
+}
+
+// TestSingleJobClusterMatchesStandalone: a one-job FCFS cluster is the
+// same simulation as the standalone single-world run — same engine seed,
+// same bank behavior — so the job's completion time must be identical.
+func TestSingleJobClusterMatchesStandalone(t *testing.T) {
+	for _, fibers := range []bool{false, true} {
+		c := ipic3d.DefaultConfig(16)
+		c.Seed = 3
+		c.Fibers = fibers
+		want, err := ipic3d.RunIO(c, ipic3d.IODecoupled)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Run(Config{Seed: c.Seed, Jobs: []Job{decJob(16, 3, fibers, false)}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.JobTimes[0] != want.Time {
+			t.Errorf("fibers=%v: cluster job time %v != standalone %v", fibers, res.JobTimes[0], want.Time)
+		}
+		if res.Makespan != want.Time {
+			t.Errorf("fibers=%v: cluster makespan %v != standalone %v", fibers, res.Makespan, want.Time)
+		}
+	}
+}
+
+// TestClusterDeterministicAcrossRunsAndRepresentations: repeated runs of
+// the same configuration — including engine-pool reuse and the fiber
+// representation — produce identical per-job trajectories.
+func TestClusterDeterministicAcrossRunsAndRepresentations(t *testing.T) {
+	build := func(fibers bool) Config {
+		return Config{
+			Seed:    7,
+			Stripes: 2,
+			Policy:  sim.BankFair,
+			Jobs: []Job{
+				decJob(16, 11, fibers, true),
+				decJob(16, 12, fibers, false),
+				decJob(8, 13, fibers, false),
+			},
+		}
+	}
+	first, err := Run(build(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A different-shaped run in between exercises engine Reset reuse.
+	if _, err := Run(Config{Seed: 1, Jobs: []Job{decJob(8, 5, false, false)}}); err != nil {
+		t.Fatal(err)
+	}
+	again, err := Run(build(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Makespan != again.Makespan {
+		t.Errorf("makespan drifted across pooled reruns: %v != %v", first.Makespan, again.Makespan)
+	}
+	for i := range first.JobTimes {
+		if first.JobTimes[i] != again.JobTimes[i] {
+			t.Errorf("job %d time drifted across pooled reruns: %v != %v", i, first.JobTimes[i], again.JobTimes[i])
+		}
+	}
+	fib, err := Run(build(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fib.Makespan != first.Makespan {
+		t.Errorf("fiber makespan %v != goroutine %v", fib.Makespan, first.Makespan)
+	}
+	for i := range first.JobTimes {
+		if fib.JobTimes[i] != first.JobTimes[i] {
+			t.Errorf("job %d: fiber time %v != goroutine %v", i, fib.JobTimes[i], first.JobTimes[i])
+		}
+	}
+}
+
+// writerJob is a minimal I/O-bound job for policy tests: procs ranks
+// each issue writes independent writes of bytes, separated by gap of
+// compute — sustained bank pressure whose contention window is easy to
+// control.
+func writerJob(procs, writes int, bytes int64, gap sim.Time, seed int64) Job {
+	return Job{Start: func(base mpi.Config) (*mpi.World, error) {
+		base.Procs = procs
+		base.Seed = seed
+		w := mpi.NewWorld(base)
+		w.Start(func(r *mpi.Rank) {
+			f := r.World().Open(r, "out.dat")
+			for i := 0; i < writes; i++ {
+				if gap > 0 {
+					r.Compute(gap)
+				}
+				f.WriteAt(r, bytes)
+			}
+		})
+		return w, nil
+	}}
+}
+
+// TestFairShareProtectsLightJob: a multi-writer hog books the single
+// stripe's timeline well ahead; under FCFS a light job queues behind that
+// backlog, under fair-share the hog's bookings are paced with holes the
+// light job's writes slot into, so the light job finishes strictly
+// earlier (and the hog, being throttled only while contended, no earlier
+// than before).
+func TestFairShareProtectsLightJob(t *testing.T) {
+	run := func(policy sim.BankPolicy) Result {
+		res, err := Run(Config{
+			Seed:    5,
+			Stripes: 1,
+			Policy:  policy,
+			Jobs: []Job{
+				writerJob(4, 100, 64<<20, 0, 21),                 // hog: ~4 writes always in flight
+				writerJob(1, 20, 8<<20, 100*sim.Millisecond, 22), // light
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	fcfs := run(sim.BankFCFS)
+	fair := run(sim.BankFair)
+	if fair.JobTimes[1] >= fcfs.JobTimes[1] {
+		t.Errorf("fair-share did not protect the light job: fair %v, fcfs %v", fair.JobTimes[1], fcfs.JobTimes[1])
+	}
+	if fair.JobTimes[0] < fcfs.JobTimes[0] {
+		t.Errorf("fair-share sped up the hog: fair %v, fcfs %v", fair.JobTimes[0], fcfs.JobTimes[0])
+	}
+}
+
+// TestPriorityWeightsShiftService: two identical I/O-bound jobs on a
+// narrow bank; under the priority policy the heavily-weighted job must
+// finish first, and earlier than it does under equal shares.
+func TestPriorityWeightsShiftService(t *testing.T) {
+	jobs := func() []Job {
+		a := writerJob(2, 60, 32<<20, 0, 31)
+		b := writerJob(2, 60, 32<<20, 0, 31)
+		a.Weight = 8
+		a.Name = "gold"
+		b.Name = "best-effort"
+		return []Job{a, b}
+	}
+	prio, err := Run(Config{Seed: 9, Stripes: 1, Policy: sim.BankWeighted, Jobs: jobs()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prio.JobTimes[0] >= prio.JobTimes[1] {
+		t.Errorf("weight-8 job finished at %v, not before its weight-1 twin at %v", prio.JobTimes[0], prio.JobTimes[1])
+	}
+	fair, err := Run(Config{Seed: 9, Stripes: 1, Policy: sim.BankFair, Jobs: jobs()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prio.JobTimes[0] >= fair.JobTimes[0] {
+		t.Errorf("priority weight did not help: %v under priority vs %v under fair", prio.JobTimes[0], fair.JobTimes[0])
+	}
+}
+
+// TestDeadlockNamesWorld: a blocked rank in a co-scheduled job shows up
+// in the deadlock report under its world-prefixed name.
+func TestDeadlockNamesWorld(t *testing.T) {
+	stuck := Job{Name: "stuck", Start: func(base mpi.Config) (*mpi.World, error) {
+		base.Procs = 2
+		base.Seed = 1
+		w := mpi.NewWorld(base)
+		w.Start(func(r *mpi.Rank) {
+			if r.ID() == 0 {
+				r.World().Recv(r, 1, 7) // never sent
+			}
+		})
+		return w, nil
+	}}
+	_, err := Run(Config{Seed: 2, Jobs: []Job{decJob(8, 4, false, false), stuck}})
+	var dl *sim.DeadlockError
+	if !errors.As(err, &dl) {
+		t.Fatalf("expected a deadlock error, got %v", err)
+	}
+	if !strings.Contains(err.Error(), "stuck/rank0") {
+		t.Errorf("deadlock report does not name the world: %v", err)
+	}
+}
+
+// TestStartFailureUnwinds: a job failing to start must not poison the
+// engine or leak the already-spawned jobs' goroutines; the next run on a
+// fresh engine must still work.
+func TestStartFailureUnwinds(t *testing.T) {
+	boom := Job{Start: func(base mpi.Config) (*mpi.World, error) {
+		return nil, errors.New("boom")
+	}}
+	_, err := Run(Config{Seed: 3, Jobs: []Job{decJob(8, 6, false, false), boom}})
+	if err == nil || !strings.Contains(err.Error(), "boom") {
+		t.Fatalf("expected the job error, got %v", err)
+	}
+	if _, err := Run(Config{Seed: 3, Jobs: []Job{decJob(8, 6, false, false)}}); err != nil {
+		t.Fatalf("cluster unusable after start failure: %v", err)
+	}
+}

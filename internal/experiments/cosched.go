@@ -1,0 +1,254 @@
+package experiments
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/apps/ipic3d"
+	"repro/internal/cluster"
+	"repro/internal/mpi"
+	"repro/internal/sim"
+)
+
+// The cosched experiment co-schedules several decoupled iPIC3D particle-
+// I/O jobs (Fig. 8's Decoupling variant) on one engine, all contending
+// for a shared striped-FS bank, and sweeps jobs x stripes x inter-job
+// policy. It reports, per configuration:
+//
+//   - one row per job whose Seconds column carries the job's slowdown —
+//     its co-scheduled completion time over its time alone on the same
+//     bank (1.0 = unaffected by the neighbors);
+//   - one "fairness" row whose Seconds column carries Jain's fairness
+//     index over those slowdowns (1.0 = perfectly even suffering).
+//
+// Job 0 ("hog") writes its full particle population every step; the
+// other jobs are ordinary down-sampled writers. Under FCFS the hog's
+// booked backlog delays everyone; fair share caps each job's stripe
+// fraction; priority additionally weights the light jobs over the hog.
+
+// coschedPerJobProcs is each job's world size. Fixed (like the ablation
+// process counts) so rows are comparable across option settings.
+const coschedPerJobProcs = 16
+
+// coschedJobConfig builds job i's application config for one run seed.
+// The jobs are deliberately heterogeneous: job 0 is an I/O hog (full
+// save, no down-sampling), the rest save a quarter of their particles.
+// Every job flushes each step and computes fast, so the bank — not the
+// mover — is the contended resource.
+func coschedJobConfig(i int, seed int64, fibers bool) ipic3d.Config {
+	c := ipic3d.DefaultConfig(coschedPerJobProcs)
+	c.Seed = seed*101 + int64(i)
+	c.Fibers = fibers
+	c.MoveRate = 4e6
+	c.BufferSteps = 1
+	if i == 0 {
+		c.SaveFraction = 1.0
+	} else {
+		c.SaveFraction = 0.25
+	}
+	return c
+}
+
+// coschedJobName labels job i in row series.
+func coschedJobName(i int) string {
+	if i == 0 {
+		return "hog"
+	}
+	return fmt.Sprintf("j%d", i)
+}
+
+// coschedJob wraps job i as a cluster job. Under the priority policy the
+// light jobs outrank the hog 4:1.
+func coschedJob(i int, seed int64, fibers bool) cluster.Job {
+	c := coschedJobConfig(i, seed, fibers)
+	weight := 4.0
+	if i == 0 {
+		weight = 1.0
+	}
+	return cluster.Job{
+		Name:   coschedJobName(i),
+		Weight: weight,
+		Start: func(base mpi.Config) (*mpi.World, error) {
+			j, err := ipic3d.StartIO(c, ipic3d.IODecoupled, base)
+			if err != nil {
+				return nil, err
+			}
+			return j.World(), nil
+		},
+	}
+}
+
+// coschedBaselines caches each job's single-job (idle-bank) completion
+// time, keyed by (job, stripes, seed). The baseline is policy- and
+// job-count-independent — a single-job bank never paces, whatever the
+// policy — so every configuration of the sweep shares one computation
+// per key instead of re-running it per policy and per job count.
+type coschedBaselines struct {
+	fibers  bool
+	mu      sync.Mutex
+	entries map[coschedBaseKey]*coschedBaseEntry
+}
+
+type coschedBaseKey struct {
+	job, stripes int
+	seed         int64
+}
+
+type coschedBaseEntry struct {
+	once sync.Once
+	t    float64
+	err  error
+}
+
+func (b *coschedBaselines) get(job, stripes int, seed int64) (float64, error) {
+	key := coschedBaseKey{job, stripes, seed}
+	b.mu.Lock()
+	if b.entries == nil {
+		b.entries = make(map[coschedBaseKey]*coschedBaseEntry)
+	}
+	e := b.entries[key]
+	if e == nil {
+		e = &coschedBaseEntry{}
+		b.entries[key] = e
+	}
+	b.mu.Unlock()
+	e.once.Do(func() {
+		alone, err := cluster.Run(cluster.Config{
+			Jobs:    []cluster.Job{coschedJob(job, seed, b.fibers)},
+			Stripes: stripes,
+			Seed:    seed,
+		})
+		if err != nil {
+			e.err = err
+			return
+		}
+		e.t = alone.JobTimes[0].Seconds()
+	})
+	return e.t, e.err
+}
+
+// coschedSlowdowns runs the shared cluster and divides each job's
+// completion time by its cached single-job baseline on an identical bank.
+func coschedSlowdowns(jobs, stripes int, policy sim.BankPolicy, seed int64, base *coschedBaselines) ([]float64, error) {
+	cjobs := make([]cluster.Job, jobs)
+	for i := range cjobs {
+		cjobs[i] = coschedJob(i, seed, base.fibers)
+	}
+	shared, err := cluster.Run(cluster.Config{Jobs: cjobs, Policy: policy, Stripes: stripes, Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, jobs)
+	for i := range out {
+		alone, err := base.get(i, stripes, seed)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = shared.JobTimes[i].Seconds() / alone
+	}
+	return out, nil
+}
+
+// coschedMemo shares one coschedSlowdowns computation per (configuration,
+// seed) between that configuration's jc+1 points — the per-job rows and
+// the fairness row all read the same slice, instead of each re-running
+// the identical cluster and baselines. Safe under the sweep worker pool;
+// results are pure functions of the seed, so which worker fills the memo
+// never matters.
+type coschedMemo struct {
+	compute func(seed int64) ([]float64, error)
+	mu      sync.Mutex
+	entries map[int64]*coschedEntry
+}
+
+type coschedEntry struct {
+	once sync.Once
+	s    []float64
+	err  error
+}
+
+func (m *coschedMemo) get(seed int64) ([]float64, error) {
+	m.mu.Lock()
+	if m.entries == nil {
+		m.entries = make(map[int64]*coschedEntry)
+	}
+	e := m.entries[seed]
+	if e == nil {
+		e = &coschedEntry{}
+		m.entries[seed] = e
+	}
+	m.mu.Unlock()
+	e.once.Do(func() { e.s, e.err = m.compute(seed) })
+	return e.s, e.err
+}
+
+// jain is Jain's fairness index over xs: (sum x)^2 / (n * sum x^2),
+// 1/n..1, where 1 means perfectly even values.
+func jain(xs []float64) float64 {
+	var sum, sq float64
+	for _, x := range xs {
+		sum += x
+		sq += x * x
+	}
+	return sum * sum / (float64(len(xs)) * sq)
+}
+
+// Cosched regenerates the multi-job co-scheduling sweep: jobs x stripes x
+// inter-job bank policy, with per-job slowdown and fairness rows. Procs
+// carries the total process count across jobs; Param carries the bank
+// width.
+func Cosched(opts Options) ([]Row, error) {
+	opts = opts.withDefaults()
+	jobCounts := []int{2, 3}
+	if opts.CoschedJobs > 0 {
+		jobCounts = []int{opts.CoschedJobs}
+	}
+	policies := []sim.BankPolicy{sim.BankFCFS, sim.BankFair, sim.BankWeighted}
+	if opts.CoschedPolicy != "" {
+		p, err := cluster.ParsePolicy(opts.CoschedPolicy)
+		if err != nil {
+			return nil, err
+		}
+		policies = []sim.BankPolicy{p}
+	}
+	base := &coschedBaselines{fibers: opts.Fibers}
+	var points []point
+	for _, jc := range jobCounts {
+		for _, stripes := range []int{1, 4} {
+			for _, pol := range policies {
+				jc, stripes, pol := jc, stripes, pol
+				memo := &coschedMemo{compute: func(seed int64) ([]float64, error) {
+					return coschedSlowdowns(jc, stripes, pol, seed, base)
+				}}
+				for j := 0; j < jc; j++ {
+					j := j
+					points = append(points, point{
+						row: Row{Experiment: "cosched",
+							Series: fmt.Sprintf("%s jobs=%d %s slowdown", pol, jc, coschedJobName(j)),
+							Procs:  jc * coschedPerJobProcs, Param: float64(stripes)},
+						fn: func(seed int64) (float64, error) {
+							s, err := memo.get(seed)
+							if err != nil {
+								return 0, err
+							}
+							return s[j], nil
+						},
+					})
+				}
+				points = append(points, point{
+					row: Row{Experiment: "cosched",
+						Series: fmt.Sprintf("%s jobs=%d fairness", pol, jc),
+						Procs:  jc * coschedPerJobProcs, Param: float64(stripes)},
+					fn: func(seed int64) (float64, error) {
+						s, err := memo.get(seed)
+						if err != nil {
+							return 0, err
+						}
+						return jain(s), nil
+					},
+				})
+			}
+		}
+	}
+	return runPoints(opts, points)
+}

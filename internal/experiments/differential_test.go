@@ -6,18 +6,26 @@ import (
 )
 
 // TestFiberRowsBitIdentical is the determinism contract for the
-// step-function process representation: every figure and ablation
-// experiment, run at reduced scale with goroutine rank bodies and with
-// fiber rank bodies, must produce byte-identical row output. Experiments
-// whose bodies have fiber ports (model, the synthetic ablations, fig6)
-// exercise the fiber runtime end to end; the rest guard that the option
-// plumbing alone changes nothing.
+// step-function process representation: every registered experiment —
+// the figures, the ablations and the multi-world cosched sweep — run at
+// reduced scale with goroutine rank bodies and with fiber rank bodies,
+// must produce byte-identical row output. Experiments whose bodies have
+// fiber ports (model, the synthetic ablations, fig6, cosched's
+// co-scheduled worlds) exercise the fiber runtime end to end; the rest
+// guard that the option plumbing alone changes nothing.
 func TestFiberRowsBitIdentical(t *testing.T) {
+	// Fibers are the suite-wide default (REPRO_FIBERS=1 in CI); this test
+	// is the one place the goroutine representation must really run, so
+	// neutralize the environment override for the fibers=false half.
+	t.Setenv("REPRO_FIBERS", "0")
 	for _, name := range Names() {
 		name := name
 		t.Run(name, func(t *testing.T) {
 			render := func(fibers bool) []byte {
 				opts := Options{MaxProcs: 32, Runs: 2, Workers: 2, Fibers: fibers}
+				if testing.Short() {
+					opts.Runs = 1 // the race-checked CI job runs -short
+				}
 				rows, err := Registry[name](opts)
 				if err != nil {
 					t.Fatalf("fibers=%v: %v", fibers, err)

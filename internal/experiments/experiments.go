@@ -55,8 +55,19 @@ type Options struct {
 	// is ported (synthetic, CG, MapReduce, iPIC3D comm and I/O), so the
 	// flag switches the whole registry. Trajectories are bit-identical
 	// either way; fibers just dispatch faster. False means the
-	// REPRO_FIBERS environment variable.
+	// REPRO_FIBERS environment variable, unless FibersExplicit is set.
 	Fibers bool
+	// FibersExplicit marks Fibers as fully resolved by the caller: the
+	// REPRO_FIBERS environment variable is not consulted. The CLI folds
+	// the environment into its -fibers flag default and sets this, so an
+	// explicit -fibers=false wins over REPRO_FIBERS=1.
+	FibersExplicit bool
+	// CoschedJobs restricts the cosched experiment to one concurrent-job
+	// count (0: sweep the built-in set).
+	CoschedJobs int
+	// CoschedPolicy restricts the cosched experiment to one inter-job
+	// bank policy — "fcfs", "fair" or "priority" (empty: all three).
+	CoschedPolicy string
 	// Log, if non-nil, receives progress lines.
 	Log io.Writer
 }
@@ -75,12 +86,22 @@ func (o Options) withDefaults() Options {
 			o.Workers = runtime.NumCPU()
 		}
 	}
-	if !o.Fibers {
-		if v, err := strconv.ParseBool(os.Getenv("REPRO_FIBERS")); err == nil {
-			o.Fibers = v
-		}
+	if !o.Fibers && !o.FibersExplicit {
+		o.Fibers = EnvFibers(false)
 	}
 	return o
+}
+
+// EnvFibers resolves the REPRO_FIBERS environment variable against a
+// default: unset or unparseable values yield def. It is the single
+// parser for that variable — the CLI folds it into its -fibers flag
+// default (def true) and sets FibersExplicit; the library consults it
+// only when Fibers was left false (def false, the compatible default).
+func EnvFibers(def bool) bool {
+	if v, err := strconv.ParseBool(os.Getenv("REPRO_FIBERS")); err == nil {
+		return v
+	}
+	return def
 }
 
 // sweep returns the paper's process counts up to max: 32, 64, ..., max.
@@ -239,6 +260,7 @@ var Registry = map[string]func(Options) ([]Row, error){
 	"ablation-granularity": AblationGranularity,
 	"ablation-alpha":       AblationAlpha,
 	"ablation-fcfs":        AblationFCFS,
+	"cosched":              Cosched,
 	"model":                ModelValidation,
 }
 

@@ -152,9 +152,9 @@ type fwaitAll struct {
 	i    int
 	cur  int // slot index of the wait in flight
 
-	loop sim.StepFunc            // bound s.loopStep
+	loop sim.StepFunc              // bound s.loopStep
 	slot func(Status) sim.StepFunc // bound s.slotStep
-	fin  sim.StepFunc            // bound s.finStep
+	fin  sim.StepFunc              // bound s.finStep
 }
 
 func (s *fwaitAll) loopStep(_ *sim.Fiber) sim.StepFunc {

@@ -57,7 +57,7 @@ func (f *File) FWriteShared(r *Rank, bytes int64, then sim.StepFunc) sim.StepFun
 			f.size += bytes
 			f.bytesWritten += bytes
 			f.ops++
-			_, end := f.w.fs.Reserve(fib.Now(), fs.WriteTime(bytes))
+			_, end := f.w.fs.Reserve(f.w.cfg.Job, fib.Now(), fs.WriteTime(bytes))
 			f.token.Release(fib)
 			return fib.AdvanceTo(end, then)
 		})
@@ -126,7 +126,7 @@ func (f *File) FWriteAll(r *Rank, bytes int64, then sim.StepFunc) sim.StepFunc {
 			}
 			// Phase 2: one large write per aggregator.
 			return fib.Advance(fs.PerOpLatency, func(_ *sim.Fiber) sim.StepFunc {
-				_, end := f.w.fs.Reserve(fib.Now(), fs.CollWriteTime(total))
+				_, end := f.w.fs.Reserve(f.w.cfg.Job, fib.Now(), fs.CollWriteTime(total))
 				f.ops++
 				f.size += total
 				f.bytesWritten += total

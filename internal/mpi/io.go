@@ -80,7 +80,7 @@ func (f *File) transfer(r *Rank, bytes int64, label string) {
 	fs := f.w.cfg.FS
 	start := r.proc.Now()
 	r.proc.Advance(fs.PerOpLatency)
-	_, end := f.w.fs.Reserve(r.proc.Now(), fs.WriteTime(bytes))
+	_, end := f.w.fs.Reserve(f.w.cfg.Job, r.proc.Now(), fs.WriteTime(bytes))
 	r.proc.AdvanceTo(end)
 	f.ops++
 	if label == "write" {
@@ -106,7 +106,7 @@ func (f *File) WriteShared(r *Rank, bytes int64) {
 	f.size += bytes
 	f.bytesWritten += bytes
 	f.ops++
-	_, end := f.w.fs.Reserve(r.proc.Now(), fs.WriteTime(bytes))
+	_, end := f.w.fs.Reserve(f.w.cfg.Job, r.proc.Now(), fs.WriteTime(bytes))
 	f.token.Release(r.proc)
 	r.proc.AdvanceTo(end)
 	r.trace("io", "write_shared", start)
@@ -163,7 +163,7 @@ func (f *File) WriteAll(r *Rank, bytes int64) {
 		// Phase 2: one large write per aggregator. Interleaved per-rank
 		// regions defeat stripe sequentiality (CollInterleaveFactor).
 		r.proc.Advance(fs.PerOpLatency)
-		_, end := f.w.fs.Reserve(r.proc.Now(), fs.CollWriteTime(total))
+		_, end := f.w.fs.Reserve(f.w.cfg.Job, r.proc.Now(), fs.CollWriteTime(total))
 		r.proc.AdvanceTo(end)
 		f.ops++
 		f.size += total

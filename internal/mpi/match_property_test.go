@@ -1,0 +1,212 @@
+package mpi
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// Property/fuzz coverage for the matching index: random send/recv
+// programs — wildcard selectors, mixed tags and communicators, self-sends
+// and in-flight network messages — are executed against both the
+// matchIndex and a naive linear-scan reference that implements the
+// documented semantics directly (earliest-posted receive wins a message;
+// a receive takes the earliest-arrived ready message, else the
+// earliest-arrived in-flight one; FIFO per arrival order throughout).
+// Every decision the two matchers make must be identical.
+//
+// The program generator respects the runtime's invariants, because the
+// index's fast paths assume them: virtual time never goes backwards,
+// non-self messages become ready in arrival order (receiver-NIC
+// reservations are made in arrival order), and self-sends are ready at
+// delivery.
+
+// refMatcher is the linear-scan reference.
+type refMatcher struct {
+	posted []*postedRecv // posting order
+	queued []*message    // arrival order
+}
+
+func (rm *refMatcher) post(p *postedRecv) { rm.posted = append(rm.posted, p) }
+
+func (rm *refMatcher) takePosted(m *message) *postedRecv {
+	for i, p := range rm.posted {
+		if selectorMatches(p.commID, p.src, p.tag, m) {
+			rm.posted = append(rm.posted[:i], rm.posted[i+1:]...)
+			return p
+		}
+	}
+	return nil
+}
+
+func (rm *refMatcher) addUnexpected(m *message) { rm.queued = append(rm.queued, m) }
+
+func (rm *refMatcher) findQueued(commID, src, tag int) (int, *message) {
+	for i, m := range rm.queued {
+		if selectorMatches(commID, src, tag, m) {
+			return i, m
+		}
+	}
+	return -1, nil
+}
+
+func (rm *refMatcher) findQueuedReady(commID, src, tag int, now sim.Time) (int, *message) {
+	for i, m := range rm.queued {
+		if m.readyAt <= now && selectorMatches(commID, src, tag, m) {
+			return i, m
+		}
+	}
+	return -1, nil
+}
+
+func (rm *refMatcher) takeQueued(commID, src, tag int, now sim.Time) *message {
+	i, m := rm.findQueuedReady(commID, src, tag, now)
+	if m == nil {
+		i, m = rm.findQueued(commID, src, tag)
+	}
+	if m == nil {
+		return nil
+	}
+	rm.queued = append(rm.queued[:i], rm.queued[i+1:]...)
+	return m
+}
+
+// matchProgram drives both matchers through one operation stream. next
+// yields pseudo-random bytes (from a seeded rand or the fuzz corpus).
+func matchProgram(t *testing.T, next func() byte, ops int) {
+	t.Helper()
+	var idx matchIndex
+	var ref refMatcher
+
+	var now, lastReady sim.Time
+	msgID := make(map[*message]int)
+	recvID := make(map[*postedRecv]int)
+	nextID := 0
+
+	pick := func(n int) int { return int(next()) % n }
+	srcSel := func() int {
+		if pick(4) == 3 {
+			return AnySource
+		}
+		return pick(3)
+	}
+	tagSel := func() int {
+		if pick(4) == 3 {
+			return AnyTag
+		}
+		return pick(3)
+	}
+
+	id := func(m *message, p *postedRecv) int {
+		switch {
+		case m != nil:
+			return msgID[m]
+		case p != nil:
+			return recvID[p]
+		default:
+			return -1
+		}
+	}
+
+	for op := 0; op < ops; op++ {
+		switch pick(5) {
+		case 0: // time passes
+			now += sim.Time(pick(16))
+		case 1, 2: // a message is delivered (the deliverAt flow)
+			m := &message{commID: pick(2), src: pick(3), tag: pick(3)}
+			nextID++
+			msgID[m] = nextID
+			if pick(4) == 0 {
+				m.self = true
+				m.readyAt = now
+			} else {
+				// Receiver-NIC slots are granted in arrival order, so
+				// ready instants are monotonic for network messages.
+				r := lastReady
+				if now > r {
+					r = now
+				}
+				m.readyAt = r + sim.Time(pick(8))
+				lastReady = m.readyAt
+			}
+			rc := &message{commID: m.commID, src: m.src, tag: m.tag, readyAt: m.readyAt, self: m.self}
+			msgID[rc] = msgID[m]
+			gp := idx.takePosted(m)
+			wp := ref.takePosted(rc)
+			if id(nil, gp) != id(nil, wp) {
+				t.Fatalf("op %d: delivery of msg %d matched posted recv %d, reference says %d",
+					op, msgID[m], id(nil, gp), id(nil, wp))
+			}
+			if gp == nil {
+				idx.addUnexpected(m)
+				ref.addUnexpected(rc)
+			}
+		case 3: // a receive is posted (the Irecv flow)
+			commID, src, tag := pick(2), srcSel(), tagSel()
+			gm := idx.takeQueued(commID, src, tag, now)
+			wm := ref.takeQueued(commID, src, tag, now)
+			if id(gm, nil) != id(wm, nil) {
+				t.Fatalf("op %d: recv (comm=%d src=%d tag=%d now=%v) took msg %d, reference says %d",
+					op, commID, src, tag, now, id(gm, nil), id(wm, nil))
+			}
+			if gm != nil {
+				if gm.readyAt != wm.readyAt || gm.src != wm.src || gm.tag != wm.tag {
+					t.Fatalf("op %d: matched msg %d disagrees on fields", op, msgID[gm])
+				}
+				continue
+			}
+			p := &postedRecv{commID: commID, src: src, tag: tag}
+			rp := &postedRecv{commID: commID, src: src, tag: tag}
+			nextID++
+			recvID[p] = nextID
+			recvID[rp] = nextID
+			idx.post(p)
+			ref.post(rp)
+		case 4: // probes (Probe and the in-flight variant)
+			commID, src, tag := pick(2), srcSel(), tagSel()
+			gm := idx.findQueuedReady(commID, src, tag, now)
+			_, wm := ref.findQueuedReady(commID, src, tag, now)
+			if id(gm, nil) != id(wm, nil) {
+				t.Fatalf("op %d: probe-ready (comm=%d src=%d tag=%d now=%v) saw msg %d, reference says %d",
+					op, commID, src, tag, now, id(gm, nil), id(wm, nil))
+			}
+			gm = idx.findQueued(commID, src, tag)
+			_, wm = ref.findQueued(commID, src, tag)
+			if id(gm, nil) != id(wm, nil) {
+				t.Fatalf("op %d: probe-any (comm=%d src=%d tag=%d) saw msg %d, reference says %d",
+					op, commID, src, tag, id(gm, nil), id(wm, nil))
+			}
+		}
+	}
+}
+
+// TestMatchIndexAgainstLinearReference runs many seeded random programs.
+func TestMatchIndexAgainstLinearReference(t *testing.T) {
+	seeds := 200
+	if testing.Short() {
+		seeds = 40
+	}
+	for seed := 0; seed < seeds; seed++ {
+		rng := rand.New(rand.NewSource(int64(seed)))
+		matchProgram(t, func() byte { return byte(rng.Intn(256)) }, 400)
+	}
+}
+
+// FuzzMatchIndex lets the fuzzer drive the operation stream directly.
+func FuzzMatchIndex(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15})
+	f.Add([]byte{3, 3, 3, 1, 1, 1, 4, 4, 2, 2, 3, 3, 0, 0, 1, 3})
+	f.Fuzz(func(t *testing.T, program []byte) {
+		if len(program) == 0 {
+			return
+		}
+		i := 0
+		next := func() byte {
+			b := program[i%len(program)]
+			i++
+			return b
+		}
+		matchProgram(t, next, len(program))
+	})
+}

@@ -57,6 +57,25 @@ type Config struct {
 	Seed int64
 	// Tracer, if non-nil, receives execution spans.
 	Tracer Tracer
+
+	// Engine, if non-nil, attaches the world to an existing engine instead
+	// of owning one: several worlds (jobs) spawned on the same engine run
+	// as one co-scheduled simulation (see internal/cluster). The engine's
+	// owner is responsible for resetting and running it; worlds with a
+	// shared engine must be started with Start/StartFibers, not Run.
+	Engine *sim.Engine
+	// Bank, if non-nil, is a shared striped file-system bank: all of this
+	// world's I/O reserves stripe time on it under the bank's inter-job
+	// policy, contending with every other attached world. Nil means a
+	// private single-job FCFS bank of FS.Stripes links (the historical
+	// behavior, byte-identical trajectories).
+	Bank *sim.Bank
+	// Job is this world's job index within a shared Bank (ignored for a
+	// private bank, which has exactly one job).
+	Job int
+	// Name, if non-empty, prefixes rank names ("jobA/rank3") so that
+	// deadlock reports and traces identify the world in multi-world runs.
+	Name string
 }
 
 func (c Config) withDefaults() Config {
@@ -68,6 +87,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Noise == nil {
 		c.Noise = netmodel.None{}
+	}
+	if c.Bank == nil {
+		c.Job = 0 // a private bank has exactly one job
 	}
 	return c
 }
@@ -83,8 +105,12 @@ type World struct {
 	splits map[string]*splitState
 	opens  map[string]*openState
 	files  map[string]*File
-	fs     *sim.Striped
+	fs     *sim.Bank
 	stash  map[string]interface{}
+	// external marks a world attached to a shared engine or bank: its
+	// lifecycle belongs to the owning cluster, so Release never returns it
+	// to the process-wide pool.
+	external bool
 
 	// Freelists for matching-path objects (simulation code is single-
 	// threaded per world, so plain slices suffice). Messages matched
@@ -144,6 +170,7 @@ type rankState struct {
 	world    *World
 	rank     int
 	proc     *sim.Proc
+	fib      *sim.Fiber // set instead of proc under the fiber representation
 	sendLink sim.Link
 	recvLink sim.Link
 	match    matchIndex // posted receives + unexpected messages (match.go)
@@ -175,6 +202,7 @@ func (rs *rankState) statusScratch(n int) []Status {
 // keeping matching-index and scratch capacity.
 func (rs *rankState) reset(speed float64) {
 	rs.proc = nil
+	rs.fib = nil
 	rs.sendLink = sim.Link{}
 	rs.recvLink = sim.Link{}
 	rs.match.reset()
@@ -206,19 +234,41 @@ func NewWorld(cfg Config) *World {
 	if err := cfg.FS.Validate(); err != nil {
 		panic(err)
 	}
-	if v := worldPool.Get(); v != nil {
-		w := v.(*World)
-		w.reset(cfg)
-		return w
+	if cfg.Bank != nil && (cfg.Job < 0 || cfg.Job >= cfg.Bank.Jobs()) {
+		panic(fmt.Sprintf("mpi: job %d outside shared bank's %d jobs", cfg.Job, cfg.Bank.Jobs()))
+	}
+	if cfg.Bank != nil && cfg.Engine == nil {
+		// A shared bank orders reservations by the shared engine's clock;
+		// feeding it from worlds with private engines would rewind its
+		// reservation instants between runs and grant nonsense.
+		panic("mpi: a shared Bank requires a shared Engine")
+	}
+	// External worlds (shared engine or bank) are never returned to the
+	// pool, so drawing one out would permanently drain it and discard the
+	// pooled world's capacity-warm engine; build them fresh instead.
+	external := cfg.Engine != nil
+	if !external {
+		if v := worldPool.Get(); v != nil {
+			w := v.(*World)
+			w.reset(cfg)
+			return w
+		}
 	}
 	w := &World{
 		cfg:    cfg,
-		eng:    sim.NewEngine(cfg.Seed),
+		eng:    cfg.Engine,
 		splits: make(map[string]*splitState),
 		opens:  make(map[string]*openState),
 		files:  make(map[string]*File),
-		fs:     sim.NewStriped(cfg.FS.Stripes),
+		fs:     cfg.Bank,
 		stash:  make(map[string]interface{}),
+	}
+	w.external = external
+	if w.eng == nil {
+		w.eng = sim.NewEngine(cfg.Seed)
+	}
+	if w.fs == nil {
+		w.fs = sim.NewBank(cfg.FS.Stripes, 1, sim.BankFCFS)
 	}
 	w.buildRanks()
 	return w
@@ -251,7 +301,9 @@ func (w *World) buildRanks() {
 
 // reset reinitializes a recycled world for cfg, retaining engine, ranks,
 // matching-index and freelist capacity. The result is behaviourally
-// indistinguishable from NewWorld building from scratch.
+// indistinguishable from NewWorld building from scratch. Only worlds that
+// own their engine and bank circulate through the pool (NewWorld builds
+// external worlds fresh), so reset never sees a shared engine or bank.
 func (w *World) reset(cfg Config) {
 	w.cfg = cfg
 	w.eng.Reset(cfg.Seed)
@@ -263,7 +315,7 @@ func (w *World) reset(cfg Config) {
 	if w.fs.Width() == cfg.FS.Stripes {
 		w.fs.Reset()
 	} else {
-		w.fs = sim.NewStriped(cfg.FS.Stripes)
+		w.fs = sim.NewBank(cfg.FS.Stripes, 1, sim.BankFCFS)
 	}
 	w.buildRanks()
 }
@@ -274,7 +326,7 @@ func (w *World) reset(cfg Config) {
 // that release worlds between points cut per-point allocation churn to
 // near zero; forgetting to release is safe, just slower.
 func (w *World) Release() {
-	if w.eng == nil {
+	if w.eng == nil || w.external {
 		return
 	}
 	worldPool.Put(w)
@@ -321,17 +373,38 @@ func (w *World) MessagesSent() int64 {
 	return total
 }
 
-// Run spawns one process per rank executing main and runs the simulation
-// to completion, returning the final virtual time.
-func (w *World) Run(main func(r *Rank)) (sim.Time, error) {
+// rankName labels a rank's process for deadlock reports and traces,
+// prefixed with the world name in multi-world runs ("jobA/rank3").
+func (w *World) rankName(rank int) string {
+	if w.cfg.Name != "" {
+		return fmt.Sprintf("%s/rank%d", w.cfg.Name, rank)
+	}
+	return fmt.Sprintf("rank%d", rank)
+}
+
+// Start spawns one process per rank executing main without running the
+// engine. Worlds sharing an engine are all started first, then the owner
+// runs the engine once; single-world callers use Run, which is
+// Start-then-run.
+func (w *World) Start(main func(r *Rank)) {
 	for i := range w.ranks {
 		rs := w.ranks[i]
 		rank := &Rank{w: w, rs: rs}
-		rs.proc = w.eng.Spawn(fmt.Sprintf("rank%d", rs.rank), func(p *sim.Proc) {
+		rs.proc = w.eng.Spawn(w.rankName(rs.rank), func(p *sim.Proc) {
 			rank.proc = p
 			main(rank)
 		})
 	}
+}
+
+// Run spawns one process per rank executing main and runs the simulation
+// to completion, returning the final virtual time. Worlds attached to a
+// shared engine must not Run it (the owning cluster does); use Start.
+func (w *World) Run(main func(r *Rank)) (sim.Time, error) {
+	if w.cfg.Engine != nil {
+		panic("mpi: Run on a world with a shared engine; Start it and run the engine from its owner")
+	}
+	w.Start(main)
 	return w.eng.Run()
 }
 
@@ -352,17 +425,49 @@ type FiberMain func(r *Rank, f *sim.Fiber) sim.StepFunc
 // Tracing is not supported in fiber mode: callers gate on Config.Tracer
 // and fall back to Run when one is configured.
 func (w *World) RunFibers(main FiberMain) (sim.Time, error) {
+	if w.cfg.Engine != nil {
+		panic("mpi: RunFibers on a world with a shared engine; StartFibers it and run the engine from its owner")
+	}
+	w.StartFibers(main)
+	return w.eng.Run()
+}
+
+// StartFibers is Start with the step-function process representation: it
+// spawns the rank fibers without running the engine, for worlds attached
+// to a shared engine.
+func (w *World) StartFibers(main FiberMain) {
 	if w.cfg.Tracer != nil {
 		panic("mpi: RunFibers does not support tracing; use Run when a Tracer is configured")
 	}
 	for i := range w.ranks {
 		rs := w.ranks[i]
 		rank := &Rank{w: w, rs: rs}
-		rank.fib = w.eng.SpawnFiber(fmt.Sprintf("rank%d", rs.rank), func(f *sim.Fiber) sim.StepFunc {
+		rank.fib = w.eng.SpawnFiber(w.rankName(rs.rank), func(f *sim.Fiber) sim.StepFunc {
 			return main(rank, f)
 		})
+		rs.fib = rank.fib
 	}
-	return w.eng.Run()
+}
+
+// Makespan reports the latest virtual time at which one of the world's
+// rank bodies finished — the job's completion time in a multi-world run,
+// where the engine's final time covers every job. It is meaningful only
+// after the engine has run to completion.
+func (w *World) Makespan() sim.Time {
+	var t sim.Time
+	for _, rs := range w.ranks {
+		if rs.proc != nil {
+			if d := rs.proc.FinishedAt(); d > t {
+				t = d
+			}
+		}
+		if rs.fib != nil {
+			if d := rs.fib.FinishedAt(); d > t {
+				t = d
+			}
+		}
+	}
+	return t
 }
 
 // Rank is the handle a rank's code uses to compute and communicate. It is

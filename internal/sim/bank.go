@@ -1,0 +1,254 @@
+package sim
+
+import "fmt"
+
+// BankPolicy selects how a Bank arbitrates stripe time between jobs.
+//
+// The bank is a timeline-reservation resource: callers learn their slot
+// immediately and never queue. Inter-job arbitration therefore works the
+// way a storage gateway's QoS engine does (Lustre's token-bucket NRS
+// policies are the production example): an over-share job's reservations
+// are paced onto the timeline with gaps, and under-share jobs' requests
+// fill those gaps. All policies are deterministic pure functions of the
+// reservation call sequence, which the engine's (t, seq) event order
+// fixes.
+type BankPolicy int
+
+const (
+	// BankFCFS grants reservations in pure arrival order on the
+	// least-loaded stripe. With a single job this is byte-identical to
+	// the historical per-world Striped behavior; it is also the baseline
+	// inter-job policy (no isolation: a hog job's booked backlog delays
+	// everyone behind it).
+	BankFCFS BankPolicy = iota
+	// BankFair is equal-share pacing: with k jobs registered, each job's
+	// sustained bookings may occupy at most 1/k of the timeline, so a
+	// hog's reservations are spread out with idle holes and a light job's
+	// requests slot into the holes instead of queueing behind the hog's
+	// whole backlog. Shares are static (token-bucket semantics): a job
+	// coming off idle gets one unpaced burst, then pacing resumes, and a
+	// sustained hog stays paced even while the other jobs underuse their
+	// shares — the deliberate, non-work-conserving trade real QoS engines
+	// (Lustre's TBF) make for isolation. Per-job weights are ignored
+	// (all 1).
+	BankFair
+	// BankWeighted is BankFair with per-job share weights: a weight-4
+	// job is entitled to four times the timeline fraction of a weight-1
+	// job. This is the priority policy: priority ranks map to weights.
+	BankWeighted
+)
+
+// String names the policy as the cosched experiment series do.
+func (p BankPolicy) String() string {
+	switch p {
+	case BankFCFS:
+		return "fcfs"
+	case BankFair:
+		return "fair"
+	case BankWeighted:
+		return "priority"
+	default:
+		return fmt.Sprintf("BankPolicy(%d)", int(p))
+	}
+}
+
+// gap is an unreserved hole in a stripe's timeline, left by pacing an
+// over-share job's reservation past the stripe's previous frontier.
+type gap struct {
+	start, end Time
+}
+
+// bankLink is the per-stripe gap list maintained under the fair policies
+// (FCFS never creates or fills gaps). Gaps are kept sorted by start and
+// non-overlapping; reservation instants only move forward in virtual
+// time, so gaps wholly in the past are pruned as they expire.
+type bankLink struct {
+	gaps []gap
+}
+
+// Bank is a striped-FS bank shared by one or more jobs (worlds): the
+// Striped link array plus per-job pacing state and an inter-job
+// arbitration policy. A single-job BankFCFS bank behaves exactly like the
+// bare Striped it wraps, which is what keeps single-world trajectories
+// byte-identical across the extraction.
+type Bank struct {
+	s      Striped
+	glinks []bankLink
+	policy BankPolicy
+
+	// svc is each job's virtual service clock: the earliest instant its
+	// next reservation may start. It advances by dur/share per grant and
+	// rebaselines to the request instant when the job is under its share
+	// (idle periods refill its burst credit).
+	svc []Time
+	// total is each job's lifetime reserved stripe time, for reporting.
+	total   []Time
+	weights []float64
+}
+
+// NewBank creates a bank of stripes links arbitrated between jobs jobs
+// under the given policy. Both counts must be positive.
+func NewBank(stripes, jobs int, policy BankPolicy) *Bank {
+	if jobs <= 0 {
+		panic(fmt.Sprintf("sim: Bank needs at least one job, got %d", jobs))
+	}
+	b := &Bank{
+		s:       *NewStriped(stripes),
+		policy:  policy,
+		svc:     make([]Time, jobs),
+		total:   make([]Time, jobs),
+		weights: make([]float64, jobs),
+	}
+	if policy != BankFCFS {
+		b.glinks = make([]bankLink, stripes)
+	}
+	for i := range b.weights {
+		b.weights[i] = 1
+	}
+	return b
+}
+
+// SetWeight sets job's share weight for BankWeighted. Weights must be
+// positive; the other policies ignore them.
+func (b *Bank) SetWeight(job int, w float64) {
+	if w <= 0 {
+		panic(fmt.Sprintf("sim: Bank weight %v for job %d", w, job))
+	}
+	b.weights[job] = w
+}
+
+// Width reports the number of stripes.
+func (b *Bank) Width() int { return b.s.Width() }
+
+// Jobs reports the number of jobs the bank arbitrates between.
+func (b *Bank) Jobs() int { return len(b.svc) }
+
+// Policy reports the inter-job arbitration policy.
+func (b *Bank) Policy() BankPolicy { return b.policy }
+
+// Busy reports the total reserved stripe time across all links.
+func (b *Bank) Busy() Time { return b.s.Busy() }
+
+// JobBusy reports the total stripe time job has reserved over the bank's
+// lifetime.
+func (b *Bank) JobBusy(job int) Time { return b.total[job] }
+
+// Reset clears all reservations and pacing state, returning the bank to
+// its initial state for reuse across simulation runs. Weights are
+// retained.
+func (b *Bank) Reset() {
+	b.s.Reset()
+	for i := range b.glinks {
+		b.glinks[i].gaps = b.glinks[i].gaps[:0]
+	}
+	for i := range b.svc {
+		b.svc[i] = 0
+		b.total[i] = 0
+	}
+}
+
+// share reports job's static timeline share: equal splits under BankFair,
+// its weight over the weights of every registered job under BankWeighted.
+func (b *Bank) share(job int) float64 {
+	if b.policy != BankWeighted {
+		return 1 / float64(len(b.svc))
+	}
+	var sum float64
+	for _, w := range b.weights {
+		sum += w
+	}
+	return b.weights[job] / sum
+}
+
+// Reserve books dur of stripe time for job no earlier than at, returning
+// the granted slot. Reservation instants must be non-decreasing across
+// calls (they are: callers reserve at the engine's current virtual time).
+//
+// Under BankFCFS the request goes straight to the least-loaded stripe,
+// identically to Striped.Reserve. Under the fair policies the request may
+// not start before the job's virtual service clock — which advances by
+// dur/share per grant, so a job sustaining more than its share has its
+// bookings paced out with idle holes — and is then placed in the earliest
+// hole (or tail) across stripes, so under-share jobs overtake a hog's
+// spread-out backlog instead of queueing behind all of it. A job whose
+// clock has fallen behind the request instant (it was idle or under its
+// share) rebaselines and pays no pacing on its next write.
+func (b *Bank) Reserve(job int, at, dur Time) (start, end Time) {
+	if b.policy == BankFCFS || len(b.svc) == 1 {
+		start, end = b.s.Reserve(at, dur)
+		b.total[job] += dur
+		return start, end
+	}
+	if b.svc[job] < at {
+		b.svc[job] = at
+	}
+	eff := b.svc[job]
+	start, end = b.place(at, eff, dur)
+	// The entitlement is a fraction of the aggregate bank (share x width
+	// stripes), so on a wide bank a job streaming to a single stripe at a
+	// time stays inside its share and is never paced — pacing only bites
+	// when the job's parallel demand exceeds its slice of the whole bank.
+	b.svc[job] = eff + Time(float64(dur)/(b.share(job)*float64(b.s.Width())))
+	b.total[job] += dur
+	return start, end
+}
+
+// place books dur on the stripe offering the earliest start at or after
+// eff — inside a pacing gap when one fits, else at the stripe tail —
+// pruning gaps that have wholly expired (ended at or before at, the
+// current virtual time).
+func (b *Bank) place(at, eff, dur Time) (start, end Time) {
+	best := -1
+	bestGap := -1
+	var bestStart Time
+	for i := range b.s.links {
+		gl := &b.glinks[i]
+		// Expire gaps the clock has passed: no future request can start
+		// before at.
+		keep := gl.gaps[:0]
+		for _, g := range gl.gaps {
+			if g.end > at {
+				keep = append(keep, g)
+			}
+		}
+		gl.gaps = keep
+		st := Max(eff, b.s.links[i].nextFree)
+		gi := -1
+		for j, g := range gl.gaps {
+			s0 := Max(g.start, eff)
+			if s0+dur <= g.end && s0 < st {
+				st, gi = s0, j
+				break // gaps are sorted by start; the first fit is earliest
+			}
+		}
+		if best == -1 || st < bestStart {
+			best, bestGap, bestStart = i, gi, st
+		}
+	}
+	l := &b.s.links[best]
+	start = bestStart
+	end = start + dur
+	if bestGap >= 0 {
+		// Split the gap around the booking, keeping nonempty remainders.
+		gl := &b.glinks[best]
+		g := gl.gaps[bestGap]
+		rest := make([]gap, 0, 2)
+		if g.start < start {
+			rest = append(rest, gap{g.start, start})
+		}
+		if end < g.end {
+			rest = append(rest, gap{end, g.end})
+		}
+		gl.gaps = append(gl.gaps[:bestGap], append(rest, gl.gaps[bestGap+1:]...)...)
+		l.busy += dur
+		return start, end
+	}
+	// Tail booking: pacing past the frontier leaves a new gap behind it.
+	if start > l.nextFree {
+		gl := &b.glinks[best]
+		gl.gaps = append(gl.gaps, gap{l.nextFree, start})
+	}
+	l.nextFree = end
+	l.busy += dur
+	return start, end
+}

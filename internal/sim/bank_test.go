@@ -1,0 +1,184 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// TestBankFCFSMatchesStriped: the single-job FCFS bank must reproduce the
+// bare Striped grant-for-grant — that equivalence is what keeps
+// single-world trajectories byte-identical across the bank extraction.
+func TestBankFCFSMatchesStriped(t *testing.T) {
+	for _, stripes := range []int{1, 3, 16} {
+		b := NewBank(stripes, 1, BankFCFS)
+		s := NewStriped(stripes)
+		rng := rand.New(rand.NewSource(42))
+		var at Time
+		for i := 0; i < 500; i++ {
+			at += Time(rng.Intn(1000))
+			dur := Time(rng.Intn(2000) + 1)
+			bs, be := b.Reserve(0, at, dur)
+			ss, se := s.Reserve(at, dur)
+			if bs != ss || be != se {
+				t.Fatalf("stripes=%d op %d: bank granted [%v,%v), striped [%v,%v)", stripes, i, bs, be, ss, se)
+			}
+		}
+		if b.Busy() != s.Busy() {
+			t.Errorf("stripes=%d: busy %v != %v", stripes, b.Busy(), s.Busy())
+		}
+	}
+}
+
+// TestBankMultiJobFCFSIsArrivalOrder: FCFS with several jobs applies no
+// pacing at all — grants match a bare Striped regardless of which job
+// asks.
+func TestBankMultiJobFCFSIsArrivalOrder(t *testing.T) {
+	b := NewBank(4, 3, BankFCFS)
+	s := NewStriped(4)
+	rng := rand.New(rand.NewSource(7))
+	var at Time
+	for i := 0; i < 300; i++ {
+		at += Time(rng.Intn(500))
+		dur := Time(rng.Intn(1500) + 1)
+		job := rng.Intn(3)
+		bs, be := b.Reserve(job, at, dur)
+		ss, se := s.Reserve(at, dur)
+		if bs != ss || be != se {
+			t.Fatalf("op %d: bank granted [%v,%v), striped [%v,%v)", i, bs, be, ss, se)
+		}
+	}
+}
+
+// TestBankGrantsNeverOverlap: on a single stripe, grants from any mix of
+// jobs and policies must never overlap — gap splitting and tail booking
+// both have to respect existing reservations.
+func TestBankGrantsNeverOverlap(t *testing.T) {
+	for _, policy := range []BankPolicy{BankFCFS, BankFair, BankWeighted} {
+		b := NewBank(1, 3, policy)
+		b.SetWeight(0, 4)
+		rng := rand.New(rand.NewSource(int64(policy) + 99))
+		type iv struct{ s, e Time }
+		var got []iv
+		var at Time
+		for i := 0; i < 800; i++ {
+			at += Time(rng.Intn(300))
+			dur := Time(rng.Intn(700) + 1)
+			job := rng.Intn(3)
+			s, e := b.Reserve(job, at, dur)
+			if s < at {
+				t.Fatalf("%v op %d: grant starts at %v before request instant %v", policy, i, s, at)
+			}
+			if e-s != dur {
+				t.Fatalf("%v op %d: grant [%v,%v) is not %v long", policy, i, s, e, dur)
+			}
+			got = append(got, iv{s, e})
+		}
+		sort.Slice(got, func(i, j int) bool { return got[i].s < got[j].s })
+		for i := 1; i < len(got); i++ {
+			if got[i].s < got[i-1].e {
+				t.Fatalf("%v: grants [%v,%v) and [%v,%v) overlap", policy, got[i-1].s, got[i-1].e, got[i].s, got[i].e)
+			}
+		}
+	}
+}
+
+// TestBankFairPacesHogAndFillsGaps: a job sustaining back-to-back demand
+// under equal shares is paced to half the timeline, and the other job's
+// requests land in the holes — at their request instant, not behind the
+// hog's backlog.
+func TestBankFairPacesHogAndFillsGaps(t *testing.T) {
+	b := NewBank(1, 2, BankFair)
+	// Hog books 10 back-to-back units from t=0 without waiting.
+	var starts []Time
+	for i := 0; i < 10; i++ {
+		s, _ := b.Reserve(0, 0, 100)
+		starts = append(starts, s)
+	}
+	// Pacing at share 1/2: bookings land at 0, 200, 400, ...
+	for i, s := range starts {
+		if want := Time(i * 200); s != want {
+			t.Errorf("hog booking %d starts at %v, want %v", i, s, want)
+		}
+	}
+	// The light job's request at t=50 fits the first hole [100,200).
+	s, e := b.Reserve(1, 50, 100)
+	if s != 100 || e != 200 {
+		t.Errorf("light job granted [%v,%v), want [100,200)", s, e)
+	}
+	// The light job is paced too (svc is now 250), so its next request
+	// lands in the first hole at or after its own clock.
+	s, _ = b.Reserve(1, 50, 100)
+	if s != 300 {
+		t.Errorf("second light request granted at %v, want 300 (first hole past svc=250)", s)
+	}
+	// A request no hole can fit goes to the stripe tail, behind the
+	// hog's last booking.
+	s, _ = b.Reserve(1, 50, 150)
+	if s != 1900 {
+		t.Errorf("oversized request granted at %v, want 1900 (stripe tail)", s)
+	}
+}
+
+// TestBankWeightedShares: weights shift the pacing rate — a weight-3 job
+// is paced at 1/4 the rate of... rather, gets 3/4 of the timeline while a
+// weight-1 job gets 1/4.
+func TestBankWeightedShares(t *testing.T) {
+	b := NewBank(1, 2, BankWeighted)
+	b.SetWeight(0, 3)
+	// Job 0 (share 3/4): svc advances by dur/0.75.
+	s0a, _ := b.Reserve(0, 0, 300)
+	s0b, _ := b.Reserve(0, 0, 300)
+	if s0a != 0 || s0b != 400 {
+		t.Errorf("weighted hog booked at %v and %v, want 0 and 400", s0a, s0b)
+	}
+	// Job 1 (share 1/4): its first request fills the hog's pacing hole
+	// [300,400); its clock then reads 400, so the next request goes to
+	// the stripe tail (the frontier at 700 is past the clock).
+	s1a, _ := b.Reserve(1, 0, 100)
+	s1b, _ := b.Reserve(1, 0, 100)
+	if s1a != 300 || s1b != 700 {
+		t.Errorf("weighted light job booked at %v and %v, want 300 and 700", s1a, s1b)
+	}
+}
+
+// TestBankIdleRebaseline: a job that was paced far ahead but then goes
+// idle rebaselines its service clock — returning demand starts at the
+// request instant again (one free burst, token-bucket style).
+func TestBankIdleRebaseline(t *testing.T) {
+	b := NewBank(1, 2, BankFair)
+	for i := 0; i < 5; i++ {
+		b.Reserve(0, 0, 100)
+	}
+	// svc[0] is now 1000; a request at t=2000 (past the clock) pays no
+	// pacing debt.
+	s, _ := b.Reserve(0, 2000, 100)
+	if s != 2000 {
+		t.Errorf("rebaselined request granted at %v, want 2000", s)
+	}
+}
+
+// TestBankReset: a reset bank reproduces a fresh bank's grants exactly.
+func TestBankReset(t *testing.T) {
+	run := func(b *Bank) []Time {
+		var out []Time
+		rng := rand.New(rand.NewSource(3))
+		var at Time
+		for i := 0; i < 200; i++ {
+			at += Time(rng.Intn(200))
+			s, _ := b.Reserve(rng.Intn(2), at, Time(rng.Intn(400)+1))
+			out = append(out, s)
+		}
+		return out
+	}
+	b := NewBank(2, 2, BankFair)
+	first := run(b)
+	b.Reset()
+	second := run(b)
+	fresh := run(NewBank(2, 2, BankFair))
+	for i := range first {
+		if first[i] != second[i] || first[i] != fresh[i] {
+			t.Fatalf("grant %d: first %v, after reset %v, fresh %v", i, first[i], second[i], fresh[i])
+		}
+	}
+}

@@ -347,6 +347,7 @@ func (e *Engine) Spawn(name string, body func(*Proc)) *Proc {
 				}
 			}
 			p.state = procDone
+			p.doneAt = e.now
 			e.live--
 			// The goroutine exits holding the token: pass it on. During
 			// unwind (or after a panic) it goes straight back to Run;
@@ -501,6 +502,19 @@ func (e *Engine) RunUntil(limit Time) (Time, error) {
 		e.now = limit
 	}
 	return e.now, nil
+}
+
+// Abort terminates every spawned-but-unfinished process and fiber without
+// running the simulation: goroutine-backed processes are unwound via the
+// stop signal, fibers' pending continuations are dropped. It exists for
+// callers that spawn work across several worlds and hit an error before
+// Run (a co-scheduled job failing to start must not leak the goroutines
+// of the jobs spawned before it). The engine must be Reset before reuse.
+func (e *Engine) Abort() {
+	if e.running {
+		panic("sim: Abort called while the engine is running")
+	}
+	e.unwind()
 }
 
 // unwind terminates any still-blocked process goroutines so they do not

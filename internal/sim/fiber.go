@@ -48,6 +48,7 @@ type Fiber struct {
 	parked      bool     // suspended without a scheduled resume (awaits a wake)
 	blockReason string
 	done        bool
+	doneAt      Time // virtual time at which the body finished
 }
 
 // SpawnFiber creates a fiber executing start. Like Spawn, the fiber starts
@@ -83,6 +84,11 @@ func (f *Fiber) Now() Time { return f.e.now }
 
 // Done reports whether the fiber body has finished.
 func (f *Fiber) Done() bool { return f.done }
+
+// FinishedAt reports the virtual time at which the fiber body finished.
+// It is meaningful only once Done reports true; multi-world setups use it
+// for per-job makespans.
+func (f *Fiber) FinishedAt() Time { return f.doneAt }
 
 // Rand returns the fiber's deterministic random source, derived from the
 // engine seed and the fiber id exactly as Proc.Rand derives its stream.
@@ -126,6 +132,7 @@ func (f *Fiber) Fire() {
 		}
 	}
 	f.done = true
+	f.doneAt = f.e.now
 	f.e.live--
 }
 

@@ -27,6 +27,7 @@ type Proc struct {
 	blockReason string
 	rng         *rand.Rand
 	debt        Time
+	doneAt      Time // virtual time at which the body returned
 }
 
 // Name reports the process name given to Spawn.
@@ -34,6 +35,11 @@ func (p *Proc) Name() string { return p.name }
 
 // ID reports the engine-unique process id, in spawn order.
 func (p *Proc) ID() int { return p.id }
+
+// FinishedAt reports the virtual time at which the process body returned.
+// It is meaningful only once the body has finished (after Run returns);
+// multi-world setups use it for per-job makespans.
+func (p *Proc) FinishedAt() Time { return p.doneAt }
 
 // resumeAt schedules the process's resume event (Runnable contract).
 func (p *Proc) resumeAt(t Time) { p.e.atProc(t, p) }

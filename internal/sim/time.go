@@ -39,6 +39,32 @@
 // and share the (t, seq) contract, so a faithfully ported body produces
 // the same trajectory under either representation.
 //
+// # Multi-world runs
+//
+// Several worlds (jobs) may share one engine (mpi.Config.Engine, driven
+// by internal/cluster): every world's events schedule through the same
+// heap and ring, so one (t, seq) stream orders the whole co-scheduled
+// simulation. Cross-world event identity follows from that stream plus
+// engine-global process identifiers — Spawn and SpawnFiber number
+// processes in spawn order across all worlds, so job start order fixes
+// both the identifier space and every derived random stream. Deadlock
+// reports name blocked processes with their world prefix ("job0/rank3",
+// from mpi.Config.Name), so a report from a 4-job cluster attributes
+// each stuck rank to its job.
+//
+// What counts as a trajectory for a cluster run: the tuple
+// (TrajectoryVersion, engine seed, the ordered job list — each job's
+// full configuration, representation aside — and the shared bank's
+// policy, weights and width) produces exactly one (t, seq) sequence and
+// therefore one set of per-job completion times. As for single worlds,
+// the process representation (goroutine or fiber), worker counts, and
+// world/engine pooling are never part of the trajectory. Bank
+// arbitration arithmetic (Bank.Reserve's pacing and placement) is part
+// of it: changing that arithmetic is trajectory-breaking for multi-world
+// runs and follows the versioning policy below, while single-world runs
+// only ever exercise the FCFS path, which is frozen byte-identical to
+// the pre-bank Striped behavior.
+//
 // # Determinism versioning
 //
 // The simulator's determinism contract is: one (code version, seed,
