@@ -21,12 +21,25 @@ func loadReport(path string) (map[string]benchEntry, error) {
 	return rep, nil
 }
 
+// compareRow is one experiment's delta between two reports.
+type compareRow struct {
+	name       string
+	oldNs      int64
+	newNs      int64
+	dNs        float64 // ns/op delta in percent (positive = slower)
+	oldEv      float64
+	newEv      float64
+	dEv        float64
+	regression bool
+}
+
 // compareReports prints per-experiment ns/op and events/sec deltas
-// between two -json reports and returns the process exit code: nonzero
-// when any experiment present in both reports slowed down (ns/op) by more
-// than regressPct percent. Wall-clock comparisons across different
-// machines are noisy; CI pairs this with a generous threshold and the
-// machine-neutral events count as the tie-breaking signal.
+// between two -json reports, worst regression first, and returns the
+// process exit code: nonzero when any experiment present in both reports
+// slowed down (ns/op) by more than regressPct percent, with the
+// offending rows repeated on stderr. Wall-clock comparisons across
+// different machines are noisy; CI pairs this with a generous threshold
+// and the machine-neutral events count as the tie-breaking signal.
 func compareReports(oldPath, newPath string, regressPct float64) int {
 	oldRep, err := loadReport(oldPath)
 	if err != nil {
@@ -38,11 +51,6 @@ func compareReports(oldPath, newPath string, regressPct float64) int {
 		fmt.Fprintln(os.Stderr, err)
 		return 2
 	}
-	names := make([]string, 0, len(newRep))
-	for name := range newRep {
-		names = append(names, name)
-	}
-	sort.Strings(names)
 
 	pct := func(oldV, newV float64) float64 {
 		if oldV == 0 {
@@ -51,27 +59,50 @@ func compareReports(oldPath, newPath string, regressPct float64) int {
 		return (newV - oldV) / oldV * 100
 	}
 
-	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(tw, "experiment\told ns/op\tnew ns/op\tdelta\told ev/s\tnew ev/s\tdelta")
-	exit := 0
-	var regressed []string
-	for _, name := range names {
-		n := newRep[name]
+	var rows []compareRow
+	var added []string
+	for name, n := range newRep {
 		o, ok := oldRep[name]
 		if !ok {
-			fmt.Fprintf(tw, "%s\t-\t%d\tnew\t-\t%.0f\tnew\n", name, n.NsPerOp, n.EventsPerSec)
+			added = append(added, name)
 			continue
 		}
-		dNs := pct(float64(o.NsPerOp), float64(n.NsPerOp))
-		dEv := pct(o.EventsPerSec, n.EventsPerSec)
+		r := compareRow{
+			name:  name,
+			oldNs: o.NsPerOp, newNs: n.NsPerOp,
+			dNs:   pct(float64(o.NsPerOp), float64(n.NsPerOp)),
+			oldEv: o.EventsPerSec, newEv: n.EventsPerSec,
+			dEv: pct(o.EventsPerSec, n.EventsPerSec),
+		}
+		r.regression = r.dNs > regressPct
+		rows = append(rows, r)
+	}
+	// Worst regression first (largest ns/op slowdown on top), so the rows
+	// that matter lead the log; ties and equal deltas fall back to name
+	// order for deterministic output.
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].dNs != rows[j].dNs {
+			return rows[i].dNs > rows[j].dNs
+		}
+		return rows[i].name < rows[j].name
+	})
+	sort.Strings(added)
+
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "experiment\told ns/op\tnew ns/op\tdelta\told ev/s\tnew ev/s\tdelta")
+	var regressed []compareRow
+	for _, r := range rows {
 		mark := ""
-		if dNs > regressPct {
+		if r.regression {
 			mark = "  REGRESSION"
-			regressed = append(regressed, name)
-			exit = 1
+			regressed = append(regressed, r)
 		}
 		fmt.Fprintf(tw, "%s\t%d\t%d\t%+.1f%%\t%.0f\t%.0f\t%+.1f%%%s\n",
-			name, o.NsPerOp, n.NsPerOp, dNs, o.EventsPerSec, n.EventsPerSec, dEv, mark)
+			r.name, r.oldNs, r.newNs, r.dNs, r.oldEv, r.newEv, r.dEv, mark)
+	}
+	for _, name := range added {
+		n := newRep[name]
+		fmt.Fprintf(tw, "%s\t-\t%d\tnew\t-\t%.0f\tnew\n", name, n.NsPerOp, n.EventsPerSec)
 	}
 	var removed []string
 	for name := range oldRep {
@@ -84,8 +115,13 @@ func compareReports(oldPath, newPath string, regressPct float64) int {
 		fmt.Fprintf(tw, "%s\t%d\t-\tremoved\t%.0f\t-\tremoved\n", name, oldRep[name].NsPerOp, oldRep[name].EventsPerSec)
 	}
 	tw.Flush()
-	if exit != 0 {
-		fmt.Fprintf(os.Stderr, "regression above %.0f%% in: %v\n", regressPct, regressed)
+	if len(regressed) == 0 {
+		return 0
 	}
-	return exit
+	fmt.Fprintf(os.Stderr, "%d experiment(s) regressed above %.0f%% (worst first):\n", len(regressed), regressPct)
+	for _, r := range regressed {
+		fmt.Fprintf(os.Stderr, "  %s: %d -> %d ns/op (%+.1f%%), %.0f -> %.0f ev/s (%+.1f%%)\n",
+			r.name, r.oldNs, r.newNs, r.dNs, r.oldEv, r.newEv, r.dEv)
+	}
+	return 1
 }

@@ -7,6 +7,7 @@
 //	decouplebench -experiment all -format csv -out results.csv
 //	decouplebench -experiment cosched -jobs 3 -cosched-policy fair
 //	decouplebench -compare -regress-pct 50 BENCH_PR2.json new.json
+//	decouplebench -experiment fig8 -wake broadcast -json -out legacy.json
 //
 // Figure 2 and 3 are trace renderings; use cmd/traceviz for those.
 package main
@@ -16,10 +17,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/mpi"
 	"repro/internal/sim"
 )
 
@@ -27,6 +30,14 @@ import (
 // representation), unless REPRO_FIBERS explicitly says otherwise. An
 // explicit flag on the command line overrides the environment either way.
 func fibersDefault() bool { return experiments.EnvFibers(true) }
+
+// wakeDefault folds REPRO_WAKE into the -wake default.
+func wakeDefault() string {
+	if os.Getenv("REPRO_WAKE") == "broadcast" {
+		return "broadcast"
+	}
+	return "direct"
+}
 
 // benchEntry is one experiment's performance record in the -json report.
 type benchEntry struct {
@@ -48,11 +59,22 @@ func main() {
 		format     = flag.String("format", "table", "output format: table or csv")
 		out        = flag.String("out", "", "output file (default stdout)")
 		quiet      = flag.Bool("quiet", false, "suppress progress logging")
+		wake       = flag.String("wake", wakeDefault(), "request-completion wake strategy: direct (TrajectoryVersion 2) or broadcast (the legacy rank-wide parking, kept for paired A/B measurement)")
 		jsonBench  = flag.Bool("json", false, "emit a machine-readable benchmark report (name -> ns/op, events/sec) instead of figure rows")
 		compare    = flag.Bool("compare", false, "compare two -json reports (old.json new.json as positional args) and exit nonzero on regression")
 		regressPct = flag.Float64("regress-pct", 25, "with -compare: fail when an experiment's ns/op regresses by more than this percentage")
 	)
 	flag.Parse()
+
+	switch *wake {
+	case "direct":
+		mpi.SetLegacyWake(false)
+	case "broadcast":
+		mpi.SetLegacyWake(true)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown -wake %q; use direct or broadcast\n", *wake)
+		os.Exit(2)
+	}
 
 	if *compare {
 		if flag.NArg() != 2 {
@@ -95,6 +117,12 @@ func main() {
 	var rows []experiments.Row
 	report := make(map[string]benchEntry, len(names))
 	for _, name := range names {
+		// Collect before each experiment so its ns/op does not absorb the
+		// marking of the previous experiments' garbage (under the relaxed
+		// sweep GC target a cycle can otherwise land mid-experiment and
+		// bill whoever runs at the time): per-experiment entries stay
+		// comparable across different suite compositions.
+		runtime.GC()
 		ev0 := sim.GlobalEvents()
 		t0 := time.Now()
 		r, err := experiments.Registry[name](opts)

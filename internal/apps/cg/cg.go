@@ -298,7 +298,7 @@ func runDecoupled(c Config) (Result, error) {
 				pending[k]++
 				if pending[k] == 6 {
 					delete(pending, k)
-					world.Isend(rr, fm.dst, aggTag, 6*face, nil)
+					world.IsendAndFree(rr, fm.dst, aggTag, 6*face, nil)
 				}
 			})
 		}

@@ -25,7 +25,18 @@ func runReferenceFibers(c Config, nonblocking bool) (Result, error) {
 		cart := mpi.NewCart(world, dims, true)
 		me := world.RankOf(r)
 		it := 0
-		var iter sim.StepFunc
+		// Every per-iteration continuation (halo-exchange steps, stencil
+		// phases, residual allreduces) is built once here, and the request
+		// slice is reused, so steady-state iterations allocate nothing
+		// beyond their requests.
+		var iter, exch, innerStep, boundStep, residual sim.StepFunc
+		var onRecvd func(mpi.Status) sim.StepFunc
+		var onHalosDone func([]mpi.Status) sim.StepFunc
+		var onDot1 func(mpi.Part) sim.StepFunc
+		var onDot2 func(mpi.Part) sim.StepFunc
+		reqs := make([]*mpi.Request, 0, 12)
+		k := 0
+		var exchSrc int
 		record := func(_ *sim.Fiber) sim.StepFunc {
 			if t := r.Now(); t > makespan {
 				makespan = t
@@ -33,12 +44,34 @@ func runReferenceFibers(c Config, nonblocking bool) (Result, error) {
 			return nil
 		}
 		// Residual aggregation: two global dot products per CG iteration.
-		residual := func(_ *sim.Fiber) sim.StepFunc {
-			return world.FAllreduce(r, mpi.Part{Bytes: 8}, mpi.SumFloat64, nil, func(mpi.Part) sim.StepFunc {
-				return world.FAllreduce(r, mpi.Part{Bytes: 8}, mpi.SumFloat64, nil, func(mpi.Part) sim.StepFunc {
-					return iter
-				})
-			})
+		onDot1 = func(mpi.Part) sim.StepFunc {
+			return world.FAllreduce(r, mpi.Part{Bytes: 8}, mpi.SumFloat64, nil, onDot2)
+		}
+		onDot2 = func(mpi.Part) sim.StepFunc { return iter }
+		residual = func(_ *sim.Fiber) sim.StepFunc {
+			return world.FAllreduce(r, mpi.Part{Bytes: 8}, mpi.SumFloat64, nil, onDot1)
+		}
+		boundStep = func(_ *sim.Fiber) sim.StepFunc {
+			return r.FComputeLabeled(boundary, "stencil-boundary", residual)
+		}
+		onHalosDone = func([]mpi.Status) sim.StepFunc { return boundStep }
+		innerStep = func(_ *sim.Fiber) sim.StepFunc {
+			return world.FWaitAll(r, reqs, onHalosDone)
+		}
+		onRecvd = func(mpi.Status) sim.StepFunc { return exch }
+		recvStep := func(_ *sim.Fiber) sim.StepFunc {
+			return world.FRecv(r, exchSrc, haloTag, onRecvd)
+		}
+		exch = func(_ *sim.Fiber) sim.StepFunc {
+			if k >= 6 {
+				return r.FComputeLabeled(inner, "stencil-inner", boundStep)
+			}
+			dim := k / 2
+			disp := -1 + 2*(k%2) // -1 first, then +1, per dimension
+			k++
+			src, dst := cart.Shift(me, dim, disp)
+			exchSrc = src
+			return world.FSend(r, dst, haloTag, face, nil, recvStep)
 		}
 		iter = func(_ *sim.Fiber) sim.StepFunc {
 			if it >= c.Iterations {
@@ -47,7 +80,7 @@ func runReferenceFibers(c Config, nonblocking bool) (Result, error) {
 			it++
 			if nonblocking {
 				// Post everything, overlap the inner stencil.
-				var reqs []*mpi.Request
+				reqs = reqs[:0]
 				for dim := 0; dim < 3; dim++ {
 					for _, disp := range []int{-1, 1} {
 						_, dst := cart.Shift(me, dim, disp)
@@ -55,30 +88,11 @@ func runReferenceFibers(c Config, nonblocking bool) (Result, error) {
 						reqs = append(reqs, world.Irecv(r, mpi.AnySource, haloTag))
 					}
 				}
-				return r.FComputeLabeled(inner, "stencil-inner", func(_ *sim.Fiber) sim.StepFunc {
-					return world.FWaitAll(r, reqs, func([]mpi.Status) sim.StepFunc {
-						return r.FComputeLabeled(boundary, "stencil-boundary", residual)
-					})
-				})
+				return r.FComputeLabeled(inner, "stencil-inner", innerStep)
 			}
 			// Blocking all-to-all halo exchange: dimension-ordered
 			// neighbour coupling after the descriptor scan.
-			k := 0
-			var exch sim.StepFunc
-			exch = func(_ *sim.Fiber) sim.StepFunc {
-				if k >= 6 {
-					return r.FComputeLabeled(inner, "stencil-inner", func(_ *sim.Fiber) sim.StepFunc {
-						return r.FComputeLabeled(boundary, "stencil-boundary", residual)
-					})
-				}
-				dim := k / 2
-				disp := -1 + 2*(k%2) // -1 first, then +1, per dimension
-				k++
-				src, dst := cart.Shift(me, dim, disp)
-				return world.FSend(r, dst, haloTag, face, nil, func(_ *sim.Fiber) sim.StepFunc {
-					return world.FRecv(r, src, haloTag, func(mpi.Status) sim.StepFunc { return exch })
-				})
-			}
+			k = 0
 			return r.FComputeLabeled(sim.Time(c.Procs)*c.ScanCostPerRank, "alltoall-scan", exch)
 		}
 		return iter
@@ -127,7 +141,28 @@ func runDecoupledFibers(c Config) (Result, error) {
 				cart := mpi.NewCart(g0, dims, true)
 				me := g0.RankOf(r)
 				it := 0
-				var iter sim.StepFunc
+				// The per-iteration continuation chain (aggregated
+				// receive, boundary stencil, two residual allreduces) is
+				// built once, outside the loop.
+				var iter, innerStep, boundStep sim.StepFunc
+				var onAgg func(mpi.Status) sim.StepFunc
+				var onDot1, onDot2 func(mpi.Part) sim.StepFunc
+				onDot2 = func(mpi.Part) sim.StepFunc { return iter }
+				onDot1 = func(mpi.Part) sim.StepFunc {
+					return g0.FAllreduce(r, mpi.Part{Bytes: 8}, mpi.SumFloat64, nil, onDot2)
+				}
+				boundStep = func(_ *sim.Fiber) sim.StepFunc {
+					// Residual aggregation stays within the compute group.
+					return g0.FAllreduce(r, mpi.Part{Bytes: 8}, mpi.SumFloat64, nil, onDot1)
+				}
+				onAgg = func(mpi.Status) sim.StepFunc {
+					return r.FComputeLabeled(boundary, "stencil-boundary", boundStep)
+				}
+				innerStep = func(_ *sim.Fiber) sim.StepFunc {
+					// One aggregated message replaces six neighbour
+					// receives.
+					return world.FRecv(r, mpi.AnySource, aggTag, onAgg)
+				}
 				iter = func(_ *sim.Fiber) sim.StepFunc {
 					if it >= c.Iterations {
 						st.Terminate(r)
@@ -145,21 +180,7 @@ func runDecoupledFibers(c Config) (Result, error) {
 						}
 					}
 					it++
-					return r.FComputeLabeled(inner, "stencil-inner", func(_ *sim.Fiber) sim.StepFunc {
-						// One aggregated message replaces six neighbour
-						// receives.
-						return world.FRecv(r, mpi.AnySource, aggTag, func(mpi.Status) sim.StepFunc {
-							return r.FComputeLabeled(boundary, "stencil-boundary", func(_ *sim.Fiber) sim.StepFunc {
-								// Residual aggregation stays within the
-								// compute group.
-								return g0.FAllreduce(r, mpi.Part{Bytes: 8}, mpi.SumFloat64, nil, func(mpi.Part) sim.StepFunc {
-									return g0.FAllreduce(r, mpi.Part{Bytes: 8}, mpi.SumFloat64, nil, func(mpi.Part) sim.StepFunc {
-										return iter
-									})
-								})
-							})
-						})
-					})
+					return r.FComputeLabeled(inner, "stencil-inner", innerStep)
 				}
 				return iter
 			}
@@ -173,7 +194,7 @@ func runDecoupledFibers(c Config) (Result, error) {
 				pending[k]++
 				if pending[k] == 6 {
 					delete(pending, k)
-					world.Isend(rr, fm.dst, aggTag, 6*face, nil)
+					world.IsendAndFree(rr, fm.dst, aggTag, 6*face, nil)
 				}
 				return then
 			}, func(stream.Stats) sim.StepFunc { return finish })

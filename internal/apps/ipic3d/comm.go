@@ -200,7 +200,7 @@ func RunCommDecoupled(c Config) (Result, error) {
 				pending[k]++
 				volume[k] += e.Bytes
 				if pending[k] == 6 {
-					world.Isend(rr, cm.dst, aggTag, volume[k], nil)
+					world.IsendAndFree(rr, cm.dst, aggTag, volume[k], nil)
 					delete(pending, k)
 					delete(volume, k)
 				}

@@ -28,9 +28,21 @@ func runCommReferenceFibers(c Config, w *mpi.World) (Result, error) {
 			return sim.FromSeconds(float64(bytes) / c.PackRate)
 		}
 		step := 0
-		var outbound int64
+		var outbound, inbound int64
 		rounds := 0
-		var stepLoop, roundLoop sim.StepFunc
+		got := 0
+		reqs := make([]*mpi.Request, 0, 6)
+		// Every continuation of the step/round state machine is built
+		// once, here: a closure inside the loops would allocate per round
+		// trip (the forwarding rounds are the per-message hot path).
+		var stepLoop, roundLoop, recvLoop, agree sim.StepFunc
+		var onRecv func(mpi.Status) sim.StepFunc
+		var onSent func([]mpi.Status) sim.StepFunc
+		var onAgreed func(mpi.Part) sim.StepFunc
+		startRound := sim.Then(func() {
+			outbound = int64(float64(myCount) * exitFrac)
+			rounds = 0
+		}, &roundLoop)
 		stepLoop = func(_ *sim.Fiber) sim.StepFunc {
 			if step >= c.Steps {
 				if t := r.Now(); t > makespan {
@@ -40,17 +52,14 @@ func runCommReferenceFibers(c Config, w *mpi.World) (Result, error) {
 			}
 			step++
 			// Mover: update particle positions (skewed per-rank load).
-			return r.FComputeLabeled(c.moverTime(myCount), "mover", func(_ *sim.Fiber) sim.StepFunc {
-				outbound = int64(float64(myCount) * exitFrac)
-				rounds = 0
-				return roundLoop
-			})
+			return r.FComputeLabeled(c.moverTime(myCount), "mover", startRound)
 		}
+		startRecv := sim.Then(func() { got = 0 }, &recvLoop)
 		roundLoop = func(_ *sim.Fiber) sim.StepFunc {
 			counts := exitCounts(outbound)
-			var reqs []*mpi.Request
+			reqs = reqs[:0]
 			dir := 0
-			var inbound int64
+			inbound = 0
 			for dim := 0; dim < 3; dim++ {
 				for _, disp := range []int{-1, 1} {
 					_, dst := cart.Shift(me, dim, disp)
@@ -60,38 +69,40 @@ func runCommReferenceFibers(c Config, w *mpi.World) (Result, error) {
 				}
 			}
 			// Packing the outbound buffers costs CPU every round.
-			return r.FComputeLabeled(packTime(outbound*c.ParticleBytes), "pack", func(_ *sim.Fiber) sim.StepFunc {
-				got := 0
-				var recvLoop sim.StepFunc
-				recvLoop = func(_ *sim.Fiber) sim.StepFunc {
-					if got < 6 {
-						got++
-						return world.FRecv(r, mpi.AnySource, fwdTag, func(st mpi.Status) sim.StepFunc {
-							inbound += st.Data.(int64)
-							return recvLoop
-						})
-					}
-					return world.FWaitAll(r, reqs, func([]mpi.Status) sim.StepFunc {
-						// Unpack and re-sort the arrivals before the next round.
-						return r.FComputeLabeled(packTime(inbound*c.ParticleBytes), "unpack", func(_ *sim.Fiber) sim.StepFunc {
-							rounds++
-							// Diagonal movers must continue along another dimension.
-							outbound = int64(float64(inbound) * c.ForwardContinue)
-							// Global termination check, paid every round.
-							return world.FAllreduce(r, mpi.Part{Bytes: 8, Data: outbound}, mpi.SumInt64, nil, func(part mpi.Part) sim.StepFunc {
-								if part.Data.(int64) == 0 {
-									if me == 0 {
-										totalRounds += rounds
-									}
-									return stepLoop
-								}
-								return roundLoop
-							})
-						})
-					})
+			return r.FComputeLabeled(packTime(outbound*c.ParticleBytes), "pack", startRecv)
+		}
+		onRecv = func(st mpi.Status) sim.StepFunc {
+			inbound += st.Data.(int64)
+			return recvLoop
+		}
+		recvLoop = func(_ *sim.Fiber) sim.StepFunc {
+			if got < 6 {
+				got++
+				return world.FRecv(r, mpi.AnySource, fwdTag, onRecv)
+			}
+			return world.FWaitAll(r, reqs, onSent)
+		}
+		unpacked := sim.Then(func() {
+			rounds++
+			// Diagonal movers must continue along another dimension.
+			outbound = int64(float64(inbound) * c.ForwardContinue)
+		}, &agree)
+		onSent = func([]mpi.Status) sim.StepFunc {
+			// Unpack and re-sort the arrivals before the next round.
+			return r.FComputeLabeled(packTime(inbound*c.ParticleBytes), "unpack", unpacked)
+		}
+		// Global termination check, paid every round.
+		agree = func(_ *sim.Fiber) sim.StepFunc {
+			return world.FAllreduce(r, mpi.Part{Bytes: 8, Data: outbound}, mpi.SumInt64, nil, onAgreed)
+		}
+		onAgreed = func(part mpi.Part) sim.StepFunc {
+			if part.Data.(int64) == 0 {
+				if me == 0 {
+					totalRounds += rounds
 				}
-				return recvLoop
-			})
+				return stepLoop
+			}
+			return roundLoop
 		}
 		return stepLoop
 	})
@@ -141,7 +152,22 @@ func runCommDecoupledFibers(c Config, w *mpi.World) (Result, error) {
 				step := 0
 				var counts [6]int64
 				k := 0
+				// All continuations are hoisted out of the loops
+				// (per-direction emit, aggregate test, drain), so a
+				// steady-state sweep step allocates nothing beyond its
+				// stream elements and requests.
 				var stepLoop, dirLoop, testLoop, drainLoop sim.StepFunc
+				var onTest func(bool, mpi.Status) sim.StepFunc
+				var onDrained func(mpi.Status) sim.StepFunc
+				emit := sim.Then(func() {
+					idx := k - 1
+					_, dst := cart.Shift(me, idx/2, -1+2*(idx%2))
+					bytes := counts[idx] * c.ParticleBytes
+					st.IsendTo(r, stream.Element{
+						Bytes: bytes,
+						Data:  commMsg{dst: dst, step: step},
+					}, ch.HomeConsumer(dst))
+				}, &dirLoop)
 				stepLoop = func(_ *sim.Fiber) sim.StepFunc {
 					if step >= c.Steps {
 						st.Terminate(r)
@@ -155,47 +181,40 @@ func runCommDecoupledFibers(c Config, w *mpi.World) (Result, error) {
 					if k >= 6 {
 						return testLoop
 					}
-					idx := k
 					k++
-					return r.FComputeLabeled(c.moverTime(myCount)/6, "mover", func(_ *sim.Fiber) sim.StepFunc {
-						_, dst := cart.Shift(me, idx/2, -1+2*(idx%2))
-						bytes := counts[idx] * c.ParticleBytes
-						st.IsendTo(r, stream.Element{
-							Bytes: bytes,
-							Data:  commMsg{dst: dst, step: step},
-						}, ch.HomeConsumer(dst))
-						return dirLoop
-					})
+					return r.FComputeLabeled(c.moverTime(myCount)/6, "mover", emit)
+				}
+				onTest = func(ok bool, _ mpi.Status) sim.StepFunc {
+					if !ok {
+						step++
+						return stepLoop
+					}
+					arrived++ // arrivals integrate into the next sweep
+					if arrived < c.Steps {
+						pendingAgg = world.Irecv(r, mpi.AnySource, aggTag)
+					}
+					return testLoop
 				}
 				testLoop = func(_ *sim.Fiber) sim.StepFunc {
 					if arrived >= c.Steps {
 						step++
 						return stepLoop
 					}
-					return world.FTest(r, pendingAgg, func(ok bool, _ mpi.Status) sim.StepFunc {
-						if !ok {
-							step++
-							return stepLoop
-						}
-						arrived++ // arrivals integrate into the next sweep
-						if arrived < c.Steps {
-							pendingAgg = world.Irecv(r, mpi.AnySource, aggTag)
-						}
-						return testLoop
-					})
+					return world.FTest(r, pendingAgg, onTest)
+				}
+				onDrained = func(mpi.Status) sim.StepFunc {
+					arrived++
+					if arrived < c.Steps {
+						pendingAgg = world.Irecv(r, mpi.AnySource, aggTag)
+					}
+					return drainLoop
 				}
 				// Drain the remaining aggregates before exiting.
 				drainLoop = func(_ *sim.Fiber) sim.StepFunc {
 					if arrived >= c.Steps {
 						return finish
 					}
-					return world.FWait(r, pendingAgg, func(mpi.Status) sim.StepFunc {
-						arrived++
-						if arrived < c.Steps {
-							pendingAgg = world.Irecv(r, mpi.AnySource, aggTag)
-						}
-						return drainLoop
-					})
+					return world.FWait(r, pendingAgg, onDrained)
 				}
 				return stepLoop
 			}
@@ -211,7 +230,7 @@ func runCommDecoupledFibers(c Config, w *mpi.World) (Result, error) {
 				pending[k]++
 				volume[k] += e.Bytes
 				if pending[k] == 6 {
-					world.Isend(rr, cm.dst, aggTag, volume[k], nil)
+					world.IsendAndFree(rr, cm.dst, aggTag, volume[k], nil)
 					delete(pending, k)
 					delete(volume, k)
 				}
@@ -239,7 +258,13 @@ func (s *ioRun) referenceFiberBody() mpi.FiberMain {
 			s.file = f
 			out := c.saveBytes(myCount)
 			step := 0
-			var stepLoop sim.StepFunc
+			var stepLoop, save sim.StepFunc
+			save = func(_ *sim.Fiber) sim.StepFunc {
+				if v == IOCollective {
+					return f.FWriteAll(r, out, stepLoop)
+				}
+				return f.FWriteShared(r, out, stepLoop)
+			}
 			stepLoop = func(_ *sim.Fiber) sim.StepFunc {
 				if step >= c.Steps {
 					if t := r.Now(); t > s.makespan {
@@ -248,12 +273,7 @@ func (s *ioRun) referenceFiberBody() mpi.FiberMain {
 					return nil
 				}
 				step++
-				return r.FComputeLabeled(c.moverTime(myCount), "mover", func(_ *sim.Fiber) sim.StepFunc {
-					if v == IOCollective {
-						return f.FWriteAll(r, out, stepLoop)
-					}
-					return f.FWriteShared(r, out, stepLoop)
-				})
+				return r.FComputeLabeled(c.moverTime(myCount), "mover", save)
 			}
 			return stepLoop
 		})
@@ -288,6 +308,7 @@ func (s *ioRun) decoupledFiberBody() mpi.FiberMain {
 				out := c.saveBytes(myCount)
 				step, burst := 0, 0
 				var stepLoop sim.StepFunc
+				emit := sim.Then(func() { st.Isend(r, stream.Element{Bytes: out / 4}) }, &stepLoop)
 				stepLoop = func(_ *sim.Fiber) sim.StepFunc {
 					if step >= c.Steps {
 						st.Terminate(r)
@@ -300,10 +321,7 @@ func (s *ioRun) decoupledFiberBody() mpi.FiberMain {
 						return stepLoop
 					}
 					burst++
-					return r.FComputeLabeled(c.moverTime(myCount)/4, "mover", func(_ *sim.Fiber) sim.StepFunc {
-						st.Isend(r, stream.Element{Bytes: out / 4})
-						return stepLoop
-					})
+					return r.FComputeLabeled(c.moverTime(myCount)/4, "mover", emit)
 				}
 				return stepLoop
 			}

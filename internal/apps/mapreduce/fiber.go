@@ -12,25 +12,28 @@ import (
 )
 
 // mapFileFibers is mapFile in continuation form: chunk computes
-// interleaved with emissions (which themselves never block).
+// interleaved with emissions (which themselves never block). The emit
+// continuation is hoisted out of the loop, so mapping allocates nothing
+// per chunk.
 func mapFileFibers(r *mpi.Rank, c Config, bytes int64, emit func(chunkKV int64), done sim.StepFunc) sim.StepFunc {
 	off := int64(0)
+	chunk := int64(0)
 	var loop sim.StepFunc
+	emitStep := sim.Then(func() {
+		if emit != nil {
+			emit(int64(float64(chunk) * c.EmitRatio))
+		}
+	}, &loop)
 	loop = func(_ *sim.Fiber) sim.StepFunc {
 		if off >= bytes {
 			return done
 		}
-		chunk := c.ChunkBytes
+		chunk = c.ChunkBytes
 		if off+chunk > bytes {
 			chunk = bytes - off
 		}
 		off += c.ChunkBytes
-		return r.FComputeLabeled(sim.FromSeconds(float64(chunk)/c.MapRate), "map", func(_ *sim.Fiber) sim.StepFunc {
-			if emit != nil {
-				emit(int64(float64(chunk) * c.EmitRatio))
-			}
-			return loop
-		})
+		return r.FComputeLabeled(sim.FromSeconds(float64(chunk)/c.MapRate), "map", emitStep)
 	}
 	return loop
 }
@@ -129,40 +132,49 @@ func runDecoupledFibers(c Config, w *mpi.World) (Result, error) {
 					upReq := world.Irecv(r, mpi.AnySource, updateTag)
 					doneReq := world.Irecv(r, mpi.AnySource, doneTag)
 					reqs := make([]*mpi.Request, 2)
+					// The drain loop's continuations are hoisted so the
+					// master allocates nothing per aggregated update.
 					var drain sim.StepFunc
+					var onMsg func(int, mpi.Status) sim.StepFunc
+					repost := sim.Then(func() {
+						upReq = world.Irecv(r, mpi.AnySource, updateTag)
+					}, &drain)
+					onMsg = func(idx int, stt mpi.Status) sim.StepFunc {
+						if idx == 0 {
+							updates++
+							return r.FComputeLabeled(c.UpdateCost, "master-update", repost)
+						}
+						expected += stt.Data.(int64)
+						done++
+						doneReq = world.Irecv(r, mpi.AnySource, doneTag)
+						return drain
+					}
 					drain = func(_ *sim.Fiber) sim.StepFunc {
 						if done >= reducers-1 && updates >= expected {
 							return finish
 						}
 						reqs[0], reqs[1] = upReq, doneReq
-						return world.FWaitAny(r, reqs, func(idx int, stt mpi.Status) sim.StepFunc {
-							if idx == 0 {
-								updates++
-								return r.FComputeLabeled(c.UpdateCost, "master-update", func(_ *sim.Fiber) sim.StepFunc {
-									upReq = world.Irecv(r, mpi.AnySource, updateTag)
-									return drain
-								})
-							}
-							expected += stt.Data.(int64)
-							done++
-							doneReq = world.Irecv(r, mpi.AnySource, doneTag)
-							return drain
-						})
+						return world.FWaitAny(r, reqs, onMsg)
 					}
 					return drain
 				})
 			default:
 				// Local reducer: merge arrivals on the fly, forwarding an
 				// unaggregated update record to the master per element.
+				// The post-merge continuation is hoisted (the operator's
+				// `then` is threaded through a captured slot), so reducing
+				// allocates nothing per element.
 				var myUpdates int64
+				var mergeThen sim.StepFunc
+				merged := sim.Then(func() {
+					if ch.Consumers() > 1 {
+						world.IsendAndFree(r, masterWorld, updateTag, c.UpdateBytes, nil)
+						myUpdates++
+					}
+				}, &mergeThen)
 				return st.FOperate(r, func(rr *mpi.Rank, e stream.Element, src int, then sim.StepFunc) sim.StepFunc {
-					return rr.FComputeLabeled(mergeCost(e.Bytes), "reduce", func(_ *sim.Fiber) sim.StepFunc {
-						if ch.Consumers() > 1 {
-							world.Isend(rr, masterWorld, updateTag, c.UpdateBytes, nil)
-							myUpdates++
-						}
-						return then
-					})
+					mergeThen = then
+					return rr.FComputeLabeled(mergeCost(e.Bytes), "reduce", merged)
 				}, func(stats stream.Stats) sim.StepFunc {
 					elements += stats.ElementsReceived
 					if ch.Consumers() > 1 {

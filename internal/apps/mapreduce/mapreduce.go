@@ -151,7 +151,11 @@ func (c Config) corpus() workload.Corpus {
 // per-worker skew (the file-size imbalance of the paper's log corpus).
 // The same skew vector applies to the reference and decoupled runs.
 func (c Config) inputShares(n int) []int64 {
-	total := int64(c.Procs) * int64(c.FilesPerProc) * c.MeanFileBytes
+	// Deal the corpus's realized size, not the nominal mean: the
+	// log-uniform file draws make the two differ by several percent at
+	// small file counts, and the element accounting (one element per
+	// mapped chunk) is checked against the realized total.
+	total := c.corpus().TotalBytes()
 	factors := workload.Imbalance(n, c.ImbalanceCoV, c.Seed+77)
 	var fsum float64
 	for _, f := range factors {
@@ -300,7 +304,7 @@ func RunDecoupled(c Config) (Result, error) {
 			stats := st.Operate(r, func(rr *mpi.Rank, e stream.Element, src int) {
 				rr.ComputeLabeled(mergeCost(e.Bytes), "reduce")
 				if ch.Consumers() > 1 {
-					world.Isend(rr, masterWorld, updateTag, c.UpdateBytes, nil)
+					world.IsendAndFree(rr, masterWorld, updateTag, c.UpdateBytes, nil)
 					myUpdates++
 				}
 			})

@@ -44,21 +44,21 @@ func runSyntheticConventionalFibers(c SyntheticConfig, w *mpi.World, factors []f
 }
 
 // syntheticProducerFibers returns the producer-side step: compute a slice
-// of Op0, inject one element, repeat; then terminate the stream.
+// of Op0, inject one element, repeat; then terminate the stream. The
+// inject continuation is hoisted out of the loop (sim.Then), so the
+// steady-state producer allocates nothing per element.
 func syntheticProducerFibers(r *mpi.Rank, st *stream.Stream, myW0 sim.Time, elements int64, elemBytes int64, done sim.StepFunc) sim.StepFunc {
 	slice := myW0 / sim.Time(elements)
 	e := int64(0)
 	var loop sim.StepFunc
+	inject := sim.Then(func() { st.Isend(r, stream.Element{Bytes: elemBytes}) }, &loop)
 	loop = func(_ *sim.Fiber) sim.StepFunc {
 		if e >= elements {
 			st.Terminate(r)
 			return done
 		}
 		e++
-		return r.FComputeLabeled(slice, "op0", func(_ *sim.Fiber) sim.StepFunc {
-			st.Isend(r, stream.Element{Bytes: elemBytes})
-			return loop
-		})
+		return r.FComputeLabeled(slice, "op0", inject)
 	}
 	return loop
 }

@@ -1,0 +1,216 @@
+package mpi
+
+import (
+	"runtime"
+	"runtime/debug"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// mallocsDuring reports the heap allocations performed by f, with the GC
+// disabled so pool contents survive the measurement.
+func mallocsDuring(f func()) uint64 {
+	prev := debug.SetGCPercent(-1)
+	defer debug.SetGCPercent(prev)
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	f()
+	runtime.ReadMemStats(&after)
+	return after.Mallocs - before.Mallocs
+}
+
+// perRound measures the steady-state allocation cost of one round of a
+// parameterized simulation by differencing two run lengths: fixed set-up
+// costs (world construction, goroutine spawning, lazily-built wait-state
+// pools) cancel, leaving only the per-round cost. run must build, run and
+// Release a world performing `rounds` rounds.
+func perRound(t *testing.T, run func(rounds int)) float64 {
+	t.Helper()
+	if raceEnabled {
+		t.Skip("allocation guards are meaningless under the race detector")
+	}
+	const short, long = 200, 600
+	// Warm every pool past the long run's high-water mark.
+	run(long)
+	run(long)
+	mShort := mallocsDuring(func() { run(short) })
+	mLong := mallocsDuring(func() { run(long) })
+	if mLong < mShort {
+		return 0
+	}
+	return float64(mLong-mShort) / float64(long-short)
+}
+
+// TestWaitHotPathZeroAlloc pins the goroutine-representation send/recv
+// round trip — Isend, Irecv, Wait with the direct-wake completion path —
+// at zero allocations per round: requests, messages, posted receives and
+// wakers all recycle through the world pools.
+func TestWaitHotPathZeroAlloc(t *testing.T) {
+	run := func(rounds int) {
+		w := NewWorld(Config{Procs: 2, Seed: 5})
+		_, err := w.Run(func(r *Rank) {
+			c := r.World()
+			for i := 0; i < rounds; i++ {
+				if r.ID() == 0 {
+					c.Send(r, 1, 0, 1024, nil)
+					c.Recv(r, 1, 1)
+				} else {
+					c.Recv(r, 0, 0)
+					c.Send(r, 0, 1, 512, nil)
+				}
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		w.Release()
+	}
+	if got := perRound(t, run); got != 0 {
+		t.Errorf("proc ping-pong allocates %.2f allocs/round in steady state, want 0", got)
+	}
+}
+
+// TestFiberP2PHotPathZeroAlloc pins the fiber-representation FSend/FRecv
+// round trip at zero allocations per round (pooled fwait states plus the
+// pooled requests/messages).
+func TestFiberP2PHotPathZeroAlloc(t *testing.T) {
+	run := func(rounds int) {
+		w := NewWorld(Config{Procs: 2, Seed: 5})
+		_, err := w.RunFibers(func(r *Rank, f *sim.Fiber) sim.StepFunc {
+			c := r.World()
+			i := 0
+			var loop sim.StepFunc
+			var afterSend, afterRecv func(Status) sim.StepFunc
+			afterSend = func(Status) sim.StepFunc { return loop }
+			sendBack := func(_ *sim.Fiber) sim.StepFunc {
+				return c.FSend(r, 0, 1, 512, nil, loop)
+			}
+			afterRecv = func(Status) sim.StepFunc { return sendBack }
+			recvReply := func(_ *sim.Fiber) sim.StepFunc {
+				return c.FRecv(r, 1, 1, afterSend)
+			}
+			loop = func(_ *sim.Fiber) sim.StepFunc {
+				if i >= rounds {
+					return nil
+				}
+				i++
+				if r.ID() == 0 {
+					return c.FSend(r, 1, 0, 1024, nil, recvReply)
+				}
+				return c.FRecv(r, 0, 0, afterRecv)
+			}
+			return loop
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		w.Release()
+	}
+	if got := perRound(t, run); got != 0 {
+		t.Errorf("fiber ping-pong allocates %.2f allocs/round in steady state, want 0", got)
+	}
+}
+
+// TestFWaitAnyHotPathZeroAlloc pins the FWaitAny consumer loop — the
+// Fig. 8 stream shape: a fan-in consumer parked on per-request waiters,
+// reposting after every message — at zero allocations per message.
+func TestFWaitAnyHotPathZeroAlloc(t *testing.T) {
+	const producers = 2
+	run := func(rounds int) {
+		w := NewWorld(Config{Procs: producers + 1, Seed: 5})
+		_, err := w.RunFibers(func(r *Rank, f *sim.Fiber) sim.StepFunc {
+			c := r.World()
+			if r.ID() < producers {
+				i := 0
+				var loop sim.StepFunc
+				send := func(_ *sim.Fiber) sim.StepFunc {
+					return c.FSend(r, producers, r.ID(), 2048, nil, loop)
+				}
+				loop = func(_ *sim.Fiber) sim.StepFunc {
+					if i >= rounds {
+						return nil
+					}
+					i++
+					return r.FCompute(sim.Time(1+r.ID())*sim.Microsecond, send)
+				}
+				return loop
+			}
+			reqs := make([]*Request, producers)
+			left := make([]int, producers)
+			for i := range reqs {
+				reqs[i] = c.Irecv(r, i, i)
+				left[i] = rounds
+			}
+			got := 0
+			var loop sim.StepFunc
+			var onMsg func(int, Status) sim.StepFunc
+			onMsg = func(idx int, _ Status) sim.StepFunc {
+				got++
+				left[idx]--
+				if left[idx] > 0 {
+					reqs[idx] = c.Irecv(r, idx, idx)
+				} else {
+					reqs[idx] = nil
+				}
+				return loop
+			}
+			loop = func(_ *sim.Fiber) sim.StepFunc {
+				if got >= producers*rounds {
+					return nil
+				}
+				return c.FWaitAny(r, reqs, onMsg)
+			}
+			return loop
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		w.Release()
+	}
+	if got := perRound(t, run); got != 0 {
+		t.Errorf("FWaitAny fan-in allocates %.2f allocs/message in steady state, want 0", got)
+	}
+}
+
+// TestProcWaitAnyHotPathZeroAlloc is TestFWaitAnyHotPathZeroAlloc for the
+// goroutine representation: the pooled per-request wakers must make the
+// blocking WaitAny loop allocation-free too.
+func TestProcWaitAnyHotPathZeroAlloc(t *testing.T) {
+	const producers = 2
+	run := func(rounds int) {
+		w := NewWorld(Config{Procs: producers + 1, Seed: 5})
+		_, err := w.Run(func(r *Rank) {
+			c := r.World()
+			if r.ID() < producers {
+				for i := 0; i < rounds; i++ {
+					r.Compute(sim.Time(1+r.ID()) * sim.Microsecond)
+					c.Send(r, producers, r.ID(), 2048, nil)
+				}
+				return
+			}
+			reqs := make([]*Request, producers)
+			left := make([]int, producers)
+			for i := range reqs {
+				reqs[i] = c.Irecv(r, i, i)
+				left[i] = rounds
+			}
+			for got := 0; got < producers*rounds; got++ {
+				idx, _ := c.WaitAny(r, reqs)
+				left[idx]--
+				if left[idx] > 0 {
+					reqs[idx] = c.Irecv(r, idx, idx)
+				} else {
+					reqs[idx] = nil
+				}
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		w.Release()
+	}
+	if got := perRound(t, run); got != 0 {
+		t.Errorf("WaitAny fan-in allocates %.2f allocs/message in steady state, want 0", got)
+	}
+}

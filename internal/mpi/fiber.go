@@ -76,6 +76,7 @@ func (w *World) newFwait(r *Rank, f *sim.Fiber, req *Request, then func(Status) 
 // into one settling advance.
 func (s *fwait) checkStep(_ *sim.Fiber) sim.StepFunc {
 	req := s.req
+	req.checkLive()
 	if !req.done && !req.timed {
 		// The park registers this fiber on the request, so delivery
 		// wakes exactly this fiber at exactly the right instant.
@@ -103,10 +104,11 @@ func (s *fwait) wakeStep(_ *sim.Fiber) sim.StepFunc {
 	return s.check
 }
 
-// settleStep finishes the wait: recycle the state, then run the caller's
-// continuation.
+// settleStep finishes the wait: recycle the state and the consumed
+// request, then run the caller's continuation.
 func (s *fwait) settleStep(_ *sim.Fiber) sim.StepFunc {
 	then, thenStep, st, w := s.then, s.thenStep, s.req.status, s.r.w
+	w.freeRequest(s.req)
 	s.r, s.f, s.req, s.then, s.thenStep = nil, nil, nil, nil, nil
 	w.fwFree = append(w.fwFree, s)
 	if then != nil {
@@ -162,6 +164,7 @@ func (s *fwaitAll) loopStep(_ *sim.Fiber) sim.StepFunc {
 	ov := s.c.w.cfg.Net.RecvOverhead
 	for s.i < len(s.reqs) {
 		q := s.reqs[s.i]
+		q.checkLive()
 		// Fast path: complete as of now plus pending debt; coalesce the
 		// receive overhead as debt, exactly as WaitAll does.
 		if q.done || (q.timed && q.doneAt <= e.Now()+s.f.Debt()) {
@@ -171,6 +174,7 @@ func (s *fwaitAll) loopStep(_ *sim.Fiber) sim.StepFunc {
 				s.f.AddDebt(ov)
 			}
 			s.out[s.i] = q.status
+			s.c.w.freeRequest(q)
 			s.i++
 			continue
 		}
@@ -215,14 +219,19 @@ func (c *Comm) FWaitAll(r *Rank, reqs []*Request, then func([]Status) sim.StepFu
 	return s.loop
 }
 
-// fwaitAny is the pooled closure environment of FWaitAny.
+// fwaitAny is the pooled closure environment of FWaitAny. Its embedded
+// waker is what the pending requests register (the fiber counterpart of
+// WaitAny's pooled waker): one resume event per wake, identical (t, seq)
+// to the goroutine representation.
 type fwaitAny struct {
-	c    *Comm
-	r    *Rank
-	f    *sim.Fiber
-	reqs []*Request
-	then func(int, Status) sim.StepFunc
-	won  int // index whose receive overhead is being charged
+	c     *Comm
+	r     *Rank
+	f     *sim.Fiber
+	reqs  []*Request
+	then  func(int, Status) sim.StepFunc
+	won   int  // index whose receive overhead is being charged
+	armed bool // wk is armed and may be registered on requests
+	wk    sim.Waker
 
 	loop    sim.StepFunc // bound s.loopStep
 	charged sim.StepFunc // bound s.chargedStep
@@ -232,39 +241,69 @@ func (s *fwaitAny) loopStep(_ *sim.Fiber) sim.StepFunc {
 	e := s.c.w.eng
 	now := e.Now()
 	var minTimed sim.Time = -1
+	won := -1
 	for i, q := range s.reqs {
 		if q == nil {
 			continue
 		}
-		if q.completedBy(now) {
-			q.done = true
-			if q.isRecv && !q.ovCharged {
-				q.ovCharged = true
-				s.won = i
-				return s.f.Advance(s.c.w.cfg.Net.RecvOverhead, s.charged)
-			}
-			return s.finish(i)
+		q.checkLive()
+		if s.armed && q.anyw == &s.wk {
+			q.anyw = nil
+		}
+		if won < 0 && q.completedBy(now) {
+			won = i
+			// Keep scanning: later requests may still hold the waker.
+			continue
 		}
 		if q.timed && (minTimed < 0 || q.doneAt < minTimed) {
 			minTimed = q.doneAt
 		}
+	}
+	if won >= 0 {
+		q := s.reqs[won]
+		q.done = true
+		if q.isRecv && !q.ovCharged {
+			q.ovCharged = true
+			s.won = won
+			return s.f.Advance(s.c.w.cfg.Net.RecvOverhead, s.charged)
+		}
+		return s.finish(won)
 	}
 	if minTimed >= 0 {
 		// A send will complete at a known instant; a receive may
 		// complete during the advance and wins the next scan.
 		return s.f.AdvanceTo(minTimed, s.loop)
 	}
-	return s.r.rs.progress.WaitFiber(s.f, "mpi waitany", s.loop)
+	if s.c.w.legacy {
+		return s.r.rs.progress.WaitFiber(s.f, "mpi waitany", s.loop)
+	}
+	if !s.armed {
+		s.armed = true
+		s.wk.Arm(e, s.f)
+	}
+	for _, q := range s.reqs {
+		if q != nil && !q.done && !q.timed {
+			q.anyw = &s.wk
+		}
+	}
+	return s.f.Park("mpi waitany", s.loop)
 }
 
 func (s *fwaitAny) chargedStep(_ *sim.Fiber) sim.StepFunc {
 	return s.finish(s.won)
 }
 
-// finish recycles the state and runs the caller's continuation with the
-// winning index and status.
+// finish recycles the state and the consumed winning request, then runs
+// the caller's continuation with the winning index and status. The
+// post-wake scan in loopStep already deregistered the waker from every
+// surviving request.
 func (s *fwaitAny) finish(i int) sim.StepFunc {
+	if s.armed {
+		s.armed = false
+		s.wk.Disarm()
+	}
 	then, st, w := s.then, s.reqs[i].status, s.c.w
+	w.freeRequest(s.reqs[i])
 	s.c, s.r, s.f, s.reqs, s.then = nil, nil, nil, nil, nil
 	w.fwAnyFree = append(w.fwAnyFree, s)
 	return then(i, st)
@@ -272,8 +311,9 @@ func (s *fwaitAny) finish(i int) sim.StepFunc {
 
 // FWaitAny mirrors WaitAny: flush debt, then repeatedly scan for the
 // lowest completed index, advancing to the earliest pending timed
-// completion or parking on the rank's progress queue when nothing is in
-// sight. Completed receives charge the receive overhead exactly once.
+// completion or registering the pooled waker on every pending request
+// when nothing is in sight. Completed receives charge the receive
+// overhead exactly once.
 func (c *Comm) FWaitAny(r *Rank, reqs []*Request, then func(int, Status) sim.StepFunc) sim.StepFunc {
 	if len(reqs) == 0 {
 		panic("mpi: FWaitAny with no requests")
@@ -489,7 +529,7 @@ func (c *Comm) fallgathervOn(r *Rank, f *sim.Fiber, me int, part Part, tag int, 
 	}
 	ov := r.w.cfg.Net.SendOverhead
 	if p&(p-1) == 0 {
-		have := gatherBundle{owners: []int{me}, parts: []Part{part}}
+		have := newGatherBundle(me, part, p)
 		mask := 1
 		var round sim.StepFunc
 		round = func(_ *sim.Fiber) sim.StepFunc {
@@ -515,7 +555,7 @@ func (c *Comm) fallgathervOn(r *Rank, f *sim.Fiber, me int, part Part, tag int, 
 		return round
 	}
 	// Ring: pass the neighbour's latest part around, P-1 steps.
-	cur := gatherBundle{owners: []int{me}, parts: []Part{part}}
+	cur := newGatherBundle(me, part, p)
 	right := (me + 1) % p
 	left := (me - 1 + p) % p
 	step := 0
@@ -588,10 +628,10 @@ func (c *Comm) FIallgatherv(r *Rank, part Part, then func(*CollRequest) sim.Step
 }
 
 // finishColl completes a helper-fiber collective: mark done and wake the
-// rank's progress waiters, exactly as the helper process does.
+// parked waiter (or, under the legacy strategy, broadcast to the rank's
+// progress queue), exactly as the helper process does.
 func (c *Comm) finishColl(r *Rank, cr *CollRequest) sim.StepFunc {
-	cr.done = true
-	r.rs.progress.Broadcast(r.w.eng)
+	c.completeColl(r, cr)
 	return nil
 }
 
@@ -602,7 +642,12 @@ func (c *Comm) FWaitColl(r *Rank, cr *CollRequest, then func(interface{}) sim.St
 	var loop sim.StepFunc
 	loop = func(_ *sim.Fiber) sim.StepFunc {
 		if !cr.done {
-			return r.rs.progress.WaitFiber(f, "mpi waitcoll", loop)
+			if r.w.legacy {
+				return r.rs.progress.WaitFiber(f, "mpi waitcoll", loop)
+			}
+			// completeColl clears the registration when it wakes us.
+			cr.waiter = f
+			return f.Park("mpi waitcoll", loop)
 		}
 		return then(cr.value)
 	}

@@ -14,6 +14,7 @@ import (
 // the first successful test of a receive charges the receive overhead,
 // which may advance the clock. then receives (ok, status).
 func (c *Comm) FTest(r *Rank, req *Request, then func(bool, Status) sim.StepFunc) sim.StepFunc {
+	req.checkLive()
 	if !req.completedBy(r.w.eng.Now()) {
 		return then(false, Status{})
 	}
@@ -114,15 +115,18 @@ func (f *File) FWriteAll(r *Rank, bytes int64, then sim.StepFunc) sim.StepFunc {
 		}
 		i := 0
 		var collect sim.StepFunc
+		// Hoisted out of the collect loop: one closure per WriteAll, not
+		// one per collected contribution.
+		onCollected := func(st Status) sim.StepFunc {
+			sz, _ := sizes[st.Source].Data.(int64)
+			total += sz
+			return collect
+		}
 		collect = func(_ *sim.Fiber) sim.StepFunc {
 			if i < len(reqs) {
 				q := reqs[i]
 				i++
-				return c.fwaitOn(r, fib, q, func(st Status) sim.StepFunc {
-					sz, _ := sizes[st.Source].Data.(int64)
-					total += sz
-					return collect
-				})
+				return c.fwaitOn(r, fib, q, onCollected)
 			}
 			// Phase 2: one large write per aggregator.
 			return fib.Advance(fs.PerOpLatency, func(_ *sim.Fiber) sim.StepFunc {

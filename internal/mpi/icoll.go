@@ -13,6 +13,10 @@ import (
 type CollRequest struct {
 	done  bool
 	value interface{}
+	// waiter is the rank's main process or fiber parked in WaitColl on
+	// this collective, if any: completion wakes it directly, the
+	// per-collective counterpart of Request.waiter.
+	waiter sim.Runnable
 }
 
 // Done reports whether the collective has completed on this rank.
@@ -22,12 +26,26 @@ func (cr *CollRequest) Done() bool { return cr.done }
 func (c *Comm) startColl(r *Rank, kind string, cr *CollRequest, body func(proc *simProc)) {
 	r.proc.Spawn(fmt.Sprintf("rank%d/%s", r.rs.rank, kind), func(p *sim.Proc) {
 		body(p)
-		cr.done = true
-		r.rs.progress.Broadcast(r.w.eng)
+		c.completeColl(r, cr)
 	})
 	// Initiating a nonblocking collective costs one send overhead on the
 	// main process (descriptor setup).
 	r.proc.Advance(r.w.cfg.Net.SendOverhead)
+}
+
+// completeColl marks the collective done and wakes its waiter: directly
+// when the rank's main process or fiber is parked in WaitColl on exactly
+// this collective, via the rank-wide broadcast under the legacy strategy.
+func (c *Comm) completeColl(r *Rank, cr *CollRequest) {
+	cr.done = true
+	if r.w.legacy {
+		r.rs.progress.Broadcast(r.w.eng)
+		return
+	}
+	if cr.waiter != nil {
+		r.w.eng.WakeAt(r.w.eng.Now(), cr.waiter)
+		cr.waiter = nil
+	}
 }
 
 // WaitColl blocks until cr completes and returns its result value:
@@ -40,7 +58,15 @@ func (c *Comm) WaitColl(r *Rank, cr *CollRequest) interface{} {
 	r.proc.FlushDebt()
 	start := r.w.eng.Now()
 	for !cr.done {
-		r.rs.progress.Wait(r.proc, "mpi waitcoll")
+		if r.w.legacy {
+			r.rs.progress.Wait(r.proc, "mpi waitcoll")
+			continue
+		}
+		// Register on the collective so its completion wakes exactly this
+		// process — the per-collective analogue of Request.waiter.
+		cr.waiter = r.proc
+		r.proc.Park("mpi waitcoll")
+		cr.waiter = nil
 	}
 	if t := r.w.cfg.Tracer; t != nil && r.w.eng.Now() > start {
 		t.Span(r.rs.rank, "comm", "waitcoll", start, r.w.eng.Now())

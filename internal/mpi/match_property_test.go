@@ -109,60 +109,90 @@ func matchProgram(t *testing.T, next func() byte, ops int) {
 		}
 	}
 
+	// deliver runs one message through the deliverAt flow of both
+	// matchers; post posts one receive through the Irecv flow (taking a
+	// queued message when one matches). They are shared by the single-op
+	// cases and the WaitAny-shaped burst op.
+	deliver := func(op int) {
+		m := &message{commID: pick(2), src: pick(3), tag: pick(3)}
+		nextID++
+		msgID[m] = nextID
+		if pick(4) == 0 {
+			m.self = true
+			m.readyAt = now
+		} else {
+			// Receiver-NIC slots are granted in arrival order, so
+			// ready instants are monotonic for network messages.
+			r := lastReady
+			if now > r {
+				r = now
+			}
+			m.readyAt = r + sim.Time(pick(8))
+			lastReady = m.readyAt
+		}
+		rc := &message{commID: m.commID, src: m.src, tag: m.tag, readyAt: m.readyAt, self: m.self}
+		msgID[rc] = msgID[m]
+		gp := idx.takePosted(m)
+		wp := ref.takePosted(rc)
+		if id(nil, gp) != id(nil, wp) {
+			t.Fatalf("op %d: delivery of msg %d matched posted recv %d, reference says %d",
+				op, msgID[m], id(nil, gp), id(nil, wp))
+		}
+		if gp == nil {
+			idx.addUnexpected(m)
+			ref.addUnexpected(rc)
+		}
+	}
+	post := func(op int) {
+		commID, src, tag := pick(2), srcSel(), tagSel()
+		gm := idx.takeQueued(commID, src, tag, now)
+		wm := ref.takeQueued(commID, src, tag, now)
+		if id(gm, nil) != id(wm, nil) {
+			t.Fatalf("op %d: recv (comm=%d src=%d tag=%d now=%v) took msg %d, reference says %d",
+				op, commID, src, tag, now, id(gm, nil), id(wm, nil))
+		}
+		if gm != nil {
+			if gm.readyAt != wm.readyAt || gm.src != wm.src || gm.tag != wm.tag {
+				t.Fatalf("op %d: matched msg %d disagrees on fields", op, msgID[gm])
+			}
+			return
+		}
+		p := &postedRecv{commID: commID, src: src, tag: tag}
+		rp := &postedRecv{commID: commID, src: src, tag: tag}
+		nextID++
+		recvID[p] = nextID
+		recvID[rp] = nextID
+		idx.post(p)
+		ref.post(rp)
+	}
+
 	for op := 0; op < ops; op++ {
-		switch pick(5) {
+		switch pick(6) {
 		case 0: // time passes
 			now += sim.Time(pick(16))
 		case 1, 2: // a message is delivered (the deliverAt flow)
-			m := &message{commID: pick(2), src: pick(3), tag: pick(3)}
-			nextID++
-			msgID[m] = nextID
-			if pick(4) == 0 {
-				m.self = true
-				m.readyAt = now
-			} else {
-				// Receiver-NIC slots are granted in arrival order, so
-				// ready instants are monotonic for network messages.
-				r := lastReady
-				if now > r {
-					r = now
-				}
-				m.readyAt = r + sim.Time(pick(8))
-				lastReady = m.readyAt
-			}
-			rc := &message{commID: m.commID, src: m.src, tag: m.tag, readyAt: m.readyAt, self: m.self}
-			msgID[rc] = msgID[m]
-			gp := idx.takePosted(m)
-			wp := ref.takePosted(rc)
-			if id(nil, gp) != id(nil, wp) {
-				t.Fatalf("op %d: delivery of msg %d matched posted recv %d, reference says %d",
-					op, msgID[m], id(nil, gp), id(nil, wp))
-			}
-			if gp == nil {
-				idx.addUnexpected(m)
-				ref.addUnexpected(rc)
-			}
+			deliver(op)
 		case 3: // a receive is posted (the Irecv flow)
-			commID, src, tag := pick(2), srcSel(), tagSel()
-			gm := idx.takeQueued(commID, src, tag, now)
-			wm := ref.takeQueued(commID, src, tag, now)
-			if id(gm, nil) != id(wm, nil) {
-				t.Fatalf("op %d: recv (comm=%d src=%d tag=%d now=%v) took msg %d, reference says %d",
-					op, commID, src, tag, now, id(gm, nil), id(wm, nil))
+			post(op)
+		case 5: // a WaitAny/Test-then-Wait burst
+			// The shape the per-request waiter lists produce: a consumer
+			// pre-posts a handful of receives (its WaitAny set), arrivals
+			// stream in against them, and Test-then-Wait polls interleave
+			// further posts before the backlog readies (now does not
+			// advance within the burst, so in-flight messages are taken as
+			// timed completions). Exercises many-posted-buckets matching
+			// and in-flight takeQueued against the linear reference.
+			posts := 2 + pick(3)
+			for i := 0; i < posts; i++ {
+				post(op)
 			}
-			if gm != nil {
-				if gm.readyAt != wm.readyAt || gm.src != wm.src || gm.tag != wm.tag {
-					t.Fatalf("op %d: matched msg %d disagrees on fields", op, msgID[gm])
+			arrivals := 1 + pick(4)
+			for i := 0; i < arrivals; i++ {
+				deliver(op)
+				if pick(3) == 0 {
+					post(op) // the Test-then-Wait style repost
 				}
-				continue
 			}
-			p := &postedRecv{commID: commID, src: src, tag: tag}
-			rp := &postedRecv{commID: commID, src: src, tag: tag}
-			nextID++
-			recvID[p] = nextID
-			recvID[rp] = nextID
-			idx.post(p)
-			ref.post(rp)
 		case 4: // probes (Probe and the in-flight variant)
 			commID, src, tag := pick(2), srcSel(), tagSel()
 			gm := idx.findQueuedReady(commID, src, tag, now)
@@ -197,6 +227,13 @@ func TestMatchIndexAgainstLinearReference(t *testing.T) {
 func FuzzMatchIndex(f *testing.F) {
 	f.Add([]byte{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15})
 	f.Add([]byte{3, 3, 3, 1, 1, 1, 4, 4, 2, 2, 3, 3, 0, 0, 1, 3})
+	// WaitAny-shaped bursts (op 5 = 5 mod 6): pre-posted receive sets
+	// with streams of arrivals and Test-then-Wait reposts, the pattern
+	// the per-request waiter lists put through the index. The selector
+	// bytes mix wildcards (3 -> AnySource/AnyTag) with concrete keys.
+	f.Add([]byte{5, 1, 0, 0, 3, 1, 1, 2, 0, 2, 1, 0, 3, 2, 5, 2, 3, 3, 3, 1, 1, 0, 0, 2})
+	f.Add([]byte{5, 2, 1, 3, 0, 0, 3, 1, 3, 0, 5, 0, 0, 1, 1, 2, 2, 0, 1, 0, 0, 3, 3, 5})
+	f.Add([]byte{5, 0, 3, 3, 0, 5, 1, 1, 2, 0, 0, 5, 2, 3, 0, 1, 5, 3, 2, 2, 1, 1, 0, 0})
 	f.Fuzz(func(t *testing.T, program []byte) {
 		if len(program) == 0 {
 			return

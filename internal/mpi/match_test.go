@@ -247,12 +247,14 @@ func TestTestThenWaitChargesOverheadOnce(t *testing.T) {
 		if afterTest-before != ov {
 			t.Fatalf("Test charged %v, want RecvOverhead %v", afterTest-before, ov)
 		}
+		if !req.isRecv {
+			t.Fatal("Test mutated isRecv")
+		}
+		// Wait consumes (recycles) the request; it must not be inspected
+		// afterwards.
 		c.Wait(r, req)
 		if r.Now() != afterTest {
 			t.Fatalf("Wait after Test charged %v more (double charge)", r.Now()-afterTest)
-		}
-		if !req.isRecv {
-			t.Fatal("Test mutated isRecv")
 		}
 	})
 }

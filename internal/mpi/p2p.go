@@ -88,6 +88,12 @@ type Status struct {
 // sender's NIC slot) is known when the send is issued, so waiting on them
 // advances the clock directly instead of sleeping on an event. Receive
 // requests complete when a matching message is delivered.
+//
+// Requests are pooled per world: the wait that observes a request's
+// completion (Wait, WaitAll, WaitAny and the F* forms) CONSUMES it — the
+// handle recycles and must not be used again. Test does not consume (the
+// documented Test-then-Wait sequence stays valid); a request completed
+// only ever by Test is simply left to the GC.
 type Request struct {
 	done      bool
 	timed     bool
@@ -100,7 +106,24 @@ type Request struct {
 	// Either representation consumes exactly one wake event, so the
 	// trajectory is independent of which one waits.
 	waiter sim.Runnable
+	// anyw is the waker of a process or fiber parked in WaitAny with this
+	// request in its set, if any: the multi-request counterpart of waiter.
+	// Delivery wakes the waker's target once at the completion instant,
+	// however many of its registered requests complete while it is parked
+	// (sim.Waker dedupes); the resumed waiter deregisters the rest.
+	anyw *sim.Waker
+	// freed marks a request sitting in the world pool: every wait entry
+	// point checks it, so a stale handle (used again after the consuming
+	// wait) fails loudly instead of silently corrupting the pool.
+	freed  bool
 	status Status
+}
+
+// checkLive panics if q is a consumed (recycled) handle.
+func (q *Request) checkLive() {
+	if q.freed {
+		panic("mpi: use of a Request already consumed by a wait")
+	}
 }
 
 // completedBy reports whether the request is complete as of virtual time
@@ -120,6 +143,17 @@ func (q *Request) Done(now sim.Time) bool { return q.completedBy(now) }
 // blocks, so it serves both process representations.
 func (c *Comm) Isend(r *Rank, dst, tag int, bytes int64, data interface{}) *Request {
 	return c.isendOv(r, r.ctx(), dst, tag, bytes, data, r.w.cfg.Net.SendOverhead)
+}
+
+// IsendAndFree is Isend followed by immediately releasing the request —
+// the MPI_Request_free idiom for fire-and-forget sends under buffered
+// semantics. Send completion is never observable through a request (send
+// requests are timed at issue and referenced nowhere else), so recycling
+// it at once is safe and the send costs no allocation. The stream
+// library's element path and the apps' aggregate forwards use it.
+func (c *Comm) IsendAndFree(r *Rank, dst, tag int, bytes int64, data interface{}) {
+	req := c.Isend(r, dst, tag, bytes, data)
+	c.w.freeRequest(req)
 }
 
 // isendFrom implements Isend on behalf of proc, which may be a helper
@@ -144,7 +178,7 @@ func (c *Comm) isendOv(r *Rank, proc exec, dst, tag int, bytes int64, data inter
 	me := c.RankOf(r)
 	src := r.rs
 	dstState := w.ranks[c.members[dst]]
-	req := &Request{}
+	req := w.newRequest()
 
 	// Sender CPU overhead (the LogGP "o"), accumulated as debt so that
 	// bursts of sends cost one engine yield instead of one per message.
@@ -225,12 +259,16 @@ func (w *World) deliverAt(dst *rankState, m *message, ready sim.Time) {
 			// Nobody can act on the completion before ready; wake waiters
 			// then, not now (a waiter woken early would only re-park or
 			// burn a yield advancing to ready). A process parked in Wait
-			// on this request resumes directly; rank-level waiters
-			// (WaitAny, WaitColl) get a broadcast. Waiters that arrive
-			// after this instant see the timed request directly.
+			// on this request resumes directly, as does a WaitAny waiter
+			// registered on it; waiters that arrive after this instant see
+			// the timed request directly. (Legacy strategy: rank-level
+			// waiters get a deferred broadcast instead.)
 			if req.waiter != nil {
 				w.eng.WakeAt(ready, req.waiter)
-			} else if dst.progress.Len() > 0 {
+			} else if req.anyw != nil {
+				req.anyw.WakeAt(ready)
+				req.anyw = nil
+			} else if w.legacy && dst.progress.Len() > 0 {
 				w.eng.AtAction(ready, dst)
 			}
 			return
@@ -238,14 +276,24 @@ func (w *World) deliverAt(dst *rankState, m *message, ready sim.Time) {
 		req.done = true
 		if req.waiter != nil {
 			w.eng.WakeAt(w.eng.Now(), req.waiter)
-		} else {
+		} else if req.anyw != nil {
+			req.anyw.WakeAt(w.eng.Now())
+			req.anyw = nil
+		} else if w.legacy {
 			dst.progress.Broadcast(w.eng)
 		}
 		return
 	}
 	m.readyAt = ready
 	dst.match.addUnexpected(m)
-	dst.progress.Broadcast(w.eng)
+	// An unmatched arrival completes no request, so under direct wake
+	// nobody needs waking: a blocked WaitAny waiter's requests are all
+	// posted receives, which this message just failed to match. The
+	// legacy strategy broadcast here anyway — the two spurious events per
+	// message this PR removes from the consumer-side stream path.
+	if w.legacy {
+		dst.progress.Broadcast(w.eng)
+	}
 }
 
 // Irecv posts a nonblocking receive from src (or AnySource) with the given
@@ -259,7 +307,8 @@ func (c *Comm) irecvFor(r *Rank, src, tag int) *Request {
 		panic(fmt.Sprintf("mpi: Irecv from rank %d of %d", src, len(c.members)))
 	}
 	rs := r.rs
-	req := &Request{isRecv: true}
+	req := r.w.newRequest()
+	req.isRecv = true
 	// Match against already-arrived messages first (FIFO arrival order
 	// preserves MPI's non-overtaking guarantee per (source, tag)). A
 	// message still on the receiver NIC completes the request at its
@@ -302,6 +351,7 @@ func (c *Comm) Wait(r *Rank, req *Request) Status {
 }
 
 func (c *Comm) waitOn(r *Rank, proc *simProc, req *Request) Status {
+	req.checkLive()
 	if c.w.cfg.Tracer != nil {
 		return c.waitOnTraced(r, proc, req)
 	}
@@ -332,7 +382,9 @@ func (c *Comm) waitOn(r *Rank, proc *simProc, req *Request) Status {
 		target += r.w.cfg.Net.RecvOverhead
 	}
 	proc.SettleTo(target)
-	return req.status
+	st := req.status
+	r.w.freeRequest(req)
+	return st
 }
 
 // waitOnTraced is the waitOn used when a Tracer is configured: it keeps
@@ -358,7 +410,9 @@ func (c *Comm) waitOnTraced(r *Rank, proc *simProc, req *Request) Status {
 	if r.w.eng.Now() > start && proc == r.proc {
 		r.w.cfg.Tracer.Span(r.rs.rank, "comm", "wait", start, r.w.eng.Now())
 	}
-	return req.status
+	st := req.status
+	r.w.freeRequest(req)
+	return st
 }
 
 // WaitAll waits for every request in order. Requests that are already
@@ -385,6 +439,7 @@ func (c *Comm) WaitAll(r *Rank, reqs ...*Request) []Status {
 	e := c.w.eng
 	ov := c.w.cfg.Net.RecvOverhead
 	for i, q := range reqs {
+		q.checkLive()
 		// Fast path: complete as of now plus pending debt. (Timed send
 		// completions compare against the post-flush clock, matching what
 		// Wait's FlushDebt-then-AdvanceTo would observe.)
@@ -395,6 +450,7 @@ func (c *Comm) WaitAll(r *Rank, reqs ...*Request) []Status {
 				proc.AddDebt(ov)
 			}
 			out[i] = q.status
+			c.w.freeRequest(q)
 			continue
 		}
 		out[i] = c.Wait(r, q)
@@ -406,35 +462,59 @@ func (c *Comm) WaitAll(r *Rank, reqs ...*Request) []Status {
 // WaitAny blocks until at least one request has completed and returns the
 // lowest completed index with its status. The paper's imbalance-absorption
 // mechanism ("process the first available data") is built on this.
+//
+// A blocked WaitAny registers one waker on every pending request, so the
+// first completion resumes exactly this process at exactly the completion
+// instant — no rank-wide broadcast, no wake per unrelated message. Because
+// a wake implies a completed request, the process parks at most once per
+// call and the post-wake scan doubles as deregistration.
 func (c *Comm) WaitAny(r *Rank, reqs []*Request) (int, Status) {
 	if len(reqs) == 0 {
 		panic("mpi: WaitAny with no requests")
 	}
 	r.proc.FlushDebt()
 	start := r.w.eng.Now()
+	var aw *sim.Waker
 	for {
 		now := r.w.eng.Now()
 		// Earliest pending timed completion (sends, and receives whose
 		// message is already bound), if any.
 		var minTimed sim.Time = -1
+		won := -1
 		for i, q := range reqs {
 			if q == nil {
 				continue
 			}
-			if q.completedBy(now) {
-				q.done = true
-				if q.isRecv && !q.ovCharged {
-					q.ovCharged = true
-					r.proc.Advance(r.w.cfg.Net.RecvOverhead)
-				}
-				if r.w.cfg.Tracer != nil && r.w.eng.Now() > start {
-					r.w.cfg.Tracer.Span(r.rs.rank, "comm", "waitany", start, r.w.eng.Now())
-				}
-				return i, q.status
+			q.checkLive()
+			if aw != nil && q.anyw == aw {
+				q.anyw = nil
+			}
+			if won < 0 && q.completedBy(now) {
+				won = i
+				// Keep scanning: later requests may still hold the waker.
+				continue
 			}
 			if q.timed && (minTimed < 0 || q.doneAt < minTimed) {
 				minTimed = q.doneAt
 			}
+		}
+		if won >= 0 {
+			if aw != nil {
+				aw.Disarm()
+				r.w.freeWaker(aw)
+			}
+			q := reqs[won]
+			q.done = true
+			if q.isRecv && !q.ovCharged {
+				q.ovCharged = true
+				r.proc.Advance(r.w.cfg.Net.RecvOverhead)
+			}
+			if r.w.cfg.Tracer != nil && r.w.eng.Now() > start {
+				r.w.cfg.Tracer.Span(r.rs.rank, "comm", "waitany", start, r.w.eng.Now())
+			}
+			st := q.status
+			r.w.freeRequest(q)
+			return won, st
 		}
 		if minTimed >= 0 {
 			// A send will complete at a known instant; a receive may
@@ -442,7 +522,20 @@ func (c *Comm) WaitAny(r *Rank, reqs []*Request) (int, Status) {
 			r.proc.AdvanceTo(minTimed)
 			continue
 		}
-		r.rs.progress.Wait(r.proc, "mpi waitany")
+		if r.w.legacy {
+			r.rs.progress.Wait(r.proc, "mpi waitany")
+			continue
+		}
+		if aw == nil {
+			aw = r.w.newWaker()
+			aw.Arm(r.w.eng, r.proc)
+		}
+		for _, q := range reqs {
+			if q != nil && !q.done && !q.timed {
+				q.anyw = aw
+			}
+		}
+		r.proc.Park("mpi waitany")
 	}
 }
 
@@ -451,6 +544,7 @@ func (c *Comm) WaitAny(r *Rank, reqs []*Request) (int, Status) {
 // once per request (ovCharged), so Test-then-Wait sequences neither
 // double- nor under-charge.
 func (c *Comm) Test(r *Rank, req *Request) (bool, Status) {
+	req.checkLive()
 	if !req.completedBy(r.w.eng.Now()) {
 		return false, Status{}
 	}

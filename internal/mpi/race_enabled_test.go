@@ -1,0 +1,7 @@
+//go:build race
+
+package mpi
+
+// raceEnabled reports that the race detector is active: allocation-guard
+// tests skip, since the detector adds shadow allocations of its own.
+const raceEnabled = true

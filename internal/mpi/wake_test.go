@@ -1,0 +1,231 @@
+package mpi
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// runWakeModes runs the same program under both wake strategies and
+// returns (directEnd, directEvents, legacyEnd, legacyEvents). Both runs
+// must complete; the strategies are allowed to produce different
+// trajectories (that difference is exactly the TrajectoryVersion 2 bump),
+// but direct wake must never fire more events than the broadcast
+// strategy on the same program.
+func runWakeModes(t *testing.T, procs int, body func(*Rank)) (sim.Time, uint64, sim.Time, uint64) {
+	t.Helper()
+	run := func(legacy bool) (sim.Time, uint64) {
+		prev := SetLegacyWake(legacy)
+		defer SetLegacyWake(prev)
+		w := NewWorld(Config{Procs: procs, Seed: 11})
+		end, err := w.Run(body)
+		if err != nil {
+			t.Fatalf("legacy=%v: %v", legacy, err)
+		}
+		return end, w.Engine().Events()
+	}
+	dEnd, dEvents := run(false)
+	lEnd, lEvents := run(true)
+	if dEvents > lEvents {
+		t.Errorf("direct wake fired %d events, legacy broadcast %d: direct must not add events", dEvents, lEvents)
+	}
+	return dEnd, dEvents, lEnd, lEvents
+}
+
+// TestDirectWakeWaitAny drives a fan-in consumer (the Fig. 8 shape: many
+// producers, one WaitAny loop) under both wake strategies: both must
+// drain every message, and the direct strategy must remove the
+// per-message broadcast events.
+func TestDirectWakeWaitAny(t *testing.T) {
+	const producers, msgs = 3, 16
+	total := 0
+	body := func(r *Rank) {
+		c := r.World()
+		if r.ID() < producers {
+			for i := 0; i < msgs; i++ {
+				r.Compute(sim.Time(1+r.ID()) * sim.Microsecond)
+				c.Send(r, producers, r.ID(), 2048, nil)
+			}
+			return
+		}
+		reqs := make([]*Request, producers)
+		left := make([]int, producers)
+		for i := range reqs {
+			reqs[i] = c.Irecv(r, i, i)
+			left[i] = msgs
+		}
+		for got := 0; got < producers*msgs; got++ {
+			idx, _ := c.WaitAny(r, reqs)
+			total++
+			left[idx]--
+			if left[idx] > 0 {
+				reqs[idx] = c.Irecv(r, idx, idx)
+			} else {
+				reqs[idx] = nil
+			}
+		}
+	}
+	total = 0
+	dEnd, dEvents, lEnd, lEvents := runWakeModes(t, producers+1, body)
+	if total != 2*producers*msgs { // body ran once per strategy
+		t.Fatalf("consumer drained %d messages, want %d", total, 2*producers*msgs)
+	}
+	if dEvents >= lEvents {
+		t.Errorf("direct wake should remove broadcast events: direct %d, legacy %d", dEvents, lEvents)
+	}
+	if dEnd <= 0 || lEnd <= 0 {
+		t.Fatalf("degenerate end times %v / %v", dEnd, lEnd)
+	}
+}
+
+// TestDirectWakeWaitColl checks the per-collective waiter: ranks park in
+// WaitColl while unrelated point-to-point traffic flows through the same
+// ranks, which under the broadcast strategy woke the collective waiters
+// spuriously on every delivery.
+func TestDirectWakeWaitColl(t *testing.T) {
+	body := func(r *Rank) {
+		c := r.World()
+		cr := c.Iallreduce(r, Part{Bytes: 8, Data: float64(r.ID())}, SumFloat64, nil)
+		// Unrelated traffic while the collective is in flight.
+		next := (r.ID() + 1) % r.Size()
+		prev := (r.ID() - 1 + r.Size()) % r.Size()
+		for i := 0; i < 4; i++ {
+			c.Send(r, next, 5, 4096, nil)
+			c.Recv(r, prev, 5)
+		}
+		v := c.WaitColl(r, cr).(Part)
+		want := float64(r.Size()*(r.Size()-1)) / 2
+		if got := v.Data.(float64); got != want {
+			panic("bad allreduce value")
+		}
+	}
+	runWakeModes(t, 6, body)
+}
+
+// TestConsumedRequestPanics pins the pooled-request poison: a handle
+// already consumed by a wait must fail loudly on any further use (the
+// silent alternative is pool corruption — a stale slot aliasing another
+// rank's live request, as the stream consumer loop once risked with its
+// final termination request).
+func TestConsumedRequestPanics(t *testing.T) {
+	w := NewWorld(Config{Procs: 2, Seed: 3})
+	_, err := w.Run(func(r *Rank) {
+		c := r.World()
+		if r.ID() == 0 {
+			c.Send(r, 1, 0, 64, nil)
+			return
+		}
+		req := c.Irecv(r, 0, 0)
+		c.Wait(r, req)
+		defer func() {
+			if recover() == nil {
+				t.Error("Test on a consumed request did not panic")
+			}
+		}()
+		c.Test(r, req)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWaitAnyTestThenWaitBitIdentical drives WaitAny/Test-then-Wait
+// interleavings — the pattern that exercises the per-request waiter lists
+// — through both process representations and asserts bit-identical
+// trajectories (final time and event count).
+func TestWaitAnyTestThenWaitBitIdentical(t *testing.T) {
+	const msgs = 10
+	procBody := func(r *Rank) {
+		c := r.World()
+		switch r.ID() {
+		case 0, 1:
+			for i := 0; i < msgs; i++ {
+				r.Compute(sim.Time(2+3*r.ID()) * sim.Microsecond)
+				c.Send(r, 2, r.ID(), 1024*int64(1+i%3), i)
+			}
+		case 2:
+			reqs := []*Request{c.Irecv(r, 0, 0), c.Irecv(r, 1, 1)}
+			left := []int{msgs, msgs}
+			got := 0
+			consume := func(idx int) {
+				got++
+				left[idx]--
+				if left[idx] > 0 {
+					reqs[idx] = c.Irecv(r, idx, idx)
+				} else {
+					reqs[idx] = nil
+				}
+				r.Compute(1 * sim.Microsecond)
+			}
+			for got < 2*msgs {
+				if reqs[0] != nil {
+					// Test-then-Wait: poll the first request, then block
+					// in WaitAny over both.
+					if ok, _ := c.Test(r, reqs[0]); ok {
+						consume(0)
+						continue
+					}
+					idx, _ := c.WaitAny(r, reqs)
+					consume(idx)
+					continue
+				}
+				idx, _ := c.WaitAny(r, reqs[1:])
+				consume(idx + 1)
+			}
+		}
+	}
+	fibBody := func(r *Rank, f *sim.Fiber) sim.StepFunc {
+		c := r.World()
+		switch r.ID() {
+		case 0, 1:
+			i := 0
+			var loop sim.StepFunc
+			loop = func(_ *sim.Fiber) sim.StepFunc {
+				if i >= msgs {
+					return nil
+				}
+				n := i
+				i++
+				return r.FCompute(sim.Time(2+3*r.ID())*sim.Microsecond, func(_ *sim.Fiber) sim.StepFunc {
+					return c.FSend(r, 2, r.ID(), 1024*int64(1+n%3), n, loop)
+				})
+			}
+			return loop
+		default:
+			reqs := []*Request{c.Irecv(r, 0, 0), c.Irecv(r, 1, 1)}
+			left := []int{msgs, msgs}
+			got := 0
+			var loop sim.StepFunc
+			consume := func(idx int) sim.StepFunc {
+				got++
+				left[idx]--
+				if left[idx] > 0 {
+					reqs[idx] = c.Irecv(r, idx, idx)
+				} else {
+					reqs[idx] = nil
+				}
+				return r.FCompute(1*sim.Microsecond, func(_ *sim.Fiber) sim.StepFunc { return loop })
+			}
+			loop = func(_ *sim.Fiber) sim.StepFunc {
+				if got >= 2*msgs {
+					return nil
+				}
+				if reqs[0] != nil {
+					return c.FTest(r, reqs[0], func(ok bool, _ Status) sim.StepFunc {
+						if ok {
+							return consume(0)
+						}
+						return c.FWaitAny(r, reqs, func(idx int, _ Status) sim.StepFunc {
+							return consume(idx)
+						})
+					})
+				}
+				return c.FWaitAny(r, reqs[1:], func(idx int, _ Status) sim.StepFunc {
+					return consume(idx + 1)
+				})
+			}
+			return loop
+		}
+	}
+	runBothWays(t, 3, procBody, fibBody)
+}

@@ -18,11 +18,30 @@ package mpi
 
 import (
 	"fmt"
+	"os"
 	"sync"
 
 	"repro/internal/netmodel"
 	"repro/internal/sim"
 )
+
+// legacyWake selects the pre-TrajectoryVersion-2 wake strategy: blocked
+// WaitAny/WaitColl callers park on the rank-wide progress queue and every
+// completion broadcasts to it, instead of the direct per-request wake
+// (sim.Waker). It exists solely so the direct-wake win can be re-measured
+// as a same-run paired A/B (decouplebench -wake, the CI smoke job); the
+// two strategies produce different — individually deterministic —
+// trajectories. Worlds capture the strategy when they are built, so it
+// must only be flipped between simulations.
+var legacyWake = os.Getenv("REPRO_WAKE") == "broadcast"
+
+// SetLegacyWake overrides the REPRO_WAKE environment default process-wide
+// and returns the previous setting. Benchmarks restore it when done.
+func SetLegacyWake(v bool) bool {
+	prev := legacyWake
+	legacyWake = v
+	return prev
+}
 
 // Reserved tag space: tags at or above collTagBase are used internally by
 // collective operations; application code must use smaller tags.
@@ -116,9 +135,12 @@ type World struct {
 	// threaded per world, so plain slices suffice). Messages matched
 	// straight against a posted receive and popped posted receives recycle
 	// here; messages that entered the unexpected queue are left to the GC
-	// (wildcard side-lists may still reference them).
+	// (wildcard side-lists may still reference them). Requests recycle
+	// when a wait consumes them (see the contract on Request), so the
+	// steady-state message path allocates nothing at all.
 	msgFree []*message
 	prFree  []*postedRecv
+	reqFree []*Request
 
 	// Freelists for the fiber wait-state structs (fiber.go): the hoisted
 	// closure environments of the continuation wait primitives, recycled
@@ -126,7 +148,29 @@ type World struct {
 	fwFree    []*fwait
 	fwAllFree []*fwaitAll
 	fwAnyFree []*fwaitAny
+
+	// Freelist for the per-request wakers that WaitAny (goroutine
+	// representation) registers on its pending requests; fiber WaitAny
+	// embeds its waker in the pooled fwaitAny state instead.
+	wkFree []*sim.Waker
+
+	// legacy selects the pre-version-2 broadcast wake strategy for this
+	// world (see legacyWake), captured at build time.
+	legacy bool
 }
+
+// newWaker returns a recycled or fresh disarmed waker.
+func (w *World) newWaker() *sim.Waker {
+	if n := len(w.wkFree); n > 0 {
+		k := w.wkFree[n-1]
+		w.wkFree = w.wkFree[:n-1]
+		return k
+	}
+	return &sim.Waker{}
+}
+
+// freeWaker recycles a disarmed waker.
+func (w *World) freeWaker(k *sim.Waker) { w.wkFree = append(w.wkFree, k) }
 
 // newMessage returns a recycled or fresh message. Callers must set all
 // matching fields.
@@ -146,6 +190,25 @@ func (w *World) freeMessage(m *message) {
 	m.readyAt = 0
 	m.self = false
 	w.msgFree = append(w.msgFree, m)
+}
+
+// newRequest returns a recycled or fresh zeroed request.
+func (w *World) newRequest() *Request {
+	if n := len(w.reqFree); n > 0 {
+		q := w.reqFree[n-1]
+		w.reqFree = w.reqFree[:n-1]
+		q.freed = false
+		return q
+	}
+	return &Request{}
+}
+
+// freeRequest recycles a request whose completion has been consumed by a
+// wait. Callers must have copied the status out first. The pooled request
+// is poisoned (freed flag) so stale handles fail loudly.
+func (w *World) freeRequest(q *Request) {
+	*q = Request{freed: true}
+	w.reqFree = append(w.reqFree, q)
 }
 
 // newPostedRecv returns a recycled or fresh posted-receive entry.
@@ -174,6 +237,10 @@ type rankState struct {
 	sendLink sim.Link
 	recvLink sim.Link
 	match    matchIndex // posted receives + unexpected messages (match.go)
+	// progress is the rank-wide wait queue of the legacy broadcast wake
+	// strategy (REPRO_WAKE=broadcast, kept for same-run A/B measurement).
+	// Under the direct-wake strategy nothing ever parks on it: blocked
+	// waits register on their requests instead.
 	progress sim.WaitQueue
 	speed    float64
 
@@ -264,6 +331,7 @@ func NewWorld(cfg Config) *World {
 		stash:  make(map[string]interface{}),
 	}
 	w.external = external
+	w.legacy = legacyWake
 	if w.eng == nil {
 		w.eng = sim.NewEngine(cfg.Seed)
 	}
@@ -306,6 +374,7 @@ func (w *World) buildRanks() {
 // external worlds fresh), so reset never sees a shared engine or bank.
 func (w *World) reset(cfg Config) {
 	w.cfg = cfg
+	w.legacy = legacyWake
 	w.eng.Reset(cfg.Seed)
 	w.comms = 0
 	clear(w.splits)

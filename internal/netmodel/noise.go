@@ -67,7 +67,7 @@ func (c Cluster) SpeedFactor(seed int64, rank int) float64 {
 	if c.SpeedSigma <= 0 {
 		return 1
 	}
-	rng := rand.New(rand.NewSource(mix64(seed, int64(rank))))
+	rng := rand.New(sim.NewSplitMix(mix64(seed, int64(rank))))
 	f := math.Exp(rng.NormFloat64() * c.SpeedSigma)
 	if f < 1 {
 		f = 1 / f

@@ -94,7 +94,7 @@ func (f *Fiber) FinishedAt() Time { return f.doneAt }
 // engine seed and the fiber id exactly as Proc.Rand derives its stream.
 func (f *Fiber) Rand() *rand.Rand {
 	if f.rng == nil {
-		f.rng = rand.New(rand.NewSource(mix(f.e.seed, int64(f.id))))
+		f.rng = newRand(f.e.seed, int64(f.id))
 	}
 	return f.rng
 }
@@ -225,6 +225,33 @@ func (f *Fiber) Debt() Time { return f.debt }
 // condition check.
 func (f *Fiber) FlushDebt(next StepFunc) StepFunc {
 	return f.Advance(0, next)
+}
+
+// Then returns a step that runs fn — plain bookkeeping that consumes no
+// virtual time and never suspends — and continues with *next.
+//
+// It is the body-level combinator behind the zero-allocation rank bodies:
+// a continuation built inside a body's iteration loop allocates a fresh
+// closure every pass, so steady-state loops must build their steps once,
+// at body setup. Taking next by pointer gives the hoisted step the same
+// late binding a closure's variable capture would provide — it can name a
+// loop head that is assigned after the combinator is built — so a body
+// can lift its whole step graph out of its loops and iterate
+// allocation-free:
+//
+//	var loop sim.StepFunc
+//	emit := sim.Then(func() { st.Isend(r, elem) }, &loop)
+//	loop = func(*sim.Fiber) sim.StepFunc {
+//		if done() {
+//			return nil
+//		}
+//		return r.FCompute(slice, emit) // no per-iteration closure
+//	}
+func Then(fn func(), next *StepFunc) StepFunc {
+	return func(*Fiber) StepFunc {
+		fn()
+		return *next
+	}
 }
 
 // Park suspends the fiber until another piece of simulation code wakes it

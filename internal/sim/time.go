@@ -77,7 +77,7 @@
 // are reordering the operations a primitive performs (posting a receive
 // before instead of after a send), changing wake granularity (moving
 // WaitAny from the rank-wide progress queue to per-request waiters
-// changes same-instant wake ordering and is the canonical pending case),
+// changed same-instant wake ordering and was the version 1 -> 2 bump),
 // changing a collective algorithm, changing how random streams derive
 // from seeds, or changing cost arithmetic. A change is NOT breaking when
 // it preserves event order exactly: taking a different dispatch path for
@@ -104,7 +104,20 @@ import "fmt"
 //
 // Version 1: the seed trajectory contract (PR 1 event order; PR 2's
 // fiber representation reproduces it exactly and did not bump).
-const TrajectoryVersion = 1
+//
+// Version 2: direct-wake request completion. WaitAny and WaitColl (both
+// representations) moved from parking on the rank-wide progress queue to
+// per-request/per-collective waiter registration (sim.Waker): a completing
+// message resumes exactly the blocked process waiting on that request, at
+// the completion instant, with no broadcast event and no re-scan of the
+// rank's other waiters. Same-instant wake ordering changed — a waiter is
+// now woken by one directly-scheduled resume event instead of riding a
+// broadcast chain, so the (t, seq) positions of consumer resumes (and
+// everything downstream of them, e.g. shared-file token FIFO order in the
+// Fig. 8 stream workloads) moved. The version-1 behavior is retained
+// behind mpi's REPRO_WAKE=broadcast switch for same-run A/B measurement
+// only.
+const TrajectoryVersion = 2
 
 // Time is a point in virtual time, measured in nanoseconds from the start
 // of the simulation. Durations are also expressed as Time values.

@@ -113,61 +113,74 @@ func (s *Stream) FOperate(r *mpi.Rank, op FOperator, then func(Stats) sim.StepFu
 	elemReq := c.Irecv(r, mpi.AnySource, s.elemTag)
 	termReq := c.Irecv(r, mpi.AnySource, s.termTag)
 	reqs := make([]*mpi.Request, 2)
-	var loop sim.StepFunc
+	// Every continuation of the consumer loop is built here, once: the
+	// loop is the per-message hot path of the decoupled experiments, and a
+	// closure built inside it would allocate per message (per element, for
+	// the batch walker). State the hoisted steps need per message lives in
+	// the captured variables (b, ei, waitStart).
+	var loop, elems sim.StepFunc
+	var onAny func(int, mpi.Status) sim.StepFunc
+	var exchanged func(int64) sim.StepFunc
+	var b batch
+	var ei int
+	var waitStart sim.Time
+	elems = func(_ *sim.Fiber) sim.StepFunc {
+		if ei >= len(b.elems) {
+			s.stats.Messages++
+			b = batch{}
+			elemReq = c.Irecv(r, mpi.AnySource, s.elemTag)
+			return loop
+		}
+		elem := b.elems[ei]
+		ei++
+		received++
+		s.stats.ElementsReceived++
+		s.stats.Bytes += elem.Bytes
+		if s.stats.FirstAt == 0 {
+			s.stats.FirstAt = r.Now()
+		}
+		s.stats.LastAt = r.Now()
+		return op(r, elem, b.src, elems)
+	}
+	onAny = func(idx int, st mpi.Status) sim.StepFunc {
+		s.stats.WaitTime += r.Now() - waitStart
+		if idx == 0 {
+			b = st.Data.(batch)
+			ei = 0
+			return elems
+		}
+		tm := st.Data.(termMsg)
+		for ci, n := range tm.sentTo {
+			totals[ci] += n
+		}
+		homeTerms--
+		if homeTerms > 0 {
+			termReq = c.Irecv(r, mpi.AnySource, s.termTag)
+			return loop
+		}
+		// All home producers terminated: agree on global totals. The
+		// winning wait consumed (recycled) termReq, so drop the handle —
+		// later loop passes must not offer the stale pointer to FWaitAny
+		// (nil entries are skipped).
+		termReq = nil
+		return s.fexchangeTotals(r, totals, exchanged)
+	}
+	exchanged = func(exp int64) sim.StepFunc {
+		expected = exp
+		return loop
+	}
 	loop = func(_ *sim.Fiber) sim.StepFunc {
 		if expected >= 0 && received >= expected {
 			return then(s.stats)
 		}
-		waitStart := r.Now()
+		waitStart = r.Now()
 		reqs[0], reqs[1] = elemReq, termReq
-		return c.FWaitAny(r, reqs, func(idx int, st mpi.Status) sim.StepFunc {
-			s.stats.WaitTime += r.Now() - waitStart
-			if idx == 0 {
-				b := st.Data.(batch)
-				ei := 0
-				var elems sim.StepFunc
-				elems = func(_ *sim.Fiber) sim.StepFunc {
-					if ei >= len(b.elems) {
-						s.stats.Messages++
-						elemReq = c.Irecv(r, mpi.AnySource, s.elemTag)
-						return loop
-					}
-					elem := b.elems[ei]
-					ei++
-					received++
-					s.stats.ElementsReceived++
-					s.stats.Bytes += elem.Bytes
-					if s.stats.FirstAt == 0 {
-						s.stats.FirstAt = r.Now()
-					}
-					s.stats.LastAt = r.Now()
-					return op(r, elem, b.src, elems)
-				}
-				return elems
-			}
-			tm := st.Data.(termMsg)
-			for ci, n := range tm.sentTo {
-				totals[ci] += n
-			}
-			homeTerms--
-			if homeTerms > 0 {
-				termReq = c.Irecv(r, mpi.AnySource, s.termTag)
-				return loop
-			}
-			// All home producers terminated: agree on global totals.
-			return s.fexchangeTotals(r, totals, func(exp int64) sim.StepFunc {
-				expected = exp
-				return loop
-			})
-		})
+		return c.FWaitAny(r, reqs, onAny)
 	}
 	if homeTerms == 0 {
 		// No producer terminates through this consumer: join the
 		// termination exchange immediately, as Operate does.
-		return s.fexchangeTotals(r, totals, func(exp int64) sim.StepFunc {
-			expected = exp
-			return loop
-		})
+		return s.fexchangeTotals(r, totals, exchanged)
 	}
 	return loop
 }
@@ -192,7 +205,47 @@ func (s *Stream) foperateFixed(r *mpi.Rank, op FOperator, then func(Stats) sim.S
 	remaining := len(states)
 	reqs := make([]*mpi.Request, 2)
 	si := 0
-	var pass sim.StepFunc
+	// As in FOperate, every continuation is built once, ahead of the
+	// loop; the current source (st) and batch (b, ei) live in captured
+	// variables since only one wait is ever in flight.
+	var pass, elems sim.StepFunc
+	var onAny func(int, mpi.Status) sim.StepFunc
+	var cur *srcState
+	var b batch
+	var ei int
+	var waitStart sim.Time
+	elems = func(_ *sim.Fiber) sim.StepFunc {
+		if ei >= len(b.elems) {
+			s.stats.Messages++
+			b = batch{}
+			cur.elemReq = nil
+			si++
+			return pass
+		}
+		elem := b.elems[ei]
+		ei++
+		s.stats.ElementsReceived++
+		s.stats.Bytes += elem.Bytes
+		if s.stats.FirstAt == 0 {
+			s.stats.FirstAt = r.Now()
+		}
+		s.stats.LastAt = r.Now()
+		return op(r, elem, b.src, elems)
+	}
+	onAny = func(idx int, status mpi.Status) sim.StepFunc {
+		s.stats.WaitTime += r.Now() - waitStart
+		if idx == 1 {
+			// Non-overtaking per (source, tag) plus issue order on
+			// the producer guarantee no element follows the term.
+			cur.finished = true
+			remaining--
+			si++
+			return pass
+		}
+		b = status.Data.(batch)
+		ei = 0
+		return elems
+	}
 	pass = func(_ *sim.Fiber) sim.StepFunc {
 		if remaining == 0 {
 			return then(s.stats)
@@ -214,40 +267,10 @@ func (s *Stream) foperateFixed(r *mpi.Rank, op FOperator, then func(Stats) sim.S
 		if st.termReq == nil {
 			st.termReq = c.Irecv(r, src, s.termTag)
 		}
-		waitStart := r.Now()
+		cur = st
+		waitStart = r.Now()
 		reqs[0], reqs[1] = st.elemReq, st.termReq
-		return c.FWaitAny(r, reqs, func(idx int, status mpi.Status) sim.StepFunc {
-			s.stats.WaitTime += r.Now() - waitStart
-			if idx == 1 {
-				// Non-overtaking per (source, tag) plus issue order on
-				// the producer guarantee no element follows the term.
-				st.finished = true
-				remaining--
-				si++
-				return pass
-			}
-			b := status.Data.(batch)
-			ei := 0
-			var elems sim.StepFunc
-			elems = func(_ *sim.Fiber) sim.StepFunc {
-				if ei >= len(b.elems) {
-					s.stats.Messages++
-					st.elemReq = nil
-					si++
-					return pass
-				}
-				elem := b.elems[ei]
-				ei++
-				s.stats.ElementsReceived++
-				s.stats.Bytes += elem.Bytes
-				if s.stats.FirstAt == 0 {
-					s.stats.FirstAt = r.Now()
-				}
-				s.stats.LastAt = r.Now()
-				return op(r, elem, b.src, elems)
-			}
-			return elems
-		})
+		return c.FWaitAny(r, reqs, onAny)
 	}
 	return pass
 }

@@ -145,7 +145,7 @@ func (s *Stream) send(r *mpi.Rank, consumer int, elems []Element) {
 		bytes += e.Bytes
 	}
 	dst := s.ch.consumers[consumer]
-	s.ch.parent.Isend(r, dst, s.elemTag, bytes, batch{src: s.prodIdx, elems: elems})
+	s.ch.parent.IsendAndFree(r, dst, s.elemTag, bytes, batch{src: s.prodIdx, elems: elems})
 	s.stats.Messages++
 }
 
@@ -168,7 +168,7 @@ func (s *Stream) Terminate(r *mpi.Rank) {
 	}
 	home := s.ch.HomeConsumer(s.prodIdx)
 	dst := s.ch.consumers[home]
-	s.ch.parent.Isend(r, dst, s.termTag, 64, termMsg{src: s.prodIdx, sentTo: counts})
+	s.ch.parent.IsendAndFree(r, dst, s.termTag, 64, termMsg{src: s.prodIdx, sentTo: counts})
 }
 
 // Operate runs the consumer loop (paper step 4: MPIStream_Operate):
@@ -234,7 +234,11 @@ func (s *Stream) Operate(r *mpi.Rank, op Operator) Stats {
 			termReq = c.Irecv(r, mpi.AnySource, s.termTag)
 			continue
 		}
-		// All home producers terminated: agree on global totals.
+		// All home producers terminated: agree on global totals. The
+		// winning wait consumed (recycled) termReq, so drop the handle —
+		// later loop passes must not offer the stale pointer to WaitAny
+		// (nil entries are skipped).
+		termReq = nil
 		expected = s.exchangeTotals(r, totals)
 	}
 	return s.stats

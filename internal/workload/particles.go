@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+
+	"repro/internal/sim"
 )
 
 // ParticleField describes how computational particles are loaded over a
@@ -74,7 +76,7 @@ func (f ParticleField) Count(coords [3]int) int64 {
 	mean := sum / float64(ny)
 	base := float64(f.PerProcMean) * f.density(y) / mean
 	id := int64(coords[0]*f.Dims[1]*f.Dims[2] + coords[1]*f.Dims[2] + coords[2])
-	rng := rand.New(rand.NewSource(mix(f.Seed, id)))
+	rng := rand.New(sim.NewSplitMix(mix(f.Seed, id)))
 	jitter := 1 + 0.05*rng.NormFloat64()
 	if jitter < 0.5 {
 		jitter = 0.5
@@ -139,7 +141,7 @@ func (f ParticleField) ExitFraction(coords [3]int, mobility float64) float64 {
 // given coefficient of variation, for synthetic two-operation experiments.
 func Imbalance(n int, cov float64, seed int64) []float64 {
 	out := make([]float64, n)
-	rng := rand.New(rand.NewSource(seed))
+	rng := rand.New(sim.NewSplitMix(seed))
 	for i := range out {
 		v := 1 + cov*rng.NormFloat64()
 		if v < 0.1 {

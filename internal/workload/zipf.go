@@ -8,6 +8,8 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+
+	"repro/internal/sim"
 )
 
 // Corpus describes a synthetic log-file collection. Natural language has a
@@ -70,7 +72,7 @@ func (c Corpus) FileBytes(i int) int64 {
 	if i < 0 || i >= c.Files {
 		panic(fmt.Sprintf("workload: file %d of %d", i, c.Files))
 	}
-	rng := rand.New(rand.NewSource(mix(c.Seed, int64(i))))
+	rng := rand.New(sim.NewSplitMix(mix(c.Seed, int64(i))))
 	lo, hi := math.Log(float64(c.MinFileBytes)), math.Log(float64(c.MaxFileBytes))
 	return int64(math.Exp(lo + rng.Float64()*(hi-lo)))
 }
@@ -94,7 +96,7 @@ func (c Corpus) WordsIn(i int) int64 {
 // correctness tests and the real word-count kernels; the at-scale
 // simulation uses WordsIn and Histogram instead of materializing text.
 func (c Corpus) Words(i, n int) []int {
-	rng := rand.New(rand.NewSource(mix(c.Seed, int64(i)+1_000_003)))
+	rng := rand.New(sim.NewSplitMix(mix(c.Seed, int64(i)+1_000_003)))
 	z := rand.NewZipf(rng, c.ZipfS, 1, uint64(c.Vocabulary-1))
 	out := make([]int, n)
 	for j := range out {
