@@ -5,7 +5,7 @@
 //
 //	decouplebench -experiment fig5 -max-procs 8192 -runs 10
 //	decouplebench -experiment all -format csv -out results.csv
-//	decouplebench -experiment cosched -jobs 3 -cosched-policy fair
+//	decouplebench -experiment cosched -jobs 3 -cosched-policy fair-wc
 //	decouplebench -compare -regress-pct 50 BENCH_PR2.json new.json
 //	decouplebench -experiment fig8 -wake broadcast -json -out legacy.json
 //
@@ -55,7 +55,7 @@ func main() {
 		workers    = flag.Int("workers", 0, "concurrent sweep points (0: REPRO_WORKERS or one per CPU)")
 		fibers     = flag.Bool("fibers", fibersDefault(), "run rank bodies as goroutine-free fibers (the soaked default; -fibers=false restores goroutine bodies)")
 		jobs       = flag.Int("jobs", 0, "cosched: concurrent jobs per point (0: sweep the built-in set)")
-		coschedPol = flag.String("cosched-policy", "", "cosched: inter-job bank policy fcfs, fair or priority (empty: all)")
+		coschedPol = flag.String("cosched-policy", "", "cosched: inter-job bank policy fcfs, fair, priority, fair-wc or priority-wc (empty: all)")
 		format     = flag.String("format", "table", "output format: table or csv")
 		out        = flag.String("out", "", "output file (default stdout)")
 		quiet      = flag.Bool("quiet", false, "suppress progress logging")

@@ -8,8 +8,12 @@
 // storage stripes. A Cluster models exactly that regime: every job keeps
 // its private network, matching state and files, while stripe time is
 // arbitrated between jobs by a pluggable inter-job policy (FCFS,
-// fair-share, priority — sim.BankPolicy) layered over the per-stripe
-// least-loaded placement each job already used alone.
+// fair-share, priority, and their work-conserving demand-signalled
+// variants fair-wc/priority-wc — sim.BankPolicy) layered over the
+// per-stripe least-loaded placement each job already used alone. Worlds
+// attached to the shared bank bracket every file operation with the
+// bank's demand hooks, so the work-conserving policies re-split idle
+// jobs' entitlement over the jobs that currently have queued writes.
 //
 // # Determinism
 //
@@ -32,7 +36,8 @@ import (
 )
 
 // ParsePolicy maps the cosched CLI names onto bank policies: "fcfs",
-// "fair" and "priority".
+// "fair", "priority" and the work-conserving variants "fair-wc" and
+// "priority-wc".
 func ParsePolicy(s string) (sim.BankPolicy, error) {
 	switch s {
 	case "fcfs":
@@ -41,8 +46,12 @@ func ParsePolicy(s string) (sim.BankPolicy, error) {
 		return sim.BankFair, nil
 	case "priority":
 		return sim.BankWeighted, nil
+	case "fair-wc":
+		return sim.BankFairWC, nil
+	case "priority-wc":
+		return sim.BankWeightedWC, nil
 	default:
-		return 0, fmt.Errorf("cluster: unknown policy %q (want fcfs, fair or priority)", s)
+		return 0, fmt.Errorf("cluster: unknown policy %q (want fcfs, fair, priority, fair-wc or priority-wc)", s)
 	}
 }
 
@@ -91,6 +100,13 @@ type Result struct {
 	JobTimes []sim.Time
 	// JobBusy is each job's total reserved stripe time, in job order.
 	JobBusy []sim.Time
+	// JobDemand is each job's cumulative I/O-active time — virtual time
+	// during which at least one of its ranks was inside a file operation
+	// (the bank's IOBegin/IOEnd demand signal) — in job order. It is the
+	// denominator that makes stripe-time numbers comparable: a job with
+	// high demand and low busy time was starved, one with busy close to
+	// demand was served at full rate.
+	JobDemand []sim.Time
 	// BankBusy is the total reserved stripe time across all jobs.
 	BankBusy sim.Time
 }
@@ -143,25 +159,38 @@ func Run(cfg Config) (Result, error) {
 		w, err := job.Start(base)
 		if err != nil {
 			// Jobs started before the failure have spawned processes that
-			// will never run; unwind them so their goroutines do not leak.
+			// will never run; unwind them so their goroutines do not leak,
+			// and repool the aborted engine (getEngine resets it).
 			eng.Abort()
+			enginePool.Put(eng)
 			return Result{}, fmt.Errorf("cluster: job %d (%s): %w", i, name, err)
 		}
 		worlds[i] = w
 	}
 	makespan, err := eng.Run()
 	if err != nil {
+		// A failed run unwinds like a failed start. Run itself unwinds
+		// parked goroutines before returning a deadlock error, so the
+		// Abort is defensive belt-and-braces (idempotent: its unwind is
+		// a no-op when nothing is parked); the load-bearing half is
+		// repooling — getEngine resets the engine, and a reset engine is
+		// behaviourally identical to a fresh one, so the error path no
+		// longer drops the warmed heap/ring capacity.
+		eng.Abort()
+		enginePool.Put(eng)
 		return Result{}, err
 	}
 	res := Result{
-		Makespan: makespan,
-		JobTimes: make([]sim.Time, n),
-		JobBusy:  make([]sim.Time, n),
-		BankBusy: bank.Busy(),
+		Makespan:  makespan,
+		JobTimes:  make([]sim.Time, n),
+		JobBusy:   make([]sim.Time, n),
+		JobDemand: make([]sim.Time, n),
+		BankBusy:  bank.Busy(),
 	}
 	for i, w := range worlds {
 		res.JobTimes[i] = w.Makespan()
 		res.JobBusy[i] = bank.JobBusy(i)
+		res.JobDemand[i] = bank.JobDemand(i)
 	}
 	enginePool.Put(eng)
 	return res, nil

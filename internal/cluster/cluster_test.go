@@ -2,8 +2,11 @@ package cluster
 
 import (
 	"errors"
+	"fmt"
+	"runtime"
 	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/apps/ipic3d"
 	"repro/internal/mpi"
@@ -223,5 +226,175 @@ func TestStartFailureUnwinds(t *testing.T) {
 	}
 	if _, err := Run(Config{Seed: 3, Jobs: []Job{decJob(8, 6, false, false)}}); err != nil {
 		t.Fatalf("cluster unusable after start failure: %v", err)
+	}
+}
+
+// TestParsePolicyNames: every CLI policy name round-trips onto its bank
+// policy, including the work-conserving variants.
+func TestParsePolicyNames(t *testing.T) {
+	want := map[string]sim.BankPolicy{
+		"fcfs":        sim.BankFCFS,
+		"fair":        sim.BankFair,
+		"priority":    sim.BankWeighted,
+		"fair-wc":     sim.BankFairWC,
+		"priority-wc": sim.BankWeightedWC,
+	}
+	for name, policy := range want {
+		got, err := ParsePolicy(name)
+		if err != nil || got != policy {
+			t.Errorf("ParsePolicy(%q) = %v, %v; want %v", name, got, err, policy)
+		}
+		if got.String() != name {
+			t.Errorf("%v.String() = %q, want %q", policy, got.String(), name)
+		}
+	}
+	if _, err := ParsePolicy("nope"); err == nil {
+		t.Error("ParsePolicy accepted an unknown name")
+	}
+}
+
+// settleGoroutines waits for the goroutine count to drop back to the
+// baseline (plus slack for the test runtime's own helpers).
+func settleGoroutines(t *testing.T, baseline int) int {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	n := runtime.NumGoroutine()
+	for time.Now().Before(deadline) && n > baseline+2 {
+		time.Sleep(5 * time.Millisecond)
+		n = runtime.NumGoroutine()
+	}
+	return n
+}
+
+// stuckJob is a job whose ranks all block on receives nobody sends.
+func stuckJob(name string, procs int, seed int64) Job {
+	return Job{Name: name, Start: func(base mpi.Config) (*mpi.World, error) {
+		base.Procs = procs
+		base.Seed = seed
+		w := mpi.NewWorld(base)
+		w.Start(func(r *mpi.Rank) {
+			r.World().Recv(r, (r.ID()+1)%procs, 7) // never sent
+		})
+		return w, nil
+	}}
+}
+
+// TestRunErrorUnwindsAndReuses: a deliberately deadlocking job pair must
+// not leak its parked rank goroutines, and the engine (aborted and
+// repooled on the error path) must serve a following healthy run.
+func TestRunErrorUnwindsAndReuses(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	for i := 0; i < 8; i++ {
+		_, err := Run(Config{Seed: int64(i), Jobs: []Job{stuckJob("a", 4, 1), stuckJob("b", 4, 2)}})
+		var dl *sim.DeadlockError
+		if !errors.As(err, &dl) {
+			t.Fatalf("run %d: expected a deadlock error, got %v", i, err)
+		}
+	}
+	if n := settleGoroutines(t, baseline); n > baseline+2 {
+		t.Errorf("deadlocked runs leaked goroutines: %d before, %d after", baseline, n)
+	}
+	res, err := Run(Config{Seed: 3, Jobs: []Job{decJob(8, 6, false, false)}})
+	if err != nil {
+		t.Fatalf("healthy run after deadlocked runs failed: %v", err)
+	}
+	if res.Makespan <= 0 {
+		t.Errorf("healthy run after deadlocked runs reported makespan %v", res.Makespan)
+	}
+}
+
+// TestPanickingJobUnwindsOthers: a panicking rank body in one job must
+// not leak the other jobs' still-parked rank goroutines — the engine
+// unwinds them before re-raising. Before the fix every parked rank of
+// every co-scheduled neighbor leaked on this path.
+func TestPanickingJobUnwindsOthers(t *testing.T) {
+	boom := Job{Name: "boom", Start: func(base mpi.Config) (*mpi.World, error) {
+		base.Procs = 2
+		base.Seed = 9
+		w := mpi.NewWorld(base)
+		w.Start(func(r *mpi.Rank) {
+			r.Compute(100)
+			panic("deliberate test panic")
+		})
+		return w, nil
+	}}
+	baseline := runtime.NumGoroutine()
+	for i := 0; i < 5; i++ {
+		func() {
+			defer func() {
+				if r := recover(); r == nil {
+					t.Fatal("expected the job panic to propagate")
+				} else if !strings.Contains(fmt.Sprint(r), "deliberate test panic") {
+					t.Fatalf("unexpected panic: %v", r)
+				}
+			}()
+			Run(Config{Seed: int64(i), Jobs: []Job{stuckJob("parked", 8, 1), boom}})
+		}()
+	}
+	if n := settleGoroutines(t, baseline); n > baseline+2 {
+		t.Errorf("panicking job leaked neighbors' goroutines: %d before, %d after", baseline, n)
+	}
+}
+
+// TestWorkConservingReleasesHog: a hog contending with a short-lived,
+// intermittently-demanding light job stays throttled forever under the
+// static policies but runs at full bank rate whenever the light job's
+// demand is absent under the work-conserving variants — its completion
+// time must drop strictly. The light job's protection follows the
+// classic work-conserving bound: each of its requests can queue behind
+// at most the hog's in-flight writes (the quanta already booked when it
+// arrived), never behind pre-reserved future headroom — so it is never
+// worse off than under FCFS, the no-isolation baseline. (A light job
+// with *continuous* demand keeps its full static protection; that case
+// is asserted against the cosched scenario in internal/experiments.)
+func TestWorkConservingReleasesHog(t *testing.T) {
+	jobs := func() []Job {
+		hog := writerJob(2, 80, 32<<20, 0, 41)
+		hog.Name = "hog"
+		light := writerJob(1, 6, 8<<20, 50*sim.Millisecond, 42)
+		light.Name = "light"
+		light.Weight = 4
+		return []Job{hog, light}
+	}
+	run := func(policy sim.BankPolicy) Result {
+		res, err := Run(Config{Seed: 13, Stripes: 1, Policy: policy, Jobs: jobs()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	fcfs := run(sim.BankFCFS)
+	for _, pair := range []struct{ static, wc sim.BankPolicy }{
+		{sim.BankFair, sim.BankFairWC},
+		{sim.BankWeighted, sim.BankWeightedWC},
+	} {
+		st := run(pair.static)
+		wc := run(pair.wc)
+		if wc.JobTimes[0] >= st.JobTimes[0] {
+			t.Errorf("%v did not shorten the hog's tail: %v vs %v under %v",
+				pair.wc, wc.JobTimes[0], st.JobTimes[0], pair.static)
+		}
+		// Work conservation: the hog must come out at (or better than)
+		// the unthrottled FCFS rate within a small placement tolerance —
+		// nothing holds stripes idle for the mostly-absent light job.
+		if limit := fcfs.JobTimes[0] + fcfs.JobTimes[0]/20; wc.JobTimes[0] > limit {
+			t.Errorf("%v left the hog throttled without contending demand: %v vs %v under fcfs",
+				pair.wc, wc.JobTimes[0], fcfs.JobTimes[0])
+		}
+		// The light job never does worse than the no-isolation baseline.
+		if wc.JobTimes[1] > fcfs.JobTimes[1] {
+			t.Errorf("%v left the light job worse than FCFS: %v vs %v",
+				pair.wc, wc.JobTimes[1], fcfs.JobTimes[1])
+		}
+		// Demand accounting: the hog spends less time demand-active when
+		// served faster, and per-job busy time is policy-independent
+		// (the same bytes cross the bank either way).
+		if wc.JobDemand[0] >= st.JobDemand[0] {
+			t.Errorf("%v: hog demand time %v did not drop vs %v", pair.wc, wc.JobDemand[0], st.JobDemand[0])
+		}
+		if wc.JobBusy[0] != st.JobBusy[0] || wc.JobBusy[1] != st.JobBusy[1] {
+			t.Errorf("%v: per-job busy time moved: %v/%v vs %v/%v",
+				pair.wc, wc.JobBusy[0], wc.JobBusy[1], st.JobBusy[0], st.JobBusy[1])
+		}
 	}
 }

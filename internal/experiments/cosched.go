@@ -19,12 +19,19 @@ import (
 //     its co-scheduled completion time over its time alone on the same
 //     bank (1.0 = unaffected by the neighbors);
 //   - one "fairness" row whose Seconds column carries Jain's fairness
-//     index over those slowdowns (1.0 = perfectly even suffering).
+//     index over those slowdowns (1.0 = perfectly even suffering);
+//   - one "hog-tail" row whose Seconds column carries how long the hog
+//     runs on after the last light job has finished — the long tail a
+//     static share sentences a sustained hog to, and the number the
+//     work-conserving policies exist to shrink.
 //
 // Job 0 ("hog") writes its full particle population every step; the
 // other jobs are ordinary down-sampled writers. Under FCFS the hog's
 // booked backlog delays everyone; fair share caps each job's stripe
-// fraction; priority additionally weights the light jobs over the hog.
+// fraction; priority additionally weights the light jobs over the hog;
+// the fair-wc/priority-wc variants keep those shares while contenders
+// demand but redistribute idle entitlement, so the hog's tail runs at
+// the full bank rate once the lights drain.
 
 // coschedPerJobProcs is each job's world size. Fixed (like the ablation
 // process counts) so rows are comparable across option settings.
@@ -127,47 +134,85 @@ func (b *coschedBaselines) get(job, stripes int, seed int64) (float64, error) {
 	return e.t, e.err
 }
 
-// coschedSlowdowns runs the shared cluster and divides each job's
-// completion time by its cached single-job baseline on an identical bank.
-func coschedSlowdowns(jobs, stripes int, policy sim.BankPolicy, seed int64, base *coschedBaselines) ([]float64, error) {
+// coschedOutcome is one shared run's derived metrics: per-job slowdowns
+// and the hog's tail past the last light job.
+type coschedOutcome struct {
+	slowdowns []float64
+	hogTail   float64
+}
+
+// slowdownRatio is shared/alone guarded against a degenerate zero
+// baseline: a job whose solo run takes zero time is reported as
+// slowdown 1 when co-scheduling also leaves it at zero (unaffected),
+// and as the co-scheduled seconds themselves otherwise — finite either
+// way, so a degenerate configuration cannot write ±Inf into the CSV or
+// poison decouplebench -compare.
+func slowdownRatio(shared, alone float64) float64 {
+	if alone == 0 {
+		if shared == 0 {
+			return 1
+		}
+		return shared
+	}
+	return shared / alone
+}
+
+// coschedRun runs the shared cluster, divides each job's completion time
+// by its cached single-job baseline on an identical bank, and measures
+// the hog's tail (how long job 0 outlives the last light job, >= 0).
+func coschedRun(jobs, stripes int, policy sim.BankPolicy, seed int64, base *coschedBaselines) (coschedOutcome, error) {
 	cjobs := make([]cluster.Job, jobs)
 	for i := range cjobs {
 		cjobs[i] = coschedJob(i, seed, base.fibers)
 	}
 	shared, err := cluster.Run(cluster.Config{Jobs: cjobs, Policy: policy, Stripes: stripes, Seed: seed})
 	if err != nil {
-		return nil, err
+		return coschedOutcome{}, err
 	}
-	out := make([]float64, jobs)
-	for i := range out {
+	out := coschedOutcome{slowdowns: make([]float64, jobs)}
+	for i := range out.slowdowns {
 		alone, err := base.get(i, stripes, seed)
 		if err != nil {
-			return nil, err
+			return coschedOutcome{}, err
 		}
-		out[i] = shared.JobTimes[i].Seconds() / alone
+		out.slowdowns[i] = slowdownRatio(shared.JobTimes[i].Seconds(), alone)
+	}
+	// The tail is only meaningful against at least one light job; a
+	// single-job sweep (-jobs 1) has no lights to outlive, so its tail
+	// is zero rather than the hog's whole runtime.
+	if jobs > 1 {
+		var lastLight sim.Time
+		for i := 1; i < jobs; i++ {
+			if t := shared.JobTimes[i]; t > lastLight {
+				lastLight = t
+			}
+		}
+		if tail := shared.JobTimes[0] - lastLight; tail > 0 {
+			out.hogTail = tail.Seconds()
+		}
 	}
 	return out, nil
 }
 
-// coschedMemo shares one coschedSlowdowns computation per (configuration,
-// seed) between that configuration's jc+1 points — the per-job rows and
-// the fairness row all read the same slice, instead of each re-running
-// the identical cluster and baselines. Safe under the sweep worker pool;
-// results are pure functions of the seed, so which worker fills the memo
-// never matters.
+// coschedMemo shares one coschedRun computation per (configuration,
+// seed) between that configuration's jc+2 points — the per-job rows, the
+// fairness row and the hog-tail row all read the same outcome, instead
+// of each re-running the identical cluster and baselines. Safe under the
+// sweep worker pool; results are pure functions of the seed, so which
+// worker fills the memo never matters.
 type coschedMemo struct {
-	compute func(seed int64) ([]float64, error)
+	compute func(seed int64) (coschedOutcome, error)
 	mu      sync.Mutex
 	entries map[int64]*coschedEntry
 }
 
 type coschedEntry struct {
 	once sync.Once
-	s    []float64
+	out  coschedOutcome
 	err  error
 }
 
-func (m *coschedMemo) get(seed int64) ([]float64, error) {
+func (m *coschedMemo) get(seed int64) (coschedOutcome, error) {
 	m.mu.Lock()
 	if m.entries == nil {
 		m.entries = make(map[int64]*coschedEntry)
@@ -178,17 +223,23 @@ func (m *coschedMemo) get(seed int64) ([]float64, error) {
 		m.entries[seed] = e
 	}
 	m.mu.Unlock()
-	e.once.Do(func() { e.s, e.err = m.compute(seed) })
-	return e.s, e.err
+	e.once.Do(func() { e.out, e.err = m.compute(seed) })
+	return e.out, e.err
 }
 
 // jain is Jain's fairness index over xs: (sum x)^2 / (n * sum x^2),
-// 1/n..1, where 1 means perfectly even values.
+// 1/n..1, where 1 means perfectly even values. The degenerate inputs —
+// an empty slice or all-zero values, where the formula reads 0/0 — are
+// defined as 1 (the all-equal limit), so they cannot write NaN into the
+// CSV or poison decouplebench -compare.
 func jain(xs []float64) float64 {
 	var sum, sq float64
 	for _, x := range xs {
 		sum += x
 		sq += x * x
+	}
+	if sq == 0 {
+		return 1
 	}
 	return sum * sum / (float64(len(xs)) * sq)
 }
@@ -203,7 +254,7 @@ func Cosched(opts Options) ([]Row, error) {
 	if opts.CoschedJobs > 0 {
 		jobCounts = []int{opts.CoschedJobs}
 	}
-	policies := []sim.BankPolicy{sim.BankFCFS, sim.BankFair, sim.BankWeighted}
+	policies := []sim.BankPolicy{sim.BankFCFS, sim.BankFair, sim.BankWeighted, sim.BankFairWC, sim.BankWeightedWC}
 	if opts.CoschedPolicy != "" {
 		p, err := cluster.ParsePolicy(opts.CoschedPolicy)
 		if err != nil {
@@ -217,8 +268,8 @@ func Cosched(opts Options) ([]Row, error) {
 		for _, stripes := range []int{1, 4} {
 			for _, pol := range policies {
 				jc, stripes, pol := jc, stripes, pol
-				memo := &coschedMemo{compute: func(seed int64) ([]float64, error) {
-					return coschedSlowdowns(jc, stripes, pol, seed, base)
+				memo := &coschedMemo{compute: func(seed int64) (coschedOutcome, error) {
+					return coschedRun(jc, stripes, pol, seed, base)
 				}}
 				for j := 0; j < jc; j++ {
 					j := j
@@ -227,11 +278,11 @@ func Cosched(opts Options) ([]Row, error) {
 							Series: fmt.Sprintf("%s jobs=%d %s slowdown", pol, jc, coschedJobName(j)),
 							Procs:  jc * coschedPerJobProcs, Param: float64(stripes)},
 						fn: func(seed int64) (float64, error) {
-							s, err := memo.get(seed)
+							out, err := memo.get(seed)
 							if err != nil {
 								return 0, err
 							}
-							return s[j], nil
+							return out.slowdowns[j], nil
 						},
 					})
 				}
@@ -240,11 +291,23 @@ func Cosched(opts Options) ([]Row, error) {
 						Series: fmt.Sprintf("%s jobs=%d fairness", pol, jc),
 						Procs:  jc * coschedPerJobProcs, Param: float64(stripes)},
 					fn: func(seed int64) (float64, error) {
-						s, err := memo.get(seed)
+						out, err := memo.get(seed)
 						if err != nil {
 							return 0, err
 						}
-						return jain(s), nil
+						return jain(out.slowdowns), nil
+					},
+				})
+				points = append(points, point{
+					row: Row{Experiment: "cosched",
+						Series: fmt.Sprintf("%s jobs=%d hog-tail", pol, jc),
+						Procs:  jc * coschedPerJobProcs, Param: float64(stripes)},
+					fn: func(seed int64) (float64, error) {
+						out, err := memo.get(seed)
+						if err != nil {
+							return 0, err
+						}
+						return out.hogTail, nil
 					},
 				})
 			}

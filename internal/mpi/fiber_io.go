@@ -53,6 +53,11 @@ func (f *File) FWriteShared(r *Rank, bytes int64, then sim.StepFunc) sim.StepFun
 	}
 	fs := f.w.cfg.FS
 	fib := r.fib
+	// Demand hooks at the same sequence positions as WriteShared: begin
+	// before queueing on the shared-pointer token, end once the rank's
+	// clock has passed the write — so fiber and goroutine ranks present
+	// identical demand signals to a shared bank.
+	f.w.ioBegin()
 	return f.token.FAcquire(fib, "shared file pointer", func(_ *sim.Fiber) sim.StepFunc {
 		return fib.Advance(fs.SharedPointerLatency+fs.PerOpLatency, func(_ *sim.Fiber) sim.StepFunc {
 			f.size += bytes
@@ -60,7 +65,10 @@ func (f *File) FWriteShared(r *Rank, bytes int64, then sim.StepFunc) sim.StepFun
 			f.ops++
 			_, end := f.w.fs.Reserve(f.w.cfg.Job, fib.Now(), fs.WriteTime(bytes))
 			f.token.Release(fib)
-			return fib.AdvanceTo(end, then)
+			return fib.AdvanceTo(end, func(f2 *sim.Fiber) sim.StepFunc {
+				f.w.ioEnd()
+				return then(f2)
+			})
 		})
 	})
 }
@@ -77,6 +85,8 @@ func (f *File) FWriteAll(r *Rank, bytes int64, then sim.StepFunc) sim.StepFunc {
 	p := c.Size()
 	fs := f.w.cfg.FS
 	fib := r.fib
+	// Demand spans the whole collective, as in WriteAll.
+	f.w.ioBegin()
 
 	// Phase 0: file-view recalculation. Every rank learns every size.
 	return c.FAllgatherv(r, Part{Bytes: 8, Data: bytes}, func(sizes []Part) sim.StepFunc {
@@ -95,7 +105,10 @@ func (f *File) FWriteAll(r *Rank, bytes int64, then sim.StepFunc) sim.StepFunc {
 		finish := func(_ *sim.Fiber) sim.StepFunc {
 			return c.FWaitAll(r, myReqs, func([]Status) sim.StepFunc {
 				// The collective completes together.
-				return c.FBarrier(r, then)
+				return c.FBarrier(r, func(f2 *sim.Fiber) sim.StepFunc {
+					f.w.ioEnd()
+					return then(f2)
+				})
 			})
 		}
 		if me != aggRank {

@@ -79,9 +79,11 @@ func (f *File) transfer(r *Rank, bytes int64, label string) {
 	}
 	fs := f.w.cfg.FS
 	start := r.proc.Now()
+	f.w.ioBegin()
 	r.proc.Advance(fs.PerOpLatency)
 	_, end := f.w.fs.Reserve(f.w.cfg.Job, r.proc.Now(), fs.WriteTime(bytes))
 	r.proc.AdvanceTo(end)
+	f.w.ioEnd()
 	f.ops++
 	if label == "write" {
 		f.size += bytes
@@ -101,6 +103,10 @@ func (f *File) WriteShared(r *Rank, bytes int64) {
 	}
 	fs := f.w.cfg.FS
 	start := r.proc.Now()
+	// Demand spans the whole operation, including the queue for the
+	// shared-pointer token: a rank serialized behind the pointer has
+	// queued I/O the bank should count.
+	f.w.ioBegin()
 	f.token.Acquire(r.proc, "shared file pointer")
 	r.proc.Advance(fs.SharedPointerLatency + fs.PerOpLatency)
 	f.size += bytes
@@ -109,6 +115,7 @@ func (f *File) WriteShared(r *Rank, bytes int64) {
 	_, end := f.w.fs.Reserve(f.w.cfg.Job, r.proc.Now(), fs.WriteTime(bytes))
 	f.token.Release(r.proc)
 	r.proc.AdvanceTo(end)
+	f.w.ioEnd()
 	r.trace("io", "write_shared", start)
 }
 
@@ -125,6 +132,10 @@ func (f *File) WriteAll(r *Rank, bytes int64) {
 	p := c.Size()
 	fs := f.w.cfg.FS
 	start := r.proc.Now()
+	// Every member is I/O-active for the duration of the collective: the
+	// view exchange and the shipping to aggregators are part of the
+	// file operation even for ranks that never touch a stripe.
+	f.w.ioBegin()
 
 	// Phase 0: file-view recalculation. Every rank learns every size.
 	sizes := c.Allgatherv(r, Part{Bytes: 8, Data: bytes})
@@ -172,5 +183,6 @@ func (f *File) WriteAll(r *Rank, bytes int64) {
 	c.WaitAll(r, myReqs...)
 	// The collective completes together.
 	c.Barrier(r)
+	f.w.ioEnd()
 	r.trace("io", "write_all", start)
 }

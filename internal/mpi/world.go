@@ -88,6 +88,15 @@ type Config struct {
 	// policy, contending with every other attached world. Nil means a
 	// private single-job FCFS bank of FS.Stripes links (the historical
 	// behavior, byte-identical trajectories).
+	//
+	// A world attached to a shared bank also signals its I/O demand to
+	// it: every file operation (File.WriteAt/WriteShared/WriteAll and the
+	// fiber forms) is bracketed with Bank.IOBegin/IOEnd, so the bank's
+	// work-conserving policies can re-split idle jobs' entitlement over
+	// the jobs that currently have queued writes. The signalling is pure
+	// bookkeeping — no events, no clock movement — so the static policies
+	// (fcfs, fair, priority) produce byte-identical trajectories whether
+	// or not the hooks fire.
 	Bank *sim.Bank
 	// Job is this world's job index within a shared Bank (ignored for a
 	// private bank, which has exactly one job).
@@ -130,6 +139,11 @@ type World struct {
 	// lifecycle belongs to the owning cluster, so Release never returns it
 	// to the process-wide pool.
 	external bool
+	// signalDemand marks a world whose file operations bracket themselves
+	// with the bank's IOBegin/IOEnd demand hooks: set exactly when the
+	// bank is shared (cfg.Bank != nil) — a private single-job bank has no
+	// contenders to redistribute entitlement between.
+	signalDemand bool
 
 	// Freelists for matching-path objects (simulation code is single-
 	// threaded per world, so plain slices suffice). Messages matched
@@ -157,6 +171,25 @@ type World struct {
 	// legacy selects the pre-version-2 broadcast wake strategy for this
 	// world (see legacyWake), captured at build time.
 	legacy bool
+}
+
+// ioBegin signals the start of a file operation to a shared bank: the
+// world's job has queued I/O demand until the matching ioEnd. On worlds
+// with a private bank both hooks are no-ops. Pure bookkeeping — the
+// hooks schedule no events and move no clocks, so firing them never
+// perturbs a trajectory; only the bank's work-conserving policies read
+// the signal.
+func (w *World) ioBegin() {
+	if w.signalDemand {
+		w.fs.IOBegin(w.cfg.Job, w.eng.Now())
+	}
+}
+
+// ioEnd closes the demand interval opened by the matching ioBegin.
+func (w *World) ioEnd() {
+	if w.signalDemand {
+		w.fs.IOEnd(w.cfg.Job, w.eng.Now())
+	}
 }
 
 // newWaker returns a recycled or fresh disarmed waker.
@@ -331,6 +364,7 @@ func NewWorld(cfg Config) *World {
 		stash:  make(map[string]interface{}),
 	}
 	w.external = external
+	w.signalDemand = cfg.Bank != nil
 	w.legacy = legacyWake
 	if w.eng == nil {
 		w.eng = sim.NewEngine(cfg.Seed)
@@ -374,6 +408,7 @@ func (w *World) buildRanks() {
 // external worlds fresh), so reset never sees a shared engine or bank.
 func (w *World) reset(cfg Config) {
 	w.cfg = cfg
+	w.signalDemand = cfg.Bank != nil // always false: external worlds never pool
 	w.legacy = legacyWake
 	w.eng.Reset(cfg.Seed)
 	w.comms = 0

@@ -10,8 +10,9 @@ import "fmt"
 // policies are the production example): an over-share job's reservations
 // are paced onto the timeline with gaps, and under-share jobs' requests
 // fill those gaps. All policies are deterministic pure functions of the
-// reservation call sequence, which the engine's (t, seq) event order
-// fixes.
+// reservation call sequence — and, for the work-conserving policies, of
+// the interleaved demand-signal sequence (IOBegin/IOEnd) — which the
+// engine's (t, seq) event order fixes.
 type BankPolicy int
 
 const (
@@ -36,6 +37,26 @@ const (
 	// job is entitled to four times the timeline fraction of a weight-1
 	// job. This is the priority policy: priority ranks map to weights.
 	BankWeighted
+	// BankFairWC is BankFair made work-conserving through demand
+	// signalling: jobs bracket their file operations with IOBegin/IOEnd,
+	// and a reserving job's entitlement is recomputed per grant as an
+	// equal split over the currently-demanding jobs only — idle jobs'
+	// unused shares are redistributed instead of left as holes nobody
+	// fills. A job reserving while no other job has signalled demand is
+	// not paced at all (and its accumulated pacing debt is forgiven), so
+	// the bank never leaves a stripe idle while any registered job has
+	// queued demand. The isolation guarantee weakens to the classic
+	// work-conserving bound: a job whose demand is continuous keeps its
+	// full static share, while a job arriving after an idle period can
+	// queue behind the grants already booked at its arrival (the
+	// in-flight quanta) — never behind pre-reserved future headroom.
+	// As under BankFair, weights are ignored.
+	BankFairWC
+	// BankWeightedWC is BankWeighted made work-conserving the same way:
+	// a reserving job's entitlement is its weight over the weights of the
+	// currently-demanding jobs, so an idle job's weighted share flows to
+	// whoever is asking, proportionally to weight.
+	BankWeightedWC
 )
 
 // String names the policy as the cosched experiment series do.
@@ -47,9 +68,24 @@ func (p BankPolicy) String() string {
 		return "fair"
 	case BankWeighted:
 		return "priority"
+	case BankFairWC:
+		return "fair-wc"
+	case BankWeightedWC:
+		return "priority-wc"
 	default:
 		return fmt.Sprintf("BankPolicy(%d)", int(p))
 	}
+}
+
+// workConserving reports whether the policy redistributes idle
+// entitlement over demanding jobs.
+func (p BankPolicy) workConserving() bool {
+	return p == BankFairWC || p == BankWeightedWC
+}
+
+// weighted reports whether per-job weights participate in the share.
+func (p BankPolicy) weighted() bool {
+	return p == BankWeighted || p == BankWeightedWC
 }
 
 // gap is an unreserved hole in a stripe's timeline, left by pacing an
@@ -61,7 +97,9 @@ type gap struct {
 // bankLink is the per-stripe gap list maintained under the fair policies
 // (FCFS never creates or fills gaps). Gaps are kept sorted by start and
 // non-overlapping; reservation instants only move forward in virtual
-// time, so gaps wholly in the past are pruned as they expire.
+// time, so after every Reserve call the surviving gaps lie entirely at
+// or after the reservation instant — expired gaps are dropped and a gap
+// straddling the instant is trimmed to its usable future part.
 type bankLink struct {
 	gaps []gap
 }
@@ -84,6 +122,25 @@ type Bank struct {
 	// total is each job's lifetime reserved stripe time, for reporting.
 	total   []Time
 	weights []float64
+
+	// demand is each job's count of in-flight file operations, fed by
+	// IOBegin/IOEnd. A job with a positive count has queued I/O demand;
+	// the work-conserving policies re-split idle jobs' entitlement over
+	// the demanding ones. The static policies never read it, so the
+	// signalling is trajectory-neutral for them.
+	demand []int
+	// demandSince is the instant the job's demand count last rose from
+	// zero; demandTime accumulates closed demand intervals for reporting.
+	demandSince []Time
+	demandTime  []Time
+
+	// lastAt is the latest reservation instant seen, for enforcing the
+	// non-decreasing contract on Reserve.
+	lastAt Time
+	// lastStripe is the stripe index of the most recent grant, exposed to
+	// the package tests so the property suite can shadow per-stripe
+	// timelines without re-deriving placement.
+	lastStripe int
 }
 
 // NewBank creates a bank of stripes links arbitrated between jobs jobs
@@ -93,11 +150,14 @@ func NewBank(stripes, jobs int, policy BankPolicy) *Bank {
 		panic(fmt.Sprintf("sim: Bank needs at least one job, got %d", jobs))
 	}
 	b := &Bank{
-		s:       *NewStriped(stripes),
-		policy:  policy,
-		svc:     make([]Time, jobs),
-		total:   make([]Time, jobs),
-		weights: make([]float64, jobs),
+		s:           *NewStriped(stripes),
+		policy:      policy,
+		svc:         make([]Time, jobs),
+		total:       make([]Time, jobs),
+		weights:     make([]float64, jobs),
+		demand:      make([]int, jobs),
+		demandSince: make([]Time, jobs),
+		demandTime:  make([]Time, jobs),
 	}
 	if policy != BankFCFS {
 		b.glinks = make([]bankLink, stripes)
@@ -108,8 +168,8 @@ func NewBank(stripes, jobs int, policy BankPolicy) *Bank {
 	return b
 }
 
-// SetWeight sets job's share weight for BankWeighted. Weights must be
-// positive; the other policies ignore them.
+// SetWeight sets job's share weight for the weighted policies. Weights
+// must be positive; the other policies ignore them.
 func (b *Bank) SetWeight(job int, w float64) {
 	if w <= 0 {
 		panic(fmt.Sprintf("sim: Bank weight %v for job %d", w, job))
@@ -133,9 +193,44 @@ func (b *Bank) Busy() Time { return b.s.Busy() }
 // lifetime.
 func (b *Bank) JobBusy(job int) Time { return b.total[job] }
 
-// Reset clears all reservations and pacing state, returning the bank to
-// its initial state for reuse across simulation runs. Weights are
-// retained.
+// IOBegin records that one of job's processes entered a file operation
+// at virtual time at: the job has queued I/O demand until the matching
+// IOEnd. Demand is a per-job reference count, so concurrent operations
+// from several ranks of one job nest. Signalling is pure bookkeeping —
+// it schedules no events and moves no clocks — so it never perturbs
+// trajectories; only the work-conserving policies read it when granting.
+func (b *Bank) IOBegin(job int, at Time) {
+	if b.demand[job] == 0 {
+		b.demandSince[job] = at
+	}
+	b.demand[job]++
+}
+
+// IOEnd closes the demand interval opened by the matching IOBegin at
+// virtual time at. Ending demand that was never signalled is a
+// programming error.
+func (b *Bank) IOEnd(job int, at Time) {
+	if b.demand[job] <= 0 {
+		panic(fmt.Sprintf("sim: Bank IOEnd without matching IOBegin for job %d at %v", job, at))
+	}
+	b.demand[job]--
+	if b.demand[job] == 0 {
+		b.demandTime[job] += at - b.demandSince[job]
+	}
+}
+
+// Demanding reports whether job currently has signalled I/O demand.
+func (b *Bank) Demanding(job int) bool { return b.demand[job] > 0 }
+
+// JobDemand reports the cumulative virtual time job has spent with
+// signalled I/O demand (closed IOBegin/IOEnd intervals only; an interval
+// still open contributes once it closes). It is the per-job demand
+// accounting the cluster layer reports alongside JobBusy.
+func (b *Bank) JobDemand(job int) Time { return b.demandTime[job] }
+
+// Reset clears all reservations, pacing and demand state, returning the
+// bank to its initial state for reuse across simulation runs. Weights
+// are retained.
 func (b *Bank) Reset() {
 	b.s.Reset()
 	for i := range b.glinks {
@@ -144,13 +239,19 @@ func (b *Bank) Reset() {
 	for i := range b.svc {
 		b.svc[i] = 0
 		b.total[i] = 0
+		b.demand[i] = 0
+		b.demandSince[i] = 0
+		b.demandTime[i] = 0
 	}
+	b.lastAt = 0
+	b.lastStripe = 0
 }
 
-// share reports job's static timeline share: equal splits under BankFair,
-// its weight over the weights of every registered job under BankWeighted.
+// share reports job's static timeline share: equal splits under the fair
+// policies, its weight over the weights of every registered job under
+// the weighted ones.
 func (b *Bank) share(job int) float64 {
-	if b.policy != BankWeighted {
+	if !b.policy.weighted() {
 		return 1 / float64(len(b.svc))
 	}
 	var sum float64
@@ -160,9 +261,44 @@ func (b *Bank) share(job int) float64 {
 	return b.weights[job] / sum
 }
 
+// wcShare reports job's dynamic share under the work-conserving
+// policies: its weight over the weights of the currently-demanding jobs.
+// The reserving job always counts as demanding (it is asking right now,
+// whether or not its demand hook fired), so the result is in (0, 1].
+// Idle jobs contribute nothing to the denominator — their entitlement is
+// re-split over the demanding jobs by weight.
+func (b *Bank) wcShare(job int) float64 {
+	var sum, mine float64
+	for k := range b.svc {
+		w := 1.0
+		if b.policy.weighted() {
+			w = b.weights[k]
+		}
+		if k == job {
+			mine = w
+			sum += w
+		} else if b.demand[k] > 0 {
+			sum += w
+		}
+	}
+	return mine / sum
+}
+
+// otherDemand reports whether any job besides job has signalled demand.
+func (b *Bank) otherDemand(job int) bool {
+	for k, d := range b.demand {
+		if k != job && d > 0 {
+			return true
+		}
+	}
+	return false
+}
+
 // Reserve books dur of stripe time for job no earlier than at, returning
 // the granted slot. Reservation instants must be non-decreasing across
-// calls (they are: callers reserve at the engine's current virtual time).
+// calls (they are: callers reserve at the engine's current virtual
+// time); a violating caller panics rather than silently corrupting the
+// per-stripe gap lists, whose pruning assumes time moves forward.
 //
 // Under BankFCFS the request goes straight to the least-loaded stripe,
 // identically to Striped.Reserve. Under the fair policies the request may
@@ -173,14 +309,41 @@ func (b *Bank) share(job int) float64 {
 // spread-out backlog instead of queueing behind all of it. A job whose
 // clock has fallen behind the request instant (it was idle or under its
 // share) rebaselines and pays no pacing on its next write.
+//
+// The work-conserving policies differ in the share used: it is computed
+// per grant over the currently-demanding jobs (wcShare), and when no
+// other job is demanding the request is not paced at all — the job's
+// service clock rebaselines to the request instant, forgiving pacing
+// debt accumulated under contention, because holding slots open for
+// absent contenders would leave stripes idle against queued demand.
 func (b *Bank) Reserve(job int, at, dur Time) (start, end Time) {
+	if at < b.lastAt {
+		panic(fmt.Sprintf("sim: Bank reservation instants must be non-decreasing: job %d reserves at %v after an earlier reservation at %v", job, at, b.lastAt))
+	}
+	b.lastAt = at
 	if b.policy == BankFCFS || len(b.svc) == 1 {
-		start, end = b.s.Reserve(at, dur)
+		start, end, b.lastStripe = b.s.reserve(at, dur)
 		b.total[job] += dur
 		return start, end
 	}
 	if b.svc[job] < at {
 		b.svc[job] = at
+	}
+	var share float64
+	switch {
+	case !b.policy.workConserving():
+		share = b.share(job)
+	case b.otherDemand(job):
+		share = b.wcShare(job)
+	default:
+		// Idle-share redistribution, sole-demander case: every other
+		// job's entitlement is unused, so it all flows here. Pacing
+		// would leave stripes idle that no contender can fill; book
+		// at the earliest feasible instant and clear accumulated
+		// pacing debt (contention resuming later paces from now, not
+		// from past sins).
+		b.svc[job] = at
+		share = 1
 	}
 	eff := b.svc[job]
 	start, end = b.place(at, eff, dur)
@@ -188,15 +351,21 @@ func (b *Bank) Reserve(job int, at, dur Time) (start, end Time) {
 	// stripes), so on a wide bank a job streaming to a single stripe at a
 	// time stays inside its share and is never paced — pacing only bites
 	// when the job's parallel demand exceeds its slice of the whole bank.
-	b.svc[job] = eff + Time(float64(dur)/(b.share(job)*float64(b.s.Width())))
+	b.svc[job] = eff + Time(float64(dur)/(share*float64(b.s.Width())))
 	b.total[job] += dur
 	return start, end
 }
 
 // place books dur on the stripe offering the earliest start at or after
-// eff — inside a pacing gap when one fits, else at the stripe tail —
-// pruning gaps that have wholly expired (ended at or before at, the
-// current virtual time).
+// eff — inside a pacing gap when one fits, else at the stripe tail.
+// Before searching, each stripe's gap list is pruned against at (the
+// current virtual time): gaps that ended at or before at are dropped,
+// and a gap straddling at is trimmed to start at at — no future request
+// can start earlier — so the sorted/non-overlapping/never-in-the-past
+// invariant holds literally after every call. Trimming never changes
+// placement (eff >= at always, so the sub-at part of a gap was already
+// unusable); it exists so the invariant is checkable and the lists do
+// not carry stale starts.
 func (b *Bank) place(at, eff, dur Time) (start, end Time) {
 	best := -1
 	bestGap := -1
@@ -207,9 +376,13 @@ func (b *Bank) place(at, eff, dur Time) (start, end Time) {
 		// before at.
 		keep := gl.gaps[:0]
 		for _, g := range gl.gaps {
-			if g.end > at {
-				keep = append(keep, g)
+			if g.end <= at {
+				continue
 			}
+			if g.start < at {
+				g.start = at
+			}
+			keep = append(keep, g)
 		}
 		gl.gaps = keep
 		st := Max(eff, b.s.links[i].nextFree)
@@ -226,6 +399,7 @@ func (b *Bank) place(at, eff, dur Time) (start, end Time) {
 		}
 	}
 	l := &b.s.links[best]
+	b.lastStripe = best
 	start = bestStart
 	end = start + dur
 	if bestGap >= 0 {
@@ -244,9 +418,13 @@ func (b *Bank) place(at, eff, dur Time) (start, end Time) {
 		return start, end
 	}
 	// Tail booking: pacing past the frontier leaves a new gap behind it.
-	if start > l.nextFree {
+	// The gap is clamped to start no earlier than at — a frontier in the
+	// past would otherwise donate a hole no future request (whose instant
+	// is >= at) could ever use, violating the never-in-the-past invariant
+	// until the next prune.
+	if gs := Max(l.nextFree, at); start > gs {
 		gl := &b.glinks[best]
-		gl.gaps = append(gl.gaps, gap{l.nextFree, start})
+		gl.gaps = append(gl.gaps, gap{gs, start})
 	}
 	l.nextFree = end
 	l.busy += dur

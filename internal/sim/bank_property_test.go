@@ -1,0 +1,231 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// This file checks Bank against a brute-force timeline reference: the
+// reference keeps, per stripe, the plain sorted list of booked intervals
+// (no gap lists, no service clocks) and recomputes feasibility by linear
+// scan. Random multi-job reservation programs — interleaved Reserve
+// calls and IOBegin/IOEnd demand signals under all five policies — must
+// satisfy, after every call:
+//
+//   - no grant starts before its request instant, and every grant is
+//     exactly the requested length;
+//   - grants on one stripe never overlap (the reference re-scans the
+//     stripe's whole history);
+//   - Busy and JobBusy equal the reference's per-bank and per-job sums;
+//   - the internal gap lists are sorted, non-overlapping, wholly at or
+//     after the latest reservation instant, and lie entirely inside the
+//     stripe's free space;
+//   - FCFS grants equal the reference's least-loaded frontier placement;
+//   - the work-conserving invariant: a job reserving while no other job
+//     has signalled demand receives the earliest feasible start the
+//     timeline allows — the bank never holds a stripe idle against the
+//     only queued demand. (Under contention the WC policies pace
+//     deliberately, so the bound applies exactly when the demand set
+//     says no one else is waiting.)
+
+// refTimeline is the brute-force reference: per-stripe booked intervals
+// in grant order plus per-job totals.
+type refTimeline struct {
+	stripes  [][]gap // reusing gap as a plain interval
+	jobBusy  []Time
+	bankBusy Time
+}
+
+func newRefTimeline(stripes, jobs int) *refTimeline {
+	return &refTimeline{stripes: make([][]gap, stripes), jobBusy: make([]Time, jobs)}
+}
+
+// earliestFit reports the earliest s >= at such that [s, s+dur) does not
+// overlap any booked interval on stripe i, by linear scan over the
+// stripe's whole history.
+func (r *refTimeline) earliestFit(i int, at, dur Time) Time {
+	s := at
+	for changed := true; changed; {
+		changed = false
+		for _, iv := range r.stripes[i] {
+			if s < iv.end && iv.start < s+dur { // overlap: jump past it
+				s = iv.end
+				changed = true
+			}
+		}
+	}
+	return s
+}
+
+// earliestFeasible is the bank-wide earliest fit: the minimum over
+// stripes of earliestFit.
+func (r *refTimeline) earliestFeasible(at, dur Time) Time {
+	best := r.earliestFit(0, at, dur)
+	for i := 1; i < len(r.stripes); i++ {
+		if s := r.earliestFit(i, at, dur); s < best {
+			best = s
+		}
+	}
+	return best
+}
+
+// frontier reports the stripe's latest booked end (the FCFS frontier).
+func (r *refTimeline) frontier(i int) Time {
+	var f Time
+	for _, iv := range r.stripes[i] {
+		if iv.end > f {
+			f = iv.end
+		}
+	}
+	return f
+}
+
+// fcfsStart is the least-loaded frontier placement Striped.Reserve uses:
+// the earliest max(at, frontier) over stripes, ties to the lowest index.
+func (r *refTimeline) fcfsStart(at Time) Time {
+	best := Max(at, r.frontier(0))
+	for i := 1; i < len(r.stripes); i++ {
+		if s := Max(at, r.frontier(i)); s < best {
+			best = s
+		}
+	}
+	return best
+}
+
+// record books the grant on stripe i after asserting it overlaps nothing
+// already there.
+func (r *refTimeline) record(t *testing.T, op int, job, i int, start, end Time) {
+	t.Helper()
+	for _, iv := range r.stripes[i] {
+		if start < iv.end && iv.start < end {
+			t.Fatalf("op %d: grant [%v,%v) overlaps [%v,%v) on stripe %d", op, start, end, iv.start, iv.end, i)
+		}
+	}
+	r.stripes[i] = append(r.stripes[i], gap{start, end})
+	r.jobBusy[job] += end - start
+	r.bankBusy += end - start
+}
+
+// checkGapLists asserts the bank's internal gap lists are sorted,
+// non-overlapping, never in the past relative to at, and inside free
+// space.
+func checkGapLists(t *testing.T, op int, b *Bank, ref *refTimeline, at Time) {
+	t.Helper()
+	for i := range b.glinks {
+		gaps := b.glinks[i].gaps
+		for j, g := range gaps {
+			if g.start >= g.end {
+				t.Fatalf("op %d stripe %d: empty/inverted gap %v", op, i, g)
+			}
+			if g.start < at {
+				t.Fatalf("op %d stripe %d: gap %v starts before the reservation instant %v", op, i, g, at)
+			}
+			if j > 0 && gaps[j-1].end > g.start {
+				t.Fatalf("op %d stripe %d: gaps %v and %v out of order or overlapping", op, i, gaps[j-1], g)
+			}
+			for _, iv := range ref.stripes[i] {
+				if g.start < iv.end && iv.start < g.end {
+					t.Fatalf("op %d stripe %d: gap %v overlaps booked [%v,%v)", op, i, g, iv.start, iv.end)
+				}
+			}
+		}
+	}
+}
+
+// runBankProgram drives one random program against the reference.
+func runBankProgram(t *testing.T, policy BankPolicy, stripes, jobs int, seed int64, ops int) {
+	t.Helper()
+	b := NewBank(stripes, jobs, policy)
+	for j := 0; j < jobs; j++ {
+		b.SetWeight(j, float64(1+(j*j)%7))
+	}
+	ref := newRefTimeline(stripes, jobs)
+	demand := make([]int, jobs)
+	rng := rand.New(rand.NewSource(seed))
+	var at Time
+	for op := 0; op < ops; op++ {
+		switch k := rng.Intn(10); {
+		case k < 2: // demand signal up
+			j := rng.Intn(jobs)
+			b.IOBegin(j, at)
+			demand[j]++
+		case k < 4: // demand signal down, when one is open
+			j := rng.Intn(jobs)
+			if demand[j] > 0 {
+				b.IOEnd(j, at)
+				demand[j]--
+			}
+		default:
+			at += Time(rng.Intn(400))
+			dur := Time(rng.Intn(900) + 1)
+			job := rng.Intn(jobs)
+			soleDemander := true
+			for j := 0; j < jobs; j++ {
+				if j != job && demand[j] > 0 {
+					soleDemander = false
+				}
+			}
+			wantWC := ref.earliestFeasible(at, dur)
+			wantFCFS := ref.fcfsStart(at)
+			start, end := b.Reserve(job, at, dur)
+			if start < at {
+				t.Fatalf("op %d: grant starts at %v before request instant %v", op, start, at)
+			}
+			if end-start != dur {
+				t.Fatalf("op %d: grant [%v,%v) is not %v long", op, start, end, dur)
+			}
+			if b.lastStripe < 0 || b.lastStripe >= stripes {
+				t.Fatalf("op %d: lastStripe %d outside bank width %d", op, b.lastStripe, stripes)
+			}
+			if (policy == BankFCFS || jobs == 1) && start != wantFCFS {
+				t.Fatalf("op %d: FCFS grant at %v, reference least-loaded frontier %v", op, start, wantFCFS)
+			}
+			if policy.workConserving() && jobs > 1 && soleDemander && start != wantWC {
+				t.Fatalf("op %d: sole demanding job %d granted %v, but the timeline could fit its %v request at %v — stripe left idle against queued demand",
+					op, job, start, dur, wantWC)
+			}
+			ref.record(t, op, job, b.lastStripe, start, end)
+			checkGapLists(t, op, b, ref, at)
+		}
+	}
+	if b.Busy() != ref.bankBusy {
+		t.Fatalf("Busy %v != reference %v", b.Busy(), ref.bankBusy)
+	}
+	var sum Time
+	for j := 0; j < jobs; j++ {
+		if b.JobBusy(j) != ref.jobBusy[j] {
+			t.Fatalf("JobBusy(%d) %v != reference %v", j, b.JobBusy(j), ref.jobBusy[j])
+		}
+		sum += b.JobBusy(j)
+	}
+	if sum != b.Busy() {
+		t.Fatalf("sum of JobBusy %v != Busy %v", sum, b.Busy())
+	}
+}
+
+var allBankPolicies = []BankPolicy{BankFCFS, BankFair, BankWeighted, BankFairWC, BankWeightedWC}
+
+// TestBankPropertyVsBruteForce sweeps random reservation programs over
+// every policy and several bank shapes.
+func TestBankPropertyVsBruteForce(t *testing.T) {
+	for _, policy := range allBankPolicies {
+		for _, shape := range []struct{ stripes, jobs int }{{1, 1}, {1, 2}, {1, 3}, {3, 3}, {4, 2}, {2, 5}} {
+			for seed := int64(0); seed < 6; seed++ {
+				runBankProgram(t, policy, shape.stripes, shape.jobs, seed*31+int64(policy), 400)
+			}
+		}
+	}
+}
+
+// FuzzBank feeds fuzzer-chosen program shapes through the same checks.
+func FuzzBank(f *testing.F) {
+	f.Add(int64(1), uint8(1), uint8(2), uint8(3))
+	f.Add(int64(42), uint8(4), uint8(4), uint8(5))
+	f.Add(int64(-7), uint8(0), uint8(1), uint8(2))
+	f.Fuzz(func(t *testing.T, seed int64, policy, stripes, jobs uint8) {
+		p := allBankPolicies[int(policy)%len(allBankPolicies)]
+		s := int(stripes)%5 + 1
+		j := int(jobs)%5 + 1
+		runBankProgram(t, p, s, j, seed, 300)
+	})
+}

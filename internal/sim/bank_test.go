@@ -1,8 +1,10 @@
 package sim
 
 import (
+	"fmt"
 	"math/rand"
 	"sort"
+	"strings"
 	"testing"
 )
 
@@ -181,4 +183,176 @@ func TestBankReset(t *testing.T) {
 			t.Fatalf("grant %d: first %v, after reset %v, fresh %v", i, first[i], second[i], fresh[i])
 		}
 	}
+}
+
+// TestBankReserveContractEnforced: Reserve documents that reservation
+// instants are non-decreasing across calls; a violating caller must
+// panic (naming the job and both instants) instead of silently
+// corrupting the gap lists, whose pruning assumes time moves forward.
+func TestBankReserveContractEnforced(t *testing.T) {
+	b := NewBank(1, 2, BankFair)
+	b.Reserve(0, 100, 10)
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("Reserve with a decreasing instant did not panic")
+		}
+		msg := fmt.Sprint(r)
+		for _, want := range []string{"non-decreasing", "job 1", "50ns", "100ns"} {
+			if !strings.Contains(msg, want) {
+				t.Errorf("panic %q does not mention %q", msg, want)
+			}
+		}
+	}()
+	b.Reserve(1, 50, 10)
+}
+
+// TestBankGapTrimOnPartialExpiry: a gap straddling the reservation
+// instant (start < at < end) must be trimmed to its usable future part,
+// not kept whole with a stale start — after every Reserve call the gap
+// lists hold only intervals at or after the call's instant.
+func TestBankGapTrimOnPartialExpiry(t *testing.T) {
+	b := NewBank(1, 2, BankFair)
+	// Hog pacing leaves the hole [100,200) behind the frontier.
+	b.Reserve(0, 0, 100) // [0,100)
+	b.Reserve(0, 0, 100) // [200,300), gap [100,200)
+	// A request at t=150 that does not fit the hole's remainder books at
+	// the tail; the straddling gap must come out trimmed to [150,200).
+	s, _ := b.Reserve(1, 150, 60)
+	if s != 300 {
+		t.Fatalf("oversized request granted at %v, want 300 (stripe tail)", s)
+	}
+	gaps := b.glinks[0].gaps
+	if len(gaps) != 1 || gaps[0].start != 150 || gaps[0].end != 200 {
+		t.Errorf("gap list after straddling prune: %v, want [{150 200}]", gaps)
+	}
+	for _, g := range gaps {
+		if g.start < 150 {
+			t.Errorf("gap %v survives with a start before the reservation instant 150", g)
+		}
+	}
+}
+
+// TestBankWCSoleDemanderFullRate: under the work-conserving policies a
+// job reserving while no other job has signalled demand is not paced at
+// all — back-to-back requests proceed at the full bank rate, where the
+// static policy would stretch them to the job's share.
+func TestBankWCSoleDemanderFullRate(t *testing.T) {
+	wc := NewBank(1, 2, BankFairWC)
+	static := NewBank(1, 2, BankFair)
+	var at Time
+	for i := 0; i < 5; i++ {
+		s, e := wc.Reserve(0, at, 100)
+		if s != at {
+			t.Errorf("wc booking %d starts at %v, want %v (no pacing without contending demand)", i, s, at)
+		}
+		at = e
+	}
+	at = 0
+	var starts []Time
+	for i := 0; i < 5; i++ {
+		s, e := static.Reserve(0, at, 100)
+		starts = append(starts, s)
+		if e > at {
+			at = e
+		}
+	}
+	if starts[4] <= 400 {
+		t.Errorf("static fair booked the 5th write at %v; expected pacing beyond 400", starts[4])
+	}
+}
+
+// TestBankWCRedistributesOnDemand: pacing switches on exactly while
+// another job signals demand, and the paced job's holes remain fillable
+// — including by the hog itself once the contender withdraws.
+func TestBankWCRedistributesOnDemand(t *testing.T) {
+	b := NewBank(1, 2, BankFairWC)
+	b.IOBegin(1, 0)
+	if s, _ := b.Reserve(0, 0, 100); s != 0 {
+		t.Fatalf("first booking at %v, want 0", s)
+	}
+	// Job 1 is demanding: job 0 is paced to share 1/2, leaving [100,200).
+	if s, _ := b.Reserve(0, 0, 100); s != 200 {
+		t.Fatalf("contended booking at %v, want 200 (share 1/2 pacing)", s)
+	}
+	b.IOEnd(1, 0)
+	// Contender gone: the hog's own next request fills the hole it left.
+	if s, _ := b.Reserve(0, 0, 100); s != 100 {
+		t.Fatalf("post-contention booking at %v, want 100 (fills own hole)", s)
+	}
+	// Hole consumed; next goes at the frontier, full rate, no new holes.
+	if s, _ := b.Reserve(0, 0, 100); s != 300 {
+		t.Fatalf("follow-up booking at %v, want 300 (stripe frontier)", s)
+	}
+}
+
+// TestBankWeightedWCShares: the work-conserving weighted share is
+// computed over demanding jobs only — an idle heavyweight contributes
+// nothing to the denominator.
+func TestBankWeightedWCShares(t *testing.T) {
+	b := NewBank(1, 3, BankWeightedWC)
+	b.SetWeight(1, 4)
+	b.SetWeight(2, 4)
+	// Only job 1 (weight 4) demands: job 0's share is 1/(1+4), so its
+	// service clock advances by 5x the booked time.
+	b.IOBegin(1, 0)
+	b.Reserve(0, 0, 100)
+	if s, _ := b.Reserve(0, 0, 100); s != 500 {
+		t.Errorf("booking under 1/5 share at %v, want 500", s)
+	}
+	// Job 2 (also weight 4) joins: share drops to 1/9.
+	b.IOBegin(2, 0)
+	if s, _ := b.Reserve(0, 0, 100); s != 1000 {
+		t.Errorf("booking under 1/9 share at %v, want 1000 (svc 500 + 100/(1/9) advance books at prior svc)", s)
+	}
+}
+
+// TestBankWCDebtForgiveness: pacing debt accumulated under contention is
+// forgiven when the contenders withdraw — the returning sole demander
+// books from the request instant, not from its inflated service clock.
+func TestBankWCDebtForgiveness(t *testing.T) {
+	b := NewBank(1, 2, BankFairWC)
+	b.IOBegin(1, 0)
+	for i := 0; i < 5; i++ {
+		b.Reserve(0, 0, 100) // svc[0] inflates to 1000 under share 1/2
+	}
+	b.IOEnd(1, 0)
+	// The static policies would grant no earlier than svc; the WC policy
+	// books at the earliest feasible instant instead. The holes at
+	// [100,200), [300,400), ... are still open — the earliest is 100.
+	if s, _ := b.Reserve(0, 0, 100); s != 100 {
+		t.Errorf("sole demander granted at %v, want 100 (earliest hole, debt forgiven)", s)
+	}
+}
+
+// TestBankDemandAccounting: IOBegin/IOEnd reference-count per job and
+// accumulate closed intervals into JobDemand; unmatched IOEnd panics.
+func TestBankDemandAccounting(t *testing.T) {
+	b := NewBank(2, 2, BankFairWC)
+	b.IOBegin(0, 100)
+	if !b.Demanding(0) || b.Demanding(1) {
+		t.Fatalf("demand flags wrong after IOBegin(0): %v %v", b.Demanding(0), b.Demanding(1))
+	}
+	b.IOBegin(0, 150) // second rank of the same job: nested
+	b.IOEnd(0, 300)
+	if !b.Demanding(0) {
+		t.Fatal("job 0 stopped demanding while one operation is still open")
+	}
+	b.IOEnd(0, 400)
+	if b.Demanding(0) {
+		t.Fatal("job 0 still demanding after both operations ended")
+	}
+	if got := b.JobDemand(0); got != 300 {
+		t.Errorf("JobDemand(0) = %v, want 300 (one closed interval [100,400))", got)
+	}
+	b.Reset()
+	if b.Demanding(0) || b.JobDemand(0) != 0 {
+		t.Error("Reset did not clear demand state")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("IOEnd without IOBegin did not panic")
+		}
+	}()
+	b.IOEnd(1, 500)
 }

@@ -471,7 +471,14 @@ func (e *Engine) Run() (Time, error) {
 	}()
 	e.drive()
 	if e.panicked != nil {
-		panic(fmt.Sprintf("sim: process %q panicked: %v", e.panicProc.name, e.panicked))
+		// Unwind the other, still-parked process goroutines before
+		// re-raising: without this a panicking rank body in one job of a
+		// multi-world run would leak every parked rank of every other
+		// job. unwind captures and clears the panic state, so take the
+		// message first.
+		msg := fmt.Sprintf("sim: process %q panicked: %v", e.panicProc.name, e.panicked)
+		e.unwind()
+		panic(msg)
 	}
 	if e.live > 0 {
 		err := e.deadlockError()
@@ -496,7 +503,11 @@ func (e *Engine) RunUntil(limit Time) (Time, error) {
 	}()
 	e.drive()
 	if e.panicked != nil {
-		panic(fmt.Sprintf("sim: process %q panicked: %v", e.panicProc.name, e.panicked))
+		// As in Run: a panicked engine cannot be resumed, so unwind the
+		// parked goroutines before re-raising rather than leaking them.
+		msg := fmt.Sprintf("sim: process %q panicked: %v", e.panicProc.name, e.panicked)
+		e.unwind()
+		panic(msg)
 	}
 	if e.now < limit {
 		e.now = limit

@@ -55,6 +55,13 @@ func (s *Striped) Reset() {
 // Reserve books dur on the link that can start earliest (ties broken by
 // lowest index, for determinism).
 func (s *Striped) Reserve(at, dur Time) (start, end Time) {
+	start, end, _ = s.reserve(at, dur)
+	return start, end
+}
+
+// reserve is Reserve also reporting the chosen link index, for callers
+// (Bank) whose tests shadow per-stripe timelines.
+func (s *Striped) reserve(at, dur Time) (start, end Time, link int) {
 	best := 0
 	bestStart := Max(at, s.links[0].nextFree)
 	for i := 1; i < len(s.links); i++ {
@@ -63,7 +70,8 @@ func (s *Striped) Reserve(at, dur Time) (start, end Time) {
 			best, bestStart = i, st
 		}
 	}
-	return s.links[best].Reserve(at, dur)
+	start, end = s.links[best].Reserve(at, dur)
+	return start, end, best
 }
 
 // Busy reports the total reserved time across all links.

@@ -65,6 +65,17 @@
 // only ever exercise the FCFS path, which is frozen byte-identical to
 // the pre-bank Striped behavior.
 //
+// Demand signalling (Bank.IOBegin/IOEnd, fed by the mpi file-I/O paths)
+// is pure bookkeeping: the hooks schedule no events and move no clocks,
+// so firing them changes no trajectory, and the signal sequence itself
+// is fixed by the (t, seq) order of the file operations that emit it.
+// Only the work-conserving policies (BankFairWC, BankWeightedWC) read
+// the signal when granting; they are new configurations, not changed
+// ones. Their introduction therefore did NOT bump TrajectoryVersion
+// (still 2): fcfs/fair/priority multi-world trajectories are
+// byte-identical to the pre-signalling build, which
+// internal/experiments pins against recorded PR 4 values.
+//
 // # Determinism versioning
 //
 // The simulator's determinism contract is: one (code version, seed,
