@@ -56,6 +56,8 @@ func main() {
 		fibers     = flag.Bool("fibers", fibersDefault(), "run rank bodies as goroutine-free fibers (the soaked default; -fibers=false restores goroutine bodies)")
 		jobs       = flag.Int("jobs", 0, "cosched: concurrent jobs per point (0: sweep the built-in set)")
 		coschedPol = flag.String("cosched-policy", "", "cosched: inter-job bank policy fcfs, fair, priority, fair-wc or priority-wc (empty: all)")
+		faultSpec  = flag.String("faults", "", "fault-campaign spec, e.g. bursts=16,outage-len=1s (resilience: scaled base campaign, empty means default; cosched: degrade the shared bank's stripes, empty means none; \"none\" disables)")
+		list       = flag.Bool("list", false, "print the registered experiment names and exit")
 		format     = flag.String("format", "table", "output format: table or csv")
 		out        = flag.String("out", "", "output file (default stdout)")
 		quiet      = flag.Bool("quiet", false, "suppress progress logging")
@@ -65,6 +67,13 @@ func main() {
 		regressPct = flag.Float64("regress-pct", 25, "with -compare: fail when an experiment's ns/op regresses by more than this percentage")
 	)
 	flag.Parse()
+
+	if *list {
+		for _, name := range experiments.Names() {
+			fmt.Println(name)
+		}
+		return
+	}
 
 	switch *wake {
 	case "direct":
@@ -109,6 +118,7 @@ func main() {
 		FibersExplicit: true,
 		CoschedJobs:    *jobs,
 		CoschedPolicy:  *coschedPol,
+		FaultSpec:      *faultSpec,
 	}
 	if !*quiet {
 		opts.Log = os.Stderr

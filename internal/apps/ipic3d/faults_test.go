@@ -1,0 +1,120 @@
+package ipic3d
+
+import (
+	"testing"
+
+	"repro/internal/faults"
+	"repro/internal/mpi"
+	"repro/internal/netmodel"
+	"repro/internal/sim"
+)
+
+// ioVariants is the Fig. 8 sweep order used by the fault tests.
+var ioVariants = []IOVariant{IOCollective, IOShared, IODecoupled}
+
+// testCampaign compiles a campaign sized to quickConfig's ~0.1s virtual
+// makespan, with every injector family represented.
+func testCampaign(t *testing.T, procs int) *faults.Injection {
+	t.Helper()
+	sp := faults.Spec{
+		Seed:    7,
+		Horizon: 300 * sim.Millisecond,
+		Bursts:  6, BurstLen: 40 * sim.Millisecond, BurstFactor: 10,
+		Outages: 2, OutageLen: 80 * sim.Millisecond,
+		DerateStripes: 6, DerateRate: 0.25,
+		Flaps: 3, FlapLen: 50 * sim.Millisecond, LatencyFactor: 8, BandwidthFactor: 4,
+	}
+	inj, err := sp.Plan(procs, 16).Compile(procs, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inj.Empty() {
+		t.Fatal("test campaign compiled to an empty injection")
+	}
+	return &inj
+}
+
+// TestIOFaultsEmptyInjectionNeutral: a compiled empty plan must leave
+// every variant's trajectory byte-identical to Faults == nil, in both
+// process representations — the contract that lets fault plumbing ride
+// in every configuration without moving unfaulted results.
+func TestIOFaultsEmptyInjectionNeutral(t *testing.T) {
+	for _, fibers := range []bool{false, true} {
+		for _, v := range ioVariants {
+			c := quickConfig(17)
+			c.Fibers = fibers
+			base, err := RunIO(c, v)
+			if err != nil {
+				t.Fatalf("%v fibers=%v: %v", v, fibers, err)
+			}
+			inj, err := faults.Plan{}.Compile(c.Procs, 16)
+			if err != nil {
+				t.Fatal(err)
+			}
+			c.Faults = &inj
+			same, err := RunIO(c, v)
+			if err != nil {
+				t.Fatalf("%v fibers=%v faulted: %v", v, fibers, err)
+			}
+			if same != base {
+				t.Fatalf("%v fibers=%v: empty injection moved the result: %+v vs %+v", v, fibers, same, base)
+			}
+		}
+	}
+}
+
+// TestIOFaultsDeterministic: one compiled campaign must produce the
+// identical result across both process representations and across
+// repeated runs (which reuse pooled worlds/engines) — and must actually
+// perturb the clean trajectory, or the determinism claim is vacuous.
+func TestIOFaultsDeterministic(t *testing.T) {
+	inj := testCampaign(t, 17)
+	for _, v := range ioVariants {
+		var ref Result
+		first := true
+		for rep := 0; rep < 2; rep++ {
+			for _, fibers := range []bool{false, true} {
+				c := quickConfig(17)
+				c.Fibers = fibers
+				c.Faults = inj
+				res, err := RunIO(c, v)
+				if err != nil {
+					t.Fatalf("%v fibers=%v rep=%d: %v", v, fibers, rep, err)
+				}
+				if first {
+					ref, first = res, false
+				} else if res != ref {
+					t.Fatalf("%v fibers=%v rep=%d: faulted result diverged: %+v vs %+v", v, fibers, rep, res, ref)
+				}
+			}
+		}
+		clean, err := RunIO(quickConfig(17), v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ref == clean {
+			t.Fatalf("%v: campaign perturbed nothing (faulted == clean %+v)", v, clean)
+		}
+		if ref.Time < clean.Time {
+			t.Fatalf("%v: faults shortened the makespan: %v < %v", v, ref.Time, clean.Time)
+		}
+	}
+}
+
+// TestStartIORejectsStripeFaults: stripe faults on a co-scheduled job
+// would degrade the shared bank behind the cluster's back; StartIO must
+// refuse them (cluster.Config.StripeFaults owns that).
+func TestStartIORejectsStripeFaults(t *testing.T) {
+	inj := testCampaign(t, 17)
+	if inj.Stripe == nil {
+		t.Fatal("test campaign has no stripe faults")
+	}
+	c := quickConfig(17)
+	c.Faults = inj
+	eng := sim.NewEngine(1)
+	defer eng.Abort()
+	base := mpi.Config{Engine: eng, Bank: sim.NewBank(4, 1, sim.BankFCFS), FS: netmodel.LustreLike()}
+	if _, err := StartIO(c, IODecoupled, base); err == nil {
+		t.Fatal("StartIO accepted stripe faults on a shared bank")
+	}
+}

@@ -260,6 +260,11 @@ func (s *ioRun) referenceFiberBody() mpi.FiberMain {
 			step := 0
 			var stepLoop, save sim.StepFunc
 			save = func(_ *sim.Fiber) sim.StepFunc {
+				// save runs at the mover's completion instant, matching the
+				// goroutine body's post-ComputeLabeled recording point.
+				if step == c.Steps {
+					s.noteCompute(r.Now())
+				}
 				if v == IOCollective {
 					return f.FWriteAll(r, out, stepLoop)
 				}
@@ -308,7 +313,15 @@ func (s *ioRun) decoupledFiberBody() mpi.FiberMain {
 				out := c.saveBytes(myCount)
 				step, burst := 0, 0
 				var stepLoop sim.StepFunc
-				emit := sim.Then(func() { st.Isend(r, stream.Element{Bytes: out / 4}) }, &stepLoop)
+				emit := sim.Then(func() {
+					// Runs at the burst's compute-completion instant; the
+					// final burst of the final step is the producer's last
+					// mover work, matching the goroutine body's recording.
+					if step == c.Steps-1 && burst == 4 {
+						s.noteCompute(r.Now())
+					}
+					st.Isend(r, stream.Element{Bytes: out / 4})
+				}, &stepLoop)
 				stepLoop = func(_ *sim.Fiber) sim.StepFunc {
 					if step >= c.Steps {
 						st.Terminate(r)

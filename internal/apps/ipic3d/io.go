@@ -58,7 +58,13 @@ func RunIO(c Config, v IOVariant) (Result, error) {
 	if err := validIOVariant(v); err != nil {
 		return Result{}, err
 	}
-	w := mpi.NewWorld(mpi.Config{Procs: c.Procs, Seed: c.Seed, Noise: c.Noise, Tracer: c.Tracer})
+	mc := mpi.Config{Procs: c.Procs, Seed: c.Seed, Noise: c.Noise, Tracer: c.Tracer}
+	if c.Faults != nil {
+		mc.RankFaults = c.Faults.Rank
+		mc.StripeFaults = c.Faults.Stripe
+		mc.LinkFaults = c.Faults.Link
+	}
+	w := mpi.NewWorld(mc)
 	s := newIORun(c, v)
 	var err error
 	if c.Fibers && c.Tracer == nil {
@@ -98,7 +104,19 @@ type ioRun struct {
 	field   workload.ParticleField
 
 	makespan sim.Time
-	file     *mpi.File
+	// lastCompute is the latest instant any rank finished its final
+	// mover slice; makespan minus it is the run's I/O tail. Both
+	// representations record it at the same virtual instants (the end of
+	// the final compute op), so it is representation-neutral.
+	lastCompute sim.Time
+	file        *mpi.File
+}
+
+// noteCompute records the end of a rank's final mover.
+func (s *ioRun) noteCompute(t sim.Time) {
+	if t > s.lastCompute {
+		s.lastCompute = t
+	}
 }
 
 // newIORun derives the job's particle layout for the chosen variant.
@@ -136,7 +154,11 @@ func (s *ioRun) fiberBody() mpi.FiberMain {
 
 // result collects the job's outcome once the engine has run.
 func (s *ioRun) result(w *mpi.World) Result {
-	return Result{Time: s.makespan, Messages: w.MessagesSent(), BytesWritten: s.file.BytesWritten()}
+	tail := s.makespan - s.lastCompute
+	if tail < 0 {
+		tail = 0
+	}
+	return Result{Time: s.makespan, Messages: w.MessagesSent(), BytesWritten: s.file.BytesWritten(), IOTail: tail}
 }
 
 // IOJob is a particle-I/O job started on a shared engine for co-scheduled
@@ -167,6 +189,15 @@ func StartIO(c Config, v IOVariant, base mpi.Config) (*IOJob, error) {
 	base.Procs = c.Procs
 	base.Seed = c.Seed
 	base.Noise = c.Noise
+	if c.Faults != nil {
+		if c.Faults.Stripe != nil {
+			// Stripe faults in a co-scheduled run degrade the shared bank,
+			// which belongs to the cluster (cluster.Config.StripeFaults).
+			return nil, fmt.Errorf("ipic3d: stripe faults on a co-scheduled job; install them on the shared bank via cluster.Config")
+		}
+		base.RankFaults = c.Faults.Rank
+		base.LinkFaults = c.Faults.Link
+	}
 	w := mpi.NewWorld(base)
 	s := newIORun(c, v)
 	if c.Fibers {
@@ -198,6 +229,9 @@ func (s *ioRun) referenceBody() func(r *mpi.Rank) {
 		out := c.saveBytes(myCount)
 		for step := 0; step < c.Steps; step++ {
 			r.ComputeLabeled(c.moverTime(myCount), "mover")
+			if step == c.Steps-1 {
+				s.noteCompute(r.Now())
+			}
 			if v == IOCollective {
 				// Two-phase collective write; the embedded allgatherv is
 				// the per-step file-view recalculation the paper
@@ -238,6 +272,9 @@ func (s *ioRun) decoupledBody() func(r *mpi.Rank) {
 				// The mover emits output in bursts through the step.
 				for burst := 0; burst < 4; burst++ {
 					r.ComputeLabeled(c.moverTime(myCount)/4, "mover")
+					if step == c.Steps-1 && burst == 3 {
+						s.noteCompute(r.Now())
+					}
 					st.Isend(r, stream.Element{Bytes: out / 4})
 				}
 			}

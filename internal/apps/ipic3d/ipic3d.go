@@ -13,6 +13,7 @@ package ipic3d
 import (
 	"fmt"
 
+	"repro/internal/faults"
 	"repro/internal/mpi"
 	"repro/internal/netmodel"
 	"repro/internal/sim"
@@ -59,6 +60,11 @@ type Config struct {
 	// rank bodies (goroutine-free dispatch; trajectories are bit-identical
 	// either way). Ignored when a Tracer is configured.
 	Fibers bool
+	// Faults, if non-nil, is a compiled fault campaign (rank slowdown
+	// bursts, stripe outage/derate windows, link degradation) injected
+	// into the run. An empty injection perturbs nothing: the trajectory
+	// is byte-identical to Faults == nil.
+	Faults *faults.Injection
 	// Seed, Noise and Tracer as elsewhere.
 	Seed   int64
 	Noise  netmodel.Noise
@@ -121,6 +127,11 @@ type Result struct {
 	Messages int64
 	// BytesWritten is the file-system volume (I/O experiments).
 	BytesWritten int64
+	// IOTail is the span between the last mover finishing and the
+	// makespan (I/O experiments): the file-system work left on the
+	// critical path once all computation is done. The resilience sweep
+	// reports how fault campaigns stretch it.
+	IOTail sim.Time
 	// ForwardRounds is the total number of reference forwarding rounds
 	// executed (communication experiment).
 	ForwardRounds int

@@ -88,6 +88,12 @@ type Config struct {
 	// Seed seeds the shared engine (per-process random streams). Each
 	// job's application seed travels in its own configuration.
 	Seed int64
+	// StripeFaults schedules degradation windows on the shared bank's
+	// stripes: StripeFaults[i] holds stripe i's outage/derate windows
+	// (sim.ValidateStripeFaults). The bank is built per run, so faults
+	// are installed fresh each Run; nil schedules nothing and keeps
+	// trajectories byte-identical to the fault-free build.
+	StripeFaults [][]sim.StripeFault
 }
 
 // Result is one co-scheduled run's outcome.
@@ -146,6 +152,11 @@ func Run(cfg Config) (Result, error) {
 	}
 	eng := getEngine(cfg.Seed)
 	bank := sim.NewBank(fs.Stripes, n, cfg.Policy)
+	for i, sf := range cfg.StripeFaults {
+		if i < bank.Width() {
+			bank.SetStripeFaults(i, sf)
+		}
+	}
 	worlds := make([]*mpi.World, n)
 	for i, job := range cfg.Jobs {
 		if w := job.Weight; w > 0 {

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/apps/ipic3d"
 	"repro/internal/cluster"
+	"repro/internal/faults"
 	"repro/internal/mpi"
 	"repro/internal/sim"
 )
@@ -160,12 +161,26 @@ func slowdownRatio(shared, alone float64) float64 {
 // coschedRun runs the shared cluster, divides each job's completion time
 // by its cached single-job baseline on an identical bank, and measures
 // the hog's tail (how long job 0 outlives the last light job, >= 0).
-func coschedRun(jobs, stripes int, policy sim.BankPolicy, seed int64, base *coschedBaselines) (coschedOutcome, error) {
+// A non-nil fault spec degrades the shared bank's stripes — the
+// campaign's stripe events compiled per seed — while the baselines stay
+// clean, so the slowdown rows then read "co-scheduling plus faults over
+// an idle healthy bank".
+func coschedRun(jobs, stripes int, policy sim.BankPolicy, seed int64, base *coschedBaselines, spec *faults.Spec) (coschedOutcome, error) {
 	cjobs := make([]cluster.Job, jobs)
 	for i := range cjobs {
 		cjobs[i] = coschedJob(i, seed, base.fibers)
 	}
-	shared, err := cluster.Run(cluster.Config{Jobs: cjobs, Policy: policy, Stripes: stripes, Seed: seed})
+	var sf [][]sim.StripeFault
+	if spec != nil {
+		sp := *spec
+		sp.Seed = sim.Mix64(spec.Seed, seed)
+		inj, err := sp.Plan(0, stripes).Compile(0, stripes)
+		if err != nil {
+			return coschedOutcome{}, err
+		}
+		sf = inj.Stripe
+	}
+	shared, err := cluster.Run(cluster.Config{Jobs: cjobs, Policy: policy, Stripes: stripes, Seed: seed, StripeFaults: sf})
 	if err != nil {
 		return coschedOutcome{}, err
 	}
@@ -262,6 +277,18 @@ func Cosched(opts Options) ([]Row, error) {
 		}
 		policies = []sim.BankPolicy{p}
 	}
+	var fspec *faults.Spec
+	if opts.FaultSpec != "" {
+		sp, err := faults.ParseSpec(opts.FaultSpec)
+		if err != nil {
+			return nil, err
+		}
+		// "none" parses to the zero spec; leaving fspec nil keeps the
+		// sweep on the exact fault-free code path.
+		if sp != (faults.Spec{}) {
+			fspec = &sp
+		}
+	}
 	base := &coschedBaselines{fibers: opts.Fibers}
 	var points []point
 	for _, jc := range jobCounts {
@@ -269,7 +296,7 @@ func Cosched(opts Options) ([]Row, error) {
 			for _, pol := range policies {
 				jc, stripes, pol := jc, stripes, pol
 				memo := &coschedMemo{compute: func(seed int64) (coschedOutcome, error) {
-					return coschedRun(jc, stripes, pol, seed, base)
+					return coschedRun(jc, stripes, pol, seed, base, fspec)
 				}}
 				for j := 0; j < jc; j++ {
 					j := j

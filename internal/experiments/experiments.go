@@ -68,6 +68,12 @@ type Options struct {
 	// CoschedPolicy restricts the cosched experiment to one inter-job
 	// bank policy — "fcfs", "fair" or "priority" (empty: all three).
 	CoschedPolicy string
+	// FaultSpec is a fault-campaign spec in faults.ParseSpec syntax. The
+	// resilience experiment scales it across its intensity sweep (empty
+	// means the default campaign); the cosched experiment degrades the
+	// shared bank's stripes with it when non-empty, and schedules no
+	// faults when empty.
+	FaultSpec string
 	// Log, if non-nil, receives progress lines.
 	Log io.Writer
 }
@@ -262,6 +268,7 @@ var Registry = map[string]func(Options) ([]Row, error){
 	"ablation-fcfs":        AblationFCFS,
 	"cosched":              Cosched,
 	"model":                ModelValidation,
+	"resilience":           Resilience,
 }
 
 // Names returns the registered experiment names, sorted.

@@ -1,0 +1,132 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// runAndRender runs an experiment returning both its rows and their CSV
+// bytes (renderRows in poolreuse_test.go returns the bytes alone).
+func runAndRender(t *testing.T, name string, opts Options) ([]Row, []byte) {
+	t.Helper()
+	rows, err := Registry[name](opts)
+	if err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+	var buf bytes.Buffer
+	if err := FormatCSV(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	return rows, buf.Bytes()
+}
+
+// TestResilienceSmokeAndDeterminism is the resilience campaign's
+// acceptance check: under the default campaign the decoupled variant's
+// degradation slope must undercut both reference variants — buffered,
+// overlapped I/O absorbs stripe and link faults the synchronous writers
+// eat on the critical path — and the whole sweep must be byte-identical
+// across invocations (campaigns are replayable, pooled engines reset
+// cleanly).
+func TestResilienceSmokeAndDeterminism(t *testing.T) {
+	opts := Options{Runs: 1, Workers: 2, FibersExplicit: true}
+	if !testing.Short() {
+		opts.Runs = 2
+	}
+	rows, first := runAndRender(t, "resilience", opts)
+	second := renderRows(t, "resilience", opts)
+	if !bytes.Equal(first, second) {
+		t.Errorf("resilience rows differ between invocations\n--- first ---\n%s--- second ---\n%s", first, second)
+	}
+	slopes := map[string]float64{}
+	for _, r := range rows {
+		if strings.HasSuffix(r.Series, "degradation-slope") {
+			slopes[strings.TrimSuffix(r.Series, " degradation-slope")] = r.Seconds
+		}
+		if strings.Contains(r.Series, "inflation") && r.Seconds <= 0 {
+			t.Errorf("%s param=%g: non-positive inflation %v", r.Series, r.Param, r.Seconds)
+		}
+	}
+	for _, v := range []string{"RefColl", "RefShared", "Decoupling"} {
+		if _, ok := slopes[v]; !ok {
+			t.Fatalf("no degradation-slope row for %s (have %v)", v, slopes)
+		}
+	}
+	if d := slopes["Decoupling"]; d >= slopes["RefColl"] || d >= slopes["RefShared"] {
+		t.Errorf("decoupled slope %v does not undercut the coupled variants (RefColl %v, RefShared %v)",
+			d, slopes["RefColl"], slopes["RefShared"])
+	}
+}
+
+// coschedFaultSpec is the stripe-only campaign the cosched fault tests
+// degrade the shared bank with (rank and link events never reach a
+// cluster bank; Plan compiles against zero ranks).
+const coschedFaultSpec = "horizon=3s,outages=3,outage-len=800ms,derate-stripes=8,derate-rate=0.25"
+
+// TestCoschedFaultedBankDeterminismAndNeutrality: a faulted cosched
+// sweep replays byte-identically, actually perturbs the clean sweep,
+// and the "none" spec keeps the sweep on the exact fault-free path.
+func TestCoschedFaultedBankDeterminismAndNeutrality(t *testing.T) {
+	opts := Options{Runs: 1, Workers: 2, CoschedJobs: 2, FibersExplicit: true}
+	clean := renderRows(t, "cosched", opts)
+	opts.FaultSpec = "none"
+	none := renderRows(t, "cosched", opts)
+	if !bytes.Equal(clean, none) {
+		t.Errorf("FaultSpec \"none\" moved the sweep\n--- clean ---\n%s--- none ---\n%s", clean, none)
+	}
+	opts.FaultSpec = coschedFaultSpec
+	faulted := renderRows(t, "cosched", opts)
+	again := renderRows(t, "cosched", opts)
+	if !bytes.Equal(faulted, again) {
+		t.Errorf("faulted sweep differs between invocations\n--- first ---\n%s--- second ---\n%s", faulted, again)
+	}
+	if bytes.Equal(faulted, clean) {
+		t.Error("stripe-fault campaign perturbed no cosched row")
+	}
+}
+
+// TestCoschedFaultedBankLightIsolation: with the shared bank's stripes
+// faulted under the hog + lights scenario, the isolation policies must
+// still shield the light jobs — on the single contended stripe each
+// light's slowdown under fair, priority and their work-conserving
+// variants stays at or below its slowdown under FCFS, where the hog's
+// backlog and the outages stack up in front of everyone.
+func TestCoschedFaultedBankLightIsolation(t *testing.T) {
+	opts := Options{Runs: 1, Workers: 2, CoschedJobs: 3, FibersExplicit: true, FaultSpec: coschedFaultSpec}
+	rows, _ := runAndRender(t, "cosched", opts)
+	// slowdown[policy][job] on the stripes=1 points.
+	slowdown := map[string]map[string]float64{}
+	for _, r := range rows {
+		if r.Param != 1 || !strings.HasSuffix(r.Series, " slowdown") {
+			continue
+		}
+		fields := strings.Fields(r.Series) // "<policy> jobs=3 <job> slowdown"
+		if len(fields) != 4 {
+			t.Fatalf("unexpected series shape %q", r.Series)
+		}
+		pol, job := fields[0], fields[2]
+		if slowdown[pol] == nil {
+			slowdown[pol] = map[string]float64{}
+		}
+		slowdown[pol][job] = r.Seconds
+		if r.Seconds <= 0 {
+			t.Errorf("%s stripes=1: non-positive slowdown %v", r.Series, r.Seconds)
+		}
+	}
+	fcfs := slowdown["fcfs"]
+	if fcfs == nil {
+		t.Fatal("no fcfs slowdown rows found")
+	}
+	for _, pol := range []string{"fair", "priority", "fair-wc", "priority-wc"} {
+		got := slowdown[pol]
+		if got == nil {
+			t.Fatalf("no %s slowdown rows found", pol)
+		}
+		for _, job := range []string{"j1", "j2"} {
+			if got[job] > fcfs[job] {
+				t.Errorf("light %s under %s slowed %v on the faulted stripe, above FCFS's %v — isolation lost",
+					job, pol, got[job], fcfs[job])
+			}
+		}
+	}
+}

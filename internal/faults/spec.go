@@ -1,0 +1,254 @@
+package faults
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// Spec parameterizes a generated campaign: how many events of each
+// family to scatter over the horizon, how long and how severe each one
+// is. A Spec is declarative — Plan materializes it into a concrete
+// event schedule, with every draw derived from (Seed, event id) via
+// sim.Mix64, so equal specs always produce equal plans.
+type Spec struct {
+	// Seed drives every draw in campaign generation. It is independent
+	// of the simulation seed: one campaign can be replayed against many
+	// run seeds and vice versa.
+	Seed int64
+	// Horizon is the virtual-time span [0, Horizon) events are scattered
+	// over.
+	Horizon sim.Time
+
+	// Bursts rank slowdown bursts of BurstLen, each slowing its target
+	// rank's compute by BurstFactor.
+	Bursts      int
+	BurstLen    sim.Time
+	BurstFactor float64
+
+	// Outages full stripe outages of OutageLen.
+	Outages   int
+	OutageLen sim.Time
+
+	// DerateStripes stripes degraded to DerateRate of nominal throughput
+	// for DerateLen (0 means the whole horizon).
+	DerateStripes int
+	DerateLen     sim.Time
+	DerateRate    float64
+
+	// Flaps link degradation windows of FlapLen, multiplying wire
+	// latency by LatencyFactor and NIC serialization by BandwidthFactor.
+	Flaps           int
+	FlapLen         sim.Time
+	LatencyFactor   float64
+	BandwidthFactor float64
+}
+
+// DefaultSpec is the reference campaign the resilience experiment and
+// the CI smoke job scale: a handful of each fault family over a
+// four-virtual-second horizon.
+func DefaultSpec() Spec {
+	return Spec{
+		Seed:            1,
+		Horizon:         4 * sim.Second,
+		Bursts:          8,
+		BurstLen:        200 * sim.Millisecond,
+		BurstFactor:     10,
+		Outages:         2,
+		OutageLen:       400 * sim.Millisecond,
+		DerateStripes:   4,
+		DerateRate:      0.25,
+		Flaps:           4,
+		FlapLen:         250 * sim.Millisecond,
+		LatencyFactor:   8,
+		BandwidthFactor: 4,
+	}
+}
+
+// Scale returns the spec with its intensity axes — burst count, outage
+// duration, degraded-stripe count, flap count — multiplied by x.
+// Scale(0) yields a spec whose Plan is empty; severity knobs (factors,
+// rates, burst/flap lengths) are left alone so a sweep varies how much
+// degradation happens, not what one event looks like.
+func (s Spec) Scale(x float64) Spec {
+	if x < 0 {
+		panic(fmt.Sprintf("faults: Scale(%v) negative", x))
+	}
+	s.Bursts = int(float64(s.Bursts) * x)
+	s.OutageLen = sim.Time(float64(s.OutageLen) * x)
+	s.DerateStripes = int(float64(s.DerateStripes) * x)
+	s.Flaps = int(float64(s.Flaps) * x)
+	if x == 0 {
+		s.Outages = 0
+	}
+	return s
+}
+
+// Stream id bases keep each family's draws independent of the other
+// families' event counts: adding bursts never moves an outage.
+const (
+	burstStreamBase  = 0 << 20
+	outageStreamBase = 1 << 20
+	derateStreamBase = 2 << 20
+	flapStreamBase   = 3 << 20
+)
+
+// eventRand is the (seed, event-id) stream: every event draws its start
+// and target from its own generator, so campaigns replay exactly and
+// event k is unaffected by how many events precede it.
+func eventRand(seed int64, id int64) *rand.Rand {
+	return rand.New(sim.NewSplitMix(sim.Mix64(seed, id)))
+}
+
+// startIn draws a window start leaving room for length within the
+// horizon.
+func startIn(rng *rand.Rand, horizon, length sim.Time) (sim.Time, sim.Time) {
+	if length > horizon {
+		length = horizon
+	}
+	room := int64(horizon - length)
+	var at sim.Time
+	if room > 0 {
+		at = sim.Time(rng.Int63n(room + 1))
+	}
+	return at, length
+}
+
+// Plan materializes the campaign for a machine of the given shape.
+// Targets are drawn uniformly (derated stripes as a prefix of a drawn
+// permutation, so DerateStripes counts distinct stripes); events landing
+// on the same target may overlap and are resolved earlier-wins at
+// Compile time.
+func (s Spec) Plan(ranks, stripes int) Plan {
+	var p Plan
+	if s.Horizon <= 0 {
+		return p
+	}
+	for k := 0; k < s.Bursts && ranks > 0; k++ {
+		rng := eventRand(s.Seed, burstStreamBase+int64(k))
+		at, length := startIn(rng, s.Horizon, s.BurstLen)
+		p.Events = append(p.Events, Event{
+			Kind: RankBurst, At: at, Duration: length,
+			Target: rng.Intn(ranks), Factor: s.BurstFactor,
+		})
+	}
+	for k := 0; k < s.Outages && stripes > 0 && s.OutageLen > 0; k++ {
+		rng := eventRand(s.Seed, outageStreamBase+int64(k))
+		at, length := startIn(rng, s.Horizon, s.OutageLen)
+		p.Events = append(p.Events, Event{
+			Kind: StripeOutage, At: at, Duration: length,
+			Target: rng.Intn(stripes),
+		})
+	}
+	if n := s.DerateStripes; n > 0 && stripes > 0 {
+		if n > stripes {
+			n = stripes
+		}
+		rng := eventRand(s.Seed, derateStreamBase)
+		perm := rng.Perm(stripes)
+		for k := 0; k < n; k++ {
+			length := s.DerateLen
+			if length <= 0 {
+				length = s.Horizon
+			}
+			at, length := startIn(rng, s.Horizon, length)
+			p.Events = append(p.Events, Event{
+				Kind: StripeDerate, At: at, Duration: length,
+				Target: perm[k], Factor: s.DerateRate,
+			})
+		}
+	}
+	for k := 0; k < s.Flaps; k++ {
+		rng := eventRand(s.Seed, flapStreamBase+int64(k))
+		at, length := startIn(rng, s.Horizon, s.FlapLen)
+		if s.LatencyFactor > 1 {
+			p.Events = append(p.Events, Event{
+				Kind: LinkLatency, At: at, Duration: length, Factor: s.LatencyFactor,
+			})
+		}
+		if s.BandwidthFactor > 1 {
+			p.Events = append(p.Events, Event{
+				Kind: LinkBandwidth, At: at, Duration: length, Factor: s.BandwidthFactor,
+			})
+		}
+	}
+	return p
+}
+
+// ParseSpec parses the compact campaign syntax of decouplebench's
+// -faults flag: a comma-separated key=value list overriding DefaultSpec
+// field by field, e.g.
+//
+//	bursts=16,burst-factor=20,outage-len=1s,derate-stripes=8,seed=7
+//
+// The literal "default" (or an empty string) is DefaultSpec unchanged;
+// "none" is the zero Spec, whose plan is empty. Durations use Go
+// duration syntax ("200ms"), interpreted as virtual time.
+func ParseSpec(text string) (Spec, error) {
+	s := DefaultSpec()
+	text = strings.TrimSpace(text)
+	switch text {
+	case "", "default":
+		return s, nil
+	case "none":
+		return Spec{}, nil
+	}
+	for _, kv := range strings.Split(text, ",") {
+		key, val, ok := strings.Cut(strings.TrimSpace(kv), "=")
+		if !ok {
+			return Spec{}, fmt.Errorf("faults: bad spec element %q (want key=value)", kv)
+		}
+		key = strings.TrimSpace(key)
+		val = strings.TrimSpace(val)
+		var err error
+		switch key {
+		case "seed":
+			s.Seed, err = strconv.ParseInt(val, 10, 64)
+		case "horizon":
+			s.Horizon, err = parseDuration(val)
+		case "bursts":
+			s.Bursts, err = strconv.Atoi(val)
+		case "burst-len":
+			s.BurstLen, err = parseDuration(val)
+		case "burst-factor":
+			s.BurstFactor, err = strconv.ParseFloat(val, 64)
+		case "outages":
+			s.Outages, err = strconv.Atoi(val)
+		case "outage-len":
+			s.OutageLen, err = parseDuration(val)
+		case "derate-stripes":
+			s.DerateStripes, err = strconv.Atoi(val)
+		case "derate-len":
+			s.DerateLen, err = parseDuration(val)
+		case "derate-rate":
+			s.DerateRate, err = strconv.ParseFloat(val, 64)
+		case "flaps":
+			s.Flaps, err = strconv.Atoi(val)
+		case "flap-len":
+			s.FlapLen, err = parseDuration(val)
+		case "lat-factor":
+			s.LatencyFactor, err = strconv.ParseFloat(val, 64)
+		case "bw-factor":
+			s.BandwidthFactor, err = strconv.ParseFloat(val, 64)
+		default:
+			return Spec{}, fmt.Errorf("faults: unknown spec key %q", key)
+		}
+		if err != nil {
+			return Spec{}, fmt.Errorf("faults: bad value for %q: %v", key, err)
+		}
+	}
+	return s, nil
+}
+
+// parseDuration reads a Go duration literal as virtual time.
+func parseDuration(val string) (sim.Time, error) {
+	d, err := time.ParseDuration(val)
+	if err != nil {
+		return 0, err
+	}
+	return sim.Time(d.Nanoseconds()), nil
+}

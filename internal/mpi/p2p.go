@@ -203,7 +203,14 @@ func (c *Comm) isendOv(r *Rank, proc exec, dst, tag int, bytes int64, data inter
 	// Sender NIC serialization, starting after any CPU debt the sending
 	// process has accumulated. The slot is granted now, so the send
 	// request's completion instant is already known: no event needed.
+	// With link faults scheduled, the bandwidth window covering the slot
+	// request inflates serialization and the latency window covering the
+	// flight start inflates the wire hop; the guards keep the fault-free
+	// hot path byte-identical.
 	ser := net.SerializationTime(bytes)
+	if lf := w.cfg.LinkFaults; lf != nil {
+		ser = lf.StretchSerialization(ser, e.Now()+proc.Debt())
+	}
 	_, sendEnd := src.sendLink.Reserve(e.Now()+proc.Debt(), ser)
 	req.timed = true
 	req.doneAt = sendEnd
@@ -215,7 +222,11 @@ func (c *Comm) isendOv(r *Rank, proc exec, dst, tag int, bytes int64, data inter
 	// needs one event per message instead of two, and the known completion
 	// instant lets waiting receivers advance their clock instead of
 	// parking.
-	arrive := sendEnd + net.Latency
+	lat := net.Latency
+	if lf := w.cfg.LinkFaults; lf != nil {
+		lat = lf.StretchLatency(lat, sendEnd)
+	}
+	arrive := sendEnd + lat
 	msg.ser = ser
 	e.AtAction(arrive, msg)
 	return req

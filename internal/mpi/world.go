@@ -77,6 +77,24 @@ type Config struct {
 	// Tracer, if non-nil, receives execution spans.
 	Tracer Tracer
 
+	// RankFaults schedules compute slowdown bursts: RankFaults[i] holds
+	// rank i's windows (sorted and non-overlapping per
+	// sim.ValidateWindows), applied multiplicatively on top of the noise
+	// model's speed factor and jitter by the compute-cost path of both
+	// process representations. Ranks at or beyond len(RankFaults) are
+	// fault-free; nil schedules nothing.
+	RankFaults [][]sim.FaultWindow
+	// StripeFaults schedules degradation windows on the world's private
+	// file-system bank: StripeFaults[i] holds stripe i's outage/derate
+	// windows (sim.ValidateStripeFaults). It is incompatible with a
+	// shared Bank — the bank's owner (internal/cluster) installs faults
+	// there — and panics when both are set.
+	StripeFaults [][]sim.StripeFault
+	// LinkFaults schedules windowed network degradation (latency and
+	// bandwidth multipliers) applied to message cost. Nil means a
+	// healthy network.
+	LinkFaults *netmodel.LinkFaults
+
 	// Engine, if non-nil, attaches the world to an existing engine instead
 	// of owning one: several worlds (jobs) spawned on the same engine run
 	// as one co-scheduled simulation (see internal/cluster). The engine's
@@ -276,6 +294,9 @@ type rankState struct {
 	// waits register on their requests instead.
 	progress sim.WaitQueue
 	speed    float64
+	// faults holds this rank's compute slowdown windows
+	// (Config.RankFaults), nil when the rank is fault-free.
+	faults []sim.FaultWindow
 
 	bytesSent int64
 	msgsSent  int64
@@ -343,6 +364,22 @@ func NewWorld(cfg Config) *World {
 		// reservation instants between runs and grant nonsense.
 		panic("mpi: a shared Bank requires a shared Engine")
 	}
+	if cfg.Bank != nil && cfg.StripeFaults != nil {
+		panic("mpi: StripeFaults on a world with a shared Bank; install faults on the bank via its owner")
+	}
+	for i, ws := range cfg.RankFaults {
+		if err := sim.ValidateWindows(ws); err != nil {
+			panic(fmt.Sprintf("mpi: RankFaults[%d]: %v", i, err))
+		}
+	}
+	for i, fs := range cfg.StripeFaults {
+		if err := sim.ValidateStripeFaults(fs); err != nil {
+			panic(fmt.Sprintf("mpi: StripeFaults[%d]: %v", i, err))
+		}
+	}
+	if err := cfg.LinkFaults.Validate(); err != nil {
+		panic(fmt.Sprintf("mpi: LinkFaults: %v", err))
+	}
 	// External worlds (shared engine or bank) are never returned to the
 	// pool, so drawing one out would permanently drain it and discard the
 	// pooled world's capacity-warm engine; build them fresh instead.
@@ -372,8 +409,21 @@ func NewWorld(cfg Config) *World {
 	if w.fs == nil {
 		w.fs = sim.NewBank(cfg.FS.Stripes, 1, sim.BankFCFS)
 	}
+	w.applyStripeFaults()
 	w.buildRanks()
 	return w
+}
+
+// applyStripeFaults installs cfg.StripeFaults on the world's private
+// bank. Faults are per-run state (Bank.Reset drops them), so both the
+// fresh-build and pool-reuse paths must call this after the bank is
+// ready. Stripes beyond the bank width are ignored.
+func (w *World) applyStripeFaults() {
+	for i, fs := range w.cfg.StripeFaults {
+		if i < w.fs.Width() {
+			w.fs.SetStripeFaults(i, fs)
+		}
+	}
 }
 
 // buildRanks (re)creates the rank array and world communicator for the
@@ -395,6 +445,11 @@ func (w *World) buildRanks() {
 			rs.reset(speed)
 		} else {
 			w.ranks[i] = &rankState{world: w, rank: i, speed: speed}
+		}
+		if i < len(cfg.RankFaults) {
+			w.ranks[i].faults = cfg.RankFaults[i]
+		} else {
+			w.ranks[i].faults = nil
 		}
 		members[i] = i
 	}
@@ -421,6 +476,7 @@ func (w *World) reset(cfg Config) {
 	} else {
 		w.fs = sim.NewBank(cfg.FS.Stripes, 1, sim.BankFCFS)
 	}
+	w.applyStripeFaults()
 	w.buildRanks()
 }
 
@@ -617,6 +673,13 @@ func (r *Rank) ComputeLabeled(d sim.Time, label string) {
 	if _, zero := r.w.cfg.Noise.(netmodel.None); !zero {
 		scaled += r.w.cfg.Noise.Jitter(r.proc.Rand(), scaled)
 	}
+	// Fault bursts layer on top of speed and jitter: the noise-perturbed
+	// duration is integrated through the rank's slowdown windows from the
+	// current instant. Pure window arithmetic — FComputeLabeled mirrors
+	// it exactly, so faulted trajectories stay representation-neutral.
+	if len(r.rs.faults) > 0 {
+		scaled = sim.StretchThrough(r.proc.Now(), scaled, r.rs.faults)
+	}
 	start := r.proc.Now()
 	r.proc.Advance(scaled)
 	r.trace("comp", label, start)
@@ -669,6 +732,9 @@ func (r *Rank) FComputeLabeled(d sim.Time, label string, next sim.StepFunc) sim.
 	scaled := sim.Time(float64(d) * r.rs.speed)
 	if _, zero := r.w.cfg.Noise.(netmodel.None); !zero {
 		scaled += r.w.cfg.Noise.Jitter(r.fib.Rand(), scaled)
+	}
+	if len(r.rs.faults) > 0 {
+		scaled = sim.StretchThrough(r.fib.Now(), scaled, r.rs.faults)
 	}
 	return r.fib.Advance(scaled, next)
 }

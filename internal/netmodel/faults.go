@@ -1,0 +1,80 @@
+package netmodel
+
+import "repro/internal/sim"
+
+// LinkFaults schedules windowed degradation of the interconnect: latency
+// windows multiply the wire latency of messages in flight during the
+// window, bandwidth windows multiply the NIC serialization time of
+// messages injected during the window. Both lists must be sorted and
+// non-overlapping (sim.ValidateWindows); a nil *LinkFaults means a
+// healthy network and every method returns its base cost unchanged.
+//
+// Like the compute and stripe injectors, link faults are pure window
+// arithmetic — no draws, no events — so faulted runs stay bit-identical
+// across process representations and repeated runs.
+type LinkFaults struct {
+	// Latency windows multiply Params.Latency for messages whose NIC
+	// slot ends (i.e. whose flight starts) inside the window.
+	Latency []sim.FaultWindow
+	// Bandwidth windows multiply serialization time for messages whose
+	// NIC slot is requested inside the window.
+	Bandwidth []sim.FaultWindow
+}
+
+// Validate checks both window lists.
+func (lf *LinkFaults) Validate() error {
+	if lf == nil {
+		return nil
+	}
+	if err := sim.ValidateWindows(lf.Latency); err != nil {
+		return err
+	}
+	return sim.ValidateWindows(lf.Bandwidth)
+}
+
+// Empty reports whether the fault set schedules nothing.
+func (lf *LinkFaults) Empty() bool {
+	return lf == nil || (len(lf.Latency) == 0 && len(lf.Bandwidth) == 0)
+}
+
+// FactorAt reports the slowdown factor of the window covering at, or 1
+// when no window does.
+func FactorAt(ws []sim.FaultWindow, at sim.Time) float64 {
+	for _, w := range ws {
+		if w.Start > at {
+			break // sorted by start: no later window can cover at
+		}
+		if at < w.End {
+			return w.Factor
+		}
+	}
+	return 1
+}
+
+// StretchLatency reports the wire latency of a message entering flight
+// at the given instant: base multiplied by the covering latency window's
+// factor, if any.
+func (lf *LinkFaults) StretchLatency(base, at sim.Time) sim.Time {
+	if lf == nil || len(lf.Latency) == 0 {
+		return base
+	}
+	f := FactorAt(lf.Latency, at)
+	if f == 1 {
+		return base
+	}
+	return sim.Time(float64(base) * f)
+}
+
+// StretchSerialization reports the NIC occupancy of a message whose slot
+// is requested at the given instant: base multiplied by the covering
+// bandwidth window's factor, if any.
+func (lf *LinkFaults) StretchSerialization(base, at sim.Time) sim.Time {
+	if lf == nil || len(lf.Bandwidth) == 0 {
+		return base
+	}
+	f := FactorAt(lf.Bandwidth, at)
+	if f == 1 {
+		return base
+	}
+	return sim.Time(float64(base) * f)
+}

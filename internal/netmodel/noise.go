@@ -67,7 +67,7 @@ func (c Cluster) SpeedFactor(seed int64, rank int) float64 {
 	if c.SpeedSigma <= 0 {
 		return 1
 	}
-	rng := rand.New(sim.NewSplitMix(mix64(seed, int64(rank))))
+	rng := rand.New(sim.NewSplitMix(sim.Mix64(seed, int64(rank))))
 	f := math.Exp(rng.NormFloat64() * c.SpeedSigma)
 	if f < 1 {
 		f = 1 / f
@@ -117,14 +117,4 @@ func poisson(rng *rand.Rand, lambda float64) int {
 		n++
 	}
 	return n
-}
-
-// mix64 combines a seed and a stream id, matching the splitmix64 finalizer
-// used by the simulator for per-process streams.
-func mix64(seed, id int64) int64 {
-	z := uint64(seed) + 0x9e3779b97f4a7c15*uint64(id+1)
-	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
-	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
-	z ^= z >> 31
-	return int64(z)
 }

@@ -134,6 +134,13 @@ type Bank struct {
 	demandSince []Time
 	demandTime  []Time
 
+	// sfaults holds each stripe's degradation windows (outages and
+	// derates), nil when the bank is fault-free. Faults inflate the
+	// occupancy of overlapping bookings (stripeFinish); with no faults
+	// every code path below reduces to the historical arithmetic, which
+	// is what keeps fault-free trajectories byte-identical.
+	sfaults [][]StripeFault
+
 	// lastAt is the latest reservation instant seen, for enforcing the
 	// non-decreasing contract on Reserve.
 	lastAt Time
@@ -228,11 +235,57 @@ func (b *Bank) Demanding(job int) bool { return b.demand[job] > 0 }
 // accounting the cluster layer reports alongside JobBusy.
 func (b *Bank) JobDemand(job int) Time { return b.demandTime[job] }
 
-// Reset clears all reservations, pacing and demand state, returning the
-// bank to its initial state for reuse across simulation runs. Weights
-// are retained.
+// SetStripeFaults installs stripe's degradation windows for the current
+// run. The windows must be sorted and non-overlapping
+// (ValidateStripeFaults); passing an empty list clears the stripe's
+// faults. Fault windows are per-run configuration: Reset drops them, so a
+// pooled bank must have them re-applied before reuse.
+func (b *Bank) SetStripeFaults(stripe int, fs []StripeFault) {
+	if stripe < 0 || stripe >= b.s.Width() {
+		panic(fmt.Sprintf("sim: SetStripeFaults on stripe %d of %d", stripe, b.s.Width()))
+	}
+	if err := ValidateStripeFaults(fs); err != nil {
+		panic(err.Error())
+	}
+	if len(fs) == 0 {
+		if b.sfaults != nil {
+			b.sfaults[stripe] = nil
+		}
+		return
+	}
+	if b.sfaults == nil {
+		b.sfaults = make([][]StripeFault, b.s.Width())
+	}
+	b.sfaults[stripe] = append([]StripeFault(nil), fs...)
+}
+
+// Faulted reports whether any stripe currently carries fault windows.
+func (b *Bank) Faulted() bool {
+	for _, fs := range b.sfaults {
+		if len(fs) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// slotEnd reports when a booking of dur starting at st on stripe i
+// completes, accounting for the stripe's fault windows. Fault-free
+// stripes finish at st+dur exactly.
+func (b *Bank) slotEnd(i int, st, dur Time) Time {
+	if b.sfaults == nil {
+		return st + dur
+	}
+	return stripeFinish(st, dur, b.sfaults[i])
+}
+
+// Reset clears all reservations, pacing, demand and fault state,
+// returning the bank to its initial state for reuse across simulation
+// runs. Weights are retained; fault windows are not (they are per-run
+// campaign state — the owner re-applies them via SetStripeFaults).
 func (b *Bank) Reset() {
 	b.s.Reset()
+	b.sfaults = nil
 	for i := range b.glinks {
 		b.glinks[i].gaps = b.glinks[i].gaps[:0]
 	}
@@ -322,8 +375,13 @@ func (b *Bank) Reserve(job int, at, dur Time) (start, end Time) {
 	}
 	b.lastAt = at
 	if b.policy == BankFCFS || len(b.svc) == 1 {
-		start, end, b.lastStripe = b.s.reserve(at, dur)
-		b.total[job] += dur
+		if b.sfaults == nil {
+			start, end, b.lastStripe = b.s.reserve(at, dur)
+			b.total[job] += dur
+			return start, end
+		}
+		start, end = b.reserveFaulted(at, dur)
+		b.total[job] += end - start
 		return start, end
 	}
 	if b.svc[job] < at {
@@ -351,13 +409,50 @@ func (b *Bank) Reserve(job int, at, dur Time) (start, end Time) {
 	// stripes), so on a wide bank a job streaming to a single stripe at a
 	// time stays inside its share and is never paced — pacing only bites
 	// when the job's parallel demand exceeds its slice of the whole bank.
+	// The service clock advances by the nominal duration: a stripe fault
+	// inflating a booking's occupancy is the bank's failure, not extra
+	// demand, so it does not count against the job's entitlement.
 	b.svc[job] = eff + Time(float64(dur)/(share*float64(b.s.Width())))
-	b.total[job] += dur
+	b.total[job] += end - start
 	return start, end
 }
 
-// place books dur on the stripe offering the earliest start at or after
-// eff — inside a pacing gap when one fits, else at the stripe tail.
+// reserveFaulted is the FCFS/single-job path with stripe faults present:
+// least-loaded placement like Striped.reserve, except that each stripe's
+// completion is integrated through its fault windows and the stripe
+// finishing earliest wins (ties by earlier start, then lowest index) —
+// so requests skip a stripe mid-outage whenever a healthy stripe would
+// finish sooner. With no faults the completion ordering equals the start
+// ordering and the choice matches Striped.reserve exactly.
+func (b *Bank) reserveFaulted(at, dur Time) (start, end Time) {
+	best := 0
+	bestStart := Max(at, b.s.links[0].nextFree)
+	bestEnd := b.slotEnd(0, bestStart, dur)
+	for i := 1; i < len(b.s.links); i++ {
+		st := Max(at, b.s.links[i].nextFree)
+		en := b.slotEnd(i, st, dur)
+		if en < bestEnd || (en == bestEnd && st < bestStart) {
+			best, bestStart, bestEnd = i, st, en
+		}
+	}
+	l := &b.s.links[best]
+	l.nextFree = bestEnd
+	l.busy += bestEnd - bestStart
+	b.lastStripe = best
+	return bestStart, bestEnd
+}
+
+// place books dur on the stripe completing earliest for a start at or
+// after eff — inside a pacing gap when one fits, else at the stripe
+// tail. Within a stripe the candidate is the earliest-starting fit (the
+// first gap the faulted booking fits in, else the tail); across stripes
+// the earliest completion wins, with ties broken by earlier start, then
+// lowest index. Completion is integrated through the stripe's fault
+// windows (slotEnd), so requests flow around a stripe mid-outage to
+// whichever healthy stripe finishes first; with no faults completion
+// order equals start order and the selection is byte-identical to the
+// historical earliest-start rule.
+//
 // Before searching, each stripe's gap list is pruned against at (the
 // current virtual time): gaps that ended at or before at are dropped,
 // and a gap straddling at is trimmed to start at at — no future request
@@ -369,7 +464,7 @@ func (b *Bank) Reserve(job int, at, dur Time) (start, end Time) {
 func (b *Bank) place(at, eff, dur Time) (start, end Time) {
 	best := -1
 	bestGap := -1
-	var bestStart Time
+	var bestStart, bestEnd Time
 	for i := range b.s.links {
 		gl := &b.glinks[i]
 		// Expire gaps the clock has passed: no future request can start
@@ -386,22 +481,24 @@ func (b *Bank) place(at, eff, dur Time) (start, end Time) {
 		}
 		gl.gaps = keep
 		st := Max(eff, b.s.links[i].nextFree)
+		en := b.slotEnd(i, st, dur)
 		gi := -1
 		for j, g := range gl.gaps {
 			s0 := Max(g.start, eff)
-			if s0+dur <= g.end && s0 < st {
-				st, gi = s0, j
+			e0 := b.slotEnd(i, s0, dur)
+			if e0 <= g.end && s0 < st {
+				st, en, gi = s0, e0, j
 				break // gaps are sorted by start; the first fit is earliest
 			}
 		}
-		if best == -1 || st < bestStart {
-			best, bestGap, bestStart = i, gi, st
+		if best == -1 || en < bestEnd || (en == bestEnd && st < bestStart) {
+			best, bestGap, bestStart, bestEnd = i, gi, st, en
 		}
 	}
 	l := &b.s.links[best]
 	b.lastStripe = best
 	start = bestStart
-	end = start + dur
+	end = bestEnd
 	if bestGap >= 0 {
 		// Split the gap around the booking, keeping nonempty remainders.
 		gl := &b.glinks[best]
@@ -414,7 +511,7 @@ func (b *Bank) place(at, eff, dur Time) (start, end Time) {
 			rest = append(rest, gap{end, g.end})
 		}
 		gl.gaps = append(gl.gaps[:bestGap], append(rest, gl.gaps[bestGap+1:]...)...)
-		l.busy += dur
+		l.busy += end - start
 		return start, end
 	}
 	// Tail booking: pacing past the frontier leaves a new gap behind it.
@@ -427,6 +524,6 @@ func (b *Bank) place(at, eff, dur Time) (start, end Time) {
 		gl.gaps = append(gl.gaps, gap{gs, start})
 	}
 	l.nextFree = end
-	l.busy += dur
+	l.busy += end - start
 	return start, end
 }

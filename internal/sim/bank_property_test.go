@@ -7,63 +7,112 @@ import (
 
 // This file checks Bank against a brute-force timeline reference: the
 // reference keeps, per stripe, the plain sorted list of booked intervals
-// (no gap lists, no service clocks) and recomputes feasibility by linear
-// scan. Random multi-job reservation programs — interleaved Reserve
-// calls and IOBegin/IOEnd demand signals under all five policies — must
-// satisfy, after every call:
+// (no gap lists, no service clocks, no fault integrator state) and
+// recomputes feasibility by linear scan. Random multi-job reservation
+// programs — interleaved Reserve calls and IOBegin/IOEnd demand signals
+// under all five policies, with or without stripe outage/derate windows
+// installed — must satisfy, after every call:
 //
-//   - no grant starts before its request instant, and every grant is
-//     exactly the requested length;
+//   - no grant starts before its request instant, and every grant's
+//     occupancy equals the reference's fault integration of the
+//     requested length on the granted stripe (exactly the requested
+//     length on a healthy stripe);
 //   - grants on one stripe never overlap (the reference re-scans the
 //     stripe's whole history);
 //   - Busy and JobBusy equal the reference's per-bank and per-job sums;
 //   - the internal gap lists are sorted, non-overlapping, wholly at or
 //     after the latest reservation instant, and lie entirely inside the
 //     stripe's free space;
-//   - FCFS grants equal the reference's least-loaded frontier placement;
+//   - FCFS grants equal the reference's least-loaded frontier placement
+//     with the earliest fault-integrated completion (ties earlier start,
+//     then lowest stripe), which degenerates to the classic least-loaded
+//     frontier rule on a healthy bank;
 //   - the work-conserving invariant: a job reserving while no other job
-//     has signalled demand receives the earliest feasible start the
+//     has signalled demand completes at the earliest instant the
 //     timeline allows — the bank never holds a stripe idle against the
-//     only queued demand. (Under contention the WC policies pace
-//     deliberately, so the bound applies exactly when the demand set
-//     says no one else is waiting.)
+//     only queued demand, and never parks a booking on a faulted stripe
+//     when a healthy one would finish it sooner. (Under contention the
+//     WC policies pace deliberately, so the bound applies exactly when
+//     the demand set says no one else is waiting.)
 
 // refTimeline is the brute-force reference: per-stripe booked intervals
-// in grant order plus per-job totals.
+// in grant order, per-stripe fault windows, plus per-job totals.
 type refTimeline struct {
 	stripes  [][]gap // reusing gap as a plain interval
+	faults   [][]StripeFault
 	jobBusy  []Time
 	bankBusy Time
 }
 
 func newRefTimeline(stripes, jobs int) *refTimeline {
-	return &refTimeline{stripes: make([][]gap, stripes), jobBusy: make([]Time, jobs)}
+	return &refTimeline{
+		stripes: make([][]gap, stripes),
+		faults:  make([][]StripeFault, stripes),
+		jobBusy: make([]Time, jobs),
+	}
 }
 
-// earliestFit reports the earliest s >= at such that [s, s+dur) does not
-// overlap any booked interval on stripe i, by linear scan over the
-// stripe's whole history.
+// finish integrates a booking of dur starting at st through stripe i's
+// fault windows: full rate outside windows, Rate inside, no progress
+// during an outage. It re-derives the walk independently of stripeFinish
+// (same truncation points, so healthy and power-of-two rates agree
+// exactly).
+func (r *refTimeline) finish(i int, st, dur Time) Time {
+	t := st
+	work := dur
+	for _, f := range r.faults[i] {
+		if f.End <= t || work <= 0 {
+			continue
+		}
+		if f.Start > t {
+			free := f.Start - t
+			if work <= free {
+				return t + work
+			}
+			t = f.Start
+			work -= free
+		}
+		if f.Rate > 0 {
+			capacity := Time(float64(f.End-t) * f.Rate)
+			if work <= capacity {
+				return t + Time(float64(work)/f.Rate)
+			}
+			work -= capacity
+		}
+		t = f.End
+	}
+	return t + work
+}
+
+// earliestFit reports the earliest s >= at such that the fault-integrated
+// booking [s, finish(i, s, dur)) does not overlap any booked interval on
+// stripe i, by linear scan over the stripe's whole history. Integration
+// is monotone in s, so jumping past an overlapped interval converges on
+// the earliest feasible start.
 func (r *refTimeline) earliestFit(i int, at, dur Time) Time {
 	s := at
 	for changed := true; changed; {
 		changed = false
+		en := r.finish(i, s, dur)
 		for _, iv := range r.stripes[i] {
-			if s < iv.end && iv.start < s+dur { // overlap: jump past it
+			if s < iv.end && iv.start < en { // overlap: jump past it
 				s = iv.end
 				changed = true
+				break
 			}
 		}
 	}
 	return s
 }
 
-// earliestFeasible is the bank-wide earliest fit: the minimum over
-// stripes of earliestFit.
-func (r *refTimeline) earliestFeasible(at, dur Time) Time {
-	best := r.earliestFit(0, at, dur)
+// bestCompletion is the bank-wide earliest fault-integrated completion:
+// the minimum over stripes of finish at that stripe's earliest fit. On a
+// healthy bank it is earliest-feasible-start plus dur.
+func (r *refTimeline) bestCompletion(at, dur Time) Time {
+	best := r.finish(0, r.earliestFit(0, at, dur), dur)
 	for i := 1; i < len(r.stripes); i++ {
-		if s := r.earliestFit(i, at, dur); s < best {
-			best = s
+		if en := r.finish(i, r.earliestFit(i, at, dur), dur); en < best {
+			best = en
 		}
 	}
 	return best
@@ -80,16 +129,21 @@ func (r *refTimeline) frontier(i int) Time {
 	return f
 }
 
-// fcfsStart is the least-loaded frontier placement Striped.Reserve uses:
-// the earliest max(at, frontier) over stripes, ties to the lowest index.
-func (r *refTimeline) fcfsStart(at Time) Time {
-	best := Max(at, r.frontier(0))
+// fcfsGrant is the least-loaded frontier placement the FCFS/single-job
+// path uses: per stripe the candidate starts at max(at, frontier), and
+// the earliest fault-integrated completion wins (ties earlier start,
+// then lowest index). On a healthy bank completion order equals start
+// order and this is Striped.Reserve's historical rule exactly.
+func (r *refTimeline) fcfsGrant(at, dur Time) (start, end Time) {
+	start = Max(at, r.frontier(0))
+	end = r.finish(0, start, dur)
 	for i := 1; i < len(r.stripes); i++ {
-		if s := Max(at, r.frontier(i)); s < best {
-			best = s
+		st := Max(at, r.frontier(i))
+		if en := r.finish(i, st, dur); en < end || (en == end && st < start) {
+			start, end = st, en
 		}
 	}
-	return best
+	return start, end
 }
 
 // record books the grant on stripe i after asserting it overlaps nothing
@@ -132,8 +186,12 @@ func checkGapLists(t *testing.T, op int, b *Bank, ref *refTimeline, at Time) {
 	}
 }
 
-// runBankProgram drives one random program against the reference.
-func runBankProgram(t *testing.T, policy BankPolicy, stripes, jobs int, seed int64, ops int) {
+// runBankProgram drives one random program against the reference. With
+// faulted set, each stripe gets a random set of outage (Rate 0) and
+// derate (Rate 0.5 / 0.25, exact in binary so reference and bank
+// arithmetic agree bit for bit) windows installed before the first
+// reservation.
+func runBankProgram(t *testing.T, policy BankPolicy, stripes, jobs int, seed int64, ops int, faulted bool) {
 	t.Helper()
 	b := NewBank(stripes, jobs, policy)
 	for j := 0; j < jobs; j++ {
@@ -142,6 +200,23 @@ func runBankProgram(t *testing.T, policy BankPolicy, stripes, jobs int, seed int
 	ref := newRefTimeline(stripes, jobs)
 	demand := make([]int, jobs)
 	rng := rand.New(rand.NewSource(seed))
+	if faulted {
+		rates := []float64{0, 0, 0.5, 0.25}
+		for i := 0; i < stripes; i++ {
+			var fs []StripeFault
+			var cursor Time
+			for k, n := 0, rng.Intn(4); k < n; k++ {
+				cursor += Time(rng.Intn(4000))
+				d := Time(rng.Intn(1200) + 50)
+				fs = append(fs, StripeFault{Start: cursor, End: cursor + d, Rate: rates[rng.Intn(len(rates))]})
+				cursor += d
+			}
+			if len(fs) > 0 {
+				b.SetStripeFaults(i, fs)
+				ref.faults[i] = fs
+			}
+		}
+	}
 	var at Time
 	for op := 0; op < ops; op++ {
 		switch k := rng.Intn(10); {
@@ -165,24 +240,26 @@ func runBankProgram(t *testing.T, policy BankPolicy, stripes, jobs int, seed int
 					soleDemander = false
 				}
 			}
-			wantWC := ref.earliestFeasible(at, dur)
-			wantFCFS := ref.fcfsStart(at)
+			wantWCEnd := ref.bestCompletion(at, dur)
+			wantFCFSStart, wantFCFSEnd := ref.fcfsGrant(at, dur)
 			start, end := b.Reserve(job, at, dur)
 			if start < at {
 				t.Fatalf("op %d: grant starts at %v before request instant %v", op, start, at)
 			}
-			if end-start != dur {
-				t.Fatalf("op %d: grant [%v,%v) is not %v long", op, start, end, dur)
-			}
 			if b.lastStripe < 0 || b.lastStripe >= stripes {
 				t.Fatalf("op %d: lastStripe %d outside bank width %d", op, b.lastStripe, stripes)
 			}
-			if (policy == BankFCFS || jobs == 1) && start != wantFCFS {
-				t.Fatalf("op %d: FCFS grant at %v, reference least-loaded frontier %v", op, start, wantFCFS)
+			if want := ref.finish(b.lastStripe, start, dur); end != want {
+				t.Fatalf("op %d: grant [%v,%v) on stripe %d, reference integrates %v of work there to %v",
+					op, start, end, b.lastStripe, dur, want)
 			}
-			if policy.workConserving() && jobs > 1 && soleDemander && start != wantWC {
-				t.Fatalf("op %d: sole demanding job %d granted %v, but the timeline could fit its %v request at %v — stripe left idle against queued demand",
-					op, job, start, dur, wantWC)
+			if (policy == BankFCFS || jobs == 1) && (start != wantFCFSStart || end != wantFCFSEnd) {
+				t.Fatalf("op %d: FCFS grant [%v,%v), reference least-loaded frontier [%v,%v)",
+					op, start, end, wantFCFSStart, wantFCFSEnd)
+			}
+			if policy.workConserving() && jobs > 1 && soleDemander && end != wantWCEnd {
+				t.Fatalf("op %d: sole demanding job %d granted [%v,%v), but the timeline could finish its %v request by %v — stripe left idle against queued demand",
+					op, job, start, end, dur, wantWCEnd)
 			}
 			ref.record(t, op, job, b.lastStripe, start, end)
 			checkGapLists(t, op, b, ref, at)
@@ -206,12 +283,14 @@ func runBankProgram(t *testing.T, policy BankPolicy, stripes, jobs int, seed int
 var allBankPolicies = []BankPolicy{BankFCFS, BankFair, BankWeighted, BankFairWC, BankWeightedWC}
 
 // TestBankPropertyVsBruteForce sweeps random reservation programs over
-// every policy and several bank shapes.
+// every policy and several bank shapes, healthy and fault-ridden.
 func TestBankPropertyVsBruteForce(t *testing.T) {
-	for _, policy := range allBankPolicies {
-		for _, shape := range []struct{ stripes, jobs int }{{1, 1}, {1, 2}, {1, 3}, {3, 3}, {4, 2}, {2, 5}} {
-			for seed := int64(0); seed < 6; seed++ {
-				runBankProgram(t, policy, shape.stripes, shape.jobs, seed*31+int64(policy), 400)
+	for _, faulted := range []bool{false, true} {
+		for _, policy := range allBankPolicies {
+			for _, shape := range []struct{ stripes, jobs int }{{1, 1}, {1, 2}, {1, 3}, {3, 3}, {4, 2}, {2, 5}} {
+				for seed := int64(0); seed < 6; seed++ {
+					runBankProgram(t, policy, shape.stripes, shape.jobs, seed*31+int64(policy), 400, faulted)
+				}
 			}
 		}
 	}
@@ -219,13 +298,13 @@ func TestBankPropertyVsBruteForce(t *testing.T) {
 
 // FuzzBank feeds fuzzer-chosen program shapes through the same checks.
 func FuzzBank(f *testing.F) {
-	f.Add(int64(1), uint8(1), uint8(2), uint8(3))
-	f.Add(int64(42), uint8(4), uint8(4), uint8(5))
-	f.Add(int64(-7), uint8(0), uint8(1), uint8(2))
-	f.Fuzz(func(t *testing.T, seed int64, policy, stripes, jobs uint8) {
+	f.Add(int64(1), uint8(1), uint8(2), uint8(3), false)
+	f.Add(int64(42), uint8(4), uint8(4), uint8(5), true)
+	f.Add(int64(-7), uint8(0), uint8(1), uint8(2), true)
+	f.Fuzz(func(t *testing.T, seed int64, policy, stripes, jobs uint8, faulted bool) {
 		p := allBankPolicies[int(policy)%len(allBankPolicies)]
 		s := int(stripes)%5 + 1
 		j := int(jobs)%5 + 1
-		runBankProgram(t, p, s, j, seed, 300)
+		runBankProgram(t, p, s, j, seed, 300, faulted)
 	})
 }

@@ -356,3 +356,60 @@ func TestBankDemandAccounting(t *testing.T) {
 	}()
 	b.IOEnd(1, 500)
 }
+
+// TestBankResetDropsFaultsAndDemand: a bank carrying stripe fault
+// windows and open demand refcounts repools cleanly. After Reset it is
+// grant-for-grant identical to a fresh bank (fault windows are per-run
+// campaign state the owner re-applies, open demand is stale), and
+// re-applying the same campaign reproduces the faulted grants exactly —
+// the reuse guarantee the cluster engine pool relies on.
+func TestBankResetDropsFaultsAndDemand(t *testing.T) {
+	fs := []StripeFault{{Start: 100, End: 600, Rate: 0}, {Start: 900, End: 1400, Rate: 0.5}}
+	run := func(b *Bank, faulted bool) []Time {
+		if faulted {
+			b.SetStripeFaults(1, fs)
+		}
+		var out []Time
+		rng := rand.New(rand.NewSource(9))
+		var at Time
+		for i := 0; i < 150; i++ {
+			at += Time(rng.Intn(150))
+			job := rng.Intn(2)
+			if i%17 == 0 {
+				// Deliberately left open: Reset must clear the refcount.
+				b.IOBegin(job, at)
+			}
+			s, e := b.Reserve(job, at, Time(rng.Intn(300)+1))
+			out = append(out, s, e)
+		}
+		return out
+	}
+	equal := func(a, b []Time) bool {
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	b := NewBank(2, 2, BankFairWC)
+	faulted := run(b, true)
+	if !b.Faulted() {
+		t.Fatal("bank does not report installed fault windows")
+	}
+	b.Reset()
+	if b.Faulted() {
+		t.Fatal("Reset kept fault windows")
+	}
+	clean := run(b, false)
+	if !equal(clean, run(NewBank(2, 2, BankFairWC), false)) {
+		t.Fatal("reused bank diverges from a fresh clean bank")
+	}
+	if equal(faulted, clean) {
+		t.Fatal("fault windows changed no grant; the regression test is vacuous")
+	}
+	b.Reset()
+	if !equal(faulted, run(b, true)) {
+		t.Fatal("re-applied campaign diverges from the first faulted run")
+	}
+}

@@ -77,7 +77,7 @@ func (p *Proc) Rand() *rand.Rand {
 // jitter. Changing the stream derivation was trajectory-breaking and
 // rode the TrajectoryVersion 2 bump.
 func newRand(seed, id int64) *rand.Rand {
-	return rand.New(&splitMix{state: uint64(mix(seed, id))})
+	return rand.New(&splitMix{state: uint64(Mix64(seed, id))})
 }
 
 // NewSplitMix returns a splitmix64 rand.Source64 seeded with seed in
@@ -105,9 +105,13 @@ func (s *splitMix) Uint64() uint64 {
 
 func (s *splitMix) Int63() int64 { return int64(s.Uint64() >> 1) }
 
-// mix combines a seed and a stream id with a splitmix64 finalizer so that
-// adjacent ids yield uncorrelated streams.
-func mix(seed, id int64) int64 {
+// Mix64 combines a seed and a stream id with a splitmix64 finalizer so
+// that adjacent ids yield uncorrelated streams. It is the canonical
+// stream-derivation mixer: the engine's per-process streams use it, and
+// packages that derive streams outside the engine (noise models, workload
+// generators, fault campaigns) must use it too, so that every stream in a
+// run is a pure function of (seed, stream id).
+func Mix64(seed, id int64) int64 {
 	z := uint64(seed) + 0x9e3779b97f4a7c15*uint64(id+1)
 	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
 	z = (z ^ (z >> 27)) * 0x94d049bb133111eb

@@ -76,6 +76,25 @@
 // byte-identical to the pre-signalling build, which
 // internal/experiments pins against recorded PR 4 values.
 //
+// # Fault determinism
+//
+// Fault injection (FaultWindow compute slowdowns, Bank stripe outage and
+// derate windows, and the link degradation windows in internal/netmodel)
+// is part of the configuration, not the trajectory machinery: a fault
+// campaign is compiled ahead of the run into per-target window lists
+// whose every draw derives from (campaign seed, event id) via Mix64, so
+// a campaign is a pure function of its plan. During the run, faulted
+// cost arithmetic is window-list integration (StretchThrough,
+// Bank.slotEnd) with no random draws and no scheduled events of its own
+// — the faulted run is exactly as deterministic as a clean one, across
+// both process representations and across pool-reused engines and
+// banks. With no faults installed, every fault-aware code path reduces
+// to the historical arithmetic, so fault-free trajectories are
+// byte-identical to pre-fault builds and the feature did NOT bump
+// TrajectoryVersion (still 2). Changing the integration arithmetic or
+// the faulted placement rules IS trajectory-breaking for runs with
+// faults scheduled and follows the versioning policy below.
+//
 // # Determinism versioning
 //
 // The simulator's determinism contract is: one (code version, seed,

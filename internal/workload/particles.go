@@ -76,7 +76,7 @@ func (f ParticleField) Count(coords [3]int) int64 {
 	mean := sum / float64(ny)
 	base := float64(f.PerProcMean) * f.density(y) / mean
 	id := int64(coords[0]*f.Dims[1]*f.Dims[2] + coords[1]*f.Dims[2] + coords[2])
-	rng := rand.New(sim.NewSplitMix(mix(f.Seed, id)))
+	rng := rand.New(sim.NewSplitMix(sim.Mix64(f.Seed, id)))
 	jitter := 1 + 0.05*rng.NormFloat64()
 	if jitter < 0.5 {
 		jitter = 0.5

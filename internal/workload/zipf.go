@@ -72,7 +72,7 @@ func (c Corpus) FileBytes(i int) int64 {
 	if i < 0 || i >= c.Files {
 		panic(fmt.Sprintf("workload: file %d of %d", i, c.Files))
 	}
-	rng := rand.New(sim.NewSplitMix(mix(c.Seed, int64(i))))
+	rng := rand.New(sim.NewSplitMix(sim.Mix64(c.Seed, int64(i))))
 	lo, hi := math.Log(float64(c.MinFileBytes)), math.Log(float64(c.MaxFileBytes))
 	return int64(math.Exp(lo + rng.Float64()*(hi-lo)))
 }
@@ -96,7 +96,7 @@ func (c Corpus) WordsIn(i int) int64 {
 // correctness tests and the real word-count kernels; the at-scale
 // simulation uses WordsIn and Histogram instead of materializing text.
 func (c Corpus) Words(i, n int) []int {
-	rng := rand.New(sim.NewSplitMix(mix(c.Seed, int64(i)+1_000_003)))
+	rng := rand.New(sim.NewSplitMix(sim.Mix64(c.Seed, int64(i)+1_000_003)))
 	z := rand.NewZipf(rng, c.ZipfS, 1, uint64(c.Vocabulary-1))
 	out := make([]int, n)
 	for j := range out {
@@ -120,13 +120,4 @@ func (c Corpus) DistinctEstimate(n int64) int64 {
 	v := float64(c.Vocabulary)
 	est := v * (1 - math.Exp(-float64(n)/v))
 	return int64(est)
-}
-
-// mix is the shared splitmix64 finalizer for deterministic substreams.
-func mix(seed, id int64) int64 {
-	z := uint64(seed) + 0x9e3779b97f4a7c15*uint64(id+1)
-	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
-	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
-	z ^= z >> 31
-	return int64(z)
 }
