@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/faults"
 	"repro/internal/mpi"
 	"repro/internal/sim"
 )
@@ -37,6 +38,27 @@ func wakeDefault() string {
 		return "broadcast"
 	}
 	return "direct"
+}
+
+// faultsEcho renders the canonical campaign spec as a CSV comment when a
+// selected experiment consumed it, so result files record the campaign
+// they were measured under (and a round trip through -faults reproduces
+// them).
+func faultsEcho(names []string, spec string) string {
+	uses := false
+	for _, n := range names {
+		if n == "resilience" || n == "recovery" {
+			uses = true
+		}
+	}
+	if !uses {
+		return ""
+	}
+	s, err := faults.ParseSpec(spec)
+	if err != nil {
+		return ""
+	}
+	return s.String()
 }
 
 // benchEntry is one experiment's performance record in the -json report.
@@ -56,8 +78,8 @@ func main() {
 		fibers     = flag.Bool("fibers", fibersDefault(), "run rank bodies as goroutine-free fibers (the soaked default; -fibers=false restores goroutine bodies)")
 		jobs       = flag.Int("jobs", 0, "cosched: concurrent jobs per point (0: sweep the built-in set)")
 		coschedPol = flag.String("cosched-policy", "", "cosched: inter-job bank policy fcfs, fair, priority, fair-wc or priority-wc (empty: all)")
-		faultSpec  = flag.String("faults", "", "fault-campaign spec, e.g. bursts=16,outage-len=1s (resilience: scaled base campaign, empty means default; cosched: degrade the shared bank's stripes, empty means none; \"none\" disables)")
-		list       = flag.Bool("list", false, "print the registered experiment names and exit")
+		faultSpec  = flag.String("faults", "", "fault-campaign spec: comma-separated key=value overrides of the default campaign, e.g. bursts=16,outage-len=1s or crashes=2,restart-cost=100ms; durations use Go syntax; keys: "+strings.Join(faults.SpecKeys(), ", ")+"; \"default\"/empty keeps the base campaign, \"none\" disables it (resilience/recovery: scaled base campaign; cosched: degrade the shared bank's stripes, empty means none)")
+		list       = flag.Bool("list", false, "print the registered experiment names with one-line descriptions and exit")
 		format     = flag.String("format", "table", "output format: table or csv")
 		out        = flag.String("out", "", "output file (default stdout)")
 		quiet      = flag.Bool("quiet", false, "suppress progress logging")
@@ -70,7 +92,7 @@ func main() {
 
 	if *list {
 		for _, name := range experiments.Names() {
-			fmt.Println(name)
+			fmt.Printf("%-22s %s\n", name, experiments.Descriptions[name])
 		}
 		return
 	}
@@ -170,7 +192,12 @@ func main() {
 	case *format == "table":
 		err = experiments.FormatTable(w, rows)
 	case *format == "csv":
-		err = experiments.FormatCSV(w, rows)
+		if echo := faultsEcho(names, *faultSpec); echo != "" {
+			_, err = fmt.Fprintf(w, "# faults: %s\n", echo)
+		}
+		if err == nil {
+			err = experiments.FormatCSV(w, rows)
+		}
 	default:
 		err = fmt.Errorf("unknown format %q", *format)
 	}

@@ -58,6 +58,12 @@ func RunIO(c Config, v IOVariant) (Result, error) {
 	if err := validIOVariant(v); err != nil {
 		return Result{}, err
 	}
+	if c.Faults != nil && len(c.Faults.Crash) > 0 {
+		// The plain Fig. 8 bodies have no Protect scopes: a crash would
+		// kill the job unrecoverably. Crash campaigns go through
+		// RunRecovery, whose bodies checkpoint and replay.
+		return Result{}, fmt.Errorf("ipic3d: crash campaign on a plain I/O run; use RunRecovery")
+	}
 	mc := mpi.Config{Procs: c.Procs, Seed: c.Seed, Noise: c.Noise, Tracer: c.Tracer}
 	if c.Faults != nil {
 		mc.RankFaults = c.Faults.Rank
@@ -194,6 +200,9 @@ func StartIO(c Config, v IOVariant, base mpi.Config) (*IOJob, error) {
 			// Stripe faults in a co-scheduled run degrade the shared bank,
 			// which belongs to the cluster (cluster.Config.StripeFaults).
 			return nil, fmt.Errorf("ipic3d: stripe faults on a co-scheduled job; install them on the shared bank via cluster.Config")
+		}
+		if len(c.Faults.Crash) > 0 {
+			return nil, fmt.Errorf("ipic3d: crash campaign on a plain I/O job; use RunRecovery")
 		}
 		base.RankFaults = c.Faults.Rank
 		base.LinkFaults = c.Faults.Link

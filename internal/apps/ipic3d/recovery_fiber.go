@@ -1,0 +1,217 @@
+// Fiber ports of the checkpoint/restart bodies in recovery.go: the same
+// operation sequence as the goroutine attempts — Open, mover steps,
+// checkpoint write, commit — in continuation form, with the protect
+// scope expressed through FProtect/FRebuild/FCheckFailed. Shared-state
+// mutations (committed, compute accounting) sit at the same completion
+// instants as the goroutine bodies', so crash campaigns replay
+// bit-for-bit across representations.
+package ipic3d
+
+import (
+	"repro/internal/mpi"
+	"repro/internal/sim"
+)
+
+// fiberBody returns the fiber rank body for the job's variant.
+func (s *recRun) fiberBody() mpi.FiberMain {
+	return func(r *mpi.Rank, fib *sim.Fiber) sim.StepFunc {
+		var attempt sim.StepFunc
+		if s.v == IODecoupled {
+			attempt = s.decoupledFiberAttempt(r)
+		} else {
+			attempt = s.referenceFiberAttempt(r)
+		}
+		var onFail func(error) sim.StepFunc
+		onFail = func(err error) sim.StepFunc {
+			rf, ok := err.(*mpi.RankFailedError)
+			if !ok {
+				panic(err)
+			}
+			s.failovers++
+			s.noteFailure(rf)
+			return r.FRebuild(r.FProtect(attempt, onFail))
+		}
+		start := r.FProtect(attempt, onFail)
+		if r.Incarnation() > 0 {
+			s.restarts++
+			return r.FRebuild(start)
+		}
+		return start
+	}
+}
+
+// recFinish records the rank's completion instant — the same point the
+// goroutine body reads r.Now() after its Protect loop exits.
+func (s *recRun) recFinish(r *mpi.Rank) sim.StepFunc {
+	return func(_ *sim.Fiber) sim.StepFunc {
+		if t := r.Now(); t > s.makespan {
+			s.makespan = t
+		}
+		return nil
+	}
+}
+
+// referenceFiberAttempt is referenceAttempt in continuation form.
+func (s *recRun) referenceFiberAttempt(r *mpi.Rank) sim.StepFunc {
+	c, v := s.c, s.v
+	world := r.World()
+	cart := mpi.NewCart(world, s.dims[:], true)
+	coords := cart.Coords(world.RankOf(r))
+	myCount := s.field.Count([3]int{coords[0], coords[1], coords[2]})
+	mt := c.moverTime(myCount)
+	out := s.ckptBytes(myCount)
+	finish := s.recFinish(r)
+	return func(_ *sim.Fiber) sim.StepFunc {
+		return world.FOpen(r, recCkptFile, func(f *mpi.File) sim.StepFunc {
+			s.file = f
+			i, to := 0, 0
+			var segLoop, stepLoop, write, commit sim.StepFunc
+			counted := func(_ *sim.Fiber) sim.StepFunc {
+				s.totalCompute += mt
+				return stepLoop
+			}
+			segLoop = func(_ *sim.Fiber) sim.StepFunc {
+				if s.committed >= c.Steps {
+					return finish
+				}
+				i = s.committed
+				to = s.segEnd(i)
+				return stepLoop
+			}
+			stepLoop = func(_ *sim.Fiber) sim.StepFunc {
+				if i >= to {
+					return write
+				}
+				i++
+				return r.FComputeLabeled(mt, "mover", counted)
+			}
+			write = func(_ *sim.Fiber) sim.StepFunc {
+				if v == IOCollective {
+					return f.FWriteAll(r, out, commit)
+				}
+				return f.FWriteShared(r, out, commit)
+			}
+			commit = func(_ *sim.Fiber) sim.StepFunc {
+				return world.FBarrier(r, func(_ *sim.Fiber) sim.StepFunc {
+					return r.FCheckFailed(func(_ *sim.Fiber) sim.StepFunc {
+						s.committed = to
+						s.bankCommitted = to
+						return segLoop
+					})
+				})
+			}
+			return segLoop
+		})
+	}
+}
+
+// decoupledFiberAttempt is decoupledAttempt in continuation form.
+func (s *recRun) decoupledFiberAttempt(r *mpi.Rank) sim.StepFunc {
+	c := s.c
+	world := r.World()
+	color := 0
+	if r.ID() >= s.computes {
+		color = 1
+	}
+	return func(_ *sim.Fiber) sim.StepFunc {
+		return world.FOpen(r, recCkptFile, func(f *mpi.File) sim.StepFunc {
+			s.file = f
+			return world.FSplit(r, color, r.ID(), func(group *mpi.Comm) sim.StepFunc {
+				finish := func(_ *sim.Fiber) sim.StepFunc {
+					return world.FBarrier(r, func(_ *sim.Fiber) sim.StepFunc {
+						return r.FCheckFailed(s.recFinish(r))
+					})
+				}
+				if color == 0 {
+					g := group.RankOf(r)
+					myCount := s.prodCount(g)
+					mt := c.moverTime(myCount)
+					out := s.ckptBytes(myCount)
+					home := s.ioHome(g)
+					local := s.committed
+					var stepLoop sim.StepFunc
+					counted := func(_ *sim.Fiber) sim.StepFunc {
+						s.totalCompute += mt
+						local++
+						world.IsendAndFree(r, home, recCkptTag, out, local)
+						return r.FCheckFailed(stepLoop)
+					}
+					stepLoop = func(_ *sim.Fiber) sim.StepFunc {
+						if local >= c.Steps {
+							return finish
+						}
+						return r.FComputeLabeled(mt, "mover", counted)
+					}
+					return stepLoop
+				}
+				acked := make([]int, s.computes)
+				for g := range acked {
+					acked[g] = s.committed
+				}
+				mine := func(g int) bool { return s.ioHome(g) == r.ID() }
+				next := 0
+				outstanding := 0
+				flushing := false
+				flushG := 0
+				var stepLoop, collect, flush sim.StepFunc
+				commit := func(_ *sim.Fiber) sim.StepFunc {
+					return group.FBarrier(r, func(_ *sim.Fiber) sim.StepFunc {
+						return r.FCheckFailed(func(_ *sim.Fiber) sim.StepFunc {
+							s.committed = next
+							if flushing {
+								s.bankCommitted = next
+							}
+							return stepLoop
+						})
+					})
+				}
+				onRecv := func(st mpi.Status) sim.StepFunc {
+					prev := acked[st.Source]
+					if v, _ := st.Data.(int); v > prev {
+						acked[st.Source] = v
+					}
+					if prev < next && acked[st.Source] >= next {
+						outstanding--
+					}
+					return collect
+				}
+				stepLoop = func(_ *sim.Fiber) sim.StepFunc {
+					if s.committed >= c.Steps {
+						return finish
+					}
+					next = s.committed + 1
+					outstanding = 0
+					for g := 0; g < s.computes; g++ {
+						if mine(g) && acked[g] < next {
+							outstanding++
+						}
+					}
+					return collect
+				}
+				collect = func(f2 *sim.Fiber) sim.StepFunc {
+					if outstanding > 0 {
+						return world.FRecv(r, mpi.AnySource, recCkptTag, onRecv)
+					}
+					flushing = next%s.ckptEvery == 0 || next == c.Steps
+					flushG = 0
+					return flush(f2)
+				}
+				flush = func(f2 *sim.Fiber) sim.StepFunc {
+					if !flushing {
+						return commit(f2)
+					}
+					for flushG < s.computes && !mine(flushG) {
+						flushG++
+					}
+					if flushG >= s.computes {
+						return commit(f2)
+					}
+					g := flushG
+					flushG++
+					return f.FWriteShared(r, s.ckptBytes(s.prodCount(g)), flush)
+				}
+				return stepLoop
+			})
+		})
+	}
+}

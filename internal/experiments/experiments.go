@@ -268,7 +268,24 @@ var Registry = map[string]func(Options) ([]Row, error){
 	"ablation-fcfs":        AblationFCFS,
 	"cosched":              Cosched,
 	"model":                ModelValidation,
+	"recovery":             Recovery,
 	"resilience":           Resilience,
+}
+
+// Descriptions gives every registered experiment a one-line summary,
+// for the CLI's -list output. Keep in sync with Registry.
+var Descriptions = map[string]string{
+	"fig5":                 "weak-scaling makespan of the three particle-I/O variants (paper Fig. 5)",
+	"fig6":                 "communication-kernel scaling without I/O (paper Fig. 6)",
+	"fig7":                 "CG and MapReduce proxy-app scaling (paper Fig. 7)",
+	"fig8":                 "iPIC3D particle-I/O makespan at scale (paper Fig. 8)",
+	"ablation-granularity": "write-granularity sweep for the decoupled I/O group",
+	"ablation-alpha":       "I/O-group size (alpha) sweep for the decoupled variant",
+	"ablation-fcfs":        "bank arbitration policy ablation (FCFS vs fair vs priority)",
+	"cosched":              "co-scheduled multi-job contention on a shared bank",
+	"model":                "analytic cost-model validation against simulated makespans",
+	"recovery":             "checkpoint interval x crash intensity sweep with restart/replay (wasted work, recovery overhead)",
+	"resilience":           "fault-campaign intensity sweep (bursts, outages, stripe derates, link flaps)",
 }
 
 // Names returns the registered experiment names, sorted.

@@ -1,10 +1,11 @@
 // Package faults turns failure campaigns into deterministic, replayable
 // event schedules. A Plan is an ordered list of timed fault events in
-// three injector families — rank compute-slowdown bursts, file-system
-// stripe outages/derates, and link latency/bandwidth degradation — that
-// compiles into the per-target window lists the runtime layers consume
-// (mpi.Config.RankFaults/StripeFaults/LinkFaults, sim.Bank stripe
-// faults, netmodel.LinkFaults).
+// four injector families — rank compute-slowdown bursts, file-system
+// stripe outages/derates, link latency/bandwidth degradation, and
+// crash-stop rank failures with restart — that compiles into the
+// per-target schedules the runtime layers consume
+// (mpi.Config.RankFaults/StripeFaults/LinkFaults/Crashes, sim.Bank
+// stripe faults, netmodel.LinkFaults).
 //
 // Every random draw in campaign generation derives from a
 // (seed, event-id) stream via sim.Mix64, so a campaign is a pure
@@ -44,6 +45,10 @@ const (
 	// LinkBandwidth multiplies the NIC serialization time of messages
 	// injected inside the window (Factor >= 1).
 	LinkBandwidth
+	// RankCrash kills one rank at At (crash-stop) and restarts it after
+	// Duration (the restart cost). Factor is ignored. Crash events
+	// compile to sim.CrashEvent lists consumed by mpi.Config.Crashes.
+	RankCrash
 )
 
 // String names the kind for logs and error messages.
@@ -59,6 +64,8 @@ func (k Kind) String() string {
 		return "link-latency"
 	case LinkBandwidth:
 		return "link-bandwidth"
+	case RankCrash:
+		return "rank-crash"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}
@@ -89,7 +96,9 @@ func (p Plan) Empty() bool { return len(p.Events) == 0 }
 // duration, factor in the kind's legal range, non-negative target).
 func (p Plan) Validate() error {
 	for i, e := range p.Events {
-		if e.At < 0 || e.Duration <= 0 {
+		// Crash durations are restart costs and may be zero (instant
+		// respawn); every windowed kind needs a positive duration.
+		if e.At < 0 || e.Duration < 0 || (e.Duration == 0 && e.Kind != RankCrash) {
 			return fmt.Errorf("faults: event %d (%v) has window [%v, +%v)", i, e.Kind, e.At, e.Duration)
 		}
 		switch e.Kind {
@@ -101,7 +110,7 @@ func (p Plan) Validate() error {
 			if e.Factor <= 0 || e.Factor >= 1 {
 				return fmt.Errorf("faults: event %d (%v) rate %v outside (0, 1)", i, e.Kind, e.Factor)
 			}
-		case StripeOutage:
+		case StripeOutage, RankCrash:
 			// no factor
 		default:
 			return fmt.Errorf("faults: event %d has unknown kind %d", i, int(e.Kind))
@@ -124,6 +133,9 @@ type Injection struct {
 	// Link holds the network degradation windows (mpi.Config.LinkFaults);
 	// nil when the plan schedules no link events.
 	Link *netmodel.LinkFaults
+	// Crash holds the crash-stop schedule (mpi.Config.Crashes), sorted
+	// by (At, Target); nil when the plan schedules no crashes.
+	Crash []sim.CrashEvent
 }
 
 // Empty reports whether the injection perturbs nothing.
@@ -137,6 +149,9 @@ func (inj *Injection) Empty() bool {
 		if len(fs) > 0 {
 			return false
 		}
+	}
+	if len(inj.Crash) > 0 {
+		return false
 	}
 	return inj.Link.Empty()
 }
@@ -184,6 +199,7 @@ func (p Plan) Compile(ranks, stripes int) (Injection, error) {
 	rankWs := make(map[int][]window)
 	stripeWs := make(map[int][]window)
 	var latWs, bwWs []window
+	var crashes []sim.CrashEvent
 	for _, e := range p.Events {
 		w := window{e.At, e.At + e.Duration, e.Factor}
 		switch e.Kind {
@@ -204,6 +220,10 @@ func (p Plan) Compile(ranks, stripes int) (Injection, error) {
 			latWs = append(latWs, w)
 		case LinkBandwidth:
 			bwWs = append(bwWs, w)
+		case RankCrash:
+			if e.Target < ranks {
+				crashes = append(crashes, sim.CrashEvent{At: e.At, Target: e.Target, Restart: e.Duration})
+			}
 		}
 	}
 	var inj Injection
@@ -232,6 +252,15 @@ func (p Plan) Compile(ranks, stripes int) (Injection, error) {
 			lf.Bandwidth = append(lf.Bandwidth, sim.FaultWindow{Start: w.start, End: w.end, Factor: w.factor})
 		}
 		inj.Link = lf
+	}
+	if len(crashes) > 0 {
+		sort.Slice(crashes, func(i, j int) bool {
+			if crashes[i].At != crashes[j].At {
+				return crashes[i].At < crashes[j].At
+			}
+			return crashes[i].Target < crashes[j].Target
+		})
+		inj.Crash = crashes
 	}
 	return inj, nil
 }

@@ -46,6 +46,16 @@ type Spec struct {
 	FlapLen         sim.Time
 	LatencyFactor   float64
 	BandwidthFactor float64
+
+	// Crashes crash-stop rank failures scattered uniformly over the
+	// horizon, each killing one uniformly drawn rank and restarting it
+	// after RestartCost. When CrashMTBF is positive it takes precedence:
+	// crash instants are drawn as exponential inter-arrivals with that
+	// mean until the horizon is exhausted, the memoryless model the
+	// Young/Daly checkpoint-interval analysis assumes.
+	Crashes     int
+	CrashMTBF   sim.Time
+	RestartCost sim.Time
 }
 
 // DefaultSpec is the reference campaign the resilience experiment and
@@ -66,6 +76,11 @@ func DefaultSpec() Spec {
 		FlapLen:         250 * sim.Millisecond,
 		LatencyFactor:   8,
 		BandwidthFactor: 4,
+		// Crash-stop failures are opt-in (Crashes stays 0 so the default
+		// campaign — and every trajectory pinned against it — is
+		// unchanged); RestartCost is the severity knob a crashing
+		// campaign inherits.
+		RestartCost: 250 * sim.Millisecond,
 	}
 }
 
@@ -82,6 +97,16 @@ func (s Spec) Scale(x float64) Spec {
 	s.OutageLen = sim.Time(float64(s.OutageLen) * x)
 	s.DerateStripes = int(float64(s.DerateStripes) * x)
 	s.Flaps = int(float64(s.Flaps) * x)
+	s.Crashes = int(float64(s.Crashes) * x)
+	// Higher intensity means more frequent crashes, so the mean time
+	// between failures divides; RestartCost is a severity knob and stays.
+	if s.CrashMTBF > 0 {
+		if x == 0 {
+			s.CrashMTBF = 0
+		} else {
+			s.CrashMTBF = sim.Time(float64(s.CrashMTBF) / x)
+		}
+	}
 	if x == 0 {
 		s.Outages = 0
 	}
@@ -95,6 +120,7 @@ const (
 	outageStreamBase = 1 << 20
 	derateStreamBase = 2 << 20
 	flapStreamBase   = 3 << 20
+	crashStreamBase  = 4 << 20
 )
 
 // eventRand is the (seed, event-id) stream: every event draws its start
@@ -176,7 +202,105 @@ func (s Spec) Plan(ranks, stripes int) Plan {
 			})
 		}
 	}
+	if ranks > 0 {
+		if s.CrashMTBF > 0 {
+			// Memoryless arrivals: event k's stream draws the gap since
+			// the previous crash and the victim rank. The running sum
+			// makes later events depend on earlier gaps — within the
+			// family only, which is the contract (families never move
+			// each other).
+			var t sim.Time
+			for k := 0; ; k++ {
+				rng := eventRand(s.Seed, crashStreamBase+int64(k))
+				t += sim.Time(rng.ExpFloat64() * float64(s.CrashMTBF))
+				if t >= s.Horizon || t < 0 {
+					break
+				}
+				p.Events = append(p.Events, Event{
+					Kind: RankCrash, At: t, Duration: s.RestartCost,
+					Target: rng.Intn(ranks),
+				})
+			}
+		} else {
+			for k := 0; k < s.Crashes; k++ {
+				rng := eventRand(s.Seed, crashStreamBase+int64(k))
+				at, _ := startIn(rng, s.Horizon, 0)
+				p.Events = append(p.Events, Event{
+					Kind: RankCrash, At: at, Duration: s.RestartCost,
+					Target: rng.Intn(ranks),
+				})
+			}
+		}
+	}
 	return p
+}
+
+// specKeys lists every key ParseSpec accepts, in canonical order; String
+// emits overrides in this order and unknown-key errors quote the list.
+var specKeys = []string{
+	"seed", "horizon",
+	"bursts", "burst-len", "burst-factor",
+	"outages", "outage-len",
+	"derate-stripes", "derate-len", "derate-rate",
+	"flaps", "flap-len", "lat-factor", "bw-factor",
+	"crashes", "crash-mtbf", "restart-cost",
+}
+
+// SpecKeys returns the keys ParseSpec accepts, in canonical order, for
+// help text and error messages.
+func SpecKeys() []string {
+	return append([]string(nil), specKeys...)
+}
+
+// String renders the spec in the compact syntax ParseSpec reads, as the
+// minimal override list against DefaultSpec: ParseSpec(s.String()) == s
+// for every spec. The zero spec renders as "none" and the default as
+// "default".
+func (s Spec) String() string {
+	if s == (Spec{}) {
+		return "none"
+	}
+	def := DefaultSpec()
+	if s == def {
+		return "default"
+	}
+	var parts []string
+	add := func(key, val string) { parts = append(parts, key+"="+val) }
+	num := func(key string, v, dv int) {
+		if v != dv {
+			add(key, strconv.Itoa(v))
+		}
+	}
+	dur := func(key string, v, dv sim.Time) {
+		if v != dv {
+			add(key, time.Duration(v).String())
+		}
+	}
+	flt := func(key string, v, dv float64) {
+		if v != dv {
+			add(key, strconv.FormatFloat(v, 'g', -1, 64))
+		}
+	}
+	if s.Seed != def.Seed {
+		add("seed", strconv.FormatInt(s.Seed, 10))
+	}
+	dur("horizon", s.Horizon, def.Horizon)
+	num("bursts", s.Bursts, def.Bursts)
+	dur("burst-len", s.BurstLen, def.BurstLen)
+	flt("burst-factor", s.BurstFactor, def.BurstFactor)
+	num("outages", s.Outages, def.Outages)
+	dur("outage-len", s.OutageLen, def.OutageLen)
+	num("derate-stripes", s.DerateStripes, def.DerateStripes)
+	dur("derate-len", s.DerateLen, def.DerateLen)
+	flt("derate-rate", s.DerateRate, def.DerateRate)
+	num("flaps", s.Flaps, def.Flaps)
+	dur("flap-len", s.FlapLen, def.FlapLen)
+	flt("lat-factor", s.LatencyFactor, def.LatencyFactor)
+	flt("bw-factor", s.BandwidthFactor, def.BandwidthFactor)
+	num("crashes", s.Crashes, def.Crashes)
+	dur("crash-mtbf", s.CrashMTBF, def.CrashMTBF)
+	dur("restart-cost", s.RestartCost, def.RestartCost)
+	return strings.Join(parts, ",")
 }
 
 // ParseSpec parses the compact campaign syntax of decouplebench's
@@ -234,8 +358,14 @@ func ParseSpec(text string) (Spec, error) {
 			s.LatencyFactor, err = strconv.ParseFloat(val, 64)
 		case "bw-factor":
 			s.BandwidthFactor, err = strconv.ParseFloat(val, 64)
+		case "crashes":
+			s.Crashes, err = strconv.Atoi(val)
+		case "crash-mtbf":
+			s.CrashMTBF, err = parseDuration(val)
+		case "restart-cost":
+			s.RestartCost, err = parseDuration(val)
 		default:
-			return Spec{}, fmt.Errorf("faults: unknown spec key %q", key)
+			return Spec{}, fmt.Errorf("faults: unknown spec key %q (valid keys: %s)", key, strings.Join(specKeys, ", "))
 		}
 		if err != nil {
 			return Spec{}, fmt.Errorf("faults: bad value for %q: %v", key, err)

@@ -16,14 +16,18 @@ type Comm struct {
 }
 
 // newComm builds a communicator descriptor over the given world ranks.
+// Every communicator is registered with its world so a post-crash rebuild
+// can reset collective state world-wide (see completeRebuild).
 func newComm(w *World, members []int, index map[int]int) *Comm {
-	return &Comm{
+	c := &Comm{
 		w:       w,
 		id:      w.nextCommID(),
 		members: members,
 		index:   index,
 		collSeq: make([]int, len(members)),
 	}
+	w.allComms = append(w.allComms, c)
+	return c
 }
 
 // Size reports the number of ranks in the communicator.

@@ -1,0 +1,375 @@
+// Crash-stop failure and deterministic recovery.
+//
+// A crash campaign (Config.Crashes, compiled by internal/faults) kills
+// rank bodies at fixed virtual-time instants and restarts them after a
+// configured restart cost. The failure model is ULFM-flavoured and
+// world-synchronous:
+//
+//   - A crash revokes the whole world at the kill instant: every pending
+//     posted receive on every surviving rank completes immediately with a
+//     *RankFailedError in its status, and every send or receive posted
+//     while the world is revoked returns an already-failed request. The
+//     error surfaces through the wait entry points — Wait/WaitAll/
+//     WaitAny/Test panic with the *RankFailedError (collectives are built
+//     on the same waits and fail the same way), and the fiber forms
+//     divert to the continuation registered by FProtect — so no rank ever
+//     deadlocks on a dead peer.
+//   - Rank bodies run their failure-prone section under Protect (FProtect
+//     for fibers), which converts the unwind into an error return, and
+//     then rendezvous in Rebuild: once every rank — including the
+//     restarted incarnation of the victim — has arrived, matching state
+//     and collective tag counters reset, the revocation lifts, and all
+//     ranks resume together. CheckFailed is the commit-protocol query: a
+//     rank that passed its final barrier calls it before returning, so
+//     either every rank commits the run or every rank observes the
+//     failure. A crash event that fires after any rank body has finished
+//     is dropped — completed output is never retroactively revoked.
+//   - The victim is respawned through the same Spawn/SpawnFiber path as
+//     the original body and draws the next engine-wide process id, so a
+//     fixed campaign replays bit-for-bit across both process
+//     representations and pooled-engine reuse (see the failure/recovery
+//     determinism contract in internal/sim).
+//
+// Messages are stamped with the world's revocation epoch when sent and
+// dropped at delivery when the epoch has moved on, so traffic from a
+// pre-crash attempt can never match a post-rebuild receive.
+//
+// Limitations: crash campaigns do not compose with the legacy broadcast
+// wake strategy (REPRO_WAKE=broadcast), with tracing, or with nonblocking
+// collectives in flight at a crash instant (their helper processes are
+// not enrolled in the kill); NewWorld rejects the first two.
+package mpi
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/sim"
+)
+
+// RankFailedError reports that an operation could not complete because a
+// rank of the world crashed. It is the panic value of the goroutine wait
+// paths under revocation (recovered by Protect) and the error delivered
+// to FProtect's failure continuation.
+type RankFailedError struct {
+	// World is the world name (Config.Name), empty for anonymous worlds.
+	World string
+	// Rank is the world rank that crashed.
+	Rank int
+	// Epoch is the revocation epoch the crash opened; it distinguishes
+	// successive failures of one run.
+	Epoch int
+}
+
+func (e *RankFailedError) Error() string {
+	if e.World != "" {
+		return fmt.Sprintf("mpi: %s: rank %d failed (epoch %d)", e.World, e.Rank, e.Epoch)
+	}
+	return fmt.Sprintf("mpi: rank %d failed (epoch %d)", e.Rank, e.Epoch)
+}
+
+// scheduleCrashes installs the campaign's kill events. Called by Start
+// and StartFibers once the rank bodies exist; with no crashes configured
+// it schedules nothing and the run is byte-identical to a crash-free
+// build.
+func (w *World) scheduleCrashes() {
+	for _, ce := range w.cfg.Crashes {
+		ce := ce
+		w.eng.At(ce.At, func() { w.killRank(ce.Target, ce.Restart) })
+	}
+}
+
+// runnable returns the rank's main process under either representation.
+func (rs *rankState) runnable() sim.Runnable {
+	if rs.fib != nil {
+		return rs.fib
+	}
+	return rs.proc
+}
+
+// finished reports whether the rank's main body has returned. A dead
+// (killed, not yet restarted) rank does not count as finished.
+func (rs *rankState) finished() bool {
+	if rs.dead {
+		return false
+	}
+	if rs.fib != nil {
+		return rs.fib.Done()
+	}
+	return rs.proc != nil && rs.proc.Done()
+}
+
+// killRank is the crash event: it kills rank target at the current
+// instant, revokes the world, fails every pending receive, and schedules
+// the restart. Every step is ordered deterministically (sorted file
+// keys, rank order, posting order), so a fixed campaign replays
+// bit-for-bit.
+func (w *World) killRank(target int, restart sim.Time) {
+	// Commit protocol: once any rank body has returned, the run's output
+	// is final and a late crash is dropped — otherwise a finished rank
+	// could never rejoin the rebuild rendezvous.
+	for _, rs := range w.ranks {
+		if rs.finished() {
+			return
+		}
+	}
+	rs := w.ranks[target]
+	if rs.dead {
+		// The victim is already down (overlapping crash windows); the
+		// earlier crash's restart stands.
+		return
+	}
+	e := w.eng
+	now := e.Now()
+	rs.dead = true
+	w.epoch++
+	w.revoked = true
+	w.failure = &RankFailedError{World: w.cfg.Name, Rank: target, Epoch: w.epoch}
+
+	victim := rs.runnable()
+	// Pull the victim out of every queue that could wake or wait on it
+	// post-mortem: the rebuild rendezvous and the shared-file-pointer
+	// tokens (file keys sorted so a token hand-off to the next waiter
+	// fires at a deterministic position).
+	if rs.inRebuild {
+		rs.inRebuild = false
+		w.rebuildArrived--
+		w.rebuildQ.Remove(victim)
+	}
+	if len(w.files) > 0 {
+		keys := make([]string, 0, len(w.files))
+		for k := range w.files {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			w.files[k].token.Evict(victim, e)
+		}
+	}
+	e.Kill(victim)
+	// Balance the victim's open demand intervals so the bank's signal
+	// never wedges on a dead rank.
+	w.drainIO(rs)
+
+	// Peer-failure notification: every pending posted receive on every
+	// surviving rank completes now with the failure error, waking any
+	// parked waiter. Posting order (seq) fixes the wake order within a
+	// rank; rank order fixes it across ranks.
+	for _, peer := range w.ranks {
+		if peer == rs {
+			continue
+		}
+		w.prScratch = peer.match.pendingPosted(w.prScratch[:0])
+		for _, p := range w.prScratch {
+			req := p.req
+			req.done = true
+			req.doneAt = now
+			req.timed = false
+			req.status = Status{Err: w.failure}
+			if req.waiter != nil {
+				e.WakeAt(now, req.waiter)
+			} else if req.anyw != nil {
+				req.anyw.WakeAt(now)
+				req.anyw = nil
+			}
+		}
+		peer.match.reset()
+	}
+	rs.match.reset()
+
+	if restart < 0 {
+		restart = 0
+	}
+	e.At(now+restart, func() { w.restartRank(target) })
+}
+
+// restartRank respawns the crashed rank's body as a fresh incarnation.
+// The respawn draws the next engine-wide process id through the same
+// Spawn/SpawnFiber path as the original body, so both representations
+// assign the restarted rank identical ids and random streams.
+func (w *World) restartRank(target int) {
+	rs := w.ranks[target]
+	if !rs.dead {
+		return
+	}
+	rs.dead = false
+	rs.incarnation++
+	rank := &Rank{w: w, rs: rs}
+	if w.mainFiber != nil {
+		rank.fib = w.eng.SpawnFiber(w.rankName(target), func(f *sim.Fiber) sim.StepFunc {
+			return w.mainFiber(rank, f)
+		})
+		rs.fib = rank.fib
+		return
+	}
+	rs.proc = w.eng.Spawn(w.rankName(target), func(p *sim.Proc) {
+		rank.proc = p
+		w.mainBody(rank)
+	})
+}
+
+// drainIO closes any demand intervals a rank left open when a failure
+// unwound it mid-operation, keeping the shared bank's IOBegin/IOEnd
+// signal balanced.
+func (w *World) drainIO(rs *rankState) {
+	for rs.ioDepth > 0 {
+		rs.ioDepth--
+		if w.signalDemand {
+			w.fs.IOEnd(w.cfg.Job, w.eng.Now())
+		}
+	}
+}
+
+// failedRequest returns a request already completed with the world's
+// pending failure: the result of posting any operation while the world
+// is revoked.
+func (w *World) failedRequest() *Request {
+	req := w.newRequest()
+	req.done = true
+	req.doneAt = w.eng.Now()
+	req.status = Status{Err: w.failure}
+	return req
+}
+
+// Incarnation reports how many times this rank has been killed and
+// restarted: 0 for the original body, 1 for the first respawn, and so
+// on. Restarted bodies use it to rejoin the rebuild rendezvous and
+// restore state from their last checkpoint.
+func (r *Rank) Incarnation() int { return r.rs.incarnation }
+
+// Failed reports whether the world is currently revoked by a crash. It
+// is a pure query (no clock movement); CheckFailed is the panicking
+// form used at commit points.
+func (r *Rank) Failed() bool { return r.w.revoked }
+
+// CheckFailed panics with the pending *RankFailedError if the world is
+// revoked. Rank bodies call it inside Protect after their final
+// synchronization, so a crash that slips in before the run commits sends
+// every rank — not just the ones with operations in flight — back
+// through recovery together.
+func (r *Rank) CheckFailed() {
+	if r.w.revoked {
+		panic(r.w.failure)
+	}
+}
+
+// FCheckFailed is CheckFailed for fiber-backed ranks: it diverts to the
+// FProtect failure continuation when the world is revoked, else
+// continues with next.
+func (r *Rank) FCheckFailed(next sim.StepFunc) sim.StepFunc {
+	if r.w.revoked {
+		return r.failNow()
+	}
+	return next
+}
+
+// Protect runs fn, converting a rank-failure unwind into an error
+// return: it recovers a *RankFailedError panic (re-raising anything
+// else), closes any demand intervals fn left open, and reports the
+// failure. The caller then typically accounts its lost work and calls
+// Rebuild.
+func (r *Rank) Protect(fn func()) (err error) {
+	defer func() {
+		rec := recover()
+		if rec == nil {
+			return
+		}
+		fe, ok := rec.(*RankFailedError)
+		if !ok {
+			panic(rec)
+		}
+		r.w.drainIO(r.rs)
+		err = fe
+	}()
+	fn()
+	return nil
+}
+
+// FProtect is Protect for fiber-backed ranks: it registers onFail as the
+// continuation the wait primitives divert to when an operation fails,
+// then starts attempt. The registration stays in place for the rank's
+// lifetime (re-registered by each FProtect call), mirroring how a
+// goroutine body re-enters Protect per attempt.
+func (r *Rank) FProtect(attempt sim.StepFunc, onFail func(error) sim.StepFunc) sim.StepFunc {
+	rs := r.rs
+	rs.failStep = func(_ *sim.Fiber) sim.StepFunc {
+		r.w.drainIO(rs)
+		return onFail(r.w.failure)
+	}
+	return attempt
+}
+
+// failNow returns the rank's registered failure continuation, or panics
+// with the pending failure when none is registered (a fiber body that
+// hit a revoked world outside FProtect).
+func (r *Rank) failNow() sim.StepFunc {
+	if r.rs.failStep == nil {
+		panic(r.w.failure)
+	}
+	return r.rs.failStep
+}
+
+// Rebuild is the world-level revoke-and-rebuild rendezvous: it blocks
+// until every rank of the world — survivors and restarted incarnations
+// alike — has arrived, then atomically resets all matching state, zeroes
+// every communicator's collective tag counters, discards in-flight Split
+// rendezvous, lifts the revocation, and releases all ranks together.
+// Survivors call it after Protect reports a failure; restarted bodies
+// call it first (Incarnation > 0).
+func (r *Rank) Rebuild() {
+	w, rs := r.w, r.rs
+	r.proc.FlushDebt()
+	rs.inRebuild = true
+	w.rebuildArrived++
+	if w.rebuildArrived == len(w.ranks) {
+		w.completeRebuild()
+		return
+	}
+	for rs.inRebuild {
+		w.rebuildQ.Wait(r.proc, "mpi rebuild")
+	}
+}
+
+// FRebuild is Rebuild for fiber-backed ranks, continuing with then once
+// the rendezvous completes. It occupies the same queue positions and
+// consumes the same events as the goroutine form.
+func (r *Rank) FRebuild(then sim.StepFunc) sim.StepFunc {
+	w, rs, f := r.w, r.rs, r.fib
+	return f.FlushDebt(func(_ *sim.Fiber) sim.StepFunc {
+		rs.inRebuild = true
+		w.rebuildArrived++
+		if w.rebuildArrived == len(w.ranks) {
+			w.completeRebuild()
+			return then
+		}
+		var loop sim.StepFunc
+		loop = func(_ *sim.Fiber) sim.StepFunc {
+			if rs.inRebuild {
+				return w.rebuildQ.WaitFiber(f, "mpi rebuild", loop)
+			}
+			return then
+		}
+		return w.rebuildQ.WaitFiber(f, "mpi rebuild", loop)
+	})
+}
+
+// completeRebuild finishes the rendezvous on the last arrival: pure
+// state surgery (no clock movement), then one broadcast that wakes the
+// parked ranks in arrival order.
+func (w *World) completeRebuild() {
+	for _, rs := range w.ranks {
+		rs.inRebuild = false
+		rs.match.reset()
+	}
+	for _, c := range w.allComms {
+		for i := range c.collSeq {
+			c.collSeq[i] = 0
+		}
+	}
+	for k := range w.splits {
+		delete(w.splits, k)
+	}
+	w.rebuildArrived = 0
+	w.revoked = false
+	w.rebuildQ.Broadcast(w.eng)
+}

@@ -88,6 +88,16 @@ func (s *fwait) checkStep(_ *sim.Fiber) sim.StepFunc {
 	if s.floor > target {
 		target = s.floor
 	}
+	if req.status.Err != nil {
+		// Completed by peer failure: settle the clock (mirroring waitOn's
+		// settle-then-panic), recycle the wait state — the request itself
+		// is abandoned, not recycled — and surface the failure through the
+		// rank's registered fail step (FProtect) or a panic.
+		r, f := s.r, s.f
+		s.r, s.f, s.req, s.then, s.thenStep = nil, nil, nil, nil, nil
+		r.w.fwFree = append(r.w.fwFree, s)
+		return f.SettleTo(target, r.failNow())
+	}
 	if req.timed && req.doneAt > target {
 		target = req.doneAt
 	}
@@ -166,8 +176,10 @@ func (s *fwaitAll) loopStep(_ *sim.Fiber) sim.StepFunc {
 		q := s.reqs[s.i]
 		q.checkLive()
 		// Fast path: complete as of now plus pending debt; coalesce the
-		// receive overhead as debt, exactly as WaitAll does.
-		if q.done || (q.timed && q.doneAt <= e.Now()+s.f.Debt()) {
+		// receive overhead as debt, exactly as WaitAll does. Requests
+		// completed by peer failure take the full wait, which surfaces
+		// the error.
+		if q.status.Err == nil && (q.done || (q.timed && q.doneAt <= e.Now()+s.f.Debt())) {
 			q.done = true
 			if q.isRecv && !q.ovCharged {
 				q.ovCharged = true
@@ -261,6 +273,19 @@ func (s *fwaitAny) loopStep(_ *sim.Fiber) sim.StepFunc {
 	}
 	if won >= 0 {
 		q := s.reqs[won]
+		if q.status.Err != nil {
+			// Completed by peer failure (debt was flushed at entry, so the
+			// clock is settled). Recycle the wait state, abandon the
+			// request, surface the failure — mirroring WaitAny's panic.
+			if s.armed {
+				s.armed = false
+				s.wk.Disarm()
+			}
+			r, w := s.r, s.c.w
+			s.c, s.r, s.f, s.reqs, s.then = nil, nil, nil, nil, nil
+			w.fwAnyFree = append(w.fwAnyFree, s)
+			return r.failNow()
+		}
 		q.done = true
 		if q.isRecv && !q.ovCharged {
 			q.ovCharged = true

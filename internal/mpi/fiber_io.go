@@ -18,6 +18,9 @@ func (c *Comm) FTest(r *Rank, req *Request, then func(bool, Status) sim.StepFunc
 	if !req.completedBy(r.w.eng.Now()) {
 		return then(false, Status{})
 	}
+	if req.status.Err != nil {
+		return r.failNow()
+	}
 	req.done = true
 	if req.isRecv && !req.ovCharged {
 		req.ovCharged = true
@@ -33,6 +36,9 @@ func (c *Comm) FTest(r *Rank, req *Request, then func(bool, Status) sim.StepFunc
 // then.
 func (c *Comm) FOpen(r *Rank, name string, then func(*File) sim.StepFunc) sim.StepFunc {
 	w := c.w
+	if w.revoked {
+		return r.failNow()
+	}
 	key := fmt.Sprintf("%d:%s", c.id, name)
 	st, ok := w.opens[key]
 	if !ok {
@@ -51,13 +57,16 @@ func (f *File) FWriteShared(r *Rank, bytes int64, then sim.StepFunc) sim.StepFun
 	if bytes < 0 {
 		panic("mpi: negative I/O size")
 	}
+	if f.w.revoked {
+		return r.failNow()
+	}
 	fs := f.w.cfg.FS
 	fib := r.fib
 	// Demand hooks at the same sequence positions as WriteShared: begin
 	// before queueing on the shared-pointer token, end once the rank's
 	// clock has passed the write — so fiber and goroutine ranks present
 	// identical demand signals to a shared bank.
-	f.w.ioBegin()
+	f.w.ioBegin(r.rs)
 	return f.token.FAcquire(fib, "shared file pointer", func(_ *sim.Fiber) sim.StepFunc {
 		return fib.Advance(fs.SharedPointerLatency+fs.PerOpLatency, func(_ *sim.Fiber) sim.StepFunc {
 			f.size += bytes
@@ -66,7 +75,7 @@ func (f *File) FWriteShared(r *Rank, bytes int64, then sim.StepFunc) sim.StepFun
 			_, end := f.w.fs.Reserve(f.w.cfg.Job, fib.Now(), fs.WriteTime(bytes))
 			f.token.Release(fib)
 			return fib.AdvanceTo(end, func(f2 *sim.Fiber) sim.StepFunc {
-				f.w.ioEnd()
+				f.w.ioEnd(r.rs)
 				return then(f2)
 			})
 		})
@@ -80,13 +89,16 @@ func (f *File) FWriteAll(r *Rank, bytes int64, then sim.StepFunc) sim.StepFunc {
 	if bytes < 0 {
 		panic("mpi: negative I/O size")
 	}
+	if f.w.revoked {
+		return r.failNow()
+	}
 	c := f.comm
 	me := c.RankOf(r)
 	p := c.Size()
 	fs := f.w.cfg.FS
 	fib := r.fib
 	// Demand spans the whole collective, as in WriteAll.
-	f.w.ioBegin()
+	f.w.ioBegin(r.rs)
 
 	// Phase 0: file-view recalculation. Every rank learns every size.
 	return c.FAllgatherv(r, Part{Bytes: 8, Data: bytes}, func(sizes []Part) sim.StepFunc {
@@ -106,7 +118,7 @@ func (f *File) FWriteAll(r *Rank, bytes int64, then sim.StepFunc) sim.StepFunc {
 			return c.FWaitAll(r, myReqs, func([]Status) sim.StepFunc {
 				// The collective completes together.
 				return c.FBarrier(r, func(f2 *sim.Fiber) sim.StepFunc {
-					f.w.ioEnd()
+					f.w.ioEnd(r.rs)
 					return then(f2)
 				})
 			})

@@ -39,6 +39,9 @@ type openState struct {
 // c. Every member must call it.
 func (c *Comm) Open(r *Rank, name string) *File {
 	w := c.w
+	if w.revoked {
+		panic(w.failure)
+	}
 	key := fmt.Sprintf("%d:%s", c.id, name)
 	st, ok := w.opens[key]
 	if !ok {
@@ -77,13 +80,16 @@ func (f *File) transfer(r *Rank, bytes int64, label string) {
 	if bytes < 0 {
 		panic("mpi: negative I/O size")
 	}
+	if f.w.revoked {
+		panic(f.w.failure)
+	}
 	fs := f.w.cfg.FS
 	start := r.proc.Now()
-	f.w.ioBegin()
+	f.w.ioBegin(r.rs)
 	r.proc.Advance(fs.PerOpLatency)
 	_, end := f.w.fs.Reserve(f.w.cfg.Job, r.proc.Now(), fs.WriteTime(bytes))
 	r.proc.AdvanceTo(end)
-	f.w.ioEnd()
+	f.w.ioEnd(r.rs)
 	f.ops++
 	if label == "write" {
 		f.size += bytes
@@ -101,12 +107,15 @@ func (f *File) WriteShared(r *Rank, bytes int64) {
 	if bytes < 0 {
 		panic("mpi: negative I/O size")
 	}
+	if f.w.revoked {
+		panic(f.w.failure)
+	}
 	fs := f.w.cfg.FS
 	start := r.proc.Now()
 	// Demand spans the whole operation, including the queue for the
 	// shared-pointer token: a rank serialized behind the pointer has
 	// queued I/O the bank should count.
-	f.w.ioBegin()
+	f.w.ioBegin(r.rs)
 	f.token.Acquire(r.proc, "shared file pointer")
 	r.proc.Advance(fs.SharedPointerLatency + fs.PerOpLatency)
 	f.size += bytes
@@ -115,7 +124,7 @@ func (f *File) WriteShared(r *Rank, bytes int64) {
 	_, end := f.w.fs.Reserve(f.w.cfg.Job, r.proc.Now(), fs.WriteTime(bytes))
 	f.token.Release(r.proc)
 	r.proc.AdvanceTo(end)
-	f.w.ioEnd()
+	f.w.ioEnd(r.rs)
 	r.trace("io", "write_shared", start)
 }
 
@@ -127,6 +136,9 @@ func (f *File) WriteAll(r *Rank, bytes int64) {
 	if bytes < 0 {
 		panic("mpi: negative I/O size")
 	}
+	if f.w.revoked {
+		panic(f.w.failure)
+	}
 	c := f.comm
 	me := c.RankOf(r)
 	p := c.Size()
@@ -135,7 +147,7 @@ func (f *File) WriteAll(r *Rank, bytes int64) {
 	// Every member is I/O-active for the duration of the collective: the
 	// view exchange and the shipping to aggregators are part of the
 	// file operation even for ranks that never touch a stripe.
-	f.w.ioBegin()
+	f.w.ioBegin(r.rs)
 
 	// Phase 0: file-view recalculation. Every rank learns every size.
 	sizes := c.Allgatherv(r, Part{Bytes: 8, Data: bytes})
@@ -183,6 +195,6 @@ func (f *File) WriteAll(r *Rank, bytes int64) {
 	c.WaitAll(r, myReqs...)
 	// The collective completes together.
 	c.Barrier(r)
-	f.w.ioEnd()
+	f.w.ioEnd(r.rs)
 	r.trace("io", "write_all", start)
 }

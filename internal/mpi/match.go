@@ -1,5 +1,7 @@
 package mpi
 
+import "sort"
+
 // Message-matching index.
 //
 // The runtime used to match messages against posted receives (and receives
@@ -448,6 +450,23 @@ func (x *matchIndex) takeQueued(commID, src, tag int, now simTimeT) *message {
 	}
 	x.consume(m)
 	return m
+}
+
+// pendingPosted appends every pending posted receive to buf in posting
+// (seq) order and returns it. Bucket-map iteration order is
+// nondeterministic, so the collected entries are sorted by seq before
+// returning — the failure path (killRank) fails them in that order, which
+// keeps peer-notification wake events at deterministic (t, seq) positions.
+func (x *matchIndex) pendingPosted(buf []*postedRecv) []*postedRecv {
+	for _, q := range x.posted {
+		for _, p := range q.items[q.head:] {
+			if p != nil {
+				buf = append(buf, p)
+			}
+		}
+	}
+	sort.Slice(buf, func(i, j int) bool { return buf[i].seq < buf[j].seq })
+	return buf
 }
 
 // findQueued returns the earliest-arrived live message accepted by the

@@ -38,6 +38,11 @@ type message struct {
 	data     interface{}
 	readyAt  sim.Time
 	consumed bool
+	// epoch is the world's revocation epoch when the message was sent;
+	// delivery drops messages from a superseded epoch (failure.go), so
+	// traffic from a pre-crash attempt never matches a post-rebuild
+	// receive. Always 0 on crash-free runs.
+	epoch int
 
 	// Delivery state for Fire.
 	dst  *rankState
@@ -79,6 +84,11 @@ type Status struct {
 	// Data is the payload, passed by reference (zero copy). Receivers
 	// must treat shared buffers as immutable.
 	Data interface{}
+	// Err is non-nil when the operation completed by failure instead of
+	// delivery: a peer rank crashed and the world is revoked (ULFM-style
+	// peer-failure notification, see failure.go). The wait entry points
+	// surface it before any status reaches application code.
+	Err error
 }
 
 // Request is the handle of a nonblocking operation. Wait, WaitAll, WaitAny
@@ -174,6 +184,11 @@ func (c *Comm) isendOv(r *Rank, proc exec, dst, tag int, bytes int64, data inter
 		panic("mpi: negative message size")
 	}
 	w := r.w
+	if w.revoked {
+		// The world is revoked by a crash: the send completes immediately
+		// with failure — no overhead, no counters, no wire traffic.
+		return w.failedRequest()
+	}
 	net := w.cfg.Net
 	me := c.RankOf(r)
 	src := r.rs
@@ -190,6 +205,7 @@ func (c *Comm) isendOv(r *Rank, proc exec, dst, tag int, bytes int64, data inter
 	msg := w.newMessage()
 	msg.commID, msg.src, msg.tag, msg.bytes, msg.data = c.id, me, tag, bytes, data
 	msg.dst = dstState
+	msg.epoch = w.epoch
 
 	if dstState == src {
 		// Self-send: no NIC or wire involvement.
@@ -259,6 +275,13 @@ func (c *Comm) isendOv(r *Rank, proc exec, dst, tag int, bytes int64, data inter
 // receive posted over the queue prefers them in the same order
 // (firstReadyIn), so probe-then-receive always agrees.
 func (w *World) deliverAt(dst *rankState, m *message, ready sim.Time) {
+	if m.epoch != w.epoch {
+		// Traffic from a superseded epoch (sent before a crash revoked the
+		// world): drop it so a pre-crash attempt's messages never match a
+		// post-rebuild receive.
+		w.freeMessage(m)
+		return
+	}
 	if p := dst.match.takePosted(m); p != nil {
 		req := p.req
 		req.status = Status{Source: m.src, Tag: m.tag, Bytes: m.bytes, Data: m.data}
@@ -316,6 +339,11 @@ func (c *Comm) Irecv(r *Rank, src, tag int) *Request {
 func (c *Comm) irecvFor(r *Rank, src, tag int) *Request {
 	if src != AnySource && (src < 0 || src >= len(c.members)) {
 		panic(fmt.Sprintf("mpi: Irecv from rank %d of %d", src, len(c.members)))
+	}
+	if r.w.revoked {
+		// The world is revoked by a crash: the receive completes
+		// immediately with failure instead of parking forever.
+		return r.w.failedRequest()
 	}
 	rs := r.rs
 	req := r.w.newRequest()
@@ -383,6 +411,13 @@ func (c *Comm) waitOn(r *Rank, proc *simProc, req *Request) Status {
 	target := e.Now()
 	if floor > target {
 		target = floor
+	}
+	if err := req.status.Err; err != nil {
+		// Completed by peer failure: settle the clock (debt must not leak
+		// into the recovery path) and surface the error. The request is
+		// abandoned, not recycled — the panic unwinds past the caller.
+		proc.SettleTo(target)
+		panic(err)
 	}
 	if req.timed && req.doneAt > target {
 		target = req.doneAt
@@ -453,8 +488,9 @@ func (c *Comm) WaitAll(r *Rank, reqs ...*Request) []Status {
 		q.checkLive()
 		// Fast path: complete as of now plus pending debt. (Timed send
 		// completions compare against the post-flush clock, matching what
-		// Wait's FlushDebt-then-AdvanceTo would observe.)
-		if q.done || (q.timed && q.doneAt <= e.Now()+proc.Debt()) {
+		// Wait's FlushDebt-then-AdvanceTo would observe.) Requests completed
+		// by peer failure take the Wait path, which surfaces the error.
+		if q.status.Err == nil && (q.done || (q.timed && q.doneAt <= e.Now()+proc.Debt())) {
 			q.done = true
 			if q.isRecv && !q.ovCharged {
 				q.ovCharged = true
@@ -515,6 +551,11 @@ func (c *Comm) WaitAny(r *Rank, reqs []*Request) (int, Status) {
 				r.w.freeWaker(aw)
 			}
 			q := reqs[won]
+			if err := q.status.Err; err != nil {
+				// Completed by peer failure (debt was flushed at entry, so
+				// the clock is already settled). The request is abandoned.
+				panic(err)
+			}
 			q.done = true
 			if q.isRecv && !q.ovCharged {
 				q.ovCharged = true
@@ -558,6 +599,9 @@ func (c *Comm) Test(r *Rank, req *Request) (bool, Status) {
 	req.checkLive()
 	if !req.completedBy(r.w.eng.Now()) {
 		return false, Status{}
+	}
+	if err := req.status.Err; err != nil {
+		panic(err)
 	}
 	req.done = true
 	if req.isRecv && !req.ovCharged {

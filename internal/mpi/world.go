@@ -94,6 +94,15 @@ type Config struct {
 	// bandwidth multipliers) applied to message cost. Nil means a
 	// healthy network.
 	LinkFaults *netmodel.LinkFaults
+	// Crashes schedules crash-stop rank failures: each event kills rank
+	// Target's body at virtual time At and respawns it Restart later (see
+	// failure.go for the failure and recovery semantics). Events must be
+	// sorted by (At, Target) — internal/faults compiles them that way —
+	// so kill order is deterministic. Nil schedules nothing and leaves
+	// trajectories byte-identical to a crash-free build. Crash campaigns
+	// are incompatible with tracing and with the legacy broadcast wake
+	// strategy.
+	Crashes []sim.CrashEvent
 
 	// Engine, if non-nil, attaches the world to an existing engine instead
 	// of owning one: several worlds (jobs) spawned on the same engine run
@@ -189,22 +198,44 @@ type World struct {
 	// legacy selects the pre-version-2 broadcast wake strategy for this
 	// world (see legacyWake), captured at build time.
 	legacy bool
+
+	// Crash-stop failure state (failure.go). epoch counts world
+	// revocations: it bumps on every kill and stamps outgoing messages,
+	// so traffic from a pre-crash attempt is dropped at delivery instead
+	// of matching post-rebuild receives. revoked holds from a kill until
+	// the rebuild rendezvous completes; while set, every newly posted
+	// send or receive completes immediately with failure. mainBody and
+	// mainFiber retain the rank body so restartRank can respawn the
+	// victim; allComms tracks every communicator ever built on the world
+	// so completeRebuild can zero their collective tag counters.
+	revoked        bool
+	epoch          int
+	failure        *RankFailedError
+	rebuildArrived int
+	rebuildQ       sim.WaitQueue
+	mainBody       func(r *Rank)
+	mainFiber      FiberMain
+	allComms       []*Comm
+	prScratch      []*postedRecv // killRank's posted-receive sweep scratch
 }
 
-// ioBegin signals the start of a file operation to a shared bank: the
-// world's job has queued I/O demand until the matching ioEnd. On worlds
-// with a private bank both hooks are no-ops. Pure bookkeeping — the
-// hooks schedule no events and move no clocks, so firing them never
-// perturbs a trajectory; only the bank's work-conserving policies read
-// the signal.
-func (w *World) ioBegin() {
+// ioBegin signals the start of one of rs's file operations to a shared
+// bank: the world's job has queued I/O demand until the matching ioEnd.
+// On worlds with a private bank the bank hook is a no-op. Pure
+// bookkeeping — the hooks schedule no events and move no clocks, so
+// firing them never perturbs a trajectory; only the bank's
+// work-conserving policies read the signal. The per-rank depth counter
+// lets failure handling close intervals a crash left open (drainIO).
+func (w *World) ioBegin(rs *rankState) {
+	rs.ioDepth++
 	if w.signalDemand {
 		w.fs.IOBegin(w.cfg.Job, w.eng.Now())
 	}
 }
 
 // ioEnd closes the demand interval opened by the matching ioBegin.
-func (w *World) ioEnd() {
+func (w *World) ioEnd(rs *rankState) {
+	rs.ioDepth--
 	if w.signalDemand {
 		w.fs.IOEnd(w.cfg.Job, w.eng.Now())
 	}
@@ -304,6 +335,17 @@ type rankState struct {
 	// statuses is the rank-owned scratch backing for WaitAll results,
 	// reused across calls so the collective hot path allocates nothing.
 	statuses []Status
+
+	// Crash-stop failure state (failure.go): dead marks a killed rank
+	// awaiting restart, incarnation counts restarts, inRebuild marks a
+	// rank parked in the rebuild rendezvous, ioDepth counts open
+	// ioBegin/ioEnd demand intervals, and failStep is the fiber failure
+	// continuation registered by FProtect.
+	dead        bool
+	incarnation int
+	inRebuild   bool
+	ioDepth     int
+	failStep    sim.StepFunc
 }
 
 // statusScratch returns a length-n status slice backed by the rank's
@@ -330,6 +372,11 @@ func (rs *rankState) reset(speed float64) {
 	rs.speed = speed
 	rs.bytesSent = 0
 	rs.msgsSent = 0
+	rs.dead = false
+	rs.incarnation = 0
+	rs.inRebuild = false
+	rs.ioDepth = 0
+	rs.failStep = nil
 }
 
 // Fire wakes the rank's progress waiters; rankState doubles as a
@@ -379,6 +426,22 @@ func NewWorld(cfg Config) *World {
 	}
 	if err := cfg.LinkFaults.Validate(); err != nil {
 		panic(fmt.Sprintf("mpi: LinkFaults: %v", err))
+	}
+	if len(cfg.Crashes) > 0 {
+		if cfg.Tracer != nil {
+			panic("mpi: crash campaigns do not support tracing")
+		}
+		if legacyWake {
+			panic("mpi: crash campaigns do not support the legacy broadcast wake strategy (REPRO_WAKE=broadcast)")
+		}
+		for i, ce := range cfg.Crashes {
+			if ce.Target < 0 || ce.Target >= cfg.Procs {
+				panic(fmt.Sprintf("mpi: Crashes[%d] targets rank %d of %d", i, ce.Target, cfg.Procs))
+			}
+			if ce.At < 0 || ce.Restart < 0 {
+				panic(fmt.Sprintf("mpi: Crashes[%d] has negative time (at %v, restart %v)", i, ce.At, ce.Restart))
+			}
+		}
 	}
 	// External worlds (shared engine or bank) are never returned to the
 	// pool, so drawing one out would permanently drain it and discard the
@@ -471,6 +534,17 @@ func (w *World) reset(cfg Config) {
 	clear(w.opens)
 	clear(w.files)
 	clear(w.stash)
+	w.revoked = false
+	w.epoch = 0
+	w.failure = nil
+	w.rebuildArrived = 0
+	w.rebuildQ = sim.WaitQueue{}
+	w.mainBody = nil
+	w.mainFiber = nil
+	for i := range w.allComms {
+		w.allComms[i] = nil
+	}
+	w.allComms = w.allComms[:0]
 	if w.fs.Width() == cfg.FS.Stripes {
 		w.fs.Reset()
 	} else {
@@ -547,6 +621,7 @@ func (w *World) rankName(rank int) string {
 // runs the engine once; single-world callers use Run, which is
 // Start-then-run.
 func (w *World) Start(main func(r *Rank)) {
+	w.mainBody = main
 	for i := range w.ranks {
 		rs := w.ranks[i]
 		rank := &Rank{w: w, rs: rs}
@@ -555,6 +630,7 @@ func (w *World) Start(main func(r *Rank)) {
 			main(rank)
 		})
 	}
+	w.scheduleCrashes()
 }
 
 // Run spawns one process per rank executing main and runs the simulation
@@ -599,6 +675,7 @@ func (w *World) StartFibers(main FiberMain) {
 	if w.cfg.Tracer != nil {
 		panic("mpi: RunFibers does not support tracing; use Run when a Tracer is configured")
 	}
+	w.mainFiber = main
 	for i := range w.ranks {
 		rs := w.ranks[i]
 		rank := &Rank{w: w, rs: rs}
@@ -607,6 +684,7 @@ func (w *World) StartFibers(main FiberMain) {
 		})
 		rs.fib = rank.fib
 	}
+	w.scheduleCrashes()
 }
 
 // Makespan reports the latest virtual time at which one of the world's

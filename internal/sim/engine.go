@@ -163,6 +163,18 @@ type Engine struct {
 	stopped   bool
 	panicked  interface{}
 	panicProc *Proc
+
+	// Crash-stop support (Engine.Kill). driving is the proc whose
+	// schedule loop currently holds the token (nil on the Run
+	// goroutine's drive loop): killing it must not wake it — its own
+	// loop notices killed and unwinds in place, consuming no extra
+	// events. killing/killWake form the handshake that waits for a
+	// non-driving victim's goroutine to finish unwinding before the
+	// killer proceeds, so a kill is synchronous and mutates no state
+	// concurrently.
+	driving  *Proc
+	killing  bool
+	killWake chan struct{}
 }
 
 // NewEngine returns an engine whose per-process random streams derive from
@@ -170,8 +182,9 @@ type Engine struct {
 // produce identical trajectories.
 func NewEngine(seed int64) *Engine {
 	return &Engine{
-		runWake: make(chan struct{}),
-		seed:    seed,
+		runWake:  make(chan struct{}),
+		killWake: make(chan struct{}),
+		seed:     seed,
 	}
 }
 
@@ -244,6 +257,8 @@ func (e *Engine) Reset(seed int64) {
 	e.stopped = false
 	e.panicked = nil
 	e.panicProc = nil
+	e.driving = nil
+	e.killing = false
 }
 
 // Now reports the current virtual time.
@@ -349,6 +364,12 @@ func (e *Engine) Spawn(name string, body func(*Proc)) *Proc {
 			p.state = procDone
 			p.doneAt = e.now
 			e.live--
+			// A goroutine unwound by Kill hands control back to the
+			// killer, which still holds the simulation token.
+			if e.killing {
+				e.killWake <- struct{}{}
+				return
+			}
 			// The goroutine exits holding the token: pass it on. During
 			// unwind (or after a panic) it goes straight back to Run;
 			// otherwise keep driving the event loop from here.
@@ -358,7 +379,7 @@ func (e *Engine) Spawn(name string, body func(*Proc)) *Proc {
 			}
 			e.schedule(nil)
 		}()
-		if !e.stopped {
+		if !e.stopped && !p.killed {
 			p.state = procRunning
 			body(p)
 		}
@@ -401,7 +422,14 @@ func (e *Engine) popNext() (event, bool) {
 // self == nil means the caller is a finished process goroutine: the loop
 // hands the token onward without parking, and the goroutine exits.
 func (e *Engine) schedule(self *Proc) {
+	e.driving = self
 	for {
+		// A crash event fired by this loop may have killed the driving
+		// process itself: return so yield unwinds it in place — no wake
+		// event, identical event consumption to the fiber representation.
+		if self != nil && self.killed {
+			return
+		}
 		ev, ok := e.popNext()
 		if !ok {
 			e.runWake <- struct{}{}
@@ -423,6 +451,7 @@ func (e *Engine) schedule(self *Proc) {
 		if q.state == procDone {
 			continue
 		}
+		e.driving = q
 		q.wake <- struct{}{}
 		if self == nil {
 			return
@@ -437,6 +466,7 @@ func (e *Engine) schedule(self *Proc) {
 // reached, or a process panicked). Pure-callback simulations (no
 // processes) complete entirely in this loop with zero goroutine switches.
 func (e *Engine) drive() {
+	e.driving = nil
 	for {
 		ev, ok := e.popNext()
 		if !ok {
@@ -450,6 +480,7 @@ func (e *Engine) drive() {
 		if ev.proc.state == procDone {
 			continue
 		}
+		e.driving = ev.proc
 		ev.proc.wake <- struct{}{}
 		<-e.runWake
 		return
@@ -526,6 +557,49 @@ func (e *Engine) Abort() {
 		panic("sim: Abort called while the engine is running")
 	}
 	e.unwind()
+}
+
+// Kill terminates one runnable at the current instant — the crash-stop
+// primitive under fault campaigns (see the failure/recovery contract in
+// the package comment). A fiber is marked done and its pending
+// continuation dropped; a goroutine-backed process unwinds through the
+// same stopSignal machinery Abort uses, synchronously — Kill returns
+// once the victim's goroutine has exited. Killing the process the
+// engine is currently dispatching (a rank crashing inside its own event
+// window) defers the unwind to its next yield without waking it, so no
+// extra event is consumed and both representations observe the kill at
+// the same (t, seq) position. Stale resume events of a killed runnable
+// are popped and counted as fired, identically for both
+// representations. Killing a finished runnable is a no-op. Kill must be
+// called from simulation context (an event callback or a process body),
+// never from outside a running engine.
+func (e *Engine) Kill(r Runnable) {
+	switch x := r.(type) {
+	case *Fiber:
+		if x.done {
+			return
+		}
+		x.done = true
+		x.doneAt = e.now
+		x.next = nil
+		x.parked = false
+		e.live--
+	case *Proc:
+		if x.state == procDone || x.killed {
+			return
+		}
+		x.killed = true
+		if x == e.driving {
+			// The victim holds (or is being handed) the token: its own
+			// schedule loop or next yield notices killed and unwinds in
+			// place.
+			return
+		}
+		e.killing = true
+		x.wake <- struct{}{}
+		<-e.killWake
+		e.killing = false
+	}
 }
 
 // unwind terminates any still-blocked process goroutines so they do not

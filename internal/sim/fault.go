@@ -70,6 +70,18 @@ func StretchThrough(now, d Time, ws []FaultWindow) Time {
 	return t + work - now
 }
 
+// CrashEvent is one crash-stop failure in a campaign: the runnable
+// standing in for rank Target is killed at At (Engine.Kill) and
+// respawned Restart later. Crash schedules must be sorted by (At,
+// Target); the mpi layer turns them into deterministic kill and restart
+// events at fixed (t, seq) positions (see the failure/recovery contract
+// in the package comment).
+type CrashEvent struct {
+	At      Time
+	Target  int
+	Restart Time
+}
+
 // StripeFault is a timed degradation of one bank stripe: inside
 // [Start, End) the stripe transfers at Rate times its nominal throughput.
 // Rate 0 is a full outage — a booking straddling the window stalls and

@@ -28,6 +28,7 @@ type Proc struct {
 	rng         *rand.Rand
 	debt        Time
 	doneAt      Time // virtual time at which the body returned
+	killed      bool // Engine.Kill hit this process; unwind at next yield
 }
 
 // Name reports the process name given to Spawn.
@@ -40,6 +41,10 @@ func (p *Proc) ID() int { return p.id }
 // It is meaningful only once the body has finished (after Run returns);
 // multi-world setups use it for per-job makespans.
 func (p *Proc) FinishedAt() Time { return p.doneAt }
+
+// Done reports whether the process body has finished (returned, unwound,
+// or been killed), mirroring Fiber.Done.
+func (p *Proc) Done() bool { return p.state == procDone }
 
 // resumeAt schedules the process's resume event (Runnable contract).
 func (p *Proc) resumeAt(t Time) { p.e.atProc(t, p) }
@@ -129,7 +134,7 @@ func (p *Proc) yield(reason string) {
 	p.state = procBlocked
 	p.blockReason = reason
 	p.e.schedule(p)
-	if p.e.stopped {
+	if p.e.stopped || p.killed {
 		panic(stopSignal{})
 	}
 	p.state = procRunning
@@ -153,8 +158,13 @@ func (p *Proc) Advance(d Time) {
 	// Fast path: nothing else is scheduled at or before target, so the
 	// engine would pop this process's own resume next — move the clock
 	// directly and keep running, skipping the park/dispatch round trip.
+	// A killed process still unwinds here: the jump consumes the same
+	// clock motion as the queued path, so the two are trajectory-equal.
 	if e.canAdvanceInline(target) {
 		e.jumpTo(target)
+		if p.killed {
+			panic(stopSignal{})
+		}
 		return
 	}
 	e.atProc(target, p)
@@ -169,6 +179,9 @@ func (p *Proc) AdvanceTo(t Time) {
 	if target > p.e.now {
 		if p.e.canAdvanceInline(target) {
 			p.e.jumpTo(target)
+			if p.killed {
+				panic(stopSignal{})
+			}
 			return
 		}
 		p.e.atProc(target, p)
@@ -189,6 +202,9 @@ func (p *Proc) SettleTo(t Time) {
 	if t > p.e.now {
 		if p.e.canAdvanceInline(t) {
 			p.e.jumpTo(t)
+			if p.killed {
+				panic(stopSignal{})
+			}
 			return
 		}
 		p.e.atProc(t, p)
@@ -318,6 +334,21 @@ func (q *WaitQueue) Broadcast(e *Engine) {
 
 // Len reports how many processes are waiting.
 func (q *WaitQueue) Len() int { return len(q.waiters) }
+
+// Remove deletes r from the queue preserving FIFO order and reports
+// whether it was present. Failure handling uses it to pull a killed
+// runnable out of resource queues so it is never woken post-mortem.
+func (q *WaitQueue) Remove(r Runnable) bool {
+	for i, w := range q.waiters {
+		if w == r {
+			copy(q.waiters[i:], q.waiters[i+1:])
+			q.waiters[len(q.waiters)-1] = nil
+			q.waiters = q.waiters[:len(q.waiters)-1]
+			return true
+		}
+	}
+	return false
+}
 
 // Completion is a one-shot event that processes can wait on. It is used to
 // implement requests (nonblocking operation handles).

@@ -130,3 +130,17 @@ func (t *Token) Release(r Runnable) {
 
 // Grants reports how many times the token has been acquired.
 func (t *Token) Grants() uint64 { return t.grants }
+
+// Evict removes a killed runnable from the token: if r holds the token
+// it is released on r's behalf (waking the next waiter); if r is queued
+// it is dropped from the FIFO. Failure handling calls this for every
+// token a crashed rank might touch so the hand-off chain never wedges
+// on — or wakes — a dead process.
+func (t *Token) Evict(r Runnable, e *Engine) {
+	if t.holder == r {
+		t.holder = nil
+		t.waiters.Signal(e)
+		return
+	}
+	t.waiters.Remove(r)
+}

@@ -95,6 +95,36 @@
 // the faulted placement rules IS trajectory-breaking for runs with
 // faults scheduled and follows the versioning policy below.
 //
+// # Failure and recovery determinism
+//
+// Crash-stop failure extends the fault contract from degradation to
+// death and rebirth. A crash campaign (CrashEvent lists, compiled by
+// internal/faults like every other family) is part of the
+// configuration: the consuming layer schedules one ordinary engine
+// event per crash at its At instant, whose callback calls Engine.Kill
+// on the victim and schedules the restart event at At+Restart. Kill
+// itself fires no events — a fiber is marked done in place, and a
+// goroutine unwinds through the Abort stopSignal machinery before Kill
+// returns (or, when the victim is the process currently being
+// dispatched, at its next yield) — so the kill occupies exactly the
+// (t, seq) position of the crash callback in both representations.
+// Stale resume events left behind by the victim are popped and counted
+// as fired, identically for procs and fibers. The restart respawns the
+// body via Spawn/SpawnFiber, drawing the next shared process id; since
+// both representations share one id counter and consume events
+// identically up to the crash, the respawned process has the same id,
+// stream, and resume positions under either representation.
+//
+// With no crashes scheduled, none of the failure paths runs — the
+// guards are eventless boolean checks — so crash-free trajectories are
+// byte-identical to pre-crash builds and the feature did NOT bump
+// TrajectoryVersion (still 2). A fixed crash campaign replays
+// bit-for-bit across representations, repeated runs, and pooled-engine
+// reuse; changing kill/restart event placement, the peer-notification
+// order in the mpi layer, or respawn id assignment IS
+// trajectory-breaking for runs with crashes scheduled and follows the
+// versioning policy below.
+//
 // # Determinism versioning
 //
 // The simulator's determinism contract is: one (code version, seed,
