@@ -1,0 +1,72 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/experiments"
+	"repro/internal/faults"
+)
+
+// TestFaultsEcho: the CSV campaign echo appears exactly when a selected
+// experiment consumes the -faults spec, renders canonically, and stays
+// silent on specs ParseSpec refuses (the run itself will surface the
+// error).
+func TestFaultsEcho(t *testing.T) {
+	def := faults.DefaultSpec().String()
+	cases := []struct {
+		names []string
+		spec  string
+		want  string
+	}{
+		{[]string{"resilience"}, "", def},
+		{[]string{"recovery", "fig8"}, "bursts=16", "bursts=16"},
+		{[]string{"fig8"}, "bursts=16", ""},
+		{[]string{"resilience"}, "bursts=-1", ""},
+		{[]string{"resilience"}, "bursts=1,bursts=2", ""},
+	}
+	for _, c := range cases {
+		if got := faultsEcho(c.names, c.spec); got != c.want {
+			t.Errorf("faultsEcho(%v, %q) = %q, want %q", c.names, c.spec, got, c.want)
+		}
+	}
+}
+
+// TestFibersDefaultEnv: the -fibers default folds REPRO_FIBERS, with
+// fibers as the soaked fallback.
+func TestFibersDefaultEnv(t *testing.T) {
+	t.Setenv("REPRO_FIBERS", "")
+	if !fibersDefault() {
+		t.Error("unset REPRO_FIBERS: default should be fibers")
+	}
+	t.Setenv("REPRO_FIBERS", "0")
+	if fibersDefault() {
+		t.Error("REPRO_FIBERS=0: default should be goroutines")
+	}
+}
+
+// TestCoresFlagSweep drives the same Options plumbing main builds from
+// the -cores flag through a small sharded fig8 sweep, so the race job
+// exercises the CLI-side path into parallel-mode worlds (sweep workers
+// and engine shard workers active at once).
+func TestCoresFlagSweep(t *testing.T) {
+	opts := experiments.Options{
+		MaxProcs: 32, Runs: 1, Workers: 2,
+		Fibers: true, FibersExplicit: true, Cores: 2,
+	}
+	rows, err := experiments.Registry["fig8"](opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) == 0 {
+		t.Fatal("no rows")
+	}
+	for _, r := range rows {
+		if r.Seconds <= 0 {
+			t.Errorf("row %s/%s procs=%d: non-positive seconds %v", r.Experiment, r.Series, r.Procs, r.Seconds)
+		}
+	}
+	if !strings.HasPrefix(rows[0].Experiment, "fig8") {
+		t.Errorf("unexpected experiment %q", rows[0].Experiment)
+	}
+}

@@ -263,7 +263,7 @@ func (s *ioRun) referenceFiberBody() mpi.FiberMain {
 				// save runs at the mover's completion instant, matching the
 				// goroutine body's post-ComputeLabeled recording point.
 				if step == c.Steps {
-					s.noteCompute(r.Now())
+					s.noteCompute(r)
 				}
 				if v == IOCollective {
 					return f.FWriteAll(r, out, stepLoop)
@@ -272,9 +272,7 @@ func (s *ioRun) referenceFiberBody() mpi.FiberMain {
 			}
 			stepLoop = func(_ *sim.Fiber) sim.StepFunc {
 				if step >= c.Steps {
-					if t := r.Now(); t > s.makespan {
-						s.makespan = t
-					}
+					s.noteFinish(r)
 					return nil
 				}
 				step++
@@ -299,9 +297,7 @@ func (s *ioRun) decoupledFiberBody() mpi.FiberMain {
 			st := ch.Attach(r, stream.Options{})
 			finish := func(_ *sim.Fiber) sim.StepFunc {
 				return ch.FFree(r, func(_ *sim.Fiber) sim.StepFunc {
-					if t := r.Now(); t > s.makespan {
-						s.makespan = t
-					}
+					s.noteFinish(r)
 					return nil
 				})
 			}
@@ -318,7 +314,7 @@ func (s *ioRun) decoupledFiberBody() mpi.FiberMain {
 					// final burst of the final step is the producer's last
 					// mover work, matching the goroutine body's recording.
 					if step == c.Steps-1 && burst == 4 {
-						s.noteCompute(r.Now())
+						s.noteCompute(r)
 					}
 					st.Isend(r, stream.Element{Bytes: out / 4})
 				}, &stepLoop)

@@ -70,8 +70,11 @@ func RunIO(c Config, v IOVariant) (Result, error) {
 		mc.StripeFaults = c.Faults.Stripe
 		mc.LinkFaults = c.Faults.Link
 	}
-	w := mpi.NewWorld(mc)
 	s := newIORun(c, v)
+	if c.Cores >= 1 && c.Tracer == nil {
+		mc.Shards, mc.Place = s.placement(c.Cores)
+	}
+	w := mpi.NewWorld(mc)
 	var err error
 	if c.Fibers && c.Tracer == nil {
 		_, err = w.RunFibers(s.fiberBody())
@@ -109,25 +112,49 @@ type ioRun struct {
 	dims    [3]int
 	field   workload.ParticleField
 
-	makespan sim.Time
-	// lastCompute is the latest instant any rank finished its final
-	// mover slice; makespan minus it is the run's I/O tail. Both
-	// representations record it at the same virtual instants (the end of
-	// the final compute op), so it is representation-neutral.
-	lastCompute sim.Time
+	// finished and lastCompute are per-world-rank records: rank i writes
+	// only slot i, so ranks hosted on different parallel-mode workers
+	// never share a word. finished[i] is the instant rank i's body ended;
+	// lastCompute[i] is when it finished its final mover slice. The run's
+	// makespan and I/O tail are folded from them after the engines stop.
+	// Both representations record at the same virtual instants, so the
+	// values are representation-neutral.
+	finished    []sim.Time
+	lastCompute []sim.Time
 	file        *mpi.File
 }
 
 // noteCompute records the end of a rank's final mover.
-func (s *ioRun) noteCompute(t sim.Time) {
-	if t > s.lastCompute {
-		s.lastCompute = t
+func (s *ioRun) noteCompute(r *mpi.Rank) {
+	s.lastCompute[r.ID()] = r.Now()
+}
+
+// noteFinish records the end of a rank's body.
+func (s *ioRun) noteFinish(r *mpi.Rank) {
+	s.finished[r.ID()] = r.Now()
+}
+
+// placement maps the job's ranks onto cores workers: the decoupled
+// variant spreads its compute group evenly and pins the I/O group to the
+// last worker (file I/O is engine-local, so a file's users must share a
+// worker); the reference variants write one shared file from every rank,
+// which forces the whole job onto a single worker.
+func (s *ioRun) placement(cores int) (int, func(rank int) int) {
+	if s.v != IODecoupled {
+		return 1, nil
+	}
+	computes := s.computes
+	return cores, func(rank int) int {
+		if rank >= computes {
+			return cores - 1
+		}
+		return rank * cores / computes
 	}
 }
 
 // newIORun derives the job's particle layout for the chosen variant.
 func newIORun(c Config, v IOVariant) *ioRun {
-	s := &ioRun{c: c, v: v}
+	s := &ioRun{c: c, v: v, finished: make([]sim.Time, c.Procs), lastCompute: make([]sim.Time, c.Procs)}
 	if v == IODecoupled {
 		s.ioProcs = int(float64(c.Procs)*c.Alpha + 0.5)
 		if s.ioProcs < 1 {
@@ -160,11 +187,20 @@ func (s *ioRun) fiberBody() mpi.FiberMain {
 
 // result collects the job's outcome once the engine has run.
 func (s *ioRun) result(w *mpi.World) Result {
-	tail := s.makespan - s.lastCompute
+	var makespan, lastCompute sim.Time
+	for i := range s.finished {
+		if s.finished[i] > makespan {
+			makespan = s.finished[i]
+		}
+		if s.lastCompute[i] > lastCompute {
+			lastCompute = s.lastCompute[i]
+		}
+	}
+	tail := makespan - lastCompute
 	if tail < 0 {
 		tail = 0
 	}
-	return Result{Time: s.makespan, Messages: w.MessagesSent(), BytesWritten: s.file.BytesWritten(), IOTail: tail}
+	return Result{Time: makespan, Messages: w.MessagesSent(), BytesWritten: s.file.BytesWritten(), IOTail: tail}
 }
 
 // IOJob is a particle-I/O job started on a shared engine for co-scheduled
@@ -239,7 +275,7 @@ func (s *ioRun) referenceBody() func(r *mpi.Rank) {
 		for step := 0; step < c.Steps; step++ {
 			r.ComputeLabeled(c.moverTime(myCount), "mover")
 			if step == c.Steps-1 {
-				s.noteCompute(r.Now())
+				s.noteCompute(r)
 			}
 			if v == IOCollective {
 				// Two-phase collective write; the embedded allgatherv is
@@ -250,9 +286,7 @@ func (s *ioRun) referenceBody() func(r *mpi.Rank) {
 				f.WriteShared(r, out)
 			}
 		}
-		if t := r.Now(); t > s.makespan {
-			s.makespan = t
-		}
+		s.noteFinish(r)
 	}
 }
 
@@ -282,7 +316,7 @@ func (s *ioRun) decoupledBody() func(r *mpi.Rank) {
 				for burst := 0; burst < 4; burst++ {
 					r.ComputeLabeled(c.moverTime(myCount)/4, "mover")
 					if step == c.Steps-1 && burst == 3 {
-						s.noteCompute(r.Now())
+						s.noteCompute(r)
 					}
 					st.Isend(r, stream.Element{Bytes: out / 4})
 				}
@@ -310,8 +344,6 @@ func (s *ioRun) decoupledBody() func(r *mpi.Rank) {
 			}
 		}
 		ch.Free(r)
-		if t := r.Now(); t > s.makespan {
-			s.makespan = t
-		}
+		s.noteFinish(r)
 	}
 }

@@ -60,6 +60,15 @@ type Config struct {
 	// rank bodies (goroutine-free dispatch; trajectories are bit-identical
 	// either way). Ignored when a Tracer is configured.
 	Fibers bool
+	// Cores, when >= 1, runs the I/O experiments (RunIO) in the engine's
+	// conservative parallel mode with that many workers. Rows are
+	// byte-identical for any Cores >= 1; Cores == 0 keeps the classic
+	// single-engine mode. The reference I/O variants share one file among
+	// all ranks, which pins every rank to one worker (no speedup, by
+	// construction); the decoupled variant spreads the compute group
+	// across workers. Incompatible with Tracer and crash campaigns, like
+	// the underlying mpi.Config.Shards.
+	Cores int
 	// Faults, if non-nil, is a compiled fault campaign (rank slowdown
 	// bursts, stripe outage/derate windows, link degradation) injected
 	// into the run. An empty injection perturbs nothing: the trajectory
@@ -115,6 +124,9 @@ func (c Config) Validate() error {
 	}
 	if c.BufferSteps <= 0 {
 		return fmt.Errorf("ipic3d: buffer steps %d", c.BufferSteps)
+	}
+	if c.Cores < 0 {
+		return fmt.Errorf("ipic3d: negative core count %d", c.Cores)
 	}
 	return nil
 }

@@ -1,0 +1,41 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestCoresRowsBitIdentical is the determinism contract for the engine's
+// conservative parallel mode at the experiment level: fig8 regenerated
+// with 1, 2, 4 and 8 workers — in both process representations — must
+// produce byte-identical row output. (Cores >= 1 is its own trajectory
+// family: every cross-rank delivery carries the sender's program order
+// as a tie-break priority, so the classic Cores == 0 rows are pinned by
+// the other suites, not compared here.)
+func TestCoresRowsBitIdentical(t *testing.T) {
+	t.Setenv("REPRO_FIBERS", "0")
+	for _, fibers := range []bool{false, true} {
+		render := func(cores int) []byte {
+			opts := Options{MaxProcs: 32, Runs: 2, Workers: 2, Fibers: fibers, FibersExplicit: true, Cores: cores}
+			if testing.Short() {
+				opts.Runs = 1 // the race-checked CI job runs -short
+			}
+			rows, err := Registry["fig8"](opts)
+			if err != nil {
+				t.Fatalf("fibers=%v cores=%d: %v", fibers, cores, err)
+			}
+			var buf bytes.Buffer
+			if err := FormatCSV(&buf, rows); err != nil {
+				t.Fatal(err)
+			}
+			return buf.Bytes()
+		}
+		ref := render(1)
+		for _, cores := range []int{2, 4, 8} {
+			if got := render(cores); !bytes.Equal(got, ref) {
+				t.Errorf("fibers=%v: rows differ between cores=1 and cores=%d\n--- cores=1 ---\n%s--- cores=%d ---\n%s",
+					fibers, cores, ref, cores, got)
+			}
+		}
+	}
+}

@@ -62,6 +62,13 @@ type Options struct {
 	// the environment into its -fibers flag default and sets this, so an
 	// explicit -fibers=false wins over REPRO_FIBERS=1.
 	FibersExplicit bool
+	// Cores, when >= 1, runs each fig8 point's simulation in the engine's
+	// conservative parallel mode with that many workers (rows are
+	// byte-identical for any Cores >= 1; see internal/sim's parallel-mode
+	// contract). Zero keeps the classic single-engine mode. Experiments
+	// whose simulations cannot shard (shared-engine co-scheduling, crash
+	// recovery, traced runs) ignore it.
+	Cores int
 	// CoschedJobs restricts the cosched experiment to one concurrent-job
 	// count (0: sweep the built-in set).
 	CoschedJobs int

@@ -127,6 +127,7 @@ func Fig8(opts Options) ([]Row, error) {
 					c := ipic3d.DefaultConfig(p)
 					c.Seed = seed
 					c.Fibers = opts.Fibers
+					c.Cores = opts.Cores
 					res, err := ipic3d.RunIO(c, v)
 					return res.Time.Seconds(), err
 				},

@@ -312,6 +312,10 @@ func (s Spec) String() string {
 // The literal "default" (or an empty string) is DefaultSpec unchanged;
 // "none" is the zero Spec, whose plan is empty. Durations use Go
 // duration syntax ("200ms"), interpreted as virtual time.
+//
+// Each key may appear at most once, and counts, factors and durations
+// must be non-negative (only "seed" may be negative); violations are
+// errors naming the offending key rather than silently-planned nonsense.
 func ParseSpec(text string) (Spec, error) {
 	s := DefaultSpec()
 	text = strings.TrimSpace(text)
@@ -321,6 +325,7 @@ func ParseSpec(text string) (Spec, error) {
 	case "none":
 		return Spec{}, nil
 	}
+	seen := make(map[string]bool, 8)
 	for _, kv := range strings.Split(text, ",") {
 		key, val, ok := strings.Cut(strings.TrimSpace(kv), "=")
 		if !ok {
@@ -335,31 +340,31 @@ func ParseSpec(text string) (Spec, error) {
 		case "horizon":
 			s.Horizon, err = parseDuration(val)
 		case "bursts":
-			s.Bursts, err = strconv.Atoi(val)
+			s.Bursts, err = parseCount(val)
 		case "burst-len":
 			s.BurstLen, err = parseDuration(val)
 		case "burst-factor":
-			s.BurstFactor, err = strconv.ParseFloat(val, 64)
+			s.BurstFactor, err = parseFactor(val)
 		case "outages":
-			s.Outages, err = strconv.Atoi(val)
+			s.Outages, err = parseCount(val)
 		case "outage-len":
 			s.OutageLen, err = parseDuration(val)
 		case "derate-stripes":
-			s.DerateStripes, err = strconv.Atoi(val)
+			s.DerateStripes, err = parseCount(val)
 		case "derate-len":
 			s.DerateLen, err = parseDuration(val)
 		case "derate-rate":
-			s.DerateRate, err = strconv.ParseFloat(val, 64)
+			s.DerateRate, err = parseFactor(val)
 		case "flaps":
-			s.Flaps, err = strconv.Atoi(val)
+			s.Flaps, err = parseCount(val)
 		case "flap-len":
 			s.FlapLen, err = parseDuration(val)
 		case "lat-factor":
-			s.LatencyFactor, err = strconv.ParseFloat(val, 64)
+			s.LatencyFactor, err = parseFactor(val)
 		case "bw-factor":
-			s.BandwidthFactor, err = strconv.ParseFloat(val, 64)
+			s.BandwidthFactor, err = parseFactor(val)
 		case "crashes":
-			s.Crashes, err = strconv.Atoi(val)
+			s.Crashes, err = parseCount(val)
 		case "crash-mtbf":
 			s.CrashMTBF, err = parseDuration(val)
 		case "restart-cost":
@@ -370,15 +375,53 @@ func ParseSpec(text string) (Spec, error) {
 		if err != nil {
 			return Spec{}, fmt.Errorf("faults: bad value for %q: %v", key, err)
 		}
+		// A repeated key is almost always an edited-in-place campaign where
+		// the old override was meant to go; last-wins would silently run a
+		// different campaign than the one the operator thinks they asked for.
+		if seen[key] {
+			return Spec{}, fmt.Errorf("faults: duplicate spec key %q", key)
+		}
+		seen[key] = true
 	}
 	return s, nil
 }
 
-// parseDuration reads a Go duration literal as virtual time.
+// parseCount reads a non-negative event count. Campaign generation treats
+// counts as loop bounds, so a negative would silently plan nothing; refuse
+// it instead.
+func parseCount(val string) (int, error) {
+	n, err := strconv.Atoi(val)
+	if err != nil {
+		return 0, err
+	}
+	if n < 0 {
+		return 0, fmt.Errorf("count %d is negative", n)
+	}
+	return n, nil
+}
+
+// parseFactor reads a non-negative severity factor or rate. Negative
+// slowdowns/rates have no physical reading (Plan would emit them into
+// events Compile rejects much later, far from the flag that caused them).
+func parseFactor(val string) (float64, error) {
+	f, err := strconv.ParseFloat(val, 64)
+	if err != nil {
+		return 0, err
+	}
+	if f < 0 {
+		return 0, fmt.Errorf("factor %v is negative", f)
+	}
+	return f, nil
+}
+
+// parseDuration reads a Go duration literal as non-negative virtual time.
 func parseDuration(val string) (sim.Time, error) {
 	d, err := time.ParseDuration(val)
 	if err != nil {
 		return 0, err
+	}
+	if d < 0 {
+		return 0, fmt.Errorf("duration %v is negative", d)
 	}
 	return sim.Time(d.Nanoseconds()), nil
 }

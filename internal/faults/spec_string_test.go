@@ -63,6 +63,51 @@ func TestUnknownKeyListsValidKeys(t *testing.T) {
 	}
 }
 
+// TestParseSpecRejects: negative counts/factors/durations and repeated
+// keys are refused, and every error names the offending key so the
+// operator can find it in a long campaign string.
+func TestParseSpecRejects(t *testing.T) {
+	cases := []struct {
+		text string
+		key  string // the key the error must name
+	}{
+		{"bursts=-1", "bursts"},
+		{"outages=-3", "outages"},
+		{"derate-stripes=-2", "derate-stripes"},
+		{"flaps=-1", "flaps"},
+		{"crashes=-5", "crashes"},
+		{"burst-factor=-2", "burst-factor"},
+		{"derate-rate=-0.5", "derate-rate"},
+		{"lat-factor=-1", "lat-factor"},
+		{"bw-factor=-0.1", "bw-factor"},
+		{"horizon=-1s", "horizon"},
+		{"burst-len=-200ms", "burst-len"},
+		{"outage-len=-1ns", "outage-len"},
+		{"derate-len=-4ms", "derate-len"},
+		{"flap-len=-250ms", "flap-len"},
+		{"crash-mtbf=-1ms", "crash-mtbf"},
+		{"restart-cost=-100ms", "restart-cost"},
+		{"bursts=16,bursts=2", "bursts"},
+		{"seed=1,bursts=4,seed=2", "seed"},
+		{"crashes=3, crashes=3", "crashes"}, // even an agreeing repeat
+	}
+	for _, c := range cases {
+		_, err := ParseSpec(c.text)
+		if err == nil {
+			t.Errorf("ParseSpec(%q) accepted", c.text)
+			continue
+		}
+		if !strings.Contains(err.Error(), `"`+c.key+`"`) {
+			t.Errorf("ParseSpec(%q) error %q does not name key %q", c.text, err, c.key)
+		}
+	}
+	// A negative seed is the one legitimate negative: it is an RNG stream
+	// label, not a magnitude.
+	if s, err := ParseSpec("seed=-7"); err != nil || s.Seed != -7 {
+		t.Errorf("ParseSpec(seed=-7) = %+v, %v; want Seed -7", s, err)
+	}
+}
+
 // TestCrashPlanDeterministic: equal specs yield equal crash schedules,
 // and both the uniform and MTBF generators stay inside the horizon.
 func TestCrashPlanDeterministic(t *testing.T) {
@@ -167,6 +212,11 @@ func FuzzParseSpec(f *testing.F) {
 	f.Add("crash-mtbf=250ms,seed=9")
 	f.Add("crashes=x")
 	f.Add("horizon=2s,derate-stripes=8,derate-rate=0.1")
+	f.Add("bursts=-1")
+	f.Add("burst-factor=-2,derate-rate=-0.5")
+	f.Add("restart-cost=-100ms")
+	f.Add("bursts=16,bursts=2")
+	f.Add("seed=-7,crashes=0")
 	f.Fuzz(func(t *testing.T, text string) {
 		s, err := ParseSpec(text)
 		if err != nil {

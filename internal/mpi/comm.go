@@ -92,6 +92,14 @@ func (c *Comm) Split(r *Rank, color, key int) *Comm {
 // membership bookkeeping is shared by Split and FSplit.
 func (c *Comm) splitRegister(r *Rank, color, key int) *splitState {
 	w := c.w
+	// Shards may register concurrently in parallel mode; the materialized
+	// result is order-independent (entries are re-sorted by (key, world
+	// rank) and colors by value), so the lock only protects the maps.
+	// Child comm ids can vary with arrival order, which is harmless: ids
+	// are opaque registry keys, and collective tags derive from collSeq,
+	// not from ids.
+	w.mu.Lock()
+	defer w.mu.Unlock()
 	skey := fmt.Sprintf("split:%d", c.id)
 	st, ok := w.splits[skey]
 	if !ok {

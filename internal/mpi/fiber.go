@@ -55,10 +55,11 @@ type fwait struct {
 
 // newFwait readies a pooled (or fresh) wait state.
 func (w *World) newFwait(r *Rank, f *sim.Fiber, req *Request, then func(Status) sim.StepFunc, thenStep sim.StepFunc) *fwait {
+	pl := r.rs.pool
 	var s *fwait
-	if n := len(w.fwFree); n > 0 {
-		s = w.fwFree[n-1]
-		w.fwFree = w.fwFree[:n-1]
+	if n := len(pl.fwFree); n > 0 {
+		s = pl.fwFree[n-1]
+		pl.fwFree = pl.fwFree[:n-1]
 	} else {
 		s = &fwait{}
 		s.check = s.checkStep
@@ -66,7 +67,7 @@ func (w *World) newFwait(r *Rank, f *sim.Fiber, req *Request, then func(Status) 
 		s.settle = s.settleStep
 	}
 	s.r, s.f, s.req, s.then, s.thenStep = r, f, req, then, thenStep
-	s.floor = w.eng.Now() + f.Debt()
+	s.floor = r.rs.eng.Now() + f.Debt()
 	s.ov = w.cfg.Net.RecvOverhead
 	return s
 }
@@ -83,7 +84,7 @@ func (s *fwait) checkStep(_ *sim.Fiber) sim.StepFunc {
 		req.waiter = s.f
 		return s.f.ParkKeepingDebt("mpi wait", s.wake)
 	}
-	e := s.r.w.eng
+	e := s.r.rs.eng
 	target := e.Now()
 	if s.floor > target {
 		target = s.floor
@@ -95,7 +96,7 @@ func (s *fwait) checkStep(_ *sim.Fiber) sim.StepFunc {
 		// rank's registered fail step (FProtect) or a panic.
 		r, f := s.r, s.f
 		s.r, s.f, s.req, s.then, s.thenStep = nil, nil, nil, nil, nil
-		r.w.fwFree = append(r.w.fwFree, s)
+		r.rs.pool.fwFree = append(r.rs.pool.fwFree, s)
 		return f.SettleTo(target, r.failNow())
 	}
 	if req.timed && req.doneAt > target {
@@ -117,10 +118,10 @@ func (s *fwait) wakeStep(_ *sim.Fiber) sim.StepFunc {
 // settleStep finishes the wait: recycle the state and the consumed
 // request, then run the caller's continuation.
 func (s *fwait) settleStep(_ *sim.Fiber) sim.StepFunc {
-	then, thenStep, st, w := s.then, s.thenStep, s.req.status, s.r.w
-	w.freeRequest(s.req)
+	then, thenStep, st, pl := s.then, s.thenStep, s.req.status, s.r.rs.pool
+	pl.freeRequest(s.req)
 	s.r, s.f, s.req, s.then, s.thenStep = nil, nil, nil, nil, nil
-	w.fwFree = append(w.fwFree, s)
+	pl.fwFree = append(pl.fwFree, s)
 	if then != nil {
 		return then(st)
 	}
@@ -170,7 +171,7 @@ type fwaitAll struct {
 }
 
 func (s *fwaitAll) loopStep(_ *sim.Fiber) sim.StepFunc {
-	e := s.c.w.eng
+	e := s.r.rs.eng
 	ov := s.c.w.cfg.Net.RecvOverhead
 	for s.i < len(s.reqs) {
 		q := s.reqs[s.i]
@@ -186,7 +187,7 @@ func (s *fwaitAll) loopStep(_ *sim.Fiber) sim.StepFunc {
 				s.f.AddDebt(ov)
 			}
 			s.out[s.i] = q.status
-			s.c.w.freeRequest(q)
+			s.r.rs.pool.freeRequest(q)
 			s.i++
 			continue
 		}
@@ -203,9 +204,9 @@ func (s *fwaitAll) slotStep(st Status) sim.StepFunc {
 }
 
 func (s *fwaitAll) finStep(_ *sim.Fiber) sim.StepFunc {
-	then, out, w := s.then, s.out, s.c.w
+	then, out, pl := s.then, s.out, s.r.rs.pool
 	s.c, s.r, s.f, s.reqs, s.out, s.then = nil, nil, nil, nil, nil, nil
-	w.fwAllFree = append(w.fwAllFree, s)
+	pl.fwAllFree = append(pl.fwAllFree, s)
 	return then(out)
 }
 
@@ -214,11 +215,11 @@ func (s *fwaitAll) finStep(_ *sim.Fiber) sim.StepFunc {
 // get a full wait in order. Statuses land in the rank's reusable scratch
 // slice (same ownership rule as WaitAll's return value).
 func (c *Comm) FWaitAll(r *Rank, reqs []*Request, then func([]Status) sim.StepFunc) sim.StepFunc {
-	w := c.w
+	pl := r.rs.pool
 	var s *fwaitAll
-	if n := len(w.fwAllFree); n > 0 {
-		s = w.fwAllFree[n-1]
-		w.fwAllFree = w.fwAllFree[:n-1]
+	if n := len(pl.fwAllFree); n > 0 {
+		s = pl.fwAllFree[n-1]
+		pl.fwAllFree = pl.fwAllFree[:n-1]
 	} else {
 		s = &fwaitAll{}
 		s.loop = s.loopStep
@@ -250,7 +251,7 @@ type fwaitAny struct {
 }
 
 func (s *fwaitAny) loopStep(_ *sim.Fiber) sim.StepFunc {
-	e := s.c.w.eng
+	e := s.r.rs.eng
 	now := e.Now()
 	var minTimed sim.Time = -1
 	won := -1
@@ -281,9 +282,9 @@ func (s *fwaitAny) loopStep(_ *sim.Fiber) sim.StepFunc {
 				s.armed = false
 				s.wk.Disarm()
 			}
-			r, w := s.r, s.c.w
+			r := s.r
 			s.c, s.r, s.f, s.reqs, s.then = nil, nil, nil, nil, nil
-			w.fwAnyFree = append(w.fwAnyFree, s)
+			r.rs.pool.fwAnyFree = append(r.rs.pool.fwAnyFree, s)
 			return r.failNow()
 		}
 		q.done = true
@@ -327,10 +328,10 @@ func (s *fwaitAny) finish(i int) sim.StepFunc {
 		s.armed = false
 		s.wk.Disarm()
 	}
-	then, st, w := s.then, s.reqs[i].status, s.c.w
-	w.freeRequest(s.reqs[i])
+	then, st, pl := s.then, s.reqs[i].status, s.r.rs.pool
+	pl.freeRequest(s.reqs[i])
 	s.c, s.r, s.f, s.reqs, s.then = nil, nil, nil, nil, nil
-	w.fwAnyFree = append(w.fwAnyFree, s)
+	pl.fwAnyFree = append(pl.fwAnyFree, s)
 	return then(i, st)
 }
 
@@ -343,11 +344,11 @@ func (c *Comm) FWaitAny(r *Rank, reqs []*Request, then func(int, Status) sim.Ste
 	if len(reqs) == 0 {
 		panic("mpi: FWaitAny with no requests")
 	}
-	w := c.w
+	pl := r.rs.pool
 	var s *fwaitAny
-	if n := len(w.fwAnyFree); n > 0 {
-		s = w.fwAnyFree[n-1]
-		w.fwAnyFree = w.fwAnyFree[:n-1]
+	if n := len(pl.fwAnyFree); n > 0 {
+		s = pl.fwAnyFree[n-1]
+		pl.fwAnyFree = pl.fwAnyFree[:n-1]
 	} else {
 		s = &fwaitAny{}
 		s.loop = s.loopStep
@@ -625,7 +626,7 @@ func (c *Comm) FIreduce(r *Rank, root int, part Part, op ReduceOp, cost CostFn, 
 	me := c.RankOf(r)
 	tag := c.nextCollTag(me)
 	cr := &CollRequest{}
-	r.w.eng.SpawnFiber(fmt.Sprintf("rank%d/ireduce", r.rs.rank), func(hf *sim.Fiber) sim.StepFunc {
+	r.rs.eng.SpawnFiber(fmt.Sprintf("rank%d/ireduce", r.rs.rank), func(hf *sim.Fiber) sim.StepFunc {
 		return c.freduceOn(r, hf, me, root, part, op, cost, tag, func(res Part, isRoot bool) sim.StepFunc {
 			if isRoot {
 				cr.value = res
@@ -643,7 +644,7 @@ func (c *Comm) FIallgatherv(r *Rank, part Part, then func(*CollRequest) sim.Step
 	me := c.RankOf(r)
 	tag := c.nextCollTag(me)
 	cr := &CollRequest{}
-	r.w.eng.SpawnFiber(fmt.Sprintf("rank%d/iallgatherv", r.rs.rank), func(hf *sim.Fiber) sim.StepFunc {
+	r.rs.eng.SpawnFiber(fmt.Sprintf("rank%d/iallgatherv", r.rs.rank), func(hf *sim.Fiber) sim.StepFunc {
 		return c.fallgathervOn(r, hf, me, part, tag, func(parts []Part) sim.StepFunc {
 			cr.value = parts
 			return c.finishColl(r, cr)

@@ -15,7 +15,7 @@ import (
 // which may advance the clock. then receives (ok, status).
 func (c *Comm) FTest(r *Rank, req *Request, then func(bool, Status) sim.StepFunc) sim.StepFunc {
 	req.checkLive()
-	if !req.completedBy(r.w.eng.Now()) {
+	if !req.completedBy(r.rs.eng.Now()) {
 		return then(false, Status{})
 	}
 	if req.status.Err != nil {
@@ -39,13 +39,16 @@ func (c *Comm) FOpen(r *Rank, name string, then func(*File) sim.StepFunc) sim.St
 	if w.revoked {
 		return r.failNow()
 	}
+	w.checkIOShard(c)
 	key := fmt.Sprintf("%d:%s", c.id, name)
+	w.mu.Lock()
 	st, ok := w.opens[key]
 	if !ok {
 		st = &openState{file: &File{w: w, comm: c, name: name}}
 		w.opens[key] = st
 		w.files[key] = st.file
 	}
+	w.mu.Unlock()
 	return c.FBarrier(r, func(_ *sim.Fiber) sim.StepFunc {
 		return then(st.file)
 	})

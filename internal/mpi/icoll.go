@@ -39,11 +39,11 @@ func (c *Comm) startColl(r *Rank, kind string, cr *CollRequest, body func(proc *
 func (c *Comm) completeColl(r *Rank, cr *CollRequest) {
 	cr.done = true
 	if r.w.legacy {
-		r.rs.progress.Broadcast(r.w.eng)
+		r.rs.progress.Broadcast(r.rs.eng)
 		return
 	}
 	if cr.waiter != nil {
-		r.w.eng.WakeAt(r.w.eng.Now(), cr.waiter)
+		r.rs.eng.WakeAt(r.rs.eng.Now(), cr.waiter)
 		cr.waiter = nil
 	}
 }
@@ -56,7 +56,7 @@ func (c *Comm) completeColl(r *Rank, cr *CollRequest) {
 //	Ialltoallv -> []Part
 func (c *Comm) WaitColl(r *Rank, cr *CollRequest) interface{} {
 	r.proc.FlushDebt()
-	start := r.w.eng.Now()
+	start := r.rs.eng.Now()
 	for !cr.done {
 		if r.w.legacy {
 			r.rs.progress.Wait(r.proc, "mpi waitcoll")
@@ -68,8 +68,8 @@ func (c *Comm) WaitColl(r *Rank, cr *CollRequest) interface{} {
 		r.proc.Park("mpi waitcoll")
 		cr.waiter = nil
 	}
-	if t := r.w.cfg.Tracer; t != nil && r.w.eng.Now() > start {
-		t.Span(r.rs.rank, "comm", "waitcoll", start, r.w.eng.Now())
+	if t := r.w.cfg.Tracer; t != nil && r.rs.eng.Now() > start {
+		t.Span(r.rs.rank, "comm", "waitcoll", start, r.rs.eng.Now())
 	}
 	return cr.value
 }

@@ -42,13 +42,16 @@ func (c *Comm) Open(r *Rank, name string) *File {
 	if w.revoked {
 		panic(w.failure)
 	}
+	w.checkIOShard(c)
 	key := fmt.Sprintf("%d:%s", c.id, name)
+	w.mu.Lock()
 	st, ok := w.opens[key]
 	if !ok {
 		st = &openState{file: &File{w: w, comm: c, name: name}}
 		w.opens[key] = st
 		w.files[key] = st.file
 	}
+	w.mu.Unlock()
 	c.Barrier(r)
 	return st.file
 }

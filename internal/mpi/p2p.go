@@ -54,12 +54,16 @@ type message struct {
 // messages fire at wire arrival, reserve the receiver NIC and become
 // observable when its serialization slot ends.
 func (m *message) Fire() {
+	// Delivery events fire on the destination rank's engine (its shard's,
+	// in parallel mode), so the receiver NIC and matching state are only
+	// ever touched by that engine's thread of control.
 	w := m.dst.world
+	e := m.dst.eng
 	if m.self {
-		w.deliverAt(m.dst, m, w.eng.Now())
+		w.deliverAt(m.dst, m, e.Now())
 		return
 	}
-	_, recvEnd := m.dst.recvLink.Reserve(w.eng.Now(), m.ser)
+	_, recvEnd := m.dst.recvLink.Reserve(e.Now(), m.ser)
 	w.deliverAt(m.dst, m, recvEnd)
 }
 
@@ -163,7 +167,7 @@ func (c *Comm) Isend(r *Rank, dst, tag int, bytes int64, data interface{}) *Requ
 // library's element path and the apps' aggregate forwards use it.
 func (c *Comm) IsendAndFree(r *Rank, dst, tag int, bytes int64, data interface{}) {
 	req := c.Isend(r, dst, tag, bytes, data)
-	c.w.freeRequest(req)
+	r.rs.pool.freeRequest(req)
 }
 
 // isendFrom implements Isend on behalf of proc, which may be a helper
@@ -193,7 +197,7 @@ func (c *Comm) isendOv(r *Rank, proc exec, dst, tag int, bytes int64, data inter
 	me := c.RankOf(r)
 	src := r.rs
 	dstState := w.ranks[c.members[dst]]
-	req := w.newRequest()
+	req := src.pool.newRequest()
 
 	// Sender CPU overhead (the LogGP "o"), accumulated as debt so that
 	// bursts of sends cost one engine yield instead of one per message.
@@ -201,8 +205,8 @@ func (c *Comm) isendOv(r *Rank, proc exec, dst, tag int, bytes int64, data inter
 	src.msgsSent++
 	src.bytesSent += bytes
 
-	e := w.eng
-	msg := w.newMessage()
+	e := src.eng
+	msg := src.pool.newMessage()
 	msg.commID, msg.src, msg.tag, msg.bytes, msg.data = c.id, me, tag, bytes, data
 	msg.dst = dstState
 	msg.epoch = w.epoch
@@ -244,7 +248,16 @@ func (c *Comm) isendOv(r *Rank, proc exec, dst, tag int, bytes int64, data inter
 	}
 	arrive := sendEnd + lat
 	msg.ser = ser
-	e.AtAction(arrive, msg)
+	if w.group != nil {
+		// Parallel mode: every cross-rank delivery is keyed by the sender's
+		// program order (deliveryPri), even when both ranks share a shard —
+		// the merge order at the receiver must not depend on placement.
+		// Post routes same-engine deliveries through the priority heap and
+		// cross-shard ones through the window outbox.
+		e.Post(dstState.eng, arrive, src.deliveryPri(), msg)
+	} else {
+		e.AtAction(arrive, msg)
+	}
 	return req
 }
 
@@ -279,15 +292,16 @@ func (w *World) deliverAt(dst *rankState, m *message, ready sim.Time) {
 		// Traffic from a superseded epoch (sent before a crash revoked the
 		// world): drop it so a pre-crash attempt's messages never match a
 		// post-rebuild receive.
-		w.freeMessage(m)
+		dst.pool.freeMessage(m)
 		return
 	}
+	e := dst.eng
 	if p := dst.match.takePosted(m); p != nil {
 		req := p.req
 		req.status = Status{Source: m.src, Tag: m.tag, Bytes: m.bytes, Data: m.data}
-		w.freePostedRecv(p)
-		w.freeMessage(m)
-		if ready > w.eng.Now() {
+		dst.pool.freePostedRecv(p)
+		dst.pool.freeMessage(m)
+		if ready > e.Now() {
 			req.timed = true
 			req.doneAt = ready
 			// Nobody can act on the completion before ready; wake waiters
@@ -298,23 +312,23 @@ func (w *World) deliverAt(dst *rankState, m *message, ready sim.Time) {
 			// the timed request directly. (Legacy strategy: rank-level
 			// waiters get a deferred broadcast instead.)
 			if req.waiter != nil {
-				w.eng.WakeAt(ready, req.waiter)
+				e.WakeAt(ready, req.waiter)
 			} else if req.anyw != nil {
 				req.anyw.WakeAt(ready)
 				req.anyw = nil
 			} else if w.legacy && dst.progress.Len() > 0 {
-				w.eng.AtAction(ready, dst)
+				e.AtAction(ready, dst)
 			}
 			return
 		}
 		req.done = true
 		if req.waiter != nil {
-			w.eng.WakeAt(w.eng.Now(), req.waiter)
+			e.WakeAt(e.Now(), req.waiter)
 		} else if req.anyw != nil {
-			req.anyw.WakeAt(w.eng.Now())
+			req.anyw.WakeAt(e.Now())
 			req.anyw = nil
 		} else if w.legacy {
-			dst.progress.Broadcast(w.eng)
+			dst.progress.Broadcast(e)
 		}
 		return
 	}
@@ -326,7 +340,7 @@ func (w *World) deliverAt(dst *rankState, m *message, ready sim.Time) {
 	// legacy strategy broadcast here anyway — the two spurious events per
 	// message this PR removes from the consumer-side stream path.
 	if w.legacy {
-		dst.progress.Broadcast(w.eng)
+		dst.progress.Broadcast(e)
 	}
 }
 
@@ -346,15 +360,15 @@ func (c *Comm) irecvFor(r *Rank, src, tag int) *Request {
 		return r.w.failedRequest()
 	}
 	rs := r.rs
-	req := r.w.newRequest()
+	req := rs.pool.newRequest()
 	req.isRecv = true
 	// Match against already-arrived messages first (FIFO arrival order
 	// preserves MPI's non-overtaking guarantee per (source, tag)). A
 	// message still on the receiver NIC completes the request at its
 	// readiness instant.
-	if m := rs.match.takeQueued(c.id, src, tag, r.w.eng.Now()); m != nil {
+	if m := rs.match.takeQueued(c.id, src, tag, rs.eng.Now()); m != nil {
 		req.status = Status{Source: m.src, Tag: m.tag, Bytes: m.bytes, Data: m.data}
-		if m.readyAt > r.w.eng.Now() {
+		if m.readyAt > rs.eng.Now() {
 			req.timed = true
 			req.doneAt = m.readyAt
 		} else {
@@ -362,7 +376,7 @@ func (c *Comm) irecvFor(r *Rank, src, tag int) *Request {
 		}
 		return req
 	}
-	p := r.w.newPostedRecv()
+	p := rs.pool.newPostedRecv()
 	p.commID, p.src, p.tag, p.req = c.id, src, tag, req
 	rs.match.post(p)
 	return req
@@ -394,7 +408,7 @@ func (c *Comm) waitOn(r *Rank, proc *simProc, req *Request) Status {
 	if c.w.cfg.Tracer != nil {
 		return c.waitOnTraced(r, proc, req)
 	}
-	e := r.w.eng
+	e := r.rs.eng
 	// floor is the earliest instant this process can observe anything:
 	// entry time plus the CPU debt it owes. The debt rides through the
 	// park (its busy window overlaps the blocked period) and is folded
@@ -429,7 +443,7 @@ func (c *Comm) waitOn(r *Rank, proc *simProc, req *Request) Status {
 	}
 	proc.SettleTo(target)
 	st := req.status
-	r.w.freeRequest(req)
+	r.rs.pool.freeRequest(req)
 	return st
 }
 
@@ -438,7 +452,7 @@ func (c *Comm) waitOn(r *Rank, proc *simProc, req *Request) Status {
 // receive overhead) so emitted spans match the untuned path exactly.
 func (c *Comm) waitOnTraced(r *Rank, proc *simProc, req *Request) Status {
 	proc.FlushDebt()
-	start := r.w.eng.Now()
+	start := r.rs.eng.Now()
 	for !req.done {
 		if req.timed {
 			proc.AdvanceTo(req.doneAt)
@@ -453,11 +467,11 @@ func (c *Comm) waitOnTraced(r *Rank, proc *simProc, req *Request) Status {
 		req.ovCharged = true
 		proc.Advance(r.w.cfg.Net.RecvOverhead)
 	}
-	if r.w.eng.Now() > start && proc == r.proc {
-		r.w.cfg.Tracer.Span(r.rs.rank, "comm", "wait", start, r.w.eng.Now())
+	if r.rs.eng.Now() > start && proc == r.proc {
+		r.w.cfg.Tracer.Span(r.rs.rank, "comm", "wait", start, r.rs.eng.Now())
 	}
 	st := req.status
-	r.w.freeRequest(req)
+	r.rs.pool.freeRequest(req)
 	return st
 }
 
@@ -482,7 +496,7 @@ func (c *Comm) WaitAll(r *Rank, reqs ...*Request) []Status {
 		return out
 	}
 	proc := r.proc
-	e := c.w.eng
+	e := r.rs.eng
 	ov := c.w.cfg.Net.RecvOverhead
 	for i, q := range reqs {
 		q.checkLive()
@@ -497,7 +511,7 @@ func (c *Comm) WaitAll(r *Rank, reqs ...*Request) []Status {
 				proc.AddDebt(ov)
 			}
 			out[i] = q.status
-			c.w.freeRequest(q)
+			r.rs.pool.freeRequest(q)
 			continue
 		}
 		out[i] = c.Wait(r, q)
@@ -520,10 +534,10 @@ func (c *Comm) WaitAny(r *Rank, reqs []*Request) (int, Status) {
 		panic("mpi: WaitAny with no requests")
 	}
 	r.proc.FlushDebt()
-	start := r.w.eng.Now()
+	start := r.rs.eng.Now()
 	var aw *sim.Waker
 	for {
-		now := r.w.eng.Now()
+		now := r.rs.eng.Now()
 		// Earliest pending timed completion (sends, and receives whose
 		// message is already bound), if any.
 		var minTimed sim.Time = -1
@@ -548,7 +562,7 @@ func (c *Comm) WaitAny(r *Rank, reqs []*Request) (int, Status) {
 		if won >= 0 {
 			if aw != nil {
 				aw.Disarm()
-				r.w.freeWaker(aw)
+				r.rs.pool.freeWaker(aw)
 			}
 			q := reqs[won]
 			if err := q.status.Err; err != nil {
@@ -561,11 +575,11 @@ func (c *Comm) WaitAny(r *Rank, reqs []*Request) (int, Status) {
 				q.ovCharged = true
 				r.proc.Advance(r.w.cfg.Net.RecvOverhead)
 			}
-			if r.w.cfg.Tracer != nil && r.w.eng.Now() > start {
-				r.w.cfg.Tracer.Span(r.rs.rank, "comm", "waitany", start, r.w.eng.Now())
+			if r.w.cfg.Tracer != nil && r.rs.eng.Now() > start {
+				r.w.cfg.Tracer.Span(r.rs.rank, "comm", "waitany", start, r.rs.eng.Now())
 			}
 			st := q.status
-			r.w.freeRequest(q)
+			r.rs.pool.freeRequest(q)
 			return won, st
 		}
 		if minTimed >= 0 {
@@ -579,8 +593,8 @@ func (c *Comm) WaitAny(r *Rank, reqs []*Request) (int, Status) {
 			continue
 		}
 		if aw == nil {
-			aw = r.w.newWaker()
-			aw.Arm(r.w.eng, r.proc)
+			aw = r.rs.pool.newWaker()
+			aw.Arm(r.rs.eng, r.proc)
 		}
 		for _, q := range reqs {
 			if q != nil && !q.done && !q.timed {
@@ -597,7 +611,7 @@ func (c *Comm) WaitAny(r *Rank, reqs []*Request) (int, Status) {
 // double- nor under-charge.
 func (c *Comm) Test(r *Rank, req *Request) (bool, Status) {
 	req.checkLive()
-	if !req.completedBy(r.w.eng.Now()) {
+	if !req.completedBy(r.rs.eng.Now()) {
 		return false, Status{}
 	}
 	if err := req.status.Err; err != nil {
@@ -615,7 +629,7 @@ func (c *Comm) Test(r *Rank, req *Request) (bool, Status) {
 // receiving it. A message still being serialized by the receiver NIC is
 // not yet visible.
 func (c *Comm) Probe(r *Rank, src, tag int) (bool, Status) {
-	if m := r.rs.match.findQueuedReady(c.id, src, tag, r.w.eng.Now()); m != nil {
+	if m := r.rs.match.findQueuedReady(c.id, src, tag, r.rs.eng.Now()); m != nil {
 		return true, Status{Source: m.src, Tag: m.tag, Bytes: m.bytes, Data: m.data}
 	}
 	return false, Status{}

@@ -131,6 +131,24 @@ type Config struct {
 	// Name, if non-empty, prefixes rank names ("jobA/rank3") so that
 	// deadlock reports and traces identify the world in multi-world runs.
 	Name string
+
+	// Shards, when > 1, runs the world in the conservative parallel mode:
+	// ranks are partitioned across Shards engines (sim.ShardGroup) that
+	// execute lookahead-bounded windows concurrently, with cross-rank
+	// deliveries carrying canonical partition-independent priorities so
+	// trajectories are byte-identical for every shard count and placement
+	// (see the "Parallel mode" section of the sim package comment). The
+	// lookahead is the network's minimum link latency, derated by any
+	// latency-shrinking LinkFaults window. Sharded worlds are incompatible
+	// with a shared Engine or Bank, with tracing, with crash campaigns and
+	// with the legacy broadcast wake strategy, and are never pooled.
+	// 0 or 1 means the classic single-engine mode.
+	Shards int
+	// Place maps a rank to its shard in [0, Shards); nil means contiguous
+	// blocks (rank*Shards/Procs). Trajectories do not depend on the
+	// placement — only wall-clock balance does. Ranks sharing simulated
+	// files must share a shard (File.Open enforces this).
+	Place func(rank int) int
 }
 
 func (c Config) withDefaults() Config {
@@ -147,6 +165,42 @@ func (c Config) withDefaults() Config {
 		c.Job = 0 // a private bank has exactly one job
 	}
 	return c
+}
+
+// lookahead computes the parallel mode's conservative window bound: a
+// lower bound on the wire latency of every cross-rank delivery. The
+// base latency is that bound — serialization and overheads only add to
+// it — derated by the smallest latency-shrinking LinkFaults factor,
+// computed with the same float arithmetic StretchLatency applies so the
+// bound is never optimistic.
+func (c Config) lookahead() sim.Time {
+	la := c.Net.Latency
+	if c.LinkFaults != nil {
+		for _, w := range c.LinkFaults.Latency {
+			if w.Factor < 1 {
+				if cand := sim.Time(float64(c.Net.Latency) * w.Factor); cand < la {
+					la = cand
+				}
+			}
+		}
+	}
+	if la <= 0 {
+		panic(fmt.Sprintf("mpi: Shards > 1 needs a positive minimum link latency for lookahead, got %v", la))
+	}
+	return la
+}
+
+// placeOf resolves a rank's shard: Config.Place if set (validated), else
+// contiguous blocks.
+func (c Config) placeOf(rank int) int {
+	if c.Place != nil {
+		s := c.Place(rank)
+		if s < 0 || s >= c.Shards {
+			panic(fmt.Sprintf("mpi: Place(%d) = %d outside [0, %d)", rank, s, c.Shards))
+		}
+		return s
+	}
+	return rank * c.Shards / c.Procs
 }
 
 // World is one simulated job: an engine, a set of ranks and the shared
@@ -172,28 +226,30 @@ type World struct {
 	// contenders to redistribute entitlement between.
 	signalDemand bool
 
-	// Freelists for matching-path objects (simulation code is single-
-	// threaded per world, so plain slices suffice). Messages matched
-	// straight against a posted receive and popped posted receives recycle
-	// here; messages that entered the unexpected queue are left to the GC
-	// (wildcard side-lists may still reference them). Requests recycle
-	// when a wait consumes them (see the contract on Request), so the
-	// steady-state message path allocates nothing at all.
-	msgFree []*message
-	prFree  []*postedRecv
-	reqFree []*Request
+	// Conservative parallel mode (Config.Shards > 1): the shard group
+	// whose engines host the ranks, and one pool set per shard so
+	// concurrently executing shards never share freelists. Both are nil in
+	// classic mode, where every rank's pool pointer aims at the embedded
+	// pools below.
+	group      *sim.ShardGroup
+	shardPools []pools
+	// ioShard is the single shard allowed to touch the file-system bank in
+	// parallel mode (-1 until the first Open): stripe reservations and
+	// shared-pointer tokens are engine-local state, so every file-using
+	// rank must be co-located (checkIOShard).
+	ioShard int
+	// mu guards the world-global registries (splits, opens, files, stash,
+	// communicator ids) that rank code on concurrently executing shards
+	// may touch at once. Registry contents stay deterministic — entries
+	// are keyed, and orderings that reach the trajectory are re-sorted by
+	// the consumers (splitRegister) — so the lock only serializes map
+	// access, it never decides an outcome. Uncontended in classic mode.
+	mu sync.Mutex
 
-	// Freelists for the fiber wait-state structs (fiber.go): the hoisted
-	// closure environments of the continuation wait primitives, recycled
-	// so steady-state fiber waits allocate nothing.
-	fwFree    []*fwait
-	fwAllFree []*fwaitAll
-	fwAnyFree []*fwaitAny
-
-	// Freelist for the per-request wakers that WaitAny (goroutine
-	// representation) registers on its pending requests; fiber WaitAny
-	// embeds its waker in the pooled fwaitAny state instead.
-	wkFree []*sim.Waker
+	// pools is the classic mode's freelist set, embedded so existing
+	// w.msgFree-style accesses keep working; sharded worlds use one pools
+	// value per shard instead (shardPools).
+	pools
 
 	// legacy selects the pre-version-2 broadcast wake strategy for this
 	// world (see legacyWake), captured at build time.
@@ -229,7 +285,7 @@ type World struct {
 func (w *World) ioBegin(rs *rankState) {
 	rs.ioDepth++
 	if w.signalDemand {
-		w.fs.IOBegin(w.cfg.Job, w.eng.Now())
+		w.fs.IOBegin(w.cfg.Job, rs.eng.Now())
 	}
 }
 
@@ -237,48 +293,75 @@ func (w *World) ioBegin(rs *rankState) {
 func (w *World) ioEnd(rs *rankState) {
 	rs.ioDepth--
 	if w.signalDemand {
-		w.fs.IOEnd(w.cfg.Job, w.eng.Now())
+		w.fs.IOEnd(w.cfg.Job, rs.eng.Now())
 	}
 }
 
+// pools is one shard's set of freelists for matching-path and wait-state
+// objects (simulation code is single-threaded per shard, so plain slices
+// suffice). Classic worlds have exactly one, embedded in World; sharded
+// worlds keep one per shard so concurrent windows never contend. Messages
+// matched straight against a posted receive and popped posted receives
+// recycle here; messages that entered the unexpected queue are left to
+// the GC (wildcard side-lists may still reference them). Requests recycle
+// when a wait consumes them (see the contract on Request), so the
+// steady-state message path allocates nothing at all.
+type pools struct {
+	msgFree []*message
+	prFree  []*postedRecv
+	reqFree []*Request
+
+	// Freelists for the fiber wait-state structs (fiber.go): the hoisted
+	// closure environments of the continuation wait primitives, recycled
+	// so steady-state fiber waits allocate nothing.
+	fwFree    []*fwait
+	fwAllFree []*fwaitAll
+	fwAnyFree []*fwaitAny
+
+	// Freelist for the per-request wakers that WaitAny (goroutine
+	// representation) registers on its pending requests; fiber WaitAny
+	// embeds its waker in the pooled fwaitAny state instead.
+	wkFree []*sim.Waker
+}
+
 // newWaker returns a recycled or fresh disarmed waker.
-func (w *World) newWaker() *sim.Waker {
-	if n := len(w.wkFree); n > 0 {
-		k := w.wkFree[n-1]
-		w.wkFree = w.wkFree[:n-1]
+func (pl *pools) newWaker() *sim.Waker {
+	if n := len(pl.wkFree); n > 0 {
+		k := pl.wkFree[n-1]
+		pl.wkFree = pl.wkFree[:n-1]
 		return k
 	}
 	return &sim.Waker{}
 }
 
 // freeWaker recycles a disarmed waker.
-func (w *World) freeWaker(k *sim.Waker) { w.wkFree = append(w.wkFree, k) }
+func (pl *pools) freeWaker(k *sim.Waker) { pl.wkFree = append(pl.wkFree, k) }
 
 // newMessage returns a recycled or fresh message. Callers must set all
 // matching fields.
-func (w *World) newMessage() *message {
-	if n := len(w.msgFree); n > 0 {
-		m := w.msgFree[n-1]
-		w.msgFree = w.msgFree[:n-1]
+func (pl *pools) newMessage() *message {
+	if n := len(pl.msgFree); n > 0 {
+		m := pl.msgFree[n-1]
+		pl.msgFree = pl.msgFree[:n-1]
 		return m
 	}
 	return &message{}
 }
 
 // freeMessage recycles a message that no queue references.
-func (w *World) freeMessage(m *message) {
+func (pl *pools) freeMessage(m *message) {
 	m.data = nil
 	m.consumed = false
 	m.readyAt = 0
 	m.self = false
-	w.msgFree = append(w.msgFree, m)
+	pl.msgFree = append(pl.msgFree, m)
 }
 
 // newRequest returns a recycled or fresh zeroed request.
-func (w *World) newRequest() *Request {
-	if n := len(w.reqFree); n > 0 {
-		q := w.reqFree[n-1]
-		w.reqFree = w.reqFree[:n-1]
+func (pl *pools) newRequest() *Request {
+	if n := len(pl.reqFree); n > 0 {
+		q := pl.reqFree[n-1]
+		pl.reqFree = pl.reqFree[:n-1]
 		q.freed = false
 		return q
 	}
@@ -288,32 +371,45 @@ func (w *World) newRequest() *Request {
 // freeRequest recycles a request whose completion has been consumed by a
 // wait. Callers must have copied the status out first. The pooled request
 // is poisoned (freed flag) so stale handles fail loudly.
-func (w *World) freeRequest(q *Request) {
+func (pl *pools) freeRequest(q *Request) {
 	*q = Request{freed: true}
-	w.reqFree = append(w.reqFree, q)
+	pl.reqFree = append(pl.reqFree, q)
 }
 
 // newPostedRecv returns a recycled or fresh posted-receive entry.
-func (w *World) newPostedRecv() *postedRecv {
-	if n := len(w.prFree); n > 0 {
-		p := w.prFree[n-1]
-		w.prFree = w.prFree[:n-1]
+func (pl *pools) newPostedRecv() *postedRecv {
+	if n := len(pl.prFree); n > 0 {
+		p := pl.prFree[n-1]
+		pl.prFree = pl.prFree[:n-1]
 		return p
 	}
 	return &postedRecv{}
 }
 
 // freePostedRecv recycles a posted-receive entry popped from its bucket.
-func (w *World) freePostedRecv(p *postedRecv) {
+func (pl *pools) freePostedRecv(p *postedRecv) {
 	p.req = nil
-	w.prFree = append(w.prFree, p)
+	pl.prFree = append(pl.prFree, p)
 }
 
 // rankState is the per-rank runtime state shared by the main process and
 // any helper processes (nonblocking collectives) of that rank.
 type rankState struct {
-	world    *World
-	rank     int
+	world *World
+	rank  int
+	// eng is the engine hosting this rank: the world engine in classic
+	// mode, the rank's shard engine in parallel mode. Every per-rank
+	// scheduling and clock read goes through it.
+	eng *sim.Engine
+	// pool is the freelist set of the rank's shard (the world's embedded
+	// pools in classic mode).
+	pool *pools
+	// sendSeq counts this rank's cross-rank sends, in rank program order.
+	// In parallel mode it forms the partition-independent delivery
+	// priority (deliveryPri); unused in classic mode.
+	sendSeq uint64
+	// shard is the rank's shard index in parallel mode (0 in classic).
+	shard    int
 	proc     *sim.Proc
 	fib      *sim.Fiber // set instead of proc under the fiber representation
 	sendLink sim.Link
@@ -366,6 +462,7 @@ func (rs *rankState) statusScratch(n int) []Status {
 func (rs *rankState) reset(speed float64) {
 	rs.proc = nil
 	rs.fib = nil
+	rs.sendSeq = 0
 	rs.sendLink = sim.Link{}
 	rs.recvLink = sim.Link{}
 	rs.match.reset()
@@ -381,7 +478,19 @@ func (rs *rankState) reset(speed float64) {
 
 // Fire wakes the rank's progress waiters; rankState doubles as a
 // scheduling action so deferred wakeups need no closure.
-func (rs *rankState) Fire() { rs.progress.Broadcast(rs.world.eng) }
+func (rs *rankState) Fire() { rs.progress.Broadcast(rs.eng) }
+
+// deliveryPri returns the canonical priority for this rank's next
+// cross-rank delivery in parallel mode: the sending rank and its send
+// counter, both functions of the simulated program alone, so same-instant
+// delivery order at the receiver never depends on shard placement. The
+// shift leaves room for 2^40 sends per rank before neighbouring ranks'
+// key ranges could touch.
+func (rs *rankState) deliveryPri() uint64 {
+	pri := (uint64(rs.rank)+1)<<40 | rs.sendSeq
+	rs.sendSeq++
+	return pri
+}
 
 // worldPool recycles released worlds so that sweeps reuse event-heap,
 // matching-index and message-pool capacity across points instead of
@@ -443,10 +552,35 @@ func NewWorld(cfg Config) *World {
 			}
 		}
 	}
+	sharded := cfg.Shards > 1
+	if sharded {
+		// The parallel mode partitions per-rank state across concurrently
+		// executing shard engines; the features below all assume one
+		// engine (a shared clock, a global kill/rebuild rendezvous, an
+		// ordered trace stream, the broadcast wake chain), so they are
+		// refused rather than silently misordered.
+		if cfg.Engine != nil {
+			panic("mpi: Shards > 1 with a shared Engine; co-scheduled worlds run on one engine")
+		}
+		if cfg.Bank != nil {
+			panic("mpi: Shards > 1 with a shared Bank")
+		}
+		if cfg.Tracer != nil {
+			panic("mpi: Shards > 1 does not support tracing")
+		}
+		if len(cfg.Crashes) > 0 {
+			panic("mpi: Shards > 1 does not support crash campaigns")
+		}
+		if legacyWake {
+			panic("mpi: Shards > 1 does not support the legacy broadcast wake strategy (REPRO_WAKE=broadcast)")
+		}
+	}
 	// External worlds (shared engine or bank) are never returned to the
 	// pool, so drawing one out would permanently drain it and discard the
 	// pooled world's capacity-warm engine; build them fresh instead.
-	external := cfg.Engine != nil
+	// Sharded worlds are external too: a pooled world's warm engine is the
+	// classic single one.
+	external := cfg.Engine != nil || sharded
 	if !external {
 		if v := worldPool.Get(); v != nil {
 			w := v.(*World)
@@ -466,7 +600,20 @@ func NewWorld(cfg Config) *World {
 	w.external = external
 	w.signalDemand = cfg.Bank != nil
 	w.legacy = legacyWake
-	if w.eng == nil {
+	w.ioShard = -1
+	if sharded {
+		w.group = sim.NewShardGroup(cfg.Seed, cfg.Shards, cfg.lookahead())
+		w.shardPools = make([]pools, cfg.Shards)
+		for i := 0; i < cfg.Shards; i++ {
+			// Ranks take their world rank as process id (SpawnID); helper
+			// processes draw automatic ids from a per-shard base far above
+			// any rank id, so the two ranges never collide whatever the
+			// placement. Helper ids are placement-dependent, which is
+			// harmless: helpers never draw from their id-seeded random
+			// streams.
+			w.group.Shard(i).SetIDBase(1<<30 + i<<20)
+		}
+	} else if w.eng == nil {
 		w.eng = sim.NewEngine(cfg.Seed)
 	}
 	if w.fs == nil {
@@ -509,6 +656,16 @@ func (w *World) buildRanks() {
 		} else {
 			w.ranks[i] = &rankState{world: w, rank: i, speed: speed}
 		}
+		if w.group != nil {
+			s := cfg.placeOf(i)
+			w.ranks[i].shard = s
+			w.ranks[i].eng = w.group.Shard(s)
+			w.ranks[i].pool = &w.shardPools[s]
+		} else {
+			w.ranks[i].shard = 0
+			w.ranks[i].eng = w.eng
+			w.ranks[i].pool = &w.pools
+		}
 		if i < len(cfg.RankFaults) {
 			w.ranks[i].faults = cfg.RankFaults[i]
 		} else {
@@ -528,6 +685,7 @@ func (w *World) reset(cfg Config) {
 	w.cfg = cfg
 	w.signalDemand = cfg.Bank != nil // always false: external worlds never pool
 	w.legacy = legacyWake
+	w.ioShard = -1
 	w.eng.Reset(cfg.Seed)
 	w.comms = 0
 	clear(w.splits)
@@ -571,6 +729,28 @@ func (w *World) nextCommID() int {
 	return w.comms
 }
 
+// checkIOShard enforces the parallel-mode file-system constraint: every
+// rank that opens simulated files must live on one shard, because the
+// stripe bank and the shared-pointer tokens are engine-local state. The
+// first Open fixes the I/O shard; later opens from another shard panic
+// with placement advice instead of racing.
+func (w *World) checkIOShard(c *Comm) {
+	if w.group == nil {
+		return
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for _, wr := range c.members {
+		s := w.ranks[wr].shard
+		if w.ioShard == -1 {
+			w.ioShard = s
+		}
+		if s != w.ioShard {
+			panic(fmt.Sprintf("mpi: parallel mode needs every file-I/O rank on one shard: rank %d is on shard %d but the I/O shard is %d (adjust Config.Place)", wr, s, w.ioShard))
+		}
+	}
+}
+
 func identityIndex(n int) map[int]int {
 	m := make(map[int]int, n)
 	for i := 0; i < n; i++ {
@@ -579,7 +759,9 @@ func identityIndex(n int) map[int]int {
 	return m
 }
 
-// Engine exposes the underlying simulation engine.
+// Engine exposes the underlying simulation engine. It is nil for a world
+// in the conservative parallel mode (Config.Shards > 1), which has one
+// engine per shard rather than one per world.
 func (w *World) Engine() *sim.Engine { return w.eng }
 
 // Config returns the world configuration (after defaulting).
@@ -625,10 +807,18 @@ func (w *World) Start(main func(r *Rank)) {
 	for i := range w.ranks {
 		rs := w.ranks[i]
 		rank := &Rank{w: w, rs: rs}
-		rs.proc = w.eng.Spawn(w.rankName(rs.rank), func(p *sim.Proc) {
+		body := func(p *sim.Proc) {
 			rank.proc = p
 			main(rank)
-		})
+		}
+		if w.group != nil {
+			// Parallel mode pins the process id to the world rank on
+			// whichever shard hosts it, so the id-seeded random streams
+			// are placement-independent.
+			rs.proc = rs.eng.SpawnID(rs.rank, w.rankName(rs.rank), body)
+		} else {
+			rs.proc = w.eng.Spawn(w.rankName(rs.rank), body)
+		}
 	}
 	w.scheduleCrashes()
 }
@@ -641,6 +831,9 @@ func (w *World) Run(main func(r *Rank)) (sim.Time, error) {
 		panic("mpi: Run on a world with a shared engine; Start it and run the engine from its owner")
 	}
 	w.Start(main)
+	if w.group != nil {
+		return w.group.Run()
+	}
 	return w.eng.Run()
 }
 
@@ -665,6 +858,9 @@ func (w *World) RunFibers(main FiberMain) (sim.Time, error) {
 		panic("mpi: RunFibers on a world with a shared engine; StartFibers it and run the engine from its owner")
 	}
 	w.StartFibers(main)
+	if w.group != nil {
+		return w.group.Run()
+	}
 	return w.eng.Run()
 }
 
@@ -679,9 +875,14 @@ func (w *World) StartFibers(main FiberMain) {
 	for i := range w.ranks {
 		rs := w.ranks[i]
 		rank := &Rank{w: w, rs: rs}
-		rank.fib = w.eng.SpawnFiber(w.rankName(rs.rank), func(f *sim.Fiber) sim.StepFunc {
+		start := func(f *sim.Fiber) sim.StepFunc {
 			return main(rank, f)
-		})
+		}
+		if w.group != nil {
+			rank.fib = rs.eng.SpawnFiberID(rs.rank, w.rankName(rs.rank), start)
+		} else {
+			rank.fib = w.eng.SpawnFiber(w.rankName(rs.rank), start)
+		}
 		rs.fib = rank.fib
 	}
 	w.scheduleCrashes()
@@ -728,8 +929,9 @@ func (r *Rank) Size() int { return len(r.w.ranks) }
 // World returns the world communicator.
 func (r *Rank) World() *Comm { return r.w.world }
 
-// Now reports the current virtual time.
-func (r *Rank) Now() sim.Time { return r.w.eng.Now() }
+// Now reports the current virtual time (of the rank's engine — in
+// parallel mode each shard's clock advances within its own window).
+func (r *Rank) Now() sim.Time { return r.rs.eng.Now() }
 
 // SpeedFactor reports the static noise-model slowdown of this rank.
 func (r *Rank) SpeedFactor() float64 { return r.rs.speed }
@@ -833,6 +1035,18 @@ func (r *Rank) Proc() *sim.Proc { return r.proc }
 func (r *Rank) Fiber() *sim.Fiber { return r.fib }
 
 // Stash is a world-wide scratch space for libraries built on the runtime
-// (for example, the stream library's channel registry). Simulation code
-// runs single-threaded, so no locking is needed.
+// (for example, the stream library's channel registry). Classic-mode
+// simulation code runs single-threaded, so direct map access is safe; in
+// parallel mode ranks on different shards may run concurrently, so
+// libraries must use StashLocked instead.
 func (r *Rank) Stash() map[string]interface{} { return r.w.stash }
+
+// StashLocked runs fn with exclusive access to the world stash, the
+// parallel-mode-safe form of Stash. Updates keyed (directly or in nested
+// maps) by the calling rank stay deterministic under concurrency; fn must
+// not block or touch simulation time.
+func (r *Rank) StashLocked(fn func(stash map[string]interface{})) {
+	r.w.mu.Lock()
+	defer r.w.mu.Unlock()
+	fn(r.w.stash)
+}

@@ -40,16 +40,23 @@ func (f funcAction) Fire() { f() }
 
 // event is a scheduled occurrence in virtual time: either a process resume
 // (proc != nil) or an action (act != nil). Events with equal time fire in
-// scheduling order (seq), which makes runs deterministic. Events are
-// stored by value in the heap to avoid one allocation per event.
+// priority then scheduling order (pri, seq), which makes runs
+// deterministic. pri is zero for every ordinary event — the classic
+// contract is pure (t, seq) order — and non-zero only for cross-rank
+// message deliveries under the conservative parallel mode (see
+// ShardGroup), where it carries a canonical partition-independent key so
+// same-instant delivery order does not depend on how ranks were sharded.
+// Events are stored by value in the heap to avoid one allocation per
+// event.
 type event struct {
 	t    Time
+	pri  uint64
 	seq  uint64
 	proc *Proc
 	act  Action
 }
 
-// eventHeap is a hand-rolled 4-ary min-heap of events ordered by (t,
+// eventHeap is a hand-rolled 4-ary min-heap of events ordered by (t, pri,
 // seq). It avoids container/heap's interface costs on the hottest path in
 // the simulator; the wide fan-out halves the tree depth of the binary
 // version, which cuts the sift-down compares and cache misses that
@@ -59,6 +66,9 @@ type eventHeap []event
 func (h eventHeap) less(i, j int) bool {
 	if h[i].t != h[j].t {
 		return h[i].t < h[j].t
+	}
+	if h[i].pri != h[j].pri {
+		return h[i].pri < h[j].pri
 	}
 	return h[i].seq < h[j].seq
 }
@@ -175,6 +185,13 @@ type Engine struct {
 	driving  *Proc
 	killing  bool
 	killWake chan struct{}
+
+	// Conservative parallel mode (parallel.go): engines built by a
+	// ShardGroup carry their group and shard index so cross-shard event
+	// posts route through the group's window-barrier outboxes. Both are
+	// zero for standalone engines.
+	group *ShardGroup
+	shard int
 }
 
 // NewEngine returns an engine whose per-process random streams derive from
@@ -288,6 +305,55 @@ func (e *Engine) AtAction(t Time, act Action) {
 	e.queue.push(event{t: t, seq: e.seq, act: act})
 }
 
+// AtActionPri schedules act at virtual time t with an explicit event
+// priority: at equal instants, lower pri fires first and seq breaks the
+// remaining ties. Ordinary events have pri 0, so a non-zero pri fires
+// after every same-instant pri-0 event regardless of scheduling order —
+// the property the conservative parallel mode needs to make same-instant
+// cross-rank delivery order independent of rank partitioning. t must be
+// strictly in the future: pri events never ride the same-timestamp ring,
+// so the ring's invariant (heap entries strictly later than now while it
+// is non-empty) is preserved without consulting it.
+func (e *Engine) AtActionPri(t Time, pri uint64, act Action) {
+	if t <= e.now {
+		panic(fmt.Sprintf("sim: scheduling pri event at %v not after now %v", t, e.now))
+	}
+	e.seq++
+	e.queue.push(event{t: t, pri: pri, seq: e.seq, act: act})
+}
+
+// Post schedules act on dst at virtual time t with priority pri, routing
+// through the shard group's window outboxes when dst lives on another
+// shard. On the same engine it is AtActionPri. It is the delivery seam of
+// the conservative parallel mode: all cross-rank traffic in a sharded run
+// goes through Post with a canonical pri so the merged order at equal
+// instants is a pure function of (t, pri), never of shard placement or
+// barrier arrival order.
+func (e *Engine) Post(dst *Engine, t Time, pri uint64, act Action) {
+	if dst == e {
+		e.AtActionPri(t, pri, act)
+		return
+	}
+	if e.group == nil || dst.group != e.group {
+		panic("sim: Post between engines that do not share a ShardGroup")
+	}
+	e.group.post(e.shard, dst.shard, t, pri, act)
+}
+
+// nextEventTime reports the instant of the earliest pending event, or
+// MaxTime when nothing is queued. The same-timestamp ring is always empty
+// between windows (RunUntil drains it before returning), so the heap top
+// is authoritative.
+func (e *Engine) nextEventTime() Time {
+	if e.immHead < len(e.imm) {
+		return e.now
+	}
+	if len(e.queue) == 0 {
+		return MaxTime
+	}
+	return e.queue[0].t
+}
+
 // atProc schedules a resume of p at virtual time t without allocating a
 // closure.
 func (e *Engine) atProc(t Time, p *Proc) {
@@ -334,22 +400,46 @@ func (e *Engine) nextImm() event {
 	return ev
 }
 
-// After schedules fn to run d after the current virtual time.
-func (e *Engine) After(d Time, fn func()) { e.At(e.now+d, fn) }
+// After schedules fn to run d after the current virtual time. Negative
+// durations are a programming error and panic naming the duration (rather
+// than surfacing later as a confusing scheduling-in-the-past panic), as
+// does a duration large enough to overflow virtual time.
+func (e *Engine) After(d Time, fn func()) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: After called with negative duration %v", d))
+	}
+	t := e.now + d
+	if t < e.now {
+		panic(fmt.Sprintf("sim: After duration %v overflows virtual time (now %v)", d, e.now))
+	}
+	e.At(t, fn)
+}
 
 // Spawn creates a new simulated process executing body. The process starts
 // at the current virtual time (or at time 0 if the engine has not started
 // running yet). Spawn may be called before Run or from inside running
 // simulation code.
 func (e *Engine) Spawn(name string, body func(*Proc)) *Proc {
+	id := e.nextProc
+	e.nextProc++
+	return e.SpawnID(id, name, body)
+}
+
+// SpawnID is Spawn with a caller-chosen process id. Sharded worlds use it
+// to give every rank its world rank as id on whichever shard engine hosts
+// it, so per-process random streams (seeded from the id) are independent
+// of the partitioning; the engine's own id counter is not consumed. The
+// caller is responsible for id uniqueness within the engine — see
+// SetIDBase for keeping auto-assigned helper ids clear of a reserved
+// range.
+func (e *Engine) SpawnID(id int, name string, body func(*Proc)) *Proc {
 	p := &Proc{
 		e:     e,
 		name:  name,
-		id:    e.nextProc,
+		id:    id,
 		wake:  make(chan struct{}),
 		state: procNew,
 	}
-	e.nextProc++
 	e.procs = append(e.procs, p)
 	e.live++
 	go func() {
@@ -386,6 +476,16 @@ func (e *Engine) Spawn(name string, body func(*Proc)) *Proc {
 	}()
 	e.atProc(e.now, p)
 	return p
+}
+
+// SetIDBase moves the engine's automatic id counter to at least base, so
+// subsequently Spawned processes and fibers take ids >= base. Sharded
+// worlds reserve the low range for explicit rank ids (SpawnID) and start
+// each shard's helper ids from a disjoint high base.
+func (e *Engine) SetIDBase(base int) {
+	if e.nextProc < base {
+		e.nextProc = base
+	}
 }
 
 // stopSignal is panicked inside proc goroutines to unwind them when the

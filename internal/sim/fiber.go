@@ -57,13 +57,22 @@ type Fiber struct {
 // random stream — a fiber spawned in place of a Proc inherits the same
 // stream.
 func (e *Engine) SpawnFiber(name string, start StepFunc) *Fiber {
+	id := e.nextProc
+	e.nextProc++
+	return e.SpawnFiberID(id, name, start)
+}
+
+// SpawnFiberID is SpawnFiber with a caller-chosen id, the fiber
+// counterpart of SpawnID: sharded worlds give each rank its world rank as
+// id regardless of which shard engine hosts it, keeping the id-seeded
+// random streams independent of the partitioning.
+func (e *Engine) SpawnFiberID(id int, name string, start StepFunc) *Fiber {
 	f := &Fiber{
 		e:    e,
 		name: name,
-		id:   e.nextProc,
+		id:   id,
 		next: start,
 	}
-	e.nextProc++
 	e.fibs = append(e.fibs, f)
 	e.live++
 	e.AtAction(e.now, f)

@@ -1,0 +1,240 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// post is one buffered cross-shard event delivery: an action to schedule
+// on the destination shard at (t, pri) once the running window's barrier
+// has been crossed.
+type post struct {
+	t   Time
+	pri uint64
+	act Action
+}
+
+// ShardGroup runs several engines as one conservative parallel
+// simulation. Ranks (and any other simulated state) are partitioned
+// across the group's shard engines; each window, every shard executes
+// independently up to a barrier that the group's lookahead proves safe,
+// and cross-shard event deliveries buffered during the window are merged
+// into the destination heaps between windows.
+//
+// The protocol is classic conservative (CMB-style) windowing:
+//
+//  1. Apply every buffered cross-shard post to its destination engine
+//     via AtActionPri.
+//  2. G = min over shards of the earliest pending event time. G == MaxTime
+//     means global termination (all heaps empty, no posts in flight).
+//  3. W = G + lookahead. Every cross-shard delivery created while a shard
+//     executes events at instants >= G arrives at or after W (the
+//     lookahead is a lower bound on cross-shard latency), so events
+//     strictly before W are safe to execute without further
+//     coordination: shards run RunUntil(W-1) concurrently.
+//  4. Collect the window's outboxes and loop.
+//
+// Determinism does not depend on the barrier's goroutine interleaving:
+// shards only touch their own state during a window, each (src, dst)
+// outbox row is written by src's goroutine alone, and merged deliveries
+// are ordered by the (t, pri, seq) heap key in which pri is a canonical
+// partition-independent value supplied by the sender (see
+// Engine.AtActionPri). The group's trajectory is therefore a pure
+// function of the simulated program, byte-identical for every shard
+// count.
+type ShardGroup struct {
+	engines   []*Engine
+	lookahead Time
+	// outbox[src][dst] buffers the posts shard src created for shard dst
+	// during the running window. Only src's goroutine appends to row src,
+	// so no locking is needed while a window executes.
+	outbox [][][]post
+	// windowEnd is the exclusive upper bound of the running window; posts
+	// below it would violate the lookahead guarantee and panic.
+	windowEnd Time
+}
+
+// NewShardGroup builds n engines sharing one seed and one conservative
+// lookahead. All engines see the same seed so id-seeded random streams
+// are placement-independent; lookahead must be a positive lower bound on
+// the virtual-time latency of every cross-shard interaction.
+func NewShardGroup(seed int64, n int, lookahead Time) *ShardGroup {
+	if n < 1 {
+		panic(fmt.Sprintf("sim: NewShardGroup with %d shards", n))
+	}
+	if lookahead <= 0 {
+		panic(fmt.Sprintf("sim: NewShardGroup with non-positive lookahead %v", lookahead))
+	}
+	g := &ShardGroup{
+		engines:   make([]*Engine, n),
+		lookahead: lookahead,
+		outbox:    make([][][]post, n),
+	}
+	for i := range g.engines {
+		e := NewEngine(seed)
+		e.group = g
+		e.shard = i
+		g.engines[i] = e
+		g.outbox[i] = make([][]post, n)
+	}
+	return g
+}
+
+// Shards reports the number of shard engines in the group.
+func (g *ShardGroup) Shards() int { return len(g.engines) }
+
+// Shard returns the i'th shard engine.
+func (g *ShardGroup) Shard(i int) *Engine { return g.engines[i] }
+
+// Lookahead reports the group's conservative lookahead.
+func (g *ShardGroup) Lookahead() Time { return g.lookahead }
+
+// post buffers a cross-shard delivery (Engine.Post's cross-engine arm).
+// Called from src's shard goroutine while a window executes.
+func (g *ShardGroup) post(src, dst int, t Time, pri uint64, act Action) {
+	if t < g.windowEnd {
+		panic(fmt.Sprintf("sim: cross-shard post at %v inside the current window (end %v): lookahead exceeds the actual cross-shard latency", t, g.windowEnd))
+	}
+	g.outbox[src][dst] = append(g.outbox[src][dst], post{t: t, pri: pri, act: act})
+}
+
+// applyInboxes merges every buffered post into its destination heap and
+// recycles the outbox rows. Application order is deterministic (dst-major,
+// src order, append order) but does not influence the trajectory: merged
+// events are ordered by (t, pri, seq) and every post's (t, pri) is unique
+// — pri encodes the sending rank and its send counter.
+func (g *ShardGroup) applyInboxes() {
+	for dst, e := range g.engines {
+		for src := range g.engines {
+			row := g.outbox[src][dst]
+			for i := range row {
+				p := row[i]
+				e.AtActionPri(p.t, p.pri, p.act)
+				row[i] = post{}
+			}
+			g.outbox[src][dst] = row[:0]
+		}
+	}
+}
+
+// runShard executes one shard's window on the calling goroutine,
+// capturing a panic (RunUntil re-raises after unwinding the shard's own
+// processes) into slot for the barrier to handle deterministically.
+func runShard(e *Engine, limit Time, slot *interface{}) {
+	defer func() {
+		if r := recover(); r != nil {
+			*slot = r
+		}
+	}()
+	if _, err := e.RunUntil(limit); err != nil {
+		*slot = err
+	}
+}
+
+// Run executes the group to completion and returns the final virtual time
+// (the maximum over shards) — the parallel counterpart of Engine.Run. If
+// processes or fibers remain blocked when every queue drains, Run returns
+// a DeadlockError aggregating the blocked set across shards. On return
+// (or panic) every shard engine is unwound, exactly as Engine.Run
+// guarantees for a single engine.
+func (g *ShardGroup) Run() (Time, error) {
+	panics := make([]interface{}, len(g.engines))
+	busy := make([]*Engine, 0, len(g.engines))
+	for {
+		g.applyInboxes()
+		gmin := MaxTime
+		for _, e := range g.engines {
+			if t := e.nextEventTime(); t < gmin {
+				gmin = t
+			}
+		}
+		if gmin == MaxTime {
+			break
+		}
+		w := gmin + g.lookahead
+		if w < gmin {
+			panic(fmt.Sprintf("sim: window end overflows virtual time (G %v, lookahead %v)", gmin, g.lookahead))
+		}
+		g.windowEnd = w
+		busy = busy[:0]
+		for _, e := range g.engines {
+			if e.nextEventTime() < w {
+				busy = append(busy, e)
+			}
+		}
+		if len(busy) == 1 {
+			// A lone busy shard needs no barrier: run it inline and skip
+			// the goroutine round trip.
+			runShard(busy[0], w-1, &panics[busy[0].shard])
+		} else {
+			var wg sync.WaitGroup
+			for _, e := range busy {
+				wg.Add(1)
+				go func(e *Engine) {
+					defer wg.Done()
+					runShard(e, w-1, &panics[e.shard])
+				}(e)
+			}
+			wg.Wait()
+		}
+		for _, r := range panics {
+			if r != nil {
+				// Unwind the surviving shards before re-raising so no
+				// parked rank goroutine outlives the run; re-panic the
+				// lowest shard index for a deterministic message when
+				// several shards fail in one window.
+				g.unwindAll()
+				panic(r)
+			}
+		}
+	}
+	now := Time(0)
+	live := 0
+	for _, e := range g.engines {
+		if e.now > now {
+			now = e.now
+		}
+		live += e.live
+	}
+	if live > 0 {
+		err := g.deadlockError(now)
+		g.unwindAll()
+		return now, err
+	}
+	g.unwindAll()
+	return now, nil
+}
+
+// unwindAll terminates still-blocked process goroutines on every shard.
+func (g *ShardGroup) unwindAll() {
+	for _, e := range g.engines {
+		e.unwind()
+	}
+}
+
+// deadlockError aggregates the blocked processes and fibers of every
+// shard into one DeadlockError, in the same sorted, capped shape
+// Engine.deadlockError produces, so a deadlock reads the same regardless
+// of shard count.
+func (g *ShardGroup) deadlockError(at Time) error {
+	var blocked []string
+	for _, e := range g.engines {
+		for _, p := range e.procs {
+			if p.state == procBlocked {
+				blocked = append(blocked, fmt.Sprintf("%s (%s)", p.name, p.blockReason))
+			}
+		}
+		for _, f := range e.fibs {
+			if isBlocked, reason := f.blockedOn(); isBlocked {
+				blocked = append(blocked, fmt.Sprintf("%s (%s)", f.name, reason))
+			}
+		}
+	}
+	sort.Strings(blocked)
+	const max = 12
+	if len(blocked) > max {
+		blocked = append(blocked[:max], fmt.Sprintf("... and %d more", len(blocked)-max))
+	}
+	return &DeadlockError{Blocked: blocked, At: at}
+}

@@ -1,0 +1,249 @@
+package sim
+
+import (
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// The parallel-mode unit tests drive ShardGroup directly with a small
+// message-passing workload: a same-instant fan-in (every rank reports to
+// rank 0 at one instant, from different shards) followed by a token ring.
+// The fan-in is the sharp part — eight deliveries land on rank 0 at the
+// same virtual instant from senders on different shards, so their firing
+// order is decided purely by the (t, pri, seq) heap key, never by which
+// shard ran first.
+
+const testLat = Time(100)
+
+type testNode struct {
+	id      int
+	eng     *Engine
+	nodes   []*testNode
+	sendSeq uint64
+	reports int
+	trace   []string
+}
+
+type testMsg struct {
+	dst     *testNode
+	payload int
+}
+
+func (m *testMsg) Fire() { m.dst.recv(m.payload) }
+
+// send posts a delivery to dst with the canonical parallel-mode priority:
+// the sender's id and per-sender send counter, a partition-independent
+// key.
+func (n *testNode) send(dst *testNode, payload int) {
+	pri := (uint64(n.id)+1)<<40 | n.sendSeq
+	n.sendSeq++
+	n.eng.Post(dst.eng, n.eng.Now()+testLat, pri, &testMsg{dst: dst, payload: payload})
+}
+
+func (n *testNode) recv(payload int) {
+	n.trace = append(n.trace, fmt.Sprintf("%d@%d", payload, n.eng.Now()))
+	if payload < 1000 {
+		// A fan-in report. Once all have arrived, rank 0 starts the ring.
+		n.reports++
+		if n.reports == len(n.nodes) {
+			n.send(n.nodes[1%len(n.nodes)], 1000+4*len(n.nodes))
+		}
+		return
+	}
+	if ttl := payload - 1000; ttl > 0 {
+		n.send(n.nodes[(n.id+1)%len(n.nodes)], 1000+ttl-1)
+	}
+}
+
+// runParallelWorkload runs the fan-in + ring workload over ranks placed
+// on shards by place, returning every rank's receive trace.
+func runParallelWorkload(t *testing.T, ranks, shards int, place func(rank int) int) [][]string {
+	t.Helper()
+	g := NewShardGroup(1, shards, testLat)
+	nodes := make([]*testNode, ranks)
+	for r := range nodes {
+		nodes[r] = &testNode{id: r, eng: g.Shard(place(r))}
+	}
+	for _, n := range nodes {
+		n.nodes = nodes
+		n := n
+		n.eng.At(0, func() { n.send(nodes[0], n.id) })
+	}
+	if _, err := g.Run(); err != nil {
+		t.Fatalf("shards=%d: %v", shards, err)
+	}
+	traces := make([][]string, ranks)
+	for r, n := range nodes {
+		traces[r] = n.trace
+	}
+	return traces
+}
+
+// TestShardGroupDeterminism checks the tentpole invariant at the engine
+// level: the same workload produces identical traces for every shard
+// count and every placement of ranks onto shards.
+func TestShardGroupDeterminism(t *testing.T) {
+	const ranks = 8
+	ref := runParallelWorkload(t, ranks, 1, func(int) int { return 0 })
+
+	// The same-instant fan-in at rank 0 must fire in sender-pri order.
+	for i := 0; i < ranks; i++ {
+		want := fmt.Sprintf("%d@%d", i, testLat)
+		if ref[0][i] != want {
+			t.Fatalf("fan-in delivery %d fired as %s, want %s", i, ref[0][i], want)
+		}
+	}
+
+	cases := []struct {
+		name   string
+		shards int
+		place  func(rank int) int
+	}{
+		{"2-blocked", 2, func(r int) int { return r / 4 }},
+		{"2-strided", 2, func(r int) int { return r % 2 }},
+		{"4-blocked", 4, func(r int) int { return r / 2 }},
+		{"4-strided", 4, func(r int) int { return r % 4 }},
+		{"8", 8, func(r int) int { return r }},
+	}
+	for _, tc := range cases {
+		got := runParallelWorkload(t, ranks, tc.shards, tc.place)
+		if !reflect.DeepEqual(got, ref) {
+			t.Errorf("%s: traces diverge from single-shard reference\ngot  %v\nwant %v", tc.name, got, ref)
+		}
+	}
+}
+
+// TestShardGroupProcHandoff exercises the goroutine-backed process path
+// across concurrently running shards: parked rank procs on every shard
+// are woken by cross-shard deliveries, window after window. Run under
+// -race in CI, this is the handoff-path race test.
+func TestShardGroupProcHandoff(t *testing.T) {
+	const ranks, rounds = 8, 16
+	run := func(shards int, place func(int) int) []Time {
+		g := NewShardGroup(7, shards, testLat)
+		type mailbox struct {
+			proc  *Proc
+			ready bool
+		}
+		boxes := make([]*mailbox, ranks)
+		engs := make([]*Engine, ranks)
+		finished := make([]Time, ranks)
+		for r := 0; r < ranks; r++ {
+			boxes[r] = &mailbox{}
+			engs[r] = g.Shard(place(r))
+		}
+		deliver := func(dst int) Action {
+			return funcAction(func() {
+				b := boxes[dst]
+				b.ready = true
+				if b.proc != nil {
+					engs[dst].WakeAt(engs[dst].Now(), b.proc)
+					b.proc = nil
+				}
+			})
+		}
+		for r := 0; r < ranks; r++ {
+			r := r
+			engs[r].SpawnID(r, fmt.Sprintf("rank%d", r), func(p *Proc) {
+				var sendSeq uint64
+				for i := 0; i < rounds; i++ {
+					if r != 0 || i != 0 {
+						for !boxes[r].ready {
+							boxes[r].proc = p
+							p.Park("token")
+						}
+						boxes[r].ready = false
+					}
+					p.Advance(Time(10 + r))
+					dst := (r + 1) % ranks
+					pri := (uint64(r)+1)<<40 | sendSeq
+					sendSeq++
+					engs[r].Post(engs[dst], p.Now()+testLat, pri, deliver(dst))
+				}
+				finished[r] = p.Now()
+			})
+		}
+		if _, err := g.Run(); err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		return finished
+	}
+	ref := run(1, func(int) int { return 0 })
+	for _, shards := range []int{2, 4, 8} {
+		got := run(shards, func(r int) int { return r % shards })
+		if !reflect.DeepEqual(got, ref) {
+			t.Errorf("shards=%d: finish times diverge\ngot  %v\nwant %v", shards, got, ref)
+		}
+	}
+}
+
+// TestShardGroupDeadlockAggregates checks that a cross-shard deadlock
+// reports the blocked set of every shard in one error.
+func TestShardGroupDeadlockAggregates(t *testing.T) {
+	g := NewShardGroup(1, 2, testLat)
+	for s := 0; s < 2; s++ {
+		s := s
+		g.Shard(s).Spawn(fmt.Sprintf("stuck%d", s), func(p *Proc) {
+			p.Park("waiting forever")
+		})
+	}
+	_, err := g.Run()
+	de, ok := err.(*DeadlockError)
+	if !ok {
+		t.Fatalf("got %v, want DeadlockError", err)
+	}
+	if len(de.Blocked) != 2 {
+		t.Fatalf("blocked set %v, want both shards' procs", de.Blocked)
+	}
+}
+
+// TestAfterValidation pins the Engine.After contract: negative durations
+// and overflowing durations panic with messages naming the duration.
+func TestAfterValidation(t *testing.T) {
+	expectPanic := func(name, want string, fn func()) {
+		t.Helper()
+		defer func() {
+			r := recover()
+			if r == nil {
+				t.Errorf("%s: no panic", name)
+				return
+			}
+			if msg := fmt.Sprint(r); !strings.Contains(msg, want) {
+				t.Errorf("%s: panic %q does not mention %q", name, msg, want)
+			}
+		}()
+		fn()
+	}
+	e := NewEngine(1)
+	expectPanic("negative", "negative duration -5", func() { e.After(-5, func() {}) })
+	eo := NewEngine(1)
+	eo.At(1, func() { eo.After(MaxTime, func() {}) })
+	expectPanic("overflow", "overflows virtual time", func() { eo.Run() })
+	// A valid After still works.
+	fired := false
+	e.After(3, func() { fired = true })
+	if _, err := e.Run(); err != nil || !fired {
+		t.Fatalf("valid After: fired=%v err=%v", fired, err)
+	}
+}
+
+// TestAtActionPriOrdersBeforeSeq pins the heap key extension: at one
+// instant, pri orders before seq, and pri-0 events fire before any
+// pri-carrying event regardless of scheduling order.
+func TestAtActionPriOrdersBeforeSeq(t *testing.T) {
+	e := NewEngine(1)
+	var order []int
+	rec := func(i int) func() { return func() { order = append(order, i) } }
+	e.AtActionPri(10, 5, funcAction(rec(5)))
+	e.AtActionPri(10, 2, funcAction(rec(2)))
+	e.At(10, rec(0))
+	e.AtActionPri(10, 1, funcAction(rec(1)))
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if want := []int{0, 1, 2, 5}; !reflect.DeepEqual(order, want) {
+		t.Fatalf("fired %v, want %v", order, want)
+	}
+}

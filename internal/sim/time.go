@@ -125,6 +125,45 @@
 // trajectory-breaking for runs with crashes scheduled and follows the
 // versioning policy below.
 //
+// # Parallel mode
+//
+// The conservative parallel mode (ShardGroup) runs several engines as
+// one simulation: simulated state is partitioned across shard engines
+// (internal/mpi places each rank, with its matcher and pools, on one
+// shard), and the group alternates windows of independent shard
+// execution with barriers that merge cross-shard event deliveries. The
+// window bound is classic conservative lookahead: with L a lower bound
+// on the virtual-time latency of every cross-shard interaction (the
+// netmodel's minimum link latency, derated by any latency-stretching
+// fault windows), events strictly before G+L are safe to execute once
+// every event before G has been merged, where G is the global minimum
+// pending event time.
+//
+// Worker-count invariance — byte-identical trajectories for every shard
+// count and every placement of ranks onto shards — comes from one
+// extension of the heap key: events order by (t, pri, seq), where pri is
+// zero for every ordinary event and, for cross-rank deliveries in a
+// sharded run, encodes the sending rank and its per-rank send counter.
+// Same-instant delivery order at a rank is then a pure function of who
+// sent what, never of which shard hosted the sender or which shard's
+// window ran first; ordinary same-instant events keep pure seq order
+// because their relative creation order within a shard is itself
+// placement-independent (ranks are spawned with their world rank as id
+// via SpawnID, so random streams and resume identities never depend on
+// the partition). Every cross-rank delivery carries a pri in a sharded
+// run — including deliveries between ranks that happen to share a shard
+// — because placement must not decide which ordering rule applies.
+//
+// Classic (unsharded) runs schedule nothing with a non-zero pri, so
+// their (t, seq) trajectories are byte-identical to pre-parallel builds
+// and the feature did NOT bump TrajectoryVersion (still 2). The sharded
+// configuration is a new configuration — like a different wake strategy,
+// its rows are pinned against each other across worker counts (the
+// cross-worker-count tests in internal/experiments), not against the
+// classic rows. Changing the pri encoding, the lookahead arithmetic, or
+// the barrier merge order IS trajectory-breaking for sharded runs and
+// follows the versioning policy below.
+//
 // # Determinism versioning
 //
 // The simulator's determinism contract is: one (code version, seed,

@@ -94,14 +94,15 @@ func CreateChannel(r *mpi.Rank, parent *mpi.Comm, role Role) *Channel {
 	// (channel creation is collective, so all ranks observe the same
 	// counter state).
 	key := fmt.Sprintf("stream:chanseq:%d", parent.ID())
-	stash := r.Stash()
-	seqs, _ := stash[key].(map[int]int)
-	if seqs == nil {
-		seqs = make(map[int]int)
-		stash[key] = seqs
-	}
-	seqs[me]++
-	ch.seq = seqs[me]
+	r.StashLocked(func(stash map[string]interface{}) {
+		seqs, _ := stash[key].(map[int]int)
+		if seqs == nil {
+			seqs = make(map[int]int)
+			stash[key] = seqs
+		}
+		seqs[me]++
+		ch.seq = seqs[me]
+	})
 	return ch
 }
 

@@ -55,14 +55,15 @@ func FCreateChannel(r *mpi.Rank, parent *mpi.Comm, role Role, then func(*Channel
 			return parent.FSplit(r, consColor, me, func(cc *mpi.Comm) sim.StepFunc {
 				ch.consComm = cc
 				key := fmt.Sprintf("stream:chanseq:%d", parent.ID())
-				stash := r.Stash()
-				seqs, _ := stash[key].(map[int]int)
-				if seqs == nil {
-					seqs = make(map[int]int)
-					stash[key] = seqs
-				}
-				seqs[me]++
-				ch.seq = seqs[me]
+				r.StashLocked(func(stash map[string]interface{}) {
+					seqs, _ := stash[key].(map[int]int)
+					if seqs == nil {
+						seqs = make(map[int]int)
+						stash[key] = seqs
+					}
+					seqs[me]++
+					ch.seq = seqs[me]
+				})
 				return then(ch)
 			})
 		})
