@@ -24,10 +24,35 @@ func TestFaultsEcho(t *testing.T) {
 		{[]string{"fig8"}, "bursts=16", ""},
 		{[]string{"resilience"}, "bursts=-1", ""},
 		{[]string{"resilience"}, "bursts=1,bursts=2", ""},
+		// The lossy sweep builds its verdict tables from its swept rates,
+		// not from -faults, so no campaign echo: echoing an unconsumed
+		// spec would record a campaign the rows were never measured under.
+		{[]string{"lossy"}, "drop-rate=0.5", ""},
 	}
 	for _, c := range cases {
 		if got := faultsEcho(c.names, c.spec); got != c.want {
 			t.Errorf("faultsEcho(%v, %q) = %q, want %q", c.names, c.spec, got, c.want)
+		}
+	}
+}
+
+// TestListRegistrySync: the -list output (Names + Descriptions) covers
+// every registered experiment and nothing else, including the sweeps
+// added after the seed (recovery, resilience, lossy).
+func TestListRegistrySync(t *testing.T) {
+	for _, name := range experiments.Names() {
+		if experiments.Descriptions[name] == "" {
+			t.Errorf("experiment %q has no -list description", name)
+		}
+	}
+	for name := range experiments.Descriptions {
+		if experiments.Registry[name] == nil {
+			t.Errorf("description for unregistered experiment %q", name)
+		}
+	}
+	for _, want := range []string{"recovery", "resilience", "lossy"} {
+		if experiments.Registry[want] == nil {
+			t.Errorf("experiment %q not registered", want)
 		}
 	}
 }

@@ -1,0 +1,89 @@
+// Lossy walks the message-fault family end to end: a campaign spec with
+// drop-rate / drops / dup-rate keys compiles into a verdict table, a
+// two-rank world shows the reliable-delivery protocol (ack,
+// virtual-time timeout, exponential backoff, retransmit) recovering a
+// planned drop, and the three Fig. 8 particle-I/O implementations run
+// under increasing loss. Verdicts are pure hashes of (seed, src, dst,
+// seq, attempt) — no generator state — so every row replays
+// bit-for-bit, and any cell can be re-run in isolation.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/apps/ipic3d"
+	"repro/internal/faults"
+	"repro/internal/mpi"
+	"repro/internal/netmodel"
+	"repro/internal/sim"
+)
+
+const procs = 64
+
+func main() {
+	// 1. A lossy campaign in spec syntax: a 10% uniform drop rate, three
+	// planned drop coupons on named (src, dst, seq) triples, and a small
+	// duplication rate. Like every family, it round-trips through the
+	// canonical string.
+	spec, err := faults.ParseSpec("drop-rate=0.1,drops=3,dup-rate=0.02")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("campaign %q (seed %d)\n", spec.String(), spec.Seed)
+	inj, err := spec.Plan(procs, 1).Compile(procs, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("compiled: drop-rate=%g dup-rate=%g coupons=%d\n\n",
+		inj.Msg.DropRate, inj.Msg.DupRate, len(inj.Msg.Drops))
+
+	// 2. The protocol in miniature: drop the first transmission of the
+	// 0->1 pair by coupon. The receive still completes — one
+	// retransmission, timed by the virtual-clock ack timeout.
+	mf := &netmodel.MsgFaults{
+		Drops: map[netmodel.MsgDropKey]bool{{Src: 0, Dst: 1, Seq: 0}: true},
+	}
+	w := mpi.NewWorld(mpi.Config{Procs: 2, Seed: 1, MsgFaults: mf})
+	var recvAt sim.Time
+	if _, err := w.Run(func(r *mpi.Rank) {
+		c := r.World()
+		if r.ID() == 0 {
+			c.Send(r, 1, 1, 4096, nil)
+		} else {
+			c.Recv(r, 0, 1)
+			recvAt = r.Now()
+		}
+	}); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("planned drop of (0->1, seq 0): delivered at %v after %d retransmit(s)\n\n",
+		recvAt, w.Retransmits())
+
+	// 3. The Fig. 8 variants under increasing loss. Makespans barely move
+	// — microsecond retransmissions against second-scale file I/O — but
+	// the retransmit and goodput columns show the protocol working, and
+	// the decoupled producers pace themselves against the ack window.
+	for _, v := range []ipic3d.IOVariant{ipic3d.IOCollective, ipic3d.IOShared, ipic3d.IODecoupled} {
+		fmt.Printf("%s:\n  %-10s %12s %12s %10s\n", v, "drop-rate", "makespan", "retransmits", "goodput")
+		for _, rate := range []float64{0, 0.02, 0.1} {
+			c := ipic3d.DefaultConfig(procs)
+			if rate > 0 {
+				c.Faults = &faults.Injection{Msg: &netmodel.MsgFaults{
+					DropSeed: sim.Mix64(spec.Seed, 1), DropRate: rate,
+					DupSeed: sim.Mix64(spec.Seed, 2), DupRate: rate / 4,
+				}}
+			}
+			res, err := ipic3d.RunIO(c, v)
+			if err != nil {
+				log.Fatal(err)
+			}
+			goodput := 1.0
+			if total := res.Messages + res.Retransmits; total > 0 {
+				goodput = float64(res.Messages) / float64(total)
+			}
+			fmt.Printf("  %-10g %12v %12d %9.4f\n", rate, res.Time, res.Retransmits, goodput)
+		}
+		fmt.Println()
+	}
+}

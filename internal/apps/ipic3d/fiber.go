@@ -309,7 +309,7 @@ func (s *ioRun) decoupledFiberBody() mpi.FiberMain {
 				out := c.saveBytes(myCount)
 				step, burst := 0, 0
 				var stepLoop sim.StepFunc
-				emit := sim.Then(func() {
+				emit := func(_ *sim.Fiber) sim.StepFunc {
 					// Runs at the burst's compute-completion instant; the
 					// final burst of the final step is the producer's last
 					// mover work, matching the goroutine body's recording.
@@ -317,7 +317,13 @@ func (s *ioRun) decoupledFiberBody() mpi.FiberMain {
 						s.noteCompute(r)
 					}
 					st.Isend(r, stream.Element{Bytes: out / 4})
-				}, &stepLoop)
+					if r.Reliable() {
+						// Mirror the goroutine body's ack window pacing
+						// event for event.
+						return r.FWaitSendWindow(relWindow, stepLoop)
+					}
+					return stepLoop
+				}
 				stepLoop = func(_ *sim.Fiber) sim.StepFunc {
 					if step >= c.Steps {
 						st.Terminate(r)

@@ -66,9 +66,22 @@ func RunIO(c Config, v IOVariant) (Result, error) {
 	}
 	mc := mpi.Config{Procs: c.Procs, Seed: c.Seed, Noise: c.Noise, Tracer: c.Tracer}
 	if c.Faults != nil {
+		if c.Faults.Msg != nil {
+			// The reliable-delivery layer posts acks and retransmission
+			// timers from arrival callbacks, which the sharded engine and
+			// the tracer cannot replay; refuse loudly rather than letting
+			// mpi.NewWorld panic deep inside a sweep.
+			if c.Cores >= 1 {
+				return Result{}, fmt.Errorf("ipic3d: message-fault campaign on a sharded run (Cores=%d); lossy runs are single-worker", c.Cores)
+			}
+			if c.Tracer != nil {
+				return Result{}, fmt.Errorf("ipic3d: message-fault campaigns do not support tracing")
+			}
+		}
 		mc.RankFaults = c.Faults.Rank
 		mc.StripeFaults = c.Faults.Stripe
 		mc.LinkFaults = c.Faults.Link
+		mc.MsgFaults = c.Faults.Msg
 	}
 	s := newIORun(c, v)
 	if c.Cores >= 1 && c.Tracer == nil {
@@ -200,8 +213,17 @@ func (s *ioRun) result(w *mpi.World) Result {
 	if tail < 0 {
 		tail = 0
 	}
-	return Result{Time: makespan, Messages: w.MessagesSent(), BytesWritten: s.file.BytesWritten(), IOTail: tail}
+	return Result{Time: makespan, Messages: w.MessagesSent(), BytesWritten: s.file.BytesWritten(), IOTail: tail, Retransmits: w.Retransmits()}
 }
+
+// relWindow is the decoupled producers' ack window under a lossy fabric:
+// a producer pauses once this many stream sends sit unacknowledged, so a
+// consumer falling behind on retransmissions exerts backpressure instead
+// of letting fire-and-forget bursts pile up unbounded. Two steps' worth
+// of bursts keeps the overlap pipeline full at moderate loss rates. On a
+// lossless world WaitSendWindow is a no-op, so the pacing leaves
+// zero-loss trajectories byte-identical.
+const relWindow = 8
 
 // IOJob is a particle-I/O job started on a shared engine for co-scheduled
 // multi-world runs (internal/cluster): StartIO spawns the rank bodies but
@@ -239,6 +261,13 @@ func StartIO(c Config, v IOVariant, base mpi.Config) (*IOJob, error) {
 		}
 		if len(c.Faults.Crash) > 0 {
 			return nil, fmt.Errorf("ipic3d: crash campaign on a plain I/O job; use RunRecovery")
+		}
+		if c.Faults.Msg != nil {
+			// Reliable-delivery worlds keep retransmission timers pending
+			// on the engine past their bodies' completion; on a shared
+			// engine those timers would stretch every co-scheduled job's
+			// final time. Lossy campaigns run single-world via RunIO.
+			return nil, fmt.Errorf("ipic3d: message-fault campaign on a co-scheduled job; lossy runs go through RunIO")
 		}
 		base.RankFaults = c.Faults.Rank
 		base.LinkFaults = c.Faults.Link
@@ -319,6 +348,9 @@ func (s *ioRun) decoupledBody() func(r *mpi.Rank) {
 						s.noteCompute(r)
 					}
 					st.Isend(r, stream.Element{Bytes: out / 4})
+					if r.Reliable() {
+						r.WaitSendWindow(relWindow)
+					}
 				}
 			}
 			st.Terminate(r)

@@ -147,6 +147,11 @@ type Result struct {
 	// ForwardRounds is the total number of reference forwarding rounds
 	// executed (communication experiment).
 	ForwardRounds int
+	// Retransmits is the number of timer-driven re-sends the reliable
+	// delivery layer issued (message-fault campaigns; zero otherwise).
+	// Messages counts logical sends only, so goodput is
+	// Messages/(Messages+Retransmits).
+	Retransmits int64
 }
 
 // field builds the GEM-shaped particle loading for compute ranks laid out

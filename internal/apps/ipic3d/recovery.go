@@ -102,6 +102,7 @@ func RunRecovery(c Config, v IOVariant, ckptEvery int) (RecoveryResult, error) {
 		mc.StripeFaults = c.Faults.Stripe
 		mc.LinkFaults = c.Faults.Link
 		mc.Crashes = c.Faults.Crash
+		mc.MsgFaults = c.Faults.Msg
 	}
 	w := mpi.NewWorld(mc)
 	s := newRecRun(c, v, ckptEvery)

@@ -277,6 +277,7 @@ var Registry = map[string]func(Options) ([]Row, error){
 	"model":                ModelValidation,
 	"recovery":             Recovery,
 	"resilience":           Resilience,
+	"lossy":                Lossy,
 }
 
 // Descriptions gives every registered experiment a one-line summary,
@@ -293,6 +294,7 @@ var Descriptions = map[string]string{
 	"model":                "analytic cost-model validation against simulated makespans",
 	"recovery":             "checkpoint interval x crash intensity sweep with restart/replay (wasted work, recovery overhead)",
 	"resilience":           "fault-campaign intensity sweep (bursts, outages, stripe derates, link flaps)",
+	"lossy":                "fabric loss-rate sweep under the reliable-delivery protocol (ack/timeout/backoff/retransmit)",
 }
 
 // Names returns the registered experiment names, sorted.

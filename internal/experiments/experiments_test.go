@@ -27,7 +27,8 @@ func TestSweep(t *testing.T) {
 
 func TestRegistryComplete(t *testing.T) {
 	for _, name := range []string{"fig5", "fig6", "fig7", "fig8",
-		"ablation-granularity", "ablation-alpha", "ablation-fcfs", "model"} {
+		"ablation-granularity", "ablation-alpha", "ablation-fcfs", "model",
+		"cosched", "recovery", "resilience", "lossy"} {
 		if Registry[name] == nil {
 			t.Errorf("experiment %q not registered", name)
 		}

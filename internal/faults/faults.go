@@ -1,11 +1,11 @@
 // Package faults turns failure campaigns into deterministic, replayable
 // event schedules. A Plan is an ordered list of timed fault events in
-// four injector families — rank compute-slowdown bursts, file-system
-// stripe outages/derates, link latency/bandwidth degradation, and
-// crash-stop rank failures with restart — that compiles into the
-// per-target schedules the runtime layers consume
-// (mpi.Config.RankFaults/StripeFaults/LinkFaults/Crashes, sim.Bank
-// stripe faults, netmodel.LinkFaults).
+// five injector families — rank compute-slowdown bursts, file-system
+// stripe outages/derates, link latency/bandwidth degradation,
+// crash-stop rank failures with restart, and message loss/duplication —
+// that compiles into the per-target schedules the runtime layers consume
+// (mpi.Config.RankFaults/StripeFaults/LinkFaults/Crashes/MsgFaults,
+// sim.Bank stripe faults, netmodel.LinkFaults, netmodel.MsgFaults).
 //
 // Every random draw in campaign generation derives from a
 // (seed, event-id) stream via sim.Mix64, so a campaign is a pure
@@ -49,6 +49,21 @@ const (
 	// Duration (the restart cost). Factor is ignored. Crash events
 	// compile to sim.CrashEvent lists consumed by mpi.Config.Crashes.
 	RankCrash
+	// MsgDropRate loses each message transmission independently with
+	// probability Factor. Seq carries the verdict-stream seed: per-message
+	// decisions are pure hashes of (seed, src, dst, sendSeq, attempt)
+	// evaluated at send time by netmodel.MsgFaults, so the event itself is
+	// the whole family — no per-message draws at plan time. At/Duration
+	// are informational (the campaign horizon); loss applies to every
+	// transmission while the injection is armed.
+	MsgDropRate
+	// MsgDupRate duplicates each delivered transmission independently
+	// with probability Factor, same verdict-stream shape as MsgDropRate.
+	MsgDupRate
+	// MsgDrop loses one specific transmission: the first attempt of send
+	// sequence Seq on the Target -> Peer rank pair. A planned coupon
+	// rather than a probability, for campaigns that need a named loss.
+	MsgDrop
 )
 
 // String names the kind for logs and error messages.
@@ -66,6 +81,12 @@ func (k Kind) String() string {
 		return "link-bandwidth"
 	case RankCrash:
 		return "rank-crash"
+	case MsgDropRate:
+		return "msg-drop-rate"
+	case MsgDupRate:
+		return "msg-dup-rate"
+	case MsgDrop:
+		return "msg-drop"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}
@@ -73,14 +94,20 @@ func (k Kind) String() string {
 
 // Event is one timed fault: Kind decides the injector family, Target the
 // rank or stripe index (ignored for the link kinds), and Factor the
-// slowdown multiplier (RankBurst, LinkLatency, LinkBandwidth) or the
-// remaining throughput fraction (StripeDerate; StripeOutage ignores it).
+// slowdown multiplier (RankBurst, LinkLatency, LinkBandwidth), the
+// remaining throughput fraction (StripeDerate; StripeOutage ignores it),
+// or the loss/duplication probability (MsgDropRate, MsgDupRate). The
+// message kinds also use Peer (MsgDrop: destination rank) and Seq
+// (MsgDrop: the send sequence to lose; rate kinds: the verdict-stream
+// seed); both are zero for every other kind.
 type Event struct {
 	Kind     Kind
 	At       sim.Time
 	Duration sim.Time
 	Target   int
 	Factor   float64
+	Peer     int
+	Seq      uint64
 }
 
 // Plan is an ordered fault-event schedule. The zero Plan schedules
@@ -97,8 +124,11 @@ func (p Plan) Empty() bool { return len(p.Events) == 0 }
 func (p Plan) Validate() error {
 	for i, e := range p.Events {
 		// Crash durations are restart costs and may be zero (instant
-		// respawn); every windowed kind needs a positive duration.
-		if e.At < 0 || e.Duration < 0 || (e.Duration == 0 && e.Kind != RankCrash) {
+		// respawn), and the message kinds are not windows at all (a
+		// coupon names one transmission; a rate's duration is
+		// informational); every windowed kind needs a positive duration.
+		zeroOK := e.Kind == RankCrash || e.Kind == MsgDrop || e.Kind == MsgDropRate || e.Kind == MsgDupRate
+		if e.At < 0 || e.Duration < 0 || (e.Duration == 0 && !zeroOK) {
 			return fmt.Errorf("faults: event %d (%v) has window [%v, +%v)", i, e.Kind, e.At, e.Duration)
 		}
 		switch e.Kind {
@@ -112,6 +142,14 @@ func (p Plan) Validate() error {
 			}
 		case StripeOutage, RankCrash:
 			// no factor
+		case MsgDropRate, MsgDupRate:
+			if e.Factor <= 0 || e.Factor > 1 {
+				return fmt.Errorf("faults: event %d (%v) probability %v outside (0, 1]", i, e.Kind, e.Factor)
+			}
+		case MsgDrop:
+			if e.Peer < 0 {
+				return fmt.Errorf("faults: event %d (%v) peer %d", i, e.Kind, e.Peer)
+			}
 		default:
 			return fmt.Errorf("faults: event %d has unknown kind %d", i, int(e.Kind))
 		}
@@ -136,6 +174,10 @@ type Injection struct {
 	// Crash holds the crash-stop schedule (mpi.Config.Crashes), sorted
 	// by (At, Target); nil when the plan schedules no crashes.
 	Crash []sim.CrashEvent
+	// Msg holds the message loss/duplication verdict table
+	// (mpi.Config.MsgFaults); nil when the plan schedules no message
+	// faults, which keeps the reliable-delivery protocol disarmed.
+	Msg *netmodel.MsgFaults
 }
 
 // Empty reports whether the injection perturbs nothing.
@@ -151,6 +193,9 @@ func (inj *Injection) Empty() bool {
 		}
 	}
 	if len(inj.Crash) > 0 {
+		return false
+	}
+	if !inj.Msg.Empty() {
 		return false
 	}
 	return inj.Link.Empty()
@@ -200,6 +245,13 @@ func (p Plan) Compile(ranks, stripes int) (Injection, error) {
 	stripeWs := make(map[int][]window)
 	var latWs, bwWs []window
 	var crashes []sim.CrashEvent
+	var msg *netmodel.MsgFaults
+	ensureMsg := func() *netmodel.MsgFaults {
+		if msg == nil {
+			msg = &netmodel.MsgFaults{}
+		}
+		return msg
+	}
 	for _, e := range p.Events {
 		w := window{e.At, e.At + e.Duration, e.Factor}
 		switch e.Kind {
@@ -223,6 +275,22 @@ func (p Plan) Compile(ranks, stripes int) (Injection, error) {
 		case RankCrash:
 			if e.Target < ranks {
 				crashes = append(crashes, sim.CrashEvent{At: e.At, Target: e.Target, Restart: e.Duration})
+			}
+		case MsgDropRate:
+			m := ensureMsg()
+			m.DropRate = e.Factor
+			m.DropSeed = int64(e.Seq)
+		case MsgDupRate:
+			m := ensureMsg()
+			m.DupRate = e.Factor
+			m.DupSeed = int64(e.Seq)
+		case MsgDrop:
+			if e.Target < ranks && e.Peer < ranks {
+				m := ensureMsg()
+				if m.Drops == nil {
+					m.Drops = make(map[netmodel.MsgDropKey]bool)
+				}
+				m.Drops[netmodel.MsgDropKey{Src: e.Target, Dst: e.Peer, Seq: e.Seq}] = true
 			}
 		}
 	}
@@ -261,6 +329,9 @@ func (p Plan) Compile(ranks, stripes int) (Injection, error) {
 			return crashes[i].Target < crashes[j].Target
 		})
 		inj.Crash = crashes
+	}
+	if !msg.Empty() {
+		inj.Msg = msg
 	}
 	return inj, nil
 }

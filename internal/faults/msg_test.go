@@ -1,0 +1,170 @@
+package faults
+
+import (
+	"testing"
+
+	"repro/internal/netmodel"
+	"repro/internal/sim"
+)
+
+// TestMsgFamilyIndependent: arming the message family moves no other
+// family's events, and the other families never move the message events.
+func TestMsgFamilyIndependent(t *testing.T) {
+	isMsg := func(k Kind) bool {
+		return k == MsgDropRate || k == MsgDupRate || k == MsgDrop
+	}
+	base := DefaultSpec()
+	withMsg := base
+	withMsg.DropRate = 0.2
+	withMsg.DupRate = 0.05
+	withMsg.Drops = 3
+	strip := func(p Plan, keep bool) []Event {
+		var out []Event
+		for _, e := range p.Events {
+			if isMsg(e.Kind) == keep {
+				out = append(out, e)
+			}
+		}
+		return out
+	}
+	a := strip(base.Plan(64, 16), false)
+	b := strip(withMsg.Plan(64, 16), false)
+	if len(a) != len(b) {
+		t.Fatalf("message family changed other families' event count: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Errorf("message family moved event %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	quiet := Spec{Seed: base.Seed, Horizon: base.Horizon,
+		DropRate: withMsg.DropRate, DupRate: withMsg.DupRate, Drops: withMsg.Drops}
+	onlyMsg := strip(quiet.Plan(64, 16), true)
+	fullMsg := strip(withMsg.Plan(64, 16), true)
+	if len(onlyMsg) != len(fullMsg) {
+		t.Fatalf("other families changed message event count: %d vs %d", len(onlyMsg), len(fullMsg))
+	}
+	for i := range onlyMsg {
+		if onlyMsg[i] != fullMsg[i] {
+			t.Errorf("other families moved message event %d: %+v vs %+v", i, onlyMsg[i], fullMsg[i])
+		}
+	}
+	if len(onlyMsg) != 2+withMsg.Drops {
+		t.Errorf("message family planned %d events, want %d (2 rate events + %d coupons)",
+			len(onlyMsg), 2+withMsg.Drops, withMsg.Drops)
+	}
+}
+
+// TestMsgCompile: the planned message events compile into one verdict
+// table with the rate seeds and planned-drop coupons in place.
+func TestMsgCompile(t *testing.T) {
+	s := Spec{Seed: 7, Horizon: sim.Second, DropRate: 0.3, DupRate: 0.1, Drops: 2}
+	inj, err := s.Plan(16, 4).Compile(16, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := inj.Msg
+	if m == nil {
+		t.Fatal("no message-fault table compiled")
+	}
+	if m.DropRate != 0.3 || m.DupRate != 0.1 {
+		t.Errorf("rates %v/%v, want 0.3/0.1", m.DropRate, m.DupRate)
+	}
+	if m.DropSeed == 0 || m.DupSeed == 0 || m.DropSeed == m.DupSeed {
+		t.Errorf("verdict streams not independently seeded: %d vs %d", m.DropSeed, m.DupSeed)
+	}
+	if len(m.Drops) != 2 {
+		t.Errorf("%d coupons, want 2", len(m.Drops))
+	}
+	for k := range m.Drops {
+		if k.Src == k.Dst || k.Src < 0 || k.Src >= 16 || k.Dst < 0 || k.Dst >= 16 {
+			t.Errorf("coupon %+v targets an invalid pair", k)
+		}
+	}
+	if inj.Empty() {
+		t.Error("injection with a message table reports empty")
+	}
+
+	// An empty campaign compiles no table at all: zero-loss runs must see
+	// a nil MsgFaults (the protocol-off fast path).
+	clean, err := Spec{Seed: 7, Horizon: sim.Second}.Plan(16, 4).Compile(16, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clean.Msg != nil {
+		t.Errorf("empty campaign compiled a message table: %+v", clean.Msg)
+	}
+}
+
+// TestMsgEventValidate: malformed message events are refused with the
+// probability range named.
+func TestMsgEventValidate(t *testing.T) {
+	bad := []Event{
+		{Kind: MsgDropRate, Factor: 0},
+		{Kind: MsgDropRate, Factor: 1.5},
+		{Kind: MsgDupRate, Factor: -0.1},
+		{Kind: MsgDrop, Target: 1, Peer: -1},
+	}
+	for _, e := range bad {
+		p := Plan{Events: []Event{e}}
+		if _, err := p.Compile(8, 4); err == nil {
+			t.Errorf("event %+v accepted", e)
+		}
+	}
+}
+
+// TestMsgScale: Scale multiplies the coupon count and the rates, capping
+// probabilities at 1.
+func TestMsgScale(t *testing.T) {
+	s := Spec{Seed: 1, Horizon: sim.Second, DropRate: 0.4, DupRate: 0.3, Drops: 2}
+	x := s.Scale(3)
+	if x.Drops != 6 {
+		t.Errorf("Scale(3).Drops = %d, want 6", x.Drops)
+	}
+	if x.DropRate != 1 {
+		t.Errorf("Scale(3).DropRate = %v, want capped 1", x.DropRate)
+	}
+	if x.DupRate != 0.9 && (x.DupRate < 0.899 || x.DupRate > 0.901) {
+		t.Errorf("Scale(3).DupRate = %v, want 0.9", x.DupRate)
+	}
+	z := s.Scale(0)
+	if z.Drops != 0 || z.DropRate != 0 || z.DupRate != 0 {
+		t.Errorf("Scale(0) kept message faults: %+v", z)
+	}
+}
+
+// TestVerdictPurity: verdicts are pure functions of (table, src, dst,
+// seq, attempt) — planned coupons match attempt 0 only, rate decisions
+// are stable across calls, and a nil table always delivers.
+func TestVerdictPurity(t *testing.T) {
+	m := &netmodel.MsgFaults{
+		DropSeed: 11, DropRate: 0.5,
+		DupSeed: 13, DupRate: 0.25,
+		Drops: map[netmodel.MsgDropKey]bool{{Src: 1, Dst: 2, Seq: 5}: true},
+	}
+	if v := m.Verdict(1, 2, 5, 0); v != netmodel.VerdictDrop {
+		t.Errorf("coupon ignored on attempt 0: %v", v)
+	}
+	if v := m.Verdict(1, 2, 5, 1); v == netmodel.VerdictDrop &&
+		m.Verdict(1, 2, 5, 1) != m.Verdict(1, 2, 5, 1) {
+		t.Error("retransmission verdict unstable")
+	}
+	for src := 0; src < 4; src++ {
+		for seq := uint64(0); seq < 16; seq++ {
+			for attempt := 0; attempt < 3; attempt++ {
+				a := m.Verdict(src, src+1, seq, attempt)
+				b := m.Verdict(src, src+1, seq, attempt)
+				if a != b {
+					t.Fatalf("verdict(%d,%d,%d,%d) unstable: %v vs %v", src, src+1, seq, attempt, a, b)
+				}
+			}
+		}
+	}
+	var nilTable *netmodel.MsgFaults
+	if v := nilTable.Verdict(0, 1, 0, 0); v != netmodel.VerdictDeliver {
+		t.Errorf("nil table verdict %v, want deliver", v)
+	}
+	if !nilTable.Empty() {
+		t.Error("nil table not empty")
+	}
+}

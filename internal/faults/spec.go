@@ -56,6 +56,17 @@ type Spec struct {
 	Crashes     int
 	CrashMTBF   sim.Time
 	RestartCost sim.Time
+
+	// DropRate / DupRate lose or duplicate each network message
+	// transmission independently with the given probability; Drops plans
+	// that many targeted single-message losses (one specific (src, dst,
+	// sequence) transmission each). Any non-zero knob arms the reliable
+	// delivery protocol in internal/mpi (acks, virtual-time retransmission
+	// timeouts); all three default to zero so the fabric stays lossless
+	// unless a campaign asks otherwise.
+	DropRate float64
+	Drops    int
+	DupRate  float64
 }
 
 // DefaultSpec is the reference campaign the resilience experiment and
@@ -98,6 +109,11 @@ func (s Spec) Scale(x float64) Spec {
 	s.DerateStripes = int(float64(s.DerateStripes) * x)
 	s.Flaps = int(float64(s.Flaps) * x)
 	s.Crashes = int(float64(s.Crashes) * x)
+	s.Drops = int(float64(s.Drops) * x)
+	// Loss/duplication probabilities scale with intensity but saturate at
+	// certain loss; Scale(0) must yield an empty (lossless) plan.
+	s.DropRate = min(s.DropRate*x, 1)
+	s.DupRate = min(s.DupRate*x, 1)
 	// Higher intensity means more frequent crashes, so the mean time
 	// between failures divides; RestartCost is a severity knob and stays.
 	if s.CrashMTBF > 0 {
@@ -121,6 +137,7 @@ const (
 	derateStreamBase = 2 << 20
 	flapStreamBase   = 3 << 20
 	crashStreamBase  = 4 << 20
+	msgStreamBase    = 5 << 20
 )
 
 // eventRand is the (seed, event-id) stream: every event draws its start
@@ -232,6 +249,37 @@ func (s Spec) Plan(ranks, stripes int) Plan {
 			}
 		}
 	}
+	// Message family: losses and duplications. The rate kinds carry the
+	// verdict-stream seed in Seq — per-transmission decisions are then
+	// pure hashes of (seed, src, dst, sendSeq, attempt) made at send time
+	// in netmodel, with no draws here — so the family adds at most two
+	// events regardless of traffic volume and never moves another
+	// family's stream. Targeted drops are coupon events: each plans the
+	// loss of one specific (src, dst, sendSeq) first transmission.
+	if s.DropRate > 0 {
+		p.Events = append(p.Events, Event{
+			Kind: MsgDropRate, Duration: s.Horizon, Factor: s.DropRate,
+			Seq: uint64(sim.Mix64(s.Seed, msgStreamBase)),
+		})
+	}
+	if s.DupRate > 0 {
+		p.Events = append(p.Events, Event{
+			Kind: MsgDupRate, Duration: s.Horizon, Factor: s.DupRate,
+			Seq: uint64(sim.Mix64(s.Seed, msgStreamBase+1)),
+		})
+	}
+	for k := 0; k < s.Drops && ranks > 1; k++ {
+		rng := eventRand(s.Seed, msgStreamBase+2+int64(k))
+		src := rng.Intn(ranks)
+		dst := rng.Intn(ranks)
+		if dst == src {
+			// Self-sends bypass the fabric; nudge to a real link.
+			dst = (dst + 1) % ranks
+		}
+		p.Events = append(p.Events, Event{
+			Kind: MsgDrop, Target: src, Peer: dst, Seq: uint64(rng.Int63n(64)),
+		})
+	}
 	return p
 }
 
@@ -244,6 +292,7 @@ var specKeys = []string{
 	"derate-stripes", "derate-len", "derate-rate",
 	"flaps", "flap-len", "lat-factor", "bw-factor",
 	"crashes", "crash-mtbf", "restart-cost",
+	"drop-rate", "drops", "dup-rate",
 }
 
 // SpecKeys returns the keys ParseSpec accepts, in canonical order, for
@@ -300,6 +349,9 @@ func (s Spec) String() string {
 	num("crashes", s.Crashes, def.Crashes)
 	dur("crash-mtbf", s.CrashMTBF, def.CrashMTBF)
 	dur("restart-cost", s.RestartCost, def.RestartCost)
+	flt("drop-rate", s.DropRate, def.DropRate)
+	num("drops", s.Drops, def.Drops)
+	flt("dup-rate", s.DupRate, def.DupRate)
 	return strings.Join(parts, ",")
 }
 
@@ -369,6 +421,12 @@ func ParseSpec(text string) (Spec, error) {
 			s.CrashMTBF, err = parseDuration(val)
 		case "restart-cost":
 			s.RestartCost, err = parseDuration(val)
+		case "drop-rate":
+			s.DropRate, err = parseProb(val)
+		case "drops":
+			s.Drops, err = parseCount(val)
+		case "dup-rate":
+			s.DupRate, err = parseProb(val)
 		default:
 			return Spec{}, fmt.Errorf("faults: unknown spec key %q (valid keys: %s)", key, strings.Join(specKeys, ", "))
 		}
@@ -410,6 +468,20 @@ func parseFactor(val string) (float64, error) {
 	}
 	if f < 0 {
 		return 0, fmt.Errorf("factor %v is negative", f)
+	}
+	return f, nil
+}
+
+// parseProb reads a probability. Loss and duplication knobs are
+// per-transmission probabilities, so values above 1 are as nonsensical as
+// negative ones.
+func parseProb(val string) (float64, error) {
+	f, err := parseFactor(val)
+	if err != nil {
+		return 0, err
+	}
+	if f > 1 {
+		return 0, fmt.Errorf("probability %v exceeds 1", f)
 	}
 	return f, nil
 }

@@ -16,11 +16,16 @@ func TestStringRoundTrip(t *testing.T) {
 	crashy.RestartCost = 100 * sim.Millisecond
 	mtbf := def
 	mtbf.CrashMTBF = 750 * sim.Millisecond
+	lossy := def
+	lossy.DropRate = 0.25
+	lossy.Drops = 4
+	lossy.DupRate = 0.0625
 	custom := Spec{
 		Seed: 42, Horizon: 2 * sim.Second,
 		Bursts: 1, BurstLen: 10 * sim.Millisecond, BurstFactor: 3,
 		DerateStripes: 2, DerateRate: 0.5,
 		Crashes: 5, RestartCost: sim.Second,
+		DropRate: 0.1, Drops: 2, DupRate: 0.05,
 	}
 	cases := []struct {
 		name string
@@ -32,6 +37,7 @@ func TestStringRoundTrip(t *testing.T) {
 		{"scaled", def.Scale(2), ""},
 		{"crashes", crashy, "crashes=3,restart-cost=100ms"},
 		{"mtbf", mtbf, "crash-mtbf=750ms"},
+		{"lossy", lossy, "drop-rate=0.25,drops=4,dup-rate=0.0625"},
 		{"custom", custom, ""},
 	}
 	for _, c := range cases {
@@ -90,6 +96,11 @@ func TestParseSpecRejects(t *testing.T) {
 		{"bursts=16,bursts=2", "bursts"},
 		{"seed=1,bursts=4,seed=2", "seed"},
 		{"crashes=3, crashes=3", "crashes"}, // even an agreeing repeat
+		{"drops=-2", "drops"},
+		{"drop-rate=-0.1", "drop-rate"},
+		{"dup-rate=-1", "dup-rate"},
+		{"drop-rate=1.5", "drop-rate"}, // probabilities cap at 1
+		{"dup-rate=2", "dup-rate"},
 	}
 	for _, c := range cases {
 		_, err := ParseSpec(c.text)
@@ -217,6 +228,10 @@ func FuzzParseSpec(f *testing.F) {
 	f.Add("restart-cost=-100ms")
 	f.Add("bursts=16,bursts=2")
 	f.Add("seed=-7,crashes=0")
+	f.Add("drop-rate=0.25,drops=4,dup-rate=0.0625")
+	f.Add("drop-rate=1.5")
+	f.Add("drops=-2,dup-rate=0.5")
+	f.Add("crashes=2,drop-rate=0.1,seed=3")
 	f.Fuzz(func(t *testing.T, text string) {
 		s, err := ParseSpec(text)
 		if err != nil {

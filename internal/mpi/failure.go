@@ -68,6 +68,18 @@ func (e *RankFailedError) Error() string {
 	return fmt.Sprintf("mpi: rank %d failed (epoch %d)", e.Rank, e.Epoch)
 }
 
+func (e *RankFailedError) rankFailure() {}
+
+// failureError is the family of world-revoking failures: crash-stop
+// rank deaths (*RankFailedError) and reliable-delivery give-ups
+// (*RankUnreachableError). Both surface through the same wait entry
+// points and are recovered by the same Protect/FProtect/Rebuild
+// machinery.
+type failureError interface {
+	error
+	rankFailure()
+}
+
 // scheduleCrashes installs the campaign's kill events. Called by Start
 // and StartFibers once the rank bodies exist; with no crashes configured
 // it schedules nothing and the run is byte-identical to a crash-free
@@ -136,6 +148,9 @@ func (w *World) killRank(target int, restart sim.Time) {
 		w.rebuildArrived--
 		w.rebuildQ.Remove(victim)
 	}
+	// A victim parked in WaitSendWindow waits on its own drainQ; pull it
+	// out before the kill so relReset's wake never touches a dead body.
+	rs.drainQ.Remove(victim)
 	if len(w.files) > 0 {
 		keys := make([]string, 0, len(w.files))
 		for k := range w.files {
@@ -176,6 +191,12 @@ func (w *World) killRank(target int, restart sim.Time) {
 		peer.match.reset()
 	}
 	rs.match.reset()
+	// A rank dying with unacked reliable sends (or held out-of-order
+	// arrivals) must not leak them into the rebuilt world: sequence
+	// counters, in-flight entries and reorder buffers all restart at
+	// zero, and surviving send-window waiters wake to observe the
+	// failure. Stale acks and timers retire on the epoch bump above.
+	w.relReset()
 
 	if restart < 0 {
 		restart = 0
@@ -264,17 +285,18 @@ func (r *Rank) FCheckFailed(next sim.StepFunc) sim.StepFunc {
 }
 
 // Protect runs fn, converting a rank-failure unwind into an error
-// return: it recovers a *RankFailedError panic (re-raising anything
-// else), closes any demand intervals fn left open, and reports the
-// failure. The caller then typically accounts its lost work and calls
-// Rebuild.
+// return: it recovers a world-revoking failure panic — *RankFailedError
+// from a crash, *RankUnreachableError from the reliable protocol's
+// retry cap — re-raising anything else, closes any demand intervals fn
+// left open, and reports the failure. The caller then typically
+// accounts its lost work and calls Rebuild.
 func (r *Rank) Protect(fn func()) (err error) {
 	defer func() {
 		rec := recover()
 		if rec == nil {
 			return
 		}
-		fe, ok := rec.(*RankFailedError)
+		fe, ok := rec.(failureError)
 		if !ok {
 			panic(rec)
 		}

@@ -48,6 +48,14 @@ type message struct {
 	dst  *rankState
 	ser  sim.Time
 	self bool
+
+	// Reliable-delivery fields (reliable.go), set only when the world's
+	// message-fault campaign arms the protocol: seq is the per-(src, dst)
+	// send sequence number, sender the acking target. Zero on lossless
+	// worlds.
+	rel    bool
+	seq    uint64
+	sender *rankState
 }
 
 // Fire delivers the message: self-sends deliver immediately; network
@@ -64,6 +72,12 @@ func (m *message) Fire() {
 		return
 	}
 	_, recvEnd := m.dst.recvLink.Reserve(e.Now(), m.ser)
+	if m.rel {
+		// Reliable transmission: ack, suppress duplicates, release to
+		// matching in sequence order (reliable.go).
+		w.relArrive(m, recvEnd)
+		return
+	}
 	w.deliverAt(m.dst, m, recvEnd)
 }
 
@@ -248,6 +262,16 @@ func (c *Comm) isendOv(r *Rank, proc exec, dst, tag int, bytes int64, data inter
 	}
 	arrive := sendEnd + lat
 	msg.ser = ser
+	if w.reliable() {
+		// Lossy fabric: the reliable protocol takes over delivery —
+		// sequence number, attempt-0 verdict, retransmission timer. The
+		// request's completion instant (the NIC slot) is already fixed
+		// above, so buffered-send semantics and send-side cost are
+		// unchanged. Incompatible with the sharded mode, so this branch
+		// never races the Post path below.
+		src.relSend(msg, sendEnd, arrive)
+		return req
+	}
 	if w.group != nil {
 		// Parallel mode: every cross-rank delivery is keyed by the sender's
 		// program order (deliveryPri), even when both ranks share a shard —

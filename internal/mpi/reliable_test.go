@@ -1,0 +1,417 @@
+package mpi
+
+import (
+	"testing"
+
+	"repro/internal/faults"
+	"repro/internal/netmodel"
+	"repro/internal/sim"
+)
+
+// TestReliableDropRetransmit loses one named transmission (a planned
+// coupon on the first message of the 0->1 pair) and checks the
+// retransmission delivers it: the receive completes with the right
+// payload and exactly one timer-driven re-send fired.
+func TestReliableDropRetransmit(t *testing.T) {
+	mf := &netmodel.MsgFaults{
+		Drops: map[netmodel.MsgDropKey]bool{{Src: 0, Dst: 1, Seq: 0}: true},
+	}
+	w := NewWorld(Config{Procs: 2, Seed: 3, MsgFaults: mf})
+	var got int64 = -1
+	_, err := w.Run(func(r *Rank) {
+		c := r.World()
+		if r.ID() == 0 {
+			c.Send(r, 1, 7, 64, int64(42))
+			return
+		}
+		st := c.Recv(r, 0, 7)
+		got = st.Data.(int64)
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if got != 42 {
+		t.Errorf("payload %d, want 42", got)
+	}
+	if n := w.Retransmits(); n != 1 {
+		t.Errorf("retransmits %d, want 1 (the dropped first attempt)", n)
+	}
+}
+
+// TestReliableDupSuppression duplicates every transmission and checks
+// each message is still released to matching exactly once: a fixed
+// number of receives completes and a probe afterwards finds nothing
+// extra queued.
+func TestReliableDupSuppression(t *testing.T) {
+	const msgs = 8
+	mf := &netmodel.MsgFaults{DupSeed: 5, DupRate: 1}
+	w := NewWorld(Config{Procs: 2, Seed: 3, MsgFaults: mf})
+	var sum int64
+	var extra bool
+	_, err := w.Run(func(r *Rank) {
+		c := r.World()
+		if r.ID() == 0 {
+			for i := 0; i < msgs; i++ {
+				c.Send(r, 1, 7, 64, int64(i))
+			}
+			return
+		}
+		for i := 0; i < msgs; i++ {
+			sum += c.Recv(r, 0, 7).Data.(int64)
+		}
+		r.Idle(sim.Second) // let any stray duplicate arrive
+		extra, _ = c.Probe(r, 0, 7)
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if want := int64(msgs * (msgs - 1) / 2); sum != want {
+		t.Errorf("payload sum %d, want %d", sum, want)
+	}
+	if extra {
+		t.Errorf("a duplicate leaked past suppression into the unexpected queue")
+	}
+}
+
+// TestReliableOrderingUnderLoss streams sequence-stamped payloads
+// through a 30%-lossy fabric and checks the receiver sees them in
+// order: the protocol's per-source in-order release preserves MPI's
+// non-overtaking guarantee however the retransmissions interleave.
+func TestReliableOrderingUnderLoss(t *testing.T) {
+	const msgs = 64
+	mf := &netmodel.MsgFaults{DropSeed: 9, DropRate: 0.3}
+	w := NewWorld(Config{Procs: 2, Seed: 3, MsgFaults: mf})
+	_, err := w.Run(func(r *Rank) {
+		c := r.World()
+		if r.ID() == 0 {
+			for i := 0; i < msgs; i++ {
+				c.Send(r, 1, 7, 64, int64(i))
+			}
+			return
+		}
+		for i := 0; i < msgs; i++ {
+			if got := c.Recv(r, 0, 7).Data.(int64); got != int64(i) {
+				t.Errorf("receive %d got payload %d", i, got)
+			}
+		}
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if w.Retransmits() == 0 {
+		t.Errorf("a 30%% loss rate over %d messages retransmitted nothing", msgs)
+	}
+}
+
+// TestReliableUnreachable drops every transmission: the retry cap must
+// revoke the world with *RankUnreachableError, surfacing through
+// Protect on every blocked rank instead of deadlocking.
+func TestReliableUnreachable(t *testing.T) {
+	mf := &netmodel.MsgFaults{DropSeed: 1, DropRate: 1}
+	w := NewWorld(Config{Procs: 2, Seed: 3, MsgFaults: mf, RetryLimit: 3})
+	errs := make([]error, 2)
+	_, err := w.Run(func(r *Rank) {
+		c := r.World()
+		errs[r.ID()] = r.Protect(func() {
+			if r.ID() == 0 {
+				c.Send(r, 1, 7, 64, nil) // buffered: completes locally
+				c.Recv(r, 1, 8)          // blocks until the revocation
+				return
+			}
+			c.Recv(r, 0, 7)
+		})
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for rank, e := range errs {
+		ue, ok := e.(*RankUnreachableError)
+		if !ok {
+			t.Fatalf("rank %d: error %v (%T), want *RankUnreachableError", rank, e, e)
+		}
+		if ue.Src != 0 || ue.Dst != 1 || ue.Attempts != 4 {
+			t.Errorf("rank %d: %+v, want src 0 dst 1 after 4 attempts", rank, ue)
+		}
+	}
+}
+
+// TestWaitSendWindow checks the ack'd sliding window bounds in-flight
+// state under loss: after each WaitSendWindow(2) at most two sends are
+// unacked, so the backlog never exceeds three, and on a lossless world
+// the call is a no-op returning a zero backlog.
+func TestWaitSendWindow(t *testing.T) {
+	const msgs, window = 32, 2
+	mf := &netmodel.MsgFaults{DropSeed: 4, DropRate: 0.3}
+	w := NewWorld(Config{Procs: 2, Seed: 3, MsgFaults: mf})
+	maxSeen := 0
+	_, err := w.Run(func(r *Rank) {
+		c := r.World()
+		if r.ID() == 0 {
+			for i := 0; i < msgs; i++ {
+				c.IsendAndFree(r, 1, 7, 64, int64(i))
+				if n := r.UnackedSends(); n > maxSeen {
+					maxSeen = n
+				}
+				r.WaitSendWindow(window)
+				if n := r.UnackedSends(); n > window {
+					t.Fatalf("backlog %d after WaitSendWindow(%d)", n, window)
+				}
+			}
+			return
+		}
+		for i := 0; i < msgs; i++ {
+			c.Recv(r, 0, 7)
+		}
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if maxSeen > window+1 {
+		t.Errorf("max backlog %d, want <= %d", maxSeen, window+1)
+	}
+
+	// Lossless world: the call must return instantly with nothing queued.
+	w2 := NewWorld(Config{Procs: 2, Seed: 3})
+	_, err = w2.Run(func(r *Rank) {
+		if r.ID() == 0 {
+			r.World().IsendAndFree(r, 1, 7, 64, nil)
+			r.WaitSendWindow(0)
+			if r.UnackedSends() != 0 {
+				t.Errorf("lossless world reports unacked sends")
+			}
+		} else {
+			r.World().Recv(r, 0, 7)
+		}
+	})
+	if err != nil {
+		t.Fatalf("Run (lossless): %v", err)
+	}
+}
+
+// lossyOutcome is the comparable fingerprint of a lossy run used by the
+// replay tests.
+type lossyOutcome struct {
+	end         sim.Time
+	committed   int
+	retransmits int64
+}
+
+// runLossy executes the checkpoint-aware collective body (shared with
+// the crash tests) under cfg with either representation and fingerprints
+// the run.
+func runLossy(t *testing.T, cfg Config, iters int, fibers bool) lossyOutcome {
+	t.Helper()
+	st := newRecShared(iters, cfg.Procs)
+	w := NewWorld(cfg)
+	var end sim.Time
+	if fibers {
+		var err error
+		end, err = w.RunFibers(recFiberBody(st))
+		if err != nil {
+			t.Fatalf("RunFibers: %v", err)
+		}
+	} else {
+		end = mustRun(t, w, recProcBody(st))
+	}
+	allFinished(t, w)
+	o := lossyOutcome{end: end, committed: st.committed, retransmits: w.Retransmits()}
+	w.Release()
+	return o
+}
+
+// TestLossyReplayDeterministic pins the tentpole's replay contract: a
+// fixed lossy campaign (drop and duplication rates compiled through the
+// faults pipeline) yields bit-identical outcomes across the goroutine
+// and fiber representations and across pooled-world reuse.
+func TestLossyReplayDeterministic(t *testing.T) {
+	const procs, iters = 4, 16
+	spec := faults.Spec{Seed: 5, Horizon: 4 * sim.Second, DropRate: 0.25, DupRate: 0.1, Drops: 3}
+	inj, err := spec.Plan(procs, 4).Compile(procs, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inj.Msg == nil {
+		t.Fatal("campaign compiled no message faults")
+	}
+	cfg := Config{Procs: procs, Seed: 11, MsgFaults: inj.Msg}
+
+	first := runLossy(t, cfg, iters, false)
+	if first.committed != iters {
+		t.Fatalf("committed %d of %d", first.committed, iters)
+	}
+	if first.retransmits == 0 {
+		t.Fatalf("a 25%% loss campaign retransmitted nothing")
+	}
+	if got := runLossy(t, cfg, iters, false); got != first {
+		t.Errorf("pooled-reuse replay diverged: %+v vs %+v", got, first)
+	}
+	if got := runLossy(t, cfg, iters, true); got != first {
+		t.Errorf("fiber replay diverged: %+v vs %+v", got, first)
+	}
+	if got := runLossy(t, cfg, iters, true); got != first {
+		t.Errorf("pooled fiber replay diverged: %+v vs %+v", got, first)
+	}
+}
+
+// TestCrashDuringRetransmitReplay composes the crash and message-fault
+// families: a rank dies mid-run while the lossy fabric keeps sends
+// unacked, recovery rebuilds, and the whole dance replays bit-for-bit
+// across representations and pooled reuse.
+func TestCrashDuringRetransmitReplay(t *testing.T) {
+	const procs, iters = 4, 16
+	base := baselineMakespan(t, procs, iters)
+	cfg := Config{
+		Procs: procs, Seed: 11,
+		MsgFaults: &netmodel.MsgFaults{DropSeed: 21, DropRate: 0.2},
+		Crashes: []sim.CrashEvent{
+			{At: base / 3, Target: 2, Restart: 100 * sim.Microsecond},
+		},
+	}
+	first := runLossy(t, cfg, iters, false)
+	if first.committed != iters {
+		t.Fatalf("committed %d of %d", first.committed, iters)
+	}
+	if got := runLossy(t, cfg, iters, false); got != first {
+		t.Errorf("pooled-reuse replay diverged: %+v vs %+v", got, first)
+	}
+	if got := runLossy(t, cfg, iters, true); got != first {
+		t.Errorf("fiber replay diverged: %+v vs %+v", got, first)
+	}
+	if got := runLossy(t, cfg, iters, true); got != first {
+		t.Errorf("pooled fiber replay diverged: %+v vs %+v", got, first)
+	}
+}
+
+// TestLossUnderLinkFlapReplay composes message faults with link
+// latency/bandwidth flaps: retransmission timers and stretched wire
+// costs interact, and the trajectory still replays bit-for-bit.
+func TestLossUnderLinkFlapReplay(t *testing.T) {
+	const procs, iters = 4, 12
+	cfg := Config{
+		Procs: procs, Seed: 11,
+		MsgFaults: &netmodel.MsgFaults{DropSeed: 31, DropRate: 0.25},
+		LinkFaults: &netmodel.LinkFaults{
+			Latency:   []sim.FaultWindow{{Start: 0, End: 2 * sim.Second, Factor: 6}},
+			Bandwidth: []sim.FaultWindow{{Start: sim.Second / 2, End: sim.Second, Factor: 4}},
+		},
+	}
+	first := runLossy(t, cfg, iters, false)
+	if first.committed != iters {
+		t.Fatalf("committed %d of %d", first.committed, iters)
+	}
+	if got := runLossy(t, cfg, iters, false); got != first {
+		t.Errorf("pooled-reuse replay diverged: %+v vs %+v", got, first)
+	}
+	if got := runLossy(t, cfg, iters, true); got != first {
+		t.Errorf("fiber replay diverged: %+v vs %+v", got, first)
+	}
+}
+
+// TestKillWithUnackedSends extends the kill-collective leak test to the
+// reliable protocol: rank 0 dies holding a window's worth of unacked
+// sends (its peer never posts the receives), the failure surfaces, the
+// world rebuilds, and every body finishes with no rank left parked and
+// no reliable state leaking across the rebuild.
+func TestKillWithUnackedSends(t *testing.T) {
+	const procs = 4
+	mf := &netmodel.MsgFaults{DropSeed: 7, DropRate: 0.5}
+	body := func(st *recShared) func(r *Rank) {
+		return func(r *Rank) {
+			c := r.World()
+			if r.Incarnation() > 0 {
+				st.restarts[r.ID()]++
+				r.Rebuild()
+			}
+			for {
+				err := r.Protect(func() {
+					if st.committed == 0 && r.Incarnation() == 0 && r.ID() == 0 {
+						// Fire-and-forget sends nobody receives: they sit
+						// unacked (half the transmissions drop) until the
+						// crash below kills this rank mid-window.
+						for i := 0; i < 8; i++ {
+							c.IsendAndFree(r, 1, 99, 1<<16, nil)
+						}
+						r.WaitSendWindow(0) // parked here at the kill instant
+					}
+					c.Barrier(r)
+					r.CheckFailed()
+					st.committed++
+				})
+				if err == nil {
+					return
+				}
+				st.fails[r.ID()]++
+				r.Rebuild()
+			}
+		}
+	}
+	st := newRecShared(1, procs)
+	cfg := Config{
+		Procs: procs, Seed: 11, MsgFaults: mf,
+		Crashes: []sim.CrashEvent{{At: 50 * sim.Microsecond, Target: 0, Restart: 100 * sim.Microsecond}},
+	}
+	w := NewWorld(cfg)
+	mustRun(t, w, body(st))
+	allFinished(t, w)
+	if st.restarts[0] != 1 {
+		t.Errorf("rank 0 restarts %d, want 1", st.restarts[0])
+	}
+	for i, rs := range w.ranks {
+		if n := len(rs.relOut); n != 0 {
+			t.Errorf("rank %d leaked %d unacked entries across the rebuild", i, n)
+		}
+		for src, rb := range rs.relIn {
+			if len(rb.held) != 0 {
+				t.Errorf("rank %d leaked %d held messages from source %d", i, len(rb.held), src)
+			}
+		}
+		if rs.ioDepth != 0 {
+			t.Errorf("rank %d leaked ioDepth %d", i, rs.ioDepth)
+		}
+	}
+	w.Release()
+}
+
+// TestMsgFaultConfigValidation checks the loud guards: message-fault
+// campaigns refuse the sharded mode, tracing, the legacy wake strategy,
+// and malformed tables, each with an error naming the family.
+func TestMsgFaultConfigValidation(t *testing.T) {
+	mf := &netmodel.MsgFaults{DropSeed: 1, DropRate: 0.1}
+	mustPanicLike := func(name, want string, fn func()) {
+		t.Helper()
+		defer func() {
+			rec := recover()
+			if rec == nil {
+				t.Errorf("%s: no panic", name)
+				return
+			}
+			if s, ok := rec.(string); !ok || !contains(s, want) {
+				t.Errorf("%s: panic %v, want mention of %q", name, rec, want)
+			}
+		}()
+		fn()
+	}
+	mustPanicLike("sharded", "message-fault", func() {
+		NewWorld(Config{Procs: 4, Seed: 1, Shards: 2, MsgFaults: mf})
+	})
+	mustPanicLike("tracer", "tracing", func() {
+		NewWorld(Config{Procs: 2, Seed: 1, MsgFaults: mf, Tracer: nopTracer{}})
+	})
+	mustPanicLike("bad rate", "drop rate", func() {
+		NewWorld(Config{Procs: 2, Seed: 1, MsgFaults: &netmodel.MsgFaults{DropRate: 1.5}})
+	})
+	prev := SetLegacyWake(true)
+	mustPanicLike("legacy wake", "broadcast wake", func() {
+		NewWorld(Config{Procs: 2, Seed: 1, MsgFaults: mf})
+	})
+	SetLegacyWake(prev)
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}

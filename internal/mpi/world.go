@@ -103,6 +103,23 @@ type Config struct {
 	// are incompatible with tracing and with the legacy broadcast wake
 	// strategy.
 	Crashes []sim.CrashEvent
+	// MsgFaults makes the fabric lose or duplicate individual message
+	// transmissions and arms the reliable-delivery protocol (sequence
+	// numbers, acks, virtual-time retransmission timers — see
+	// reliable.go). Nil means a lossless fabric with the protocol
+	// disarmed, byte-identical to a build without it. Message-fault
+	// campaigns are incompatible with tracing, the legacy broadcast wake
+	// strategy, and the sharded parallel mode (Shards > 1).
+	MsgFaults *netmodel.MsgFaults
+	// AckTimeout is the reliable protocol's base retransmission slack:
+	// attempt n retransmits AckTimeout << n after the expected ack
+	// instant. Zero defaults to 8x the network latency. Ignored when
+	// MsgFaults is nil.
+	AckTimeout sim.Time
+	// RetryLimit caps transmission attempts per message; exceeding it
+	// revokes the world with *RankUnreachableError. Zero defaults to 8.
+	// Ignored when MsgFaults is nil.
+	RetryLimit int
 
 	// Engine, if non-nil, attaches the world to an existing engine instead
 	// of owning one: several worlds (jobs) spawned on the same engine run
@@ -163,6 +180,14 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Bank == nil {
 		c.Job = 0 // a private bank has exactly one job
+	}
+	if c.MsgFaults != nil {
+		if c.AckTimeout <= 0 {
+			c.AckTimeout = 8 * c.Net.Latency
+		}
+		if c.RetryLimit <= 0 {
+			c.RetryLimit = 8
+		}
 	}
 	return c
 }
@@ -266,7 +291,7 @@ type World struct {
 	// so completeRebuild can zero their collective tag counters.
 	revoked        bool
 	epoch          int
-	failure        *RankFailedError
+	failure        failureError
 	rebuildArrived int
 	rebuildQ       sim.WaitQueue
 	mainBody       func(r *Rank)
@@ -354,6 +379,9 @@ func (pl *pools) freeMessage(m *message) {
 	m.consumed = false
 	m.readyAt = 0
 	m.self = false
+	m.rel = false
+	m.seq = 0
+	m.sender = nil
 	pl.msgFree = append(pl.msgFree, m)
 }
 
@@ -442,6 +470,19 @@ type rankState struct {
 	inRebuild   bool
 	ioDepth     int
 	failStep    sim.StepFunc
+
+	// Reliable-delivery state (reliable.go), touched only when
+	// Config.MsgFaults arms the protocol: relNextSeq assigns per-
+	// destination send sequence numbers, relOut holds the unacked
+	// in-flight entries, relIn the per-source reorder buffers,
+	// retransmits counts timer-driven re-sends, and drainQ parks this
+	// rank's body in WaitSendWindow until relOut drains to drainTarget.
+	relNextSeq  map[int]uint64
+	relOut      map[relKey]*relEntry
+	relIn       map[int]*relRecvBuf
+	retransmits int64
+	drainQ      sim.WaitQueue
+	drainTarget int
 }
 
 // statusScratch returns a length-n status slice backed by the rank's
@@ -474,6 +515,12 @@ func (rs *rankState) reset(speed float64) {
 	rs.inRebuild = false
 	rs.ioDepth = 0
 	rs.failStep = nil
+	clear(rs.relNextSeq)
+	clear(rs.relOut)
+	clear(rs.relIn)
+	rs.retransmits = 0
+	rs.drainQ = sim.WaitQueue{}
+	rs.drainTarget = 0
 }
 
 // Fire wakes the rank's progress waiters; rankState doubles as a
@@ -552,6 +599,17 @@ func NewWorld(cfg Config) *World {
 			}
 		}
 	}
+	if cfg.MsgFaults != nil {
+		if err := cfg.MsgFaults.Validate(); err != nil {
+			panic(fmt.Sprintf("mpi: MsgFaults: %v", err))
+		}
+		if cfg.Tracer != nil {
+			panic("mpi: message-fault campaigns do not support tracing")
+		}
+		if legacyWake {
+			panic("mpi: message-fault campaigns do not support the legacy broadcast wake strategy (REPRO_WAKE=broadcast)")
+		}
+	}
 	sharded := cfg.Shards > 1
 	if sharded {
 		// The parallel mode partitions per-rank state across concurrently
@@ -570,6 +628,12 @@ func NewWorld(cfg Config) *World {
 		}
 		if len(cfg.Crashes) > 0 {
 			panic("mpi: Shards > 1 does not support crash campaigns")
+		}
+		if cfg.MsgFaults != nil {
+			// The reliable protocol's acks, reorder buffers and timers are
+			// engine-local sender/receiver state; the shard windows have no
+			// reverse ack channel, so the family is refused loudly.
+			panic("mpi: Shards > 1 does not support message-fault campaigns")
 		}
 		if legacyWake {
 			panic("mpi: Shards > 1 does not support the legacy broadcast wake strategy (REPRO_WAKE=broadcast)")

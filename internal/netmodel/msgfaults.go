@@ -1,0 +1,108 @@
+package netmodel
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// MsgDropKey names one planned message loss: the first transmission of
+// send sequence Seq on the Src -> Dst rank pair.
+type MsgDropKey struct {
+	Src, Dst int
+	Seq      uint64
+}
+
+// MsgVerdict is the fate of one message transmission.
+type MsgVerdict int
+
+const (
+	// VerdictDeliver delivers the transmission normally.
+	VerdictDeliver MsgVerdict = iota
+	// VerdictDrop loses the transmission in flight: it consumes the
+	// sender's NIC but never arrives.
+	VerdictDrop
+	// VerdictDup delivers the transmission twice (one NIC injection,
+	// two arrivals), exercising the receiver's duplicate suppression.
+	VerdictDup
+)
+
+// MsgFaults decides, per message transmission, whether the fabric
+// delivers, loses, or duplicates it. A nil *MsgFaults is the healthy
+// fabric: every transmission delivers and the reliable-delivery
+// protocol in internal/mpi stays disarmed.
+//
+// Verdicts are pure hashes of (seed, src, dst, sendSeq, attempt) — no
+// generator state, no draw ordering — so a fixed table yields the same
+// verdict for the same transmission regardless of how many other
+// messages fly, in which order, or under which process representation.
+// Retransmissions (attempt > 0) re-roll the hash, so a lossy fabric is
+// lossy for retries too; planned Drops coupons match only the first
+// attempt, guaranteeing the retry succeeds unless the rate kinds kill
+// it again.
+type MsgFaults struct {
+	// DropRate loses each transmission independently with this
+	// probability, hashed from DropSeed.
+	DropSeed int64
+	DropRate float64
+	// DupRate duplicates each delivered transmission independently with
+	// this probability, hashed from DupSeed.
+	DupSeed int64
+	DupRate float64
+	// Drops lists planned single-transmission losses. The map is only
+	// ever probed by key (never iterated), so map order cannot leak into
+	// trajectories.
+	Drops map[MsgDropKey]bool
+}
+
+// Empty reports whether the table perturbs nothing.
+func (m *MsgFaults) Empty() bool {
+	return m == nil || (m.DropRate == 0 && m.DupRate == 0 && len(m.Drops) == 0)
+}
+
+// Validate checks rates are probabilities and coupon keys are in range.
+func (m *MsgFaults) Validate() error {
+	if m == nil {
+		return nil
+	}
+	if m.DropRate < 0 || m.DropRate > 1 {
+		return fmt.Errorf("netmodel: message drop rate %v outside [0, 1]", m.DropRate)
+	}
+	if m.DupRate < 0 || m.DupRate > 1 {
+		return fmt.Errorf("netmodel: message dup rate %v outside [0, 1]", m.DupRate)
+	}
+	for k := range m.Drops {
+		if k.Src < 0 || k.Dst < 0 {
+			return fmt.Errorf("netmodel: message drop coupon %+v has negative rank", k)
+		}
+	}
+	return nil
+}
+
+// msgU01 maps a transmission identity to a uniform [0, 1) value by
+// chaining sim.Mix64 — stateless, so verdicts commute with everything.
+func msgU01(seed int64, src, dst int, seq uint64, attempt int) float64 {
+	h := sim.Mix64(seed, int64(src)<<32|int64(uint32(dst)))
+	h = sim.Mix64(h, int64(seq))
+	h = sim.Mix64(h, int64(attempt))
+	return float64(uint64(h)>>11) / (1 << 53)
+}
+
+// Verdict decides the fate of attempt number attempt (0 = first
+// transmission) of send sequence seq from rank src to rank dst. Pure:
+// equal arguments always yield equal verdicts.
+func (m *MsgFaults) Verdict(src, dst int, seq uint64, attempt int) MsgVerdict {
+	if m == nil {
+		return VerdictDeliver
+	}
+	if attempt == 0 && m.Drops[MsgDropKey{Src: src, Dst: dst, Seq: seq}] {
+		return VerdictDrop
+	}
+	if m.DropRate > 0 && msgU01(m.DropSeed, src, dst, seq, attempt) < m.DropRate {
+		return VerdictDrop
+	}
+	if m.DupRate > 0 && msgU01(m.DupSeed, src, dst, seq, attempt) < m.DupRate {
+		return VerdictDup
+	}
+	return VerdictDeliver
+}

@@ -125,6 +125,32 @@
 // trajectory-breaking for runs with crashes scheduled and follows the
 // versioning policy below.
 //
+// # Lossy delivery determinism
+//
+// The message-fault family extends the contract from degraded links to
+// lost and duplicated messages. A lossy campaign (a netmodel.MsgFaults
+// verdict table, compiled by internal/faults like every other family)
+// is part of the configuration: the consuming layer (internal/mpi's
+// reliable-delivery protocol) asks the table for a verdict on each
+// transmission and schedules acks, retransmission timers, and
+// duplicate deliveries as ordinary engine events. Verdicts are pure
+// hashes of (seed, src, dst, seq, attempt) — no generator state, no
+// draw order — so the fate of any one transmission is independent of
+// every other message in flight and a single (pair, seq) can be
+// replayed in isolation.
+//
+// With no table armed, none of the protocol runs — the guards are
+// eventless boolean checks, no sequence numbers are assigned and no
+// timers exist — so zero-loss trajectories are byte-identical to
+// pre-protocol builds and the feature did NOT bump TrajectoryVersion
+// (still 2). A fixed lossy campaign replays bit-for-bit across
+// representations, repeated runs, and pooled-engine reuse, with the
+// acks and timers part of the schedule like any other event; changing
+// the verdict hash derivation, ack event placement, the timeout and
+// backoff arithmetic, or the receiver's in-order release rule IS
+// trajectory-breaking for runs with a table armed and follows the
+// versioning policy below.
+//
 // # Parallel mode
 //
 // The conservative parallel mode (ShardGroup) runs several engines as
