@@ -76,7 +76,7 @@ func main() {
 		runs       = flag.Int("runs", 3, "repetitions per data point (paper: 10)")
 		workers    = flag.Int("workers", 0, "concurrent sweep points (0: REPRO_WORKERS or one per CPU)")
 		fibers     = flag.Bool("fibers", fibersDefault(), "run rank bodies as goroutine-free fibers (the soaked default; -fibers=false restores goroutine bodies)")
-		cores      = flag.Int("cores", 0, "fig8: run each point's simulation in conservative parallel mode with this many workers (rows byte-identical for any value >= 1; 0: classic single-engine mode)")
+		cores      = flag.Int("cores", 0, "fig5-fig8, cosched: run each point's simulation in conservative parallel mode with this many workers (rows byte-identical for any value >= 1; 0: classic single-engine mode; other experiments reject it)")
 		jobs       = flag.Int("jobs", 0, "cosched: concurrent jobs per point (0: sweep the built-in set)")
 		coschedPol = flag.String("cosched-policy", "", "cosched: inter-job bank policy fcfs, fair, priority, fair-wc or priority-wc (empty: all)")
 		faultSpec  = flag.String("faults", "", "fault-campaign spec: comma-separated key=value overrides of the default campaign, e.g. bursts=16,outage-len=1s or crashes=2,restart-cost=100ms; durations use Go syntax; keys: "+strings.Join(faults.SpecKeys(), ", ")+"; \"default\"/empty keeps the base campaign, \"none\" disables it (resilience/recovery: scaled base campaign; cosched: degrade the shared bank's stripes, empty means none)")
@@ -93,8 +93,13 @@ func main() {
 
 	if *list {
 		for _, name := range experiments.Names() {
-			fmt.Printf("%-22s %s\n", name, experiments.Descriptions[name])
+			mark := " "
+			if experiments.Shardable[name] {
+				mark = "*" // runs under -cores (conservative parallel mode)
+			}
+			fmt.Printf("%s %-22s %s\n", mark, name, experiments.Descriptions[name])
 		}
+		fmt.Println("\n* supports -cores (conservative parallel mode)")
 		return
 	}
 

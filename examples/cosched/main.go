@@ -15,6 +15,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 
@@ -68,15 +69,21 @@ func job(i int) cluster.Job {
 }
 
 func main() {
+	cores := flag.Int("cores", 0, "run each cluster in conservative parallel mode with this many workers (0: classic single-engine mode; results are identical for any value >= 1)")
+	flag.Parse()
+
 	const jobs = 3
 
-	// Baseline: each job alone on an identical (idle) bank.
+	// Baseline: each job alone on an identical (idle) bank. The baselines
+	// share the shared runs' -cores setting so both sides of every
+	// slowdown ratio come from the same trajectory family.
 	alone := make([]sim.Time, jobs)
 	for i := range alone {
 		res, err := cluster.Run(cluster.Config{
 			Jobs:    []cluster.Job{job(i)},
 			Stripes: stripes,
 			Seed:    1,
+			Cores:   *cores,
 		})
 		if err != nil {
 			log.Fatal(err)
@@ -94,6 +101,7 @@ func main() {
 			Policy:  policy,
 			Stripes: stripes,
 			Seed:    1,
+			Cores:   *cores,
 		})
 		if err != nil {
 			log.Fatal(err)

@@ -83,6 +83,14 @@ type Config struct {
 	// rank bodies (goroutine-free dispatch; trajectories are bit-identical
 	// either way). Ignored when a Tracer is configured.
 	Fibers bool
+	// Cores, when >= 1, runs the solver in the engine's conservative
+	// parallel mode with that many workers. Rows are byte-identical for
+	// any Cores >= 1; Cores == 0 keeps the classic single-engine mode.
+	// CG does no file I/O, so placement is unconstrained: the reference
+	// variants spread all ranks evenly, the decoupled variant spreads
+	// the compute and helper groups each evenly. Incompatible with
+	// Tracer, like the underlying mpi.Config.Shards.
+	Cores int
 	// Seed and Noise drive the imbalance injection.
 	Seed  int64
 	Noise netmodel.Noise
@@ -119,6 +127,9 @@ func (c Config) Validate() error {
 	if c.PointRate <= 0 || c.InnerFraction <= 0 || c.InnerFraction >= 1 {
 		return fmt.Errorf("cg: bad compute parameters")
 	}
+	if c.Cores < 0 {
+		return fmt.Errorf("cg: negative core count %d", c.Cores)
+	}
 	return nil
 }
 
@@ -143,10 +154,41 @@ func (c Config) iterCompute() (inner, boundary sim.Time) {
 	return inner, total - inner
 }
 
+// decoupledPlace spreads a decoupled run's two groups each evenly over
+// cores workers: compute rank i goes to worker i*cores/computes, helper
+// j (by index within the helper group) to worker j*cores/helpers. CG
+// touches no files, so no pinning constraint applies; spreading both
+// groups balances stencil compute and face aggregation alike.
+func decoupledPlace(cores, computes, helpers int) func(rank int) int {
+	return func(rank int) int {
+		if rank < computes {
+			return rank * cores / computes
+		}
+		return (rank - computes) * cores / helpers
+	}
+}
+
+// worldConfig builds the run's mpi configuration, applying the
+// parallel-mode worker count (and, for the decoupled variant, its group
+// placement) when Cores is set.
+func (c Config) worldConfig(computes, helpers int) mpi.Config {
+	mc := mpi.Config{Procs: c.Procs, Seed: c.Seed, Noise: c.Noise, Tracer: c.Tracer}
+	if c.Cores >= 1 {
+		mc.Shards = c.Cores
+		if helpers > 0 {
+			mc.Place = decoupledPlace(c.Cores, computes, helpers)
+		}
+	}
+	return mc
+}
+
 // Run executes the selected variant and returns its result.
 func Run(c Config, v Variant) (Result, error) {
 	if err := c.Validate(); err != nil {
 		return Result{}, err
+	}
+	if c.Cores >= 1 && c.Tracer != nil {
+		return Result{}, &mpi.CannotShardError{Feature: "tracing", Flag: "-cores"}
 	}
 	if c.Fibers && c.Tracer == nil {
 		switch v {
@@ -170,9 +212,12 @@ const haloTag = 3
 
 // runReference executes the blocking or nonblocking reference.
 func runReference(c Config, nonblocking bool) (Result, error) {
-	w := mpi.NewWorld(mpi.Config{Procs: c.Procs, Seed: c.Seed, Noise: c.Noise, Tracer: c.Tracer})
+	w := mpi.NewWorld(c.worldConfig(c.Procs, 0))
 	dims := mpi.BalancedDims(c.Procs, 3)
-	var makespan sim.Time
+	// finished[i] is the instant rank i's body ended: rank i writes only
+	// slot i, so ranks hosted on different parallel-mode workers never
+	// share a word. The makespan folds after the engines stop.
+	finished := make([]sim.Time, c.Procs)
 	inner, boundary := c.iterCompute()
 	face := c.faceBytes()
 	_, err := w.Run(func(r *mpi.Rank) {
@@ -216,16 +261,25 @@ func runReference(c Config, nonblocking bool) (Result, error) {
 			world.Allreduce(r, mpi.Part{Bytes: 8}, mpi.SumFloat64, nil)
 			world.Allreduce(r, mpi.Part{Bytes: 8}, mpi.SumFloat64, nil)
 		}
-		if t := r.Now(); t > makespan {
-			makespan = t
-		}
+		finished[r.ID()] = r.Now()
 	})
 	if err != nil {
 		return Result{}, err
 	}
-	res := Result{Time: makespan, Messages: w.MessagesSent()}
+	res := Result{Time: maxTime(finished), Messages: w.MessagesSent()}
 	w.Release()
 	return res, nil
+}
+
+// maxTime folds a per-rank instant slice into its maximum.
+func maxTime(ts []sim.Time) sim.Time {
+	var m sim.Time
+	for _, t := range ts {
+		if t > m {
+			m = t
+		}
+	}
+	return m
 }
 
 // faceMsg is one streamed boundary face.
@@ -238,16 +292,16 @@ type faceMsg struct {
 // to helpers; helpers aggregate the six neighbour faces per compute rank
 // per iteration and return them in one message.
 func runDecoupled(c Config) (Result, error) {
-	w := mpi.NewWorld(mpi.Config{Procs: c.Procs, Seed: c.Seed, Noise: c.Noise, Tracer: c.Tracer})
 	helpers := int(float64(c.Procs)*c.Alpha + 0.5)
 	if helpers < 1 {
 		helpers = 1
 	}
 	computes := c.Procs - helpers
+	w := mpi.NewWorld(c.worldConfig(computes, helpers))
 	dims := mpi.BalancedDims(computes, 3)
 	inner, boundary := c.iterCompute()
 	face := c.faceBytes()
-	var makespan sim.Time
+	finished := make([]sim.Time, c.Procs)
 	const aggTag = 4
 	_, err := w.Run(func(r *mpi.Rank) {
 		world := r.World()
@@ -303,14 +357,12 @@ func runDecoupled(c Config) (Result, error) {
 			})
 		}
 		ch.Free(r)
-		if t := r.Now(); t > makespan {
-			makespan = t
-		}
+		finished[r.ID()] = r.Now()
 	})
 	if err != nil {
 		return Result{}, err
 	}
-	res := Result{Time: makespan, Messages: w.MessagesSent()}
+	res := Result{Time: maxTime(finished), Messages: w.MessagesSent()}
 	w.Release()
 	return res, nil
 }

@@ -15,9 +15,9 @@ import (
 // runReferenceFibers executes the blocking or nonblocking reference with
 // fiber rank bodies.
 func runReferenceFibers(c Config, nonblocking bool) (Result, error) {
-	w := mpi.NewWorld(mpi.Config{Procs: c.Procs, Seed: c.Seed, Noise: c.Noise})
+	w := mpi.NewWorld(c.worldConfig(c.Procs, 0))
 	dims := mpi.BalancedDims(c.Procs, 3)
-	var makespan sim.Time
+	finished := make([]sim.Time, c.Procs)
 	inner, boundary := c.iterCompute()
 	face := c.faceBytes()
 	_, err := w.RunFibers(func(r *mpi.Rank, f *sim.Fiber) sim.StepFunc {
@@ -38,9 +38,7 @@ func runReferenceFibers(c Config, nonblocking bool) (Result, error) {
 		k := 0
 		var exchSrc int
 		record := func(_ *sim.Fiber) sim.StepFunc {
-			if t := r.Now(); t > makespan {
-				makespan = t
-			}
+			finished[r.ID()] = r.Now()
 			return nil
 		}
 		// Residual aggregation: two global dot products per CG iteration.
@@ -100,7 +98,7 @@ func runReferenceFibers(c Config, nonblocking bool) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	res := Result{Time: makespan, Messages: w.MessagesSent()}
+	res := Result{Time: maxTime(finished), Messages: w.MessagesSent()}
 	w.Release()
 	return res, nil
 }
@@ -109,16 +107,16 @@ func runReferenceFibers(c Config, nonblocking bool) (Result, error) {
 // bodies: compute ranks stream faces to helpers and receive one
 // aggregated message back per iteration.
 func runDecoupledFibers(c Config) (Result, error) {
-	w := mpi.NewWorld(mpi.Config{Procs: c.Procs, Seed: c.Seed, Noise: c.Noise})
 	helpers := int(float64(c.Procs)*c.Alpha + 0.5)
 	if helpers < 1 {
 		helpers = 1
 	}
 	computes := c.Procs - helpers
+	w := mpi.NewWorld(c.worldConfig(computes, helpers))
 	dims := mpi.BalancedDims(computes, 3)
 	inner, boundary := c.iterCompute()
 	face := c.faceBytes()
-	var makespan sim.Time
+	finished := make([]sim.Time, c.Procs)
 	const aggTag = 4
 	_, err := w.RunFibers(func(r *mpi.Rank, f *sim.Fiber) sim.StepFunc {
 		world := r.World()
@@ -130,9 +128,7 @@ func runDecoupledFibers(c Config) (Result, error) {
 			st := ch.Attach(r, stream.Options{ElementBytes: face})
 			finish := func(_ *sim.Fiber) sim.StepFunc {
 				return ch.FFree(r, func(_ *sim.Fiber) sim.StepFunc {
-					if t := r.Now(); t > makespan {
-						makespan = t
-					}
+					finished[r.ID()] = r.Now()
 					return nil
 				})
 			}
@@ -203,7 +199,7 @@ func runDecoupledFibers(c Config) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	res := Result{Time: makespan, Messages: w.MessagesSent()}
+	res := Result{Time: maxTime(finished), Messages: w.MessagesSent()}
 	w.Release()
 	return res, nil
 }

@@ -12,6 +12,45 @@ const (
 	aggTag = 12 // decoupled comm-group -> compute-rank aggregated arrivals
 )
 
+// commPlace spreads a decoupled comm run's two groups each evenly over
+// cores workers: compute rank i goes to worker i*cores/computes, helper
+// j (by index within the communication group) to worker j*cores/helpers.
+// The comm experiment touches no files, so no pinning constraint
+// applies.
+func commPlace(cores, computes, helpers int) func(rank int) int {
+	return func(rank int) int {
+		if rank < computes {
+			return rank * cores / computes
+		}
+		return (rank - computes) * cores / helpers
+	}
+}
+
+// commWorldConfig builds a comm run's mpi configuration, applying the
+// parallel-mode worker count (and, for the decoupled run, its group
+// placement) when Cores is set.
+func (c Config) commWorldConfig(computes, helpers int) mpi.Config {
+	mc := mpi.Config{Procs: c.Procs, Seed: c.Seed, Noise: c.Noise, Tracer: c.Tracer}
+	if c.Cores >= 1 {
+		mc.Shards = c.Cores
+		if helpers > 0 {
+			mc.Place = commPlace(c.Cores, computes, helpers)
+		}
+	}
+	return mc
+}
+
+// maxTime folds a per-rank instant slice into its maximum.
+func maxTime(ts []sim.Time) sim.Time {
+	var m sim.Time
+	for _, t := range ts {
+		if t > m {
+			m = t
+		}
+	}
+	return m
+}
+
 // RunCommReference executes the reference particle communication (Fig. 7,
 // blue bars): after the mover, every process forwards exiting particles to
 // its six direct neighbours; forwarding repeats (diagonal movers travel
@@ -22,13 +61,19 @@ func RunCommReference(c Config) (Result, error) {
 	if err := c.Validate(); err != nil {
 		return Result{}, err
 	}
-	w := mpi.NewWorld(mpi.Config{Procs: c.Procs, Seed: c.Seed, Noise: c.Noise, Tracer: c.Tracer})
+	if c.Cores >= 1 && c.Tracer != nil {
+		return Result{}, &mpi.CannotShardError{Feature: "tracing", Flag: "-cores"}
+	}
+	w := mpi.NewWorld(c.commWorldConfig(c.Procs, 0))
 	if c.Fibers && c.Tracer == nil {
 		return runCommReferenceFibers(c, w)
 	}
 	dims := dims3(c.Procs)
 	field := c.field(dims, c.Procs)
-	var makespan sim.Time
+	// finished[i] is the instant rank i's body ended: rank i writes only
+	// slot i, so ranks hosted on different parallel-mode workers never
+	// share a word. totalRounds is written by rank 0 alone.
+	finished := make([]sim.Time, c.Procs)
 	totalRounds := 0
 	_, err := w.Run(func(r *mpi.Rank) {
 		world := r.World()
@@ -81,14 +126,12 @@ func RunCommReference(c Config) (Result, error) {
 				totalRounds += rounds
 			}
 		}
-		if t := r.Now(); t > makespan {
-			makespan = t
-		}
+		finished[r.ID()] = r.Now()
 	})
 	if err != nil {
 		return Result{}, err
 	}
-	res := Result{Time: makespan, Messages: w.MessagesSent(), ForwardRounds: totalRounds}
+	res := Result{Time: maxTime(finished), Messages: w.MessagesSent(), ForwardRounds: totalRounds}
 	w.Release()
 	return res, nil
 }
@@ -109,18 +152,21 @@ func RunCommDecoupled(c Config) (Result, error) {
 	if err := c.Validate(); err != nil {
 		return Result{}, err
 	}
-	w := mpi.NewWorld(mpi.Config{Procs: c.Procs, Seed: c.Seed, Noise: c.Noise, Tracer: c.Tracer})
-	if c.Fibers && c.Tracer == nil {
-		return runCommDecoupledFibers(c, w)
+	if c.Cores >= 1 && c.Tracer != nil {
+		return Result{}, &mpi.CannotShardError{Feature: "tracing", Flag: "-cores"}
 	}
 	helpers := int(float64(c.Procs)*c.Alpha + 0.5)
 	if helpers < 1 {
 		helpers = 1
 	}
 	computes := c.Procs - helpers
+	w := mpi.NewWorld(c.commWorldConfig(computes, helpers))
+	if c.Fibers && c.Tracer == nil {
+		return runCommDecoupledFibers(c, w)
+	}
 	dims := dims3(computes)
 	field := c.field(dims, computes)
-	var makespan sim.Time
+	finished := make([]sim.Time, c.Procs)
 	_, err := w.Run(func(r *mpi.Rank) {
 		world := r.World()
 		role := stream.Producer
@@ -207,14 +253,12 @@ func RunCommDecoupled(c Config) (Result, error) {
 			})
 		}
 		ch.Free(r)
-		if t := r.Now(); t > makespan {
-			makespan = t
-		}
+		finished[r.ID()] = r.Now()
 	})
 	if err != nil {
 		return Result{}, err
 	}
-	res := Result{Time: makespan, Messages: w.MessagesSent()}
+	res := Result{Time: maxTime(finished), Messages: w.MessagesSent()}
 	w.Release()
 	return res, nil
 }

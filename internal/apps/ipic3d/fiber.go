@@ -15,7 +15,7 @@ import (
 func runCommReferenceFibers(c Config, w *mpi.World) (Result, error) {
 	dims := dims3(c.Procs)
 	field := c.field(dims, c.Procs)
-	var makespan sim.Time
+	finished := make([]sim.Time, c.Procs)
 	totalRounds := 0
 	_, err := w.RunFibers(func(r *mpi.Rank, f *sim.Fiber) sim.StepFunc {
 		world := r.World()
@@ -45,9 +45,7 @@ func runCommReferenceFibers(c Config, w *mpi.World) (Result, error) {
 		}, &roundLoop)
 		stepLoop = func(_ *sim.Fiber) sim.StepFunc {
 			if step >= c.Steps {
-				if t := r.Now(); t > makespan {
-					makespan = t
-				}
+				finished[r.ID()] = r.Now()
 				return nil
 			}
 			step++
@@ -109,7 +107,7 @@ func runCommReferenceFibers(c Config, w *mpi.World) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	res := Result{Time: makespan, Messages: w.MessagesSent(), ForwardRounds: totalRounds}
+	res := Result{Time: maxTime(finished), Messages: w.MessagesSent(), ForwardRounds: totalRounds}
 	w.Release()
 	return res, nil
 }
@@ -123,7 +121,7 @@ func runCommDecoupledFibers(c Config, w *mpi.World) (Result, error) {
 	computes := c.Procs - helpers
 	dims := dims3(computes)
 	field := c.field(dims, computes)
-	var makespan sim.Time
+	finished := make([]sim.Time, c.Procs)
 	_, err := w.RunFibers(func(r *mpi.Rank, f *sim.Fiber) sim.StepFunc {
 		world := r.World()
 		role := stream.Producer
@@ -134,9 +132,7 @@ func runCommDecoupledFibers(c Config, w *mpi.World) (Result, error) {
 			st := ch.Attach(r, stream.Options{ElementBytes: c.ParticleBytes})
 			finish := func(_ *sim.Fiber) sim.StepFunc {
 				return ch.FFree(r, func(_ *sim.Fiber) sim.StepFunc {
-					if t := r.Now(); t > makespan {
-						makespan = t
-					}
+					finished[r.ID()] = r.Now()
 					return nil
 				})
 			}
@@ -241,7 +237,7 @@ func runCommDecoupledFibers(c Config, w *mpi.World) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	res := Result{Time: makespan, Messages: w.MessagesSent()}
+	res := Result{Time: maxTime(finished), Messages: w.MessagesSent()}
 	w.Release()
 	return res, nil
 }

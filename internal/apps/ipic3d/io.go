@@ -72,7 +72,7 @@ func RunIO(c Config, v IOVariant) (Result, error) {
 			// the tracer cannot replay; refuse loudly rather than letting
 			// mpi.NewWorld panic deep inside a sweep.
 			if c.Cores >= 1 {
-				return Result{}, fmt.Errorf("ipic3d: message-fault campaign on a sharded run (Cores=%d); lossy runs are single-worker", c.Cores)
+				return Result{}, &mpi.CannotShardError{Feature: "message-fault campaigns", Flag: "-cores"}
 			}
 			if c.Tracer != nil {
 				return Result{}, fmt.Errorf("ipic3d: message-fault campaigns do not support tracing")
@@ -84,7 +84,10 @@ func RunIO(c Config, v IOVariant) (Result, error) {
 		mc.MsgFaults = c.Faults.Msg
 	}
 	s := newIORun(c, v)
-	if c.Cores >= 1 && c.Tracer == nil {
+	if c.Cores >= 1 {
+		if c.Tracer != nil {
+			return Result{}, &mpi.CannotShardError{Feature: "tracing", Flag: "-cores"}
+		}
 		mc.Shards, mc.Place = s.placement(c.Cores)
 	}
 	w := mpi.NewWorld(mc)
@@ -165,6 +168,30 @@ func (s *ioRun) placement(cores int) (int, func(rank int) int) {
 	}
 }
 
+// groupPlace maps a co-scheduled job's ranks onto the shards of the
+// cluster's shared group. The reference variants write one shared file
+// from every rank, so the whole job is pinned to a single shard, chosen
+// by job index so different jobs land on different workers. The
+// decoupled variant spreads its compute group evenly and pins its I/O
+// group to one shard (a file's users must share a worker), with the
+// whole layout rotated by job index so the pinned I/O groups — the
+// ranks actually contending for the shared bank — do not all pile onto
+// one worker.
+func (s *ioRun) groupPlace(shards, job int) func(rank int) int {
+	if s.v != IODecoupled {
+		home := job % shards
+		return func(rank int) int { return home }
+	}
+	computes := s.computes
+	return func(rank int) int {
+		sh := shards - 1
+		if rank < computes {
+			sh = rank * shards / computes
+		}
+		return (sh + job) % shards
+	}
+}
+
 // newIORun derives the job's particle layout for the chosen variant.
 func newIORun(c Config, v IOVariant) *ioRun {
 	s := &ioRun{c: c, v: v, finished: make([]sim.Time, c.Procs), lastCompute: make([]sim.Time, c.Procs)}
@@ -234,10 +261,12 @@ type IOJob struct {
 }
 
 // StartIO builds a world for the Fig. 8 job of variant v attached to the
-// shared simulation resources in base (Engine, Bank, Job, Name and the
-// cluster-wide FS cost model) and spawns its rank bodies. The caller —
-// normally a cluster.Job's Start hook — runs the shared engine once every
-// job is started; Result is valid after that run completes.
+// shared simulation resources in base (Engine or Group, Bank, Job, Name
+// and the cluster-wide FS cost model) and spawns its rank bodies. When
+// base carries a shard group (a sharded co-scheduled run), the job's
+// ranks are placed onto the group's shards by groupPlace. The caller —
+// normally a cluster.Job's Start hook — runs the shared engine or group
+// once every job is started; Result is valid after that run completes.
 func StartIO(c Config, v IOVariant, base mpi.Config) (*IOJob, error) {
 	if err := c.Validate(); err != nil {
 		return nil, err
@@ -272,8 +301,11 @@ func StartIO(c Config, v IOVariant, base mpi.Config) (*IOJob, error) {
 		base.RankFaults = c.Faults.Rank
 		base.LinkFaults = c.Faults.Link
 	}
-	w := mpi.NewWorld(base)
 	s := newIORun(c, v)
+	if base.Group != nil {
+		base.Place = s.groupPlace(base.Group.Shards(), base.Job)
+	}
+	w := mpi.NewWorld(base)
 	if c.Fibers {
 		w.StartFibers(s.fiberBody())
 	} else {

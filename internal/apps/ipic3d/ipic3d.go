@@ -60,14 +60,18 @@ type Config struct {
 	// rank bodies (goroutine-free dispatch; trajectories are bit-identical
 	// either way). Ignored when a Tracer is configured.
 	Fibers bool
-	// Cores, when >= 1, runs the I/O experiments (RunIO) in the engine's
+	// Cores, when >= 1, runs the I/O (RunIO) and particle-communication
+	// (RunCommReference/RunCommDecoupled) experiments in the engine's
 	// conservative parallel mode with that many workers. Rows are
 	// byte-identical for any Cores >= 1; Cores == 0 keeps the classic
 	// single-engine mode. The reference I/O variants share one file among
 	// all ranks, which pins every rank to one worker (no speedup, by
-	// construction); the decoupled variant spreads the compute group
-	// across workers. Incompatible with Tracer and crash campaigns, like
-	// the underlying mpi.Config.Shards.
+	// construction); the decoupled I/O variant spreads the compute group
+	// across workers; the comm experiments touch no files and spread all
+	// groups evenly. Incompatible with Tracer and crash campaigns, like
+	// the underlying mpi.Config.Shards. Co-scheduled runs (StartIO)
+	// ignore it: the cluster's worker count arrives via the shared group
+	// in the base configuration (cluster.Config.Cores).
 	Cores int
 	// Faults, if non-nil, is a compiled fault campaign (rank slowdown
 	// bursts, stripe outage/derate windows, link degradation) injected

@@ -41,7 +41,7 @@ func mapFileFibers(r *mpi.Rank, c Config, bytes int64, emit func(chunkKV int64),
 // runReferenceFibers is RunReference's body in fiber form.
 func runReferenceFibers(c Config, w *mpi.World) (Result, error) {
 	corpus := c.corpus()
-	var makespan sim.Time
+	finished := make([]sim.Time, c.Procs)
 	shares := c.inputShares(c.Procs)
 	_, err := w.RunFibers(func(r *mpi.Rank, f *sim.Fiber) sim.StepFunc {
 		world := r.World()
@@ -52,9 +52,7 @@ func runReferenceFibers(c Config, w *mpi.World) (Result, error) {
 						mpi.LinearCost(sim.Time(float64(sim.Second)/c.MergeRate)),
 						func(rr *mpi.CollRequest) sim.StepFunc {
 							return world.FWaitColl(r, rr, func(interface{}) sim.StepFunc {
-								if t := r.Now(); t > makespan {
-									makespan = t
-								}
+								finished[r.ID()] = r.Now()
 								return nil
 							})
 						})
@@ -65,7 +63,7 @@ func runReferenceFibers(c Config, w *mpi.World) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	res := Result{Time: makespan, TotalBytes: corpus.TotalBytes(), Messages: w.MessagesSent()}
+	res := Result{Time: maxTime(finished), TotalBytes: corpus.TotalBytes(), Messages: w.MessagesSent()}
 	w.Release()
 	return res, nil
 }
@@ -73,8 +71,8 @@ func runReferenceFibers(c Config, w *mpi.World) (Result, error) {
 // runDecoupledFibers is RunDecoupled's body in fiber form.
 func runDecoupledFibers(c Config, w *mpi.World) (Result, error) {
 	corpus := c.corpus()
-	var makespan sim.Time
-	var elements int64
+	finished := make([]sim.Time, c.Procs)
+	elems := make([]int64, c.Procs)
 	reducers := int(float64(c.Procs)*c.Alpha + 0.5)
 	if reducers < 1 {
 		reducers = 1
@@ -98,9 +96,7 @@ func runDecoupledFibers(c Config, w *mpi.World) (Result, error) {
 			}
 			finish := func(_ *sim.Fiber) sim.StepFunc {
 				return ch.FFree(r, func(_ *sim.Fiber) sim.StepFunc {
-					if t := r.Now(); t > makespan {
-						makespan = t
-					}
+					finished[r.ID()] = r.Now()
 					return nil
 				})
 			}
@@ -176,7 +172,7 @@ func runDecoupledFibers(c Config, w *mpi.World) (Result, error) {
 					mergeThen = then
 					return rr.FComputeLabeled(mergeCost(e.Bytes), "reduce", merged)
 				}, func(stats stream.Stats) sim.StepFunc {
-					elements += stats.ElementsReceived
+					elems[r.ID()] = stats.ElementsReceived
 					if ch.Consumers() > 1 {
 						return world.FSend(r, masterWorld, doneTag, 8, myUpdates, finish)
 					}
@@ -188,8 +184,12 @@ func runDecoupledFibers(c Config, w *mpi.World) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
+	var elements int64
+	for _, e := range elems {
+		elements += e
+	}
 	res := Result{
-		Time:       makespan,
+		Time:       maxTime(finished),
 		TotalBytes: corpus.TotalBytes(),
 		Messages:   w.MessagesSent(),
 		Elements:   elements,

@@ -84,6 +84,14 @@ type Config struct {
 	// rank bodies (goroutine-free dispatch; trajectories are bit-identical
 	// either way). Ignored when a Tracer is configured.
 	Fibers bool
+	// Cores, when >= 1, runs the job in the engine's conservative
+	// parallel mode with that many workers. Rows are byte-identical for
+	// any Cores >= 1; Cores == 0 keeps the classic single-engine mode.
+	// MapReduce does no file I/O, so placement is unconstrained: the
+	// reference spreads all ranks evenly, the decoupled run spreads the
+	// map and reduce groups each evenly. Incompatible with Tracer, like
+	// the underlying mpi.Config.Shards.
+	Cores int
 	// Seed drives all randomness; Noise is the compute noise model.
 	Seed  int64
 	Noise netmodel.Noise
@@ -127,7 +135,49 @@ func (c Config) Validate() error {
 	if c.MapRate <= 0 || c.MergeRate <= 0 || c.StreamMergeRate <= 0 || c.EmitRatio <= 0 {
 		return fmt.Errorf("mapreduce: non-positive rate")
 	}
+	if c.Cores < 0 {
+		return fmt.Errorf("mapreduce: negative core count %d", c.Cores)
+	}
 	return nil
+}
+
+// decoupledPlace spreads the map and reduce groups each evenly over
+// cores workers: mapper i goes to worker i*cores/mappers, reducer j (by
+// index within the reduce group) to worker j*cores/reducers. No file
+// I/O means no pinning constraint; spreading both groups balances map
+// compute and stream merging alike.
+func decoupledPlace(cores, mappers, reducers int) func(rank int) int {
+	return func(rank int) int {
+		if rank < mappers {
+			return rank * cores / mappers
+		}
+		return (rank - mappers) * cores / reducers
+	}
+}
+
+// worldConfig builds the run's mpi configuration, applying the
+// parallel-mode worker count (and, for the decoupled run, its group
+// placement) when Cores is set.
+func (c Config) worldConfig(mappers, reducers int) mpi.Config {
+	mc := mpi.Config{Procs: c.Procs, Seed: c.Seed, Noise: c.Noise, Tracer: c.Tracer}
+	if c.Cores >= 1 {
+		mc.Shards = c.Cores
+		if reducers > 0 {
+			mc.Place = decoupledPlace(c.Cores, mappers, reducers)
+		}
+	}
+	return mc
+}
+
+// maxTime folds a per-rank instant slice into its maximum.
+func maxTime(ts []sim.Time) sim.Time {
+	var m sim.Time
+	for _, t := range ts {
+		if t > m {
+			m = t
+		}
+	}
+	return m
 }
 
 // Result reports one run's outcome.
@@ -188,12 +238,18 @@ func RunReference(c Config) (Result, error) {
 	if err := c.Validate(); err != nil {
 		return Result{}, err
 	}
+	if c.Cores >= 1 && c.Tracer != nil {
+		return Result{}, &mpi.CannotShardError{Feature: "tracing", Flag: "-cores"}
+	}
 	corpus := c.corpus()
-	w := mpi.NewWorld(mpi.Config{Procs: c.Procs, Seed: c.Seed, Noise: c.Noise, Tracer: c.Tracer})
+	w := mpi.NewWorld(c.worldConfig(c.Procs, 0))
 	if c.Fibers && c.Tracer == nil {
 		return runReferenceFibers(c, w)
 	}
-	var makespan sim.Time
+	// finished[i] is the instant rank i's body ended: rank i writes only
+	// slot i, so ranks hosted on different parallel-mode workers never
+	// share a word. The makespan folds after the engines stop.
+	finished := make([]sim.Time, c.Procs)
 	shares := c.inputShares(c.Procs)
 	_, err := w.Run(func(r *mpi.Rank) {
 		world := r.World()
@@ -208,14 +264,12 @@ func RunReference(c Config) (Result, error) {
 		rr := world.Ireduce(r, 0, mpi.Part{Bytes: c.GlobalKeyBytes}, mpi.SumInt64,
 			mpi.LinearCost(sim.Time(float64(sim.Second)/c.MergeRate)))
 		world.WaitColl(r, rr)
-		if t := r.Now(); t > makespan {
-			makespan = t
-		}
+		finished[r.ID()] = r.Now()
 	})
 	if err != nil {
 		return Result{}, err
 	}
-	res := Result{Time: makespan, TotalBytes: corpus.TotalBytes(), Messages: w.MessagesSent()}
+	res := Result{Time: maxTime(finished), TotalBytes: corpus.TotalBytes(), Messages: w.MessagesSent()}
 	w.Release()
 	return res, nil
 }
@@ -229,18 +283,23 @@ func RunDecoupled(c Config) (Result, error) {
 	if c.Alpha <= 0 {
 		return Result{}, fmt.Errorf("mapreduce: decoupled run needs alpha > 0")
 	}
-	corpus := c.corpus()
-	w := mpi.NewWorld(mpi.Config{Procs: c.Procs, Seed: c.Seed, Noise: c.Noise, Tracer: c.Tracer})
-	if c.Fibers && c.Tracer == nil {
-		return runDecoupledFibers(c, w)
+	if c.Cores >= 1 && c.Tracer != nil {
+		return Result{}, &mpi.CannotShardError{Feature: "tracing", Flag: "-cores"}
 	}
-	var makespan sim.Time
-	var elements int64
+	corpus := c.corpus()
 	reducers := int(float64(c.Procs)*c.Alpha + 0.5)
 	if reducers < 1 {
 		reducers = 1
 	}
 	mappers := c.Procs - reducers
+	w := mpi.NewWorld(c.worldConfig(mappers, reducers))
+	if c.Fibers && c.Tracer == nil {
+		return runDecoupledFibers(c, w)
+	}
+	finished := make([]sim.Time, c.Procs)
+	// elems[i] is rank i's stream-element count (consumers only); like
+	// finished it is strictly per-rank, so sharded workers never race.
+	elems := make([]int64, c.Procs)
 	shares := c.inputShares(mappers)
 	// masterWorld is the world rank of the reduce group's master: the
 	// first consumer rank.
@@ -308,21 +367,23 @@ func RunDecoupled(c Config) (Result, error) {
 					myUpdates++
 				}
 			})
-			elements += stats.ElementsReceived
+			elems[r.ID()] = stats.ElementsReceived
 			if ch.Consumers() > 1 {
 				world.Send(r, masterWorld, doneTag, 8, myUpdates)
 			}
 		}
 		ch.Free(r)
-		if t := r.Now(); t > makespan {
-			makespan = t
-		}
+		finished[r.ID()] = r.Now()
 	})
 	if err != nil {
 		return Result{}, err
 	}
+	var elements int64
+	for _, e := range elems {
+		elements += e
+	}
 	res := Result{
-		Time:       makespan,
+		Time:       maxTime(finished),
 		TotalBytes: corpus.TotalBytes(),
 		Messages:   w.MessagesSent(),
 		Elements:   elements,

@@ -24,6 +24,15 @@
 // the bank policy). Job spawn order fixes global process identifiers;
 // representation (goroutine or fiber rank bodies) does not change the
 // trajectory, exactly as for single-world runs.
+//
+// With Config.Cores >= 1 the cluster runs in the conservative parallel
+// mode instead: every job's ranks are spread across one shared
+// sim.ShardGroup and the bank arbitrates stripe time through its
+// window-boundary reservation protocol. That family's trajectory is
+// byte-identical for every Cores >= 1 (the shard count only picks the
+// worker parallelism) but distinct from the classic Cores == 0 family,
+// because reservations ride boundary events. Both families share the
+// purity guarantee above.
 package cluster
 
 import (
@@ -94,6 +103,15 @@ type Config struct {
 	// are installed fresh each Run; nil schedules nothing and keeps
 	// trajectories byte-identical to the fault-free build.
 	StripeFaults [][]sim.StripeFault
+	// Cores >= 1 runs the cluster in the conservative parallel mode:
+	// every job's ranks are spread across Cores shard engines sharing
+	// one group, and the bank arbitrates stripe time through its
+	// window-boundary reservation protocol (sim.Bank.AttachGroup). The
+	// sharded trajectory family is byte-identical for every Cores >= 1 —
+	// Cores only picks the worker count — but differs from the classic
+	// family, because cross-shard reservations ride window-boundary
+	// events: Cores == 0 keeps the classic shared-engine run unchanged.
+	Cores int
 }
 
 // Result is one co-scheduled run's outcome.
@@ -132,9 +150,11 @@ func getEngine(seed int64) *sim.Engine {
 	return sim.NewEngine(seed)
 }
 
-// Run starts every job on one shared engine and bank and runs the
-// simulation to completion. Worlds created by the jobs are externally
-// owned (never pooled); the engine is recycled across Run calls.
+// Run starts every job on one shared engine (or, with Cores >= 1, one
+// shared shard group) and bank and runs the simulation to completion.
+// Worlds created by the jobs are externally owned (never pooled);
+// classic engines are recycled across Run calls, shard groups are built
+// per run.
 func Run(cfg Config) (Result, error) {
 	n := len(cfg.Jobs)
 	if n == 0 {
@@ -150,12 +170,35 @@ func Run(cfg Config) (Result, error) {
 	if err := fs.Validate(); err != nil {
 		return Result{}, err
 	}
-	eng := getEngine(cfg.Seed)
+	sharded := cfg.Cores >= 1
+	var eng *sim.Engine
+	var group *sim.ShardGroup
+	if sharded {
+		// The group's lookahead is deferred: each job's world tightens it
+		// with its own network's minimum cross-shard latency at Start.
+		group = sim.NewShardGroupDeferred(cfg.Seed, cfg.Cores)
+	} else {
+		eng = getEngine(cfg.Seed)
+	}
 	bank := sim.NewBank(fs.Stripes, n, cfg.Policy)
+	if sharded {
+		bank.AttachGroup(group, 0)
+	}
 	for i, sf := range cfg.StripeFaults {
 		if i < bank.Width() {
 			bank.SetStripeFaults(i, sf)
 		}
+	}
+	// abort unwinds whatever processes have been spawned so their
+	// goroutines do not leak. Classic engines are repooled (getEngine
+	// resets them); shard groups are built per run and simply dropped.
+	abort := func() {
+		if sharded {
+			group.Abort()
+			return
+		}
+		eng.Abort()
+		enginePool.Put(eng)
 	}
 	worlds := make([]*mpi.World, n)
 	for i, job := range cfg.Jobs {
@@ -166,29 +209,35 @@ func Run(cfg Config) (Result, error) {
 		if name == "" {
 			name = fmt.Sprintf("job%d", i)
 		}
-		base := mpi.Config{Engine: eng, Bank: bank, Job: i, Name: name, FS: fs}
+		base := mpi.Config{Bank: bank, Job: i, Name: name, FS: fs}
+		if sharded {
+			base.Group = group
+		} else {
+			base.Engine = eng
+		}
 		w, err := job.Start(base)
 		if err != nil {
-			// Jobs started before the failure have spawned processes that
-			// will never run; unwind them so their goroutines do not leak,
-			// and repool the aborted engine (getEngine resets it).
-			eng.Abort()
-			enginePool.Put(eng)
+			abort()
 			return Result{}, fmt.Errorf("cluster: job %d (%s): %w", i, name, err)
 		}
 		worlds[i] = w
 	}
-	makespan, err := eng.Run()
+	var makespan sim.Time
+	var err error
+	if sharded {
+		makespan, err = group.Run()
+	} else {
+		makespan, err = eng.Run()
+	}
 	if err != nil {
 		// A failed run unwinds like a failed start. Run itself unwinds
 		// parked goroutines before returning a deadlock error, so the
 		// Abort is defensive belt-and-braces (idempotent: its unwind is
-		// a no-op when nothing is parked); the load-bearing half is
-		// repooling — getEngine resets the engine, and a reset engine is
-		// behaviourally identical to a fresh one, so the error path no
-		// longer drops the warmed heap/ring capacity.
-		eng.Abort()
-		enginePool.Put(eng)
+		// a no-op when nothing is parked); the load-bearing half for the
+		// classic path is repooling — getEngine resets the engine, and a
+		// reset engine is behaviourally identical to a fresh one, so the
+		// error path no longer drops the warmed heap/ring capacity.
+		abort()
 		return Result{}, err
 	}
 	res := Result{
@@ -203,6 +252,8 @@ func Run(cfg Config) (Result, error) {
 		res.JobBusy[i] = bank.JobBusy(i)
 		res.JobDemand[i] = bank.JobDemand(i)
 	}
-	enginePool.Put(eng)
+	if !sharded {
+		enginePool.Put(eng)
+	}
 	return res, nil
 }

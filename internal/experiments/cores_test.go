@@ -2,7 +2,10 @@ package experiments
 
 import (
 	"bytes"
+	"errors"
 	"testing"
+
+	"repro/internal/mpi"
 )
 
 // TestCoresRowsBitIdentical is the determinism contract for the engine's
@@ -36,6 +39,106 @@ func TestCoresRowsBitIdentical(t *testing.T) {
 				t.Errorf("fibers=%v: rows differ between cores=1 and cores=%d\n--- cores=1 ---\n%s--- cores=%d ---\n%s",
 					fibers, cores, ref, cores, got)
 			}
+		}
+	}
+}
+
+// TestFigCoresRowsBitIdentical extends the parallel-mode determinism
+// contract to the other weak-scaling figures: fig5, fig6 and fig7
+// regenerated with 1, 2, 4 and 8 workers — in both process
+// representations — must produce byte-identical row output. These
+// experiments involve no shared file, so their sharded trajectory family
+// coincides with the classic one; the Cores == 0 rendering is held to
+// the same bytes to pin that down.
+func TestFigCoresRowsBitIdentical(t *testing.T) {
+	t.Setenv("REPRO_FIBERS", "0")
+	for _, name := range []string{"fig5", "fig6", "fig7"} {
+		for _, fibers := range []bool{false, true} {
+			render := func(cores int) []byte {
+				opts := Options{MaxProcs: 32, Runs: 2, Workers: 2, Fibers: fibers, FibersExplicit: true, Cores: cores}
+				if testing.Short() {
+					opts.Runs = 1
+				}
+				rows, err := Registry[name](opts)
+				if err != nil {
+					t.Fatalf("%s fibers=%v cores=%d: %v", name, fibers, cores, err)
+				}
+				var buf bytes.Buffer
+				if err := FormatCSV(&buf, rows); err != nil {
+					t.Fatal(err)
+				}
+				return buf.Bytes()
+			}
+			ref := render(1)
+			for _, cores := range []int{0, 2, 4, 8} {
+				if got := render(cores); !bytes.Equal(got, ref) {
+					t.Errorf("%s fibers=%v: rows differ between cores=1 and cores=%d\n--- cores=1 ---\n%s--- cores=%d ---\n%s",
+						name, fibers, cores, ref, cores, got)
+				}
+			}
+		}
+	}
+}
+
+// TestCoschedCoresRowsBitIdentical is the sharded co-scheduling
+// determinism contract: the cosched sweep — all five inter-job bank
+// policies, with their cross-shard reservation and demand-signal
+// traffic — regenerated with 1, 2, 4 and 8 workers in both process
+// representations must produce byte-identical row output. (The sharded
+// bank spends a lookahead window each way per reservation, so Cores >= 1
+// is its own trajectory family; the classic Cores == 0 rows are pinned
+// by the cosched golden suite, not compared here.)
+func TestCoschedCoresRowsBitIdentical(t *testing.T) {
+	t.Setenv("REPRO_FIBERS", "0")
+	for _, fibers := range []bool{false, true} {
+		render := func(cores int) []byte {
+			// CoschedPolicy left empty sweeps all five policies.
+			opts := Options{MaxProcs: 32, Runs: 2, Workers: 2, Fibers: fibers, FibersExplicit: true,
+				CoschedJobs: 2, Cores: cores}
+			if testing.Short() {
+				opts.Runs = 1
+			}
+			rows, err := Registry["cosched"](opts)
+			if err != nil {
+				t.Fatalf("fibers=%v cores=%d: %v", fibers, cores, err)
+			}
+			var buf bytes.Buffer
+			if err := FormatCSV(&buf, rows); err != nil {
+				t.Fatal(err)
+			}
+			return buf.Bytes()
+		}
+		ref := render(1)
+		for _, cores := range []int{2, 4, 8} {
+			if got := render(cores); !bytes.Equal(got, ref) {
+				t.Errorf("fibers=%v: cosched rows differ between cores=1 and cores=%d\n--- cores=1 ---\n%s--- cores=%d ---\n%s",
+					fibers, cores, ref, cores, got)
+			}
+		}
+	}
+}
+
+// TestNonShardableExperimentsRejectCores: every experiment outside the
+// Shardable set must reject -cores with the unified CannotShardError
+// (naming the feature and the flag to drop) instead of silently ignoring
+// it or failing deep inside a run.
+func TestNonShardableExperimentsRejectCores(t *testing.T) {
+	for name := range Registry {
+		if Shardable[name] {
+			continue
+		}
+		_, err := Registry[name](Options{MaxProcs: 32, Runs: 1, Workers: 1, Cores: 2})
+		if err == nil {
+			t.Errorf("%s: no error with Cores=2", name)
+			continue
+		}
+		var cse *mpi.CannotShardError
+		if !errors.As(err, &cse) {
+			t.Errorf("%s: error %v is not a CannotShardError", name, err)
+			continue
+		}
+		if cse.Flag != "-cores" {
+			t.Errorf("%s: CannotShardError names flag %q, want -cores", name, cse.Flag)
 		}
 	}
 }

@@ -92,7 +92,12 @@ func coschedJob(i int, seed int64, fibers bool) cluster.Job {
 // policy — so every configuration of the sweep shares one computation
 // per key instead of re-running it per policy and per job count.
 type coschedBaselines struct {
-	fibers  bool
+	fibers bool
+	// cores is the cluster's parallel-mode worker count (0 = classic).
+	// One baseline set serves one Cosched invocation, so it is fixed for
+	// every entry; baselines must run in the same trajectory family as
+	// the shared runs they normalize.
+	cores   int
 	mu      sync.Mutex
 	entries map[coschedBaseKey]*coschedBaseEntry
 }
@@ -125,6 +130,7 @@ func (b *coschedBaselines) get(job, stripes int, seed int64) (float64, error) {
 			Jobs:    []cluster.Job{coschedJob(job, seed, b.fibers)},
 			Stripes: stripes,
 			Seed:    seed,
+			Cores:   b.cores,
 		})
 		if err != nil {
 			e.err = err
@@ -180,7 +186,7 @@ func coschedRun(jobs, stripes int, policy sim.BankPolicy, seed int64, base *cosc
 		}
 		sf = inj.Stripe
 	}
-	shared, err := cluster.Run(cluster.Config{Jobs: cjobs, Policy: policy, Stripes: stripes, Seed: seed, StripeFaults: sf})
+	shared, err := cluster.Run(cluster.Config{Jobs: cjobs, Policy: policy, Stripes: stripes, Seed: seed, StripeFaults: sf, Cores: base.cores})
 	if err != nil {
 		return coschedOutcome{}, err
 	}
@@ -289,7 +295,7 @@ func Cosched(opts Options) ([]Row, error) {
 			fspec = &sp
 		}
 	}
-	base := &coschedBaselines{fibers: opts.Fibers}
+	base := &coschedBaselines{fibers: opts.Fibers, cores: opts.Cores}
 	var points []point
 	for _, jc := range jobCounts {
 		for _, stripes := range []int{1, 4} {

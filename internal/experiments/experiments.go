@@ -15,6 +15,8 @@ import (
 	"strconv"
 	"sync"
 	"text/tabwriter"
+
+	"repro/internal/mpi"
 )
 
 // Row is one measured point of an experiment series.
@@ -62,12 +64,15 @@ type Options struct {
 	// the environment into its -fibers flag default and sets this, so an
 	// explicit -fibers=false wins over REPRO_FIBERS=1.
 	FibersExplicit bool
-	// Cores, when >= 1, runs each fig8 point's simulation in the engine's
+	// Cores, when >= 1, runs each point's simulation in the engine's
 	// conservative parallel mode with that many workers (rows are
 	// byte-identical for any Cores >= 1; see internal/sim's parallel-mode
-	// contract). Zero keeps the classic single-engine mode. Experiments
-	// whose simulations cannot shard (shared-engine co-scheduling, crash
-	// recovery, traced runs) ignore it.
+	// contract). Zero keeps the classic single-engine mode. The sharded
+	// experiments are listed in Shardable (the weak-scaling figures and
+	// the co-scheduling contention sweep); the rest — crash recovery,
+	// fault campaigns, lossy fabrics, the ablations and the analytic
+	// model — reject a Cores >= 1 request with mpi.CannotShardError
+	// rather than silently ignoring it.
 	Cores int
 	// CoschedJobs restricts the cosched experiment to one concurrent-job
 	// count (0: sweep the built-in set).
@@ -264,20 +269,49 @@ func FormatCSV(w io.Writer, rows []Row) error {
 	return nil
 }
 
+// Shardable marks the experiments whose simulations run in the
+// conservative parallel mode when Options.Cores >= 1: the weak-scaling
+// figures (fig5-fig7 spread their rank groups over the workers; fig8's
+// decoupled variant spreads its compute group) and the co-scheduling
+// contention sweep (whose jobs share a window-safe bank across the
+// workers). Every other experiment depends on a classic-only feature —
+// crash campaigns, message faults, tracing, or a single-engine
+// co-scheduling baseline — and rejects Cores >= 1 with
+// mpi.CannotShardError. Keep in sync with Registry.
+var Shardable = map[string]bool{
+	"fig5":    true,
+	"fig6":    true,
+	"fig7":    true,
+	"fig8":    true,
+	"cosched": true,
+}
+
+// rejectCores wraps a non-shardable experiment's runner with the uniform
+// parallel-mode rejection, so a -cores request fails loudly up front
+// instead of being silently ignored (or panicking deep inside a sweep).
+func rejectCores(name string, fn func(Options) ([]Row, error)) func(Options) ([]Row, error) {
+	return func(opts Options) ([]Row, error) {
+		if opts.Cores >= 1 {
+			return nil, fmt.Errorf("%s: %w", name, &mpi.CannotShardError{Feature: "the " + name + " experiment", Flag: "-cores"})
+		}
+		return fn(opts)
+	}
+}
+
 // Registry maps experiment names to their runners, for the CLI.
 var Registry = map[string]func(Options) ([]Row, error){
 	"fig5":                 Fig5,
 	"fig6":                 Fig6,
 	"fig7":                 Fig7,
 	"fig8":                 Fig8,
-	"ablation-granularity": AblationGranularity,
-	"ablation-alpha":       AblationAlpha,
-	"ablation-fcfs":        AblationFCFS,
+	"ablation-granularity": rejectCores("ablation-granularity", AblationGranularity),
+	"ablation-alpha":       rejectCores("ablation-alpha", AblationAlpha),
+	"ablation-fcfs":        rejectCores("ablation-fcfs", AblationFCFS),
 	"cosched":              Cosched,
-	"model":                ModelValidation,
-	"recovery":             Recovery,
-	"resilience":           Resilience,
-	"lossy":                Lossy,
+	"model":                rejectCores("model", ModelValidation),
+	"recovery":             rejectCores("recovery", Recovery),
+	"resilience":           rejectCores("resilience", Resilience),
+	"lossy":                rejectCores("lossy", Lossy),
 }
 
 // Descriptions gives every registered experiment a one-line summary,

@@ -22,6 +22,7 @@ func Fig5(opts Options) ([]Row, error) {
 				c := mapreduce.DefaultConfig(p)
 				c.Seed = seed
 				c.Fibers = opts.Fibers
+				c.Cores = opts.Cores
 				res, err := mapreduce.RunReference(c)
 				return res.Time.Seconds(), err
 			},
@@ -37,6 +38,7 @@ func Fig5(opts Options) ([]Row, error) {
 					c.Seed = seed
 					c.Alpha = alpha
 					c.Fibers = opts.Fibers
+					c.Cores = opts.Cores
 					res, err := mapreduce.RunDecoupled(c)
 					return res.Time.Seconds(), err
 				},
@@ -65,6 +67,7 @@ func Fig6(opts Options) ([]Row, error) {
 					c := cg.DefaultConfig(p)
 					c.Seed = seed
 					c.Fibers = opts.Fibers
+					c.Cores = opts.Cores
 					res, err := cg.Run(c, v)
 					return res.Time.Seconds() * iterScale, err
 				},
@@ -94,6 +97,7 @@ func Fig7(opts Options) ([]Row, error) {
 				c := ipic3d.DefaultConfig(p)
 				c.Seed = seed
 				c.Fibers = opts.Fibers
+				c.Cores = opts.Cores
 				res, err := ipic3d.RunCommReference(c)
 				return res.Time.Seconds(), err
 			},
@@ -104,6 +108,7 @@ func Fig7(opts Options) ([]Row, error) {
 				c := ipic3d.DefaultConfig(p)
 				c.Seed = seed
 				c.Fibers = opts.Fibers
+				c.Cores = opts.Cores
 				res, err := ipic3d.RunCommDecoupled(c)
 				return res.Time.Seconds(), err
 			},

@@ -54,6 +54,24 @@ func (c *Comm) FOpen(r *Rank, name string, then func(*File) sim.StepFunc) sim.St
 	})
 }
 
+// fReserveEnd is reserveEnd for fiber-backed ranks: the same reservation
+// seam in continuation form. then receives the granted slot's end. On a
+// sharded bank the fiber parks keeping its debt while the two-phase
+// request round-trips through the owner shard, exactly as the goroutine
+// form parks its proc.
+func (f *File) fReserveEnd(r *Rank, dur sim.Time, then func(end sim.Time) sim.StepFunc) sim.StepFunc {
+	w := f.w
+	fib := r.fib
+	if !w.fs.Sharded() {
+		_, end := w.fs.Reserve(w.cfg.Job, fib.Now(), dur)
+		return then(end)
+	}
+	req := w.fs.PostReserve(r.rs.eng, w.cfg.Job, dur, r.rs.deliveryPri(), fib)
+	return fib.ParkKeepingDebt("bank reservation", func(_ *sim.Fiber) sim.StepFunc {
+		return then(req.End)
+	})
+}
+
 // FWriteShared is WriteShared for fiber-backed ranks: token-serialized
 // shared-pointer append, then stripe occupancy.
 func (f *File) FWriteShared(r *Rank, bytes int64, then sim.StepFunc) sim.StepFunc {
@@ -75,11 +93,12 @@ func (f *File) FWriteShared(r *Rank, bytes int64, then sim.StepFunc) sim.StepFun
 			f.size += bytes
 			f.bytesWritten += bytes
 			f.ops++
-			_, end := f.w.fs.Reserve(f.w.cfg.Job, fib.Now(), fs.WriteTime(bytes))
-			f.token.Release(fib)
-			return fib.AdvanceTo(end, func(f2 *sim.Fiber) sim.StepFunc {
-				f.w.ioEnd(r.rs)
-				return then(f2)
+			return f.fReserveEnd(r, fs.WriteTime(bytes), func(end sim.Time) sim.StepFunc {
+				f.token.Release(fib)
+				return fib.AdvanceTo(end, func(f2 *sim.Fiber) sim.StepFunc {
+					f.w.ioEnd(r.rs)
+					return then(f2)
+				})
 			})
 		})
 	})
@@ -158,11 +177,12 @@ func (f *File) FWriteAll(r *Rank, bytes int64, then sim.StepFunc) sim.StepFunc {
 			}
 			// Phase 2: one large write per aggregator.
 			return fib.Advance(fs.PerOpLatency, func(_ *sim.Fiber) sim.StepFunc {
-				_, end := f.w.fs.Reserve(f.w.cfg.Job, fib.Now(), fs.CollWriteTime(total))
-				f.ops++
-				f.size += total
-				f.bytesWritten += total
-				return fib.AdvanceTo(end, finish)
+				return f.fReserveEnd(r, fs.CollWriteTime(total), func(end sim.Time) sim.StepFunc {
+					f.ops++
+					f.size += total
+					f.bytesWritten += total
+					return fib.AdvanceTo(end, finish)
+				})
 			})
 		}
 		return collect

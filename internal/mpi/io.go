@@ -68,6 +68,28 @@ func (f *File) Ops() int64 { return f.ops }
 // BytesWritten reports the total bytes written.
 func (f *File) BytesWritten() int64 { return f.bytesWritten }
 
+// reserveEnd books dur of stripe time for the world's job at the rank's
+// current instant and returns the granted slot's end, which the caller
+// advances to. It is the single reservation seam of every blocking write
+// path. On a classic (or single-world sharded) bank the grant is the
+// synchronous Reserve call, byte-identical to the historical inline
+// form. On a bank attached to a shard group the reservation is the
+// two-phase window-boundary protocol: the request travels to the owner
+// shard carrying this rank's delivery priority, the rank parks (keeping
+// any accumulated debt — AdvanceTo folds it after the wake, identically
+// in both representations), and the grant wakes it two lookaheads later
+// with the slot.
+func (f *File) reserveEnd(r *Rank, dur sim.Time) sim.Time {
+	w := f.w
+	if !w.fs.Sharded() {
+		_, end := w.fs.Reserve(w.cfg.Job, r.proc.Now(), dur)
+		return end
+	}
+	req := w.fs.PostReserve(r.rs.eng, w.cfg.Job, dur, r.rs.deliveryPri(), r.proc)
+	r.proc.ParkKeepingDebt("bank reservation")
+	return req.End
+}
+
 // WriteAt writes bytes at an explicit offset: a per-operation latency,
 // then occupancy of one stripe.
 func (f *File) WriteAt(r *Rank, bytes int64) {
@@ -90,7 +112,7 @@ func (f *File) transfer(r *Rank, bytes int64, label string) {
 	start := r.proc.Now()
 	f.w.ioBegin(r.rs)
 	r.proc.Advance(fs.PerOpLatency)
-	_, end := f.w.fs.Reserve(f.w.cfg.Job, r.proc.Now(), fs.WriteTime(bytes))
+	end := f.reserveEnd(r, fs.WriteTime(bytes))
 	r.proc.AdvanceTo(end)
 	f.w.ioEnd(r.rs)
 	f.ops++
@@ -124,7 +146,7 @@ func (f *File) WriteShared(r *Rank, bytes int64) {
 	f.size += bytes
 	f.bytesWritten += bytes
 	f.ops++
-	_, end := f.w.fs.Reserve(f.w.cfg.Job, r.proc.Now(), fs.WriteTime(bytes))
+	end := f.reserveEnd(r, fs.WriteTime(bytes))
 	f.token.Release(r.proc)
 	r.proc.AdvanceTo(end)
 	f.w.ioEnd(r.rs)
@@ -189,7 +211,7 @@ func (f *File) WriteAll(r *Rank, bytes int64) {
 		// Phase 2: one large write per aggregator. Interleaved per-rank
 		// regions defeat stripe sequentiality (CollInterleaveFactor).
 		r.proc.Advance(fs.PerOpLatency)
-		_, end := f.w.fs.Reserve(f.w.cfg.Job, r.proc.Now(), fs.CollWriteTime(total))
+		end := f.reserveEnd(r, fs.CollWriteTime(total))
 		r.proc.AdvanceTo(end)
 		f.ops++
 		f.size += total

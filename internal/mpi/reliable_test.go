@@ -1,6 +1,7 @@
 package mpi
 
 import (
+	"fmt"
 	"testing"
 
 	"repro/internal/faults"
@@ -385,7 +386,7 @@ func TestMsgFaultConfigValidation(t *testing.T) {
 				t.Errorf("%s: no panic", name)
 				return
 			}
-			if s, ok := rec.(string); !ok || !contains(s, want) {
+			if !contains(fmt.Sprint(rec), want) {
 				t.Errorf("%s: panic %v, want mention of %q", name, rec, want)
 			}
 		}()

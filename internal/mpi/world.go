@@ -166,6 +166,20 @@ type Config struct {
 	// placement — only wall-clock balance does. Ranks sharing simulated
 	// files must share a shard (File.Open enforces this).
 	Place func(rank int) int
+	// Group, if non-nil, attaches the world to an existing shard group
+	// instead of owning one: several worlds (co-scheduled jobs) place
+	// their ranks across the same group's shard engines and run as one
+	// sharded simulation (see internal/cluster). It is the parallel-mode
+	// counterpart of a shared Engine, and like it marks the world
+	// external: the group's owner runs it, so worlds with a shared group
+	// must be started with Start/StartFibers, not Run. Requires a shared
+	// Bank attached to the same group (sim.Bank.AttachGroup) — the bank
+	// is the only cross-world state, and it must use the window-boundary
+	// reservation protocol. Shards, if set, must equal the group's shard
+	// count (zero adopts it); a shared group with one shard is still the
+	// sharded trajectory family, which is what keeps co-scheduled rows
+	// byte-identical for every worker count >= 1.
+	Group *sim.ShardGroup
 }
 
 func (c Config) withDefaults() Config {
@@ -180,6 +194,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Bank == nil {
 		c.Job = 0 // a private bank has exactly one job
+	}
+	if c.Group != nil && c.Shards == 0 {
+		c.Shards = c.Group.Shards()
 	}
 	if c.MsgFaults != nil {
 		if c.AckTimeout <= 0 {
@@ -258,6 +275,12 @@ type World struct {
 	// pools below.
 	group      *sim.ShardGroup
 	shardPools []pools
+	// priBase offsets this world's rank identities into the group-global
+	// id and delivery-priority spaces when several worlds share one group
+	// (allocated contiguously in job start order by AllocRanks, matching
+	// the classic shared-engine spawn order). Zero for a world that owns
+	// its group, preserving the single-world sharded family unchanged.
+	priBase int
 	// ioShard is the single shard allowed to touch the file-system bank in
 	// parallel mode (-1 until the first Open): stripe reservations and
 	// shared-pointer tokens are engine-local state, so every file-using
@@ -309,17 +332,32 @@ type World struct {
 // lets failure handling close intervals a crash left open (drainIO).
 func (w *World) ioBegin(rs *rankState) {
 	rs.ioDepth++
-	if w.signalDemand {
-		w.fs.IOBegin(w.cfg.Job, rs.eng.Now())
+	if !w.signalDemand {
+		return
 	}
+	if w.fs.Sharded() {
+		// Sharded shared bank: the demand edge travels to the owner shard
+		// as a boundary event carrying this rank's delivery priority, so
+		// the demand sequence the work-conserving policies read is
+		// partition-independent (see the sharded-bank contract in the sim
+		// package comment).
+		w.fs.PostIOBegin(rs.eng, w.cfg.Job, rs.deliveryPri())
+		return
+	}
+	w.fs.IOBegin(w.cfg.Job, rs.eng.Now())
 }
 
 // ioEnd closes the demand interval opened by the matching ioBegin.
 func (w *World) ioEnd(rs *rankState) {
 	rs.ioDepth--
-	if w.signalDemand {
-		w.fs.IOEnd(w.cfg.Job, rs.eng.Now())
+	if !w.signalDemand {
+		return
 	}
+	if w.fs.Sharded() {
+		w.fs.PostIOEnd(rs.eng, w.cfg.Job, rs.deliveryPri())
+		return
+	}
+	w.fs.IOEnd(w.cfg.Job, rs.eng.Now())
 }
 
 // pools is one shard's set of freelists for matching-path and wait-state
@@ -528,15 +566,42 @@ func (rs *rankState) reset(speed float64) {
 func (rs *rankState) Fire() { rs.progress.Broadcast(rs.eng) }
 
 // deliveryPri returns the canonical priority for this rank's next
-// cross-rank delivery in parallel mode: the sending rank and its send
-// counter, both functions of the simulated program alone, so same-instant
-// delivery order at the receiver never depends on shard placement. The
-// shift leaves room for 2^40 sends per rank before neighbouring ranks'
-// key ranges could touch.
+// cross-rank delivery in parallel mode: the sending rank (offset into
+// the group-global identity space when several worlds share the group)
+// and its send counter, both functions of the simulated program alone,
+// so same-instant delivery order at the receiver never depends on shard
+// placement. The shift leaves room for 2^40 sends per rank before
+// neighbouring ranks' key ranges could touch.
 func (rs *rankState) deliveryPri() uint64 {
-	pri := (uint64(rs.rank)+1)<<40 | rs.sendSeq
+	pri := (uint64(rs.world.priBase+rs.rank)+1)<<40 | rs.sendSeq
 	rs.sendSeq++
 	return pri
+}
+
+// CannotShardError reports a feature that only runs in the classic
+// single-engine mode: a run asking for both the conservative parallel
+// mode and the feature is refused with this error rather than silently
+// dropping either. Every classic-only rejection — crash campaigns,
+// message-fault campaigns, tracing, the legacy broadcast wake strategy —
+// uses this one type, at the app layer as a returned error and in
+// NewWorld's last-resort guards as a panic value, so the message always
+// names the feature and the flag to drop.
+type CannotShardError struct {
+	// Feature names the classic-only feature, e.g. "crash campaigns".
+	Feature string
+	// Flag is the flag whose removal resolves the conflict, e.g.
+	// "-cores" (the feature usually being the deliberate half of the
+	// request).
+	Flag string
+}
+
+func (e *CannotShardError) Error() string {
+	return fmt.Sprintf("%s cannot run in the conservative parallel mode; drop %s for this run", e.Feature, e.Flag)
+}
+
+// cannotShard builds the unified classic-only rejection.
+func cannotShard(feature, flag string) *CannotShardError {
+	return &CannotShardError{Feature: feature, Flag: flag}
 }
 
 // worldPool recycles released worlds so that sweeps reuse event-heap,
@@ -561,11 +626,26 @@ func NewWorld(cfg Config) *World {
 	if cfg.Bank != nil && (cfg.Job < 0 || cfg.Job >= cfg.Bank.Jobs()) {
 		panic(fmt.Sprintf("mpi: job %d outside shared bank's %d jobs", cfg.Job, cfg.Bank.Jobs()))
 	}
-	if cfg.Bank != nil && cfg.Engine == nil {
-		// A shared bank orders reservations by the shared engine's clock;
-		// feeding it from worlds with private engines would rewind its
-		// reservation instants between runs and grant nonsense.
-		panic("mpi: a shared Bank requires a shared Engine")
+	if cfg.Bank != nil && cfg.Engine == nil && cfg.Group == nil {
+		// A shared bank orders reservations by the shared engine's clock
+		// (or, sharded, by the owner shard's); feeding it from worlds with
+		// private engines would rewind its reservation instants between
+		// runs and grant nonsense.
+		panic("mpi: a shared Bank requires a shared Engine or a shared Group")
+	}
+	if cfg.Group != nil {
+		if cfg.Engine != nil {
+			panic("mpi: Group with a shared Engine; a sharded cluster shares the group, not an engine")
+		}
+		if cfg.Shards != cfg.Group.Shards() {
+			panic(fmt.Sprintf("mpi: Shards %d differs from the shared group's %d", cfg.Shards, cfg.Group.Shards()))
+		}
+		if cfg.Bank == nil {
+			panic("mpi: Group without a shared Bank; a lone sharded world owns its group (set Config.Shards instead)")
+		}
+		if cfg.Bank.Group() != cfg.Group {
+			panic("mpi: shared Bank is not attached to this world's shard group (sim.Bank.AttachGroup)")
+		}
 	}
 	if cfg.Bank != nil && cfg.StripeFaults != nil {
 		panic("mpi: StripeFaults on a world with a shared Bank; install faults on the bank via its owner")
@@ -610,33 +690,34 @@ func NewWorld(cfg Config) *World {
 			panic("mpi: message-fault campaigns do not support the legacy broadcast wake strategy (REPRO_WAKE=broadcast)")
 		}
 	}
-	sharded := cfg.Shards > 1
+	sharded := cfg.Shards > 1 || cfg.Group != nil
 	if sharded {
 		// The parallel mode partitions per-rank state across concurrently
 		// executing shard engines; the features below all assume one
 		// engine (a shared clock, a global kill/rebuild rendezvous, an
 		// ordered trace stream, the broadcast wake chain), so they are
-		// refused rather than silently misordered.
+		// refused rather than silently misordered — with the one shared
+		// rejection type so every layer reports the conflict the same way.
 		if cfg.Engine != nil {
-			panic("mpi: Shards > 1 with a shared Engine; co-scheduled worlds run on one engine")
+			panic("mpi: Shards > 1 with a shared Engine; co-scheduled sharded worlds share a Group instead")
 		}
-		if cfg.Bank != nil {
-			panic("mpi: Shards > 1 with a shared Bank")
+		if cfg.Bank != nil && cfg.Group == nil {
+			panic("mpi: Shards > 1 with a shared Bank but no shared Group; attach the bank and the worlds to one sim.ShardGroup")
 		}
 		if cfg.Tracer != nil {
-			panic("mpi: Shards > 1 does not support tracing")
+			panic(cannotShard("tracing", "-cores"))
 		}
 		if len(cfg.Crashes) > 0 {
-			panic("mpi: Shards > 1 does not support crash campaigns")
+			panic(cannotShard("crash campaigns", "-cores"))
 		}
 		if cfg.MsgFaults != nil {
 			// The reliable protocol's acks, reorder buffers and timers are
 			// engine-local sender/receiver state; the shard windows have no
 			// reverse ack channel, so the family is refused loudly.
-			panic("mpi: Shards > 1 does not support message-fault campaigns")
+			panic(cannotShard("message-fault campaigns", "-cores"))
 		}
 		if legacyWake {
-			panic("mpi: Shards > 1 does not support the legacy broadcast wake strategy (REPRO_WAKE=broadcast)")
+			panic(cannotShard("the legacy broadcast wake strategy (REPRO_WAKE=broadcast)", "-cores"))
 		}
 	}
 	// External worlds (shared engine or bank) are never returned to the
@@ -666,7 +747,18 @@ func NewWorld(cfg Config) *World {
 	w.legacy = legacyWake
 	w.ioShard = -1
 	if sharded {
-		w.group = sim.NewShardGroup(cfg.Seed, cfg.Shards, cfg.lookahead())
+		if cfg.Group != nil {
+			// Attach to the shared group: tighten its lookahead with this
+			// world's own cross-shard latency bound (commutative, so job
+			// attachment order never matters) and draw a contiguous block
+			// of engine-global rank identities, so spawn ids and delivery
+			// priorities follow classic job start order.
+			w.group = cfg.Group
+			w.group.TightenLookahead(cfg.lookahead())
+			w.priBase = w.group.AllocRanks(cfg.Procs)
+		} else {
+			w.group = sim.NewShardGroup(cfg.Seed, cfg.Shards, cfg.lookahead())
+		}
 		w.shardPools = make([]pools, cfg.Shards)
 		for i := 0; i < cfg.Shards; i++ {
 			// Ranks take their world rank as process id (SpawnID); helper
@@ -750,6 +842,7 @@ func (w *World) reset(cfg Config) {
 	w.signalDemand = cfg.Bank != nil // always false: external worlds never pool
 	w.legacy = legacyWake
 	w.ioShard = -1
+	w.priBase = 0 // always already 0: shared-group worlds never pool
 	w.eng.Reset(cfg.Seed)
 	w.comms = 0
 	clear(w.splits)
@@ -876,10 +969,11 @@ func (w *World) Start(main func(r *Rank)) {
 			main(rank)
 		}
 		if w.group != nil {
-			// Parallel mode pins the process id to the world rank on
-			// whichever shard hosts it, so the id-seeded random streams
-			// are placement-independent.
-			rs.proc = rs.eng.SpawnID(rs.rank, w.rankName(rs.rank), body)
+			// Parallel mode pins the process id to the world rank (offset
+			// by the world's block in a shared group) on whichever shard
+			// hosts it, so the id-seeded random streams are
+			// placement-independent.
+			rs.proc = rs.eng.SpawnID(w.priBase+rs.rank, w.rankName(rs.rank), body)
 		} else {
 			rs.proc = w.eng.Spawn(w.rankName(rs.rank), body)
 		}
@@ -891,8 +985,8 @@ func (w *World) Start(main func(r *Rank)) {
 // to completion, returning the final virtual time. Worlds attached to a
 // shared engine must not Run it (the owning cluster does); use Start.
 func (w *World) Run(main func(r *Rank)) (sim.Time, error) {
-	if w.cfg.Engine != nil {
-		panic("mpi: Run on a world with a shared engine; Start it and run the engine from its owner")
+	if w.cfg.Engine != nil || w.cfg.Group != nil {
+		panic("mpi: Run on a world with a shared engine or group; Start it and run from its owner")
 	}
 	w.Start(main)
 	if w.group != nil {
@@ -918,8 +1012,8 @@ type FiberMain func(r *Rank, f *sim.Fiber) sim.StepFunc
 // Tracing is not supported in fiber mode: callers gate on Config.Tracer
 // and fall back to Run when one is configured.
 func (w *World) RunFibers(main FiberMain) (sim.Time, error) {
-	if w.cfg.Engine != nil {
-		panic("mpi: RunFibers on a world with a shared engine; StartFibers it and run the engine from its owner")
+	if w.cfg.Engine != nil || w.cfg.Group != nil {
+		panic("mpi: RunFibers on a world with a shared engine or group; StartFibers it and run from its owner")
 	}
 	w.StartFibers(main)
 	if w.group != nil {
@@ -943,7 +1037,7 @@ func (w *World) StartFibers(main FiberMain) {
 			return main(rank, f)
 		}
 		if w.group != nil {
-			rank.fib = rs.eng.SpawnFiberID(rs.rank, w.rankName(rs.rank), start)
+			rank.fib = rs.eng.SpawnFiberID(w.priBase+rs.rank, w.rankName(rs.rank), start)
 		} else {
 			rank.fib = w.eng.SpawnFiber(w.rankName(rs.rank), start)
 		}

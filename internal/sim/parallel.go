@@ -53,6 +53,12 @@ type ShardGroup struct {
 	// windowEnd is the exclusive upper bound of the running window; posts
 	// below it would violate the lookahead guarantee and panic.
 	windowEnd Time
+	// deferred marks a group built by NewShardGroupDeferred whose
+	// lookahead has not been tightened yet; Run refuses to start one.
+	deferred bool
+	// rankBase is the next engine-global rank identity handed out by
+	// AllocRanks, for multi-world (co-scheduled) sharded runs.
+	rankBase int
 }
 
 // NewShardGroup builds n engines sharing one seed and one conservative
@@ -80,6 +86,49 @@ func NewShardGroup(seed int64, n int, lookahead Time) *ShardGroup {
 	}
 	return g
 }
+
+// NewShardGroupDeferred builds n engines whose conservative lookahead is
+// not yet known: the layers attaching simulated state to the group each
+// call TightenLookahead with their own lower bound before Run. Several
+// worlds of a co-scheduled cluster attach to one group this way — each
+// knows only its own network's minimum cross-shard latency, and the
+// group's lookahead is the minimum over all of them.
+func NewShardGroupDeferred(seed int64, n int) *ShardGroup {
+	g := NewShardGroup(seed, n, MaxTime)
+	g.deferred = true
+	return g
+}
+
+// TightenLookahead lowers the group's lookahead to la if la is smaller.
+// Tightening is commutative (a running minimum), so attachment order
+// never matters; la must be a positive lower bound on the attaching
+// layer's cross-shard latency.
+func (g *ShardGroup) TightenLookahead(la Time) {
+	if la <= 0 {
+		panic(fmt.Sprintf("sim: TightenLookahead with non-positive lookahead %v", la))
+	}
+	if la < g.lookahead {
+		g.lookahead = la
+	}
+	g.deferred = false
+}
+
+// AllocRanks reserves a contiguous block of n engine-global rank
+// identities and returns its base. Worlds sharing one group (co-scheduled
+// jobs) draw their blocks in job start order, so process ids — and every
+// id-seeded random stream and delivery priority — match the classic
+// shared-engine spawn order regardless of how ranks are sharded.
+func (g *ShardGroup) AllocRanks(n int) int {
+	base := g.rankBase
+	g.rankBase += n
+	return base
+}
+
+// Abort unwinds every shard engine without running the group, releasing
+// any process goroutines spawned onto the shards. It is the group
+// counterpart of Engine.Abort, for error paths between attachment and
+// Run.
+func (g *ShardGroup) Abort() { g.unwindAll() }
 
 // Shards reports the number of shard engines in the group.
 func (g *ShardGroup) Shards() int { return len(g.engines) }
@@ -139,6 +188,9 @@ func runShard(e *Engine, limit Time, slot *interface{}) {
 // (or panic) every shard engine is unwound, exactly as Engine.Run
 // guarantees for a single engine.
 func (g *ShardGroup) Run() (Time, error) {
+	if g.deferred {
+		panic("sim: ShardGroup.Run on a deferred group whose lookahead was never tightened (TightenLookahead)")
+	}
 	panics := make([]interface{}, len(g.engines))
 	busy := make([]*Engine, 0, len(g.engines))
 	for {
